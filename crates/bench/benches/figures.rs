@@ -1,0 +1,208 @@
+//! Criterion benchmarks: one per paper artifact.
+//!
+//! Each benchmark executes a shortened (but dynamics-complete) version of
+//! the corresponding experiment scenario end-to-end and asserts its
+//! qualitative outcome, so `cargo bench` doubles as a performance tracker
+//! for the simulator *and* a regression check on every figure's verdict.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pfcsim_experiments::scenarios::{
+    fig1, paper_config, routing_loop, square_dcqcn, square_scenario, tiering_scenario,
+};
+use pfcsim_simcore::time::SimTime;
+use pfcsim_simcore::units::BitRate;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_ring3_deadlock", |b| {
+        b.iter(|| {
+            let mut sc = fig1(paper_config());
+            let r = sc.sim.run(SimTime::from_ms(1));
+            assert!(r.verdict.is_deadlock());
+            black_box(r.events)
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_eq3_loop");
+    g.sample_size(10);
+    // Below the Eq. 3 threshold: the TTL drain keeps the loop alive.
+    g.bench_function("below_threshold_4gbps", |b| {
+        b.iter(|| {
+            let mut sc = routing_loop(paper_config(), BitRate::from_gbps(4), 16);
+            let r = sc.sim.run(SimTime::from_ms(3));
+            assert!(!r.verdict.is_deadlock());
+            black_box(r.stats.drops_ttl)
+        })
+    });
+    // Above: deadlock.
+    g.bench_function("above_threshold_8gbps", |b| {
+        b.iter(|| {
+            let mut sc = routing_loop(paper_config(), BitRate::from_gbps(8), 16);
+            let r = sc.sim.run(SimTime::from_ms(3));
+            assert!(r.verdict.is_deadlock());
+            black_box(r.events)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_cbd_no_deadlock");
+    g.sample_size(10);
+    g.bench_function("two_flows_2ms", |b| {
+        b.iter(|| {
+            let mut sc = square_scenario(paper_config(), false, None);
+            let r = sc.sim.run(SimTime::from_ms(2));
+            assert!(!r.verdict.is_deadlock());
+            black_box(r.stats.pause_frames)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_deadlock");
+    g.sample_size(10);
+    g.bench_function("three_flows_to_deadlock", |b| {
+        b.iter(|| {
+            let mut sc = square_scenario(paper_config(), true, None);
+            let r = sc.sim.run(SimTime::from_ms(2));
+            assert!(r.verdict.is_deadlock());
+            black_box(r.events)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_rate_limit");
+    g.sample_size(10);
+    g.bench_function("limited_2gbps_no_deadlock", |b| {
+        b.iter(|| {
+            let mut sc = square_scenario(paper_config(), true, Some(BitRate::from_gbps(2)));
+            let r = sc.sim.run(SimTime::from_ms(2));
+            assert!(!r.verdict.is_deadlock());
+            black_box(r.stats.pause_frames)
+        })
+    });
+    g.finish();
+}
+
+fn bench_mitigations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mitigations");
+    g.sample_size(10);
+    g.bench_function("e7_tiering_incast", |b| {
+        b.iter(|| {
+            let mut sc = tiering_scenario(paper_config(), 6, true);
+            let r = sc.sim.run(SimTime::from_ms(1));
+            black_box(r.stats.pause_frames)
+        })
+    });
+    g.bench_function("e8_dcqcn_square", |b| {
+        b.iter(|| {
+            let mut sc = square_dcqcn(paper_config(), false);
+            let r = sc.sim.run(SimTime::from_ms(2));
+            assert!(!r.verdict.is_deadlock());
+            black_box(r.stats.cnps)
+        })
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    use pfcsim_core::bdg::BufferDependencyGraph;
+    use pfcsim_core::freedom::verify_all_pairs;
+    use pfcsim_topo::builders::{fat_tree, LinkSpec};
+    use pfcsim_topo::ids::Priority;
+    use pfcsim_topo::routing::up_down_tables;
+
+    let built = fat_tree(4, LinkSpec::default());
+    let tables = up_down_tables(&built.topo);
+    let mut g = c.benchmark_group("analysis");
+    g.bench_function("e9_verify_all_pairs_fat_tree4", |b| {
+        b.iter(|| {
+            verify_all_pairs(&built.topo, &tables, Priority::DEFAULT).unwrap();
+        })
+    });
+    let specs: Vec<_> = built
+        .hosts
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &s)| {
+            built
+                .hosts
+                .iter()
+                .enumerate()
+                .filter(move |&(j, _)| i != j)
+                .map(move |(j, &d)| {
+                    pfcsim_net::flow::FlowSpec::infinite((i * 100 + j) as u32, s, d)
+                })
+        })
+        .collect();
+    g.bench_function("fluid_model_square_1ms", |b| {
+        use pfcsim_core::fluid::{FluidConfig, FluidFlow, FluidNetwork};
+        use pfcsim_topo::builders::square;
+        use pfcsim_topo::ids::FlowId;
+        let sq = square(LinkSpec::default());
+        let (s, h) = (&sq.switches, &sq.hosts);
+        let flows = vec![
+            FluidFlow {
+                id: FlowId(1),
+                demand: None,
+                path: vec![h[0], s[0], s[1], s[2], s[3], h[3]],
+            },
+            FluidFlow {
+                id: FlowId(2),
+                demand: None,
+                path: vec![h[2], s[2], s[3], s[0], s[1], h[1]],
+            },
+        ];
+        let net = FluidNetwork::new(&sq.topo, flows, FluidConfig::default());
+        b.iter(|| {
+            let r = net.run(10_000);
+            assert!(!r.deadlock);
+            black_box(r.final_buffered)
+        })
+    });
+    g.bench_function("repair_fig4_workload", |b| {
+        use pfcsim_mitigation::repair::plan_repair;
+        use pfcsim_net::flow::FlowSpec;
+        use pfcsim_topo::builders::square;
+        let sq = square(LinkSpec::default());
+        let (s, h) = (&sq.switches, &sq.hosts);
+        let t2 = pfcsim_topo::routing::shortest_path_tables(&sq.topo);
+        let flows = vec![
+            FlowSpec::infinite(1, h[0], h[3]).pinned(vec![h[0], s[0], s[1], s[2], s[3], h[3]]),
+            FlowSpec::infinite(2, h[2], h[1]).pinned(vec![h[2], s[2], s[3], s[0], s[1], h[1]]),
+            FlowSpec::infinite(3, h[1], h[2]).pinned(vec![h[1], s[1], s[2], h[2]]),
+        ];
+        b.iter(|| {
+            let plan = plan_repair(&sq.topo, &t2, &flows).expect("repairable");
+            assert!(!plan.repaths.is_empty());
+            black_box(plan.repaths.len())
+        })
+    });
+    g.bench_function("bdg_from_240_flows", |b| {
+        b.iter(|| {
+            let g = BufferDependencyGraph::from_specs(&built.topo, &tables, &specs);
+            assert!(!g.has_cbd());
+            black_box(g.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_mitigations,
+    bench_analysis
+);
+criterion_main!(figures);

@@ -1,0 +1,144 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all [--quick] [--json DIR]
+//! repro fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations
+//! ```
+
+use std::io::Write;
+
+use pfcsim_experiments::experiments::{
+    self, e10_ablations, e11_recovery, e12_fluid, e13_flooding, e1_fig1, e2_fig2, e3_fig3, e4_fig4,
+    e5_fig5, e6_ttl, e7_tiering, e8_dcqcn, e9_baselines, Opts,
+};
+use pfcsim_experiments::Report;
+use pfcsim_topo::builders::{
+    fat_tree, jellyfish, leaf_spine, mesh2d, ring, torus2d, Built, LinkSpec,
+};
+
+/// `repro verify <topology> <routing>` — run the Dally–Seitz check from
+/// the command line and print the verdict + cost.
+fn verify(topo_name: &str, routing: &str) -> ! {
+    use pfcsim_core::freedom::verify_all_pairs;
+    use pfcsim_mitigation::routing_restriction::{restriction_cost, up_down_arbitrary};
+    use pfcsim_mitigation::turn_model::xy_routing;
+    use pfcsim_topo::ids::Priority;
+    use pfcsim_topo::routing::{shortest_path_tables, up_down_tables};
+
+    let spec = LinkSpec::default();
+    let built: Built = match topo_name {
+        "fat-tree4" => fat_tree(4, spec),
+        "leaf-spine" => leaf_spine(4, 2, 2, spec),
+        "jellyfish" => jellyfish(12, 3, 1, 7, spec),
+        "ring6" => ring(6, spec),
+        "torus3x3" => torus2d(3, 3, spec),
+        "mesh3x4" => mesh2d(3, 4, spec),
+        other => {
+            eprintln!("unknown topology '{other}' (fat-tree4|leaf-spine|jellyfish|ring6|torus3x3|mesh3x4)");
+            std::process::exit(2);
+        }
+    };
+    let tables = match routing {
+        "shortest" => shortest_path_tables(&built.topo),
+        "updown" => up_down_tables(&built.topo),
+        "updown-arbitrary" => up_down_arbitrary(&built.topo, built.switches[0]),
+        "xy" => xy_routing(&built.topo),
+        other => {
+            eprintln!("unknown routing '{other}' (shortest|updown|updown-arbitrary|xy)");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "topology: {topo_name} ({} switches, {} hosts, {} links)",
+        built.switches.len(),
+        built.hosts.len(),
+        built.topo.link_count()
+    );
+    match verify_all_pairs(&built.topo, &tables, Priority::DEFAULT) {
+        Ok(()) => println!("verdict: DEADLOCK-FREE for any traffic matrix (BDG acyclic)"),
+        Err(v) => println!("verdict: NOT deadlock-free: {v:?}"),
+    }
+    let cost = restriction_cost(&built.topo, &tables);
+    println!(
+        "path stretch: mean {:.3}, max {:.2}; unreachable pairs: {}",
+        cost.mean_stretch, cost.max_stretch, cost.unreachable_pairs
+    );
+    std::process::exit(0);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <all|fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations|recovery|fluid|flooding|verify> \
+         [--quick] [--json DIR] [--csv DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args[0].as_str();
+    if cmd == "verify" {
+        let topo = args.get(1).map(String::as_str).unwrap_or("fat-tree4");
+        let routing = args.get(2).map(String::as_str).unwrap_or("updown");
+        verify(topo, routing);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let opts = Opts {
+        quick,
+        dump_dir: csv_dir,
+    };
+
+    let reports: Vec<Report> = match cmd {
+        "all" => experiments::run_all(&opts),
+        "fig1" => vec![e1_fig1::run(&opts)],
+        "fig2" | "eq3" | "table1" => vec![e2_fig2::run(&opts)],
+        "fig3" => vec![e3_fig3::run(&opts)],
+        "fig4" => vec![e4_fig4::run(&opts)],
+        "fig5" => vec![e5_fig5::run(&opts)],
+        "ttl" | "ttl-classes" => vec![e6_ttl::run(&opts)],
+        "tiering" => vec![e7_tiering::run(&opts)],
+        "dcqcn" => vec![e8_dcqcn::run(&opts)],
+        "baselines" => vec![e9_baselines::run(&opts)],
+        "ablations" => vec![e10_ablations::run(&opts)],
+        "recovery" => vec![e11_recovery::run(&opts)],
+        "fluid" => vec![e12_fluid::run(&opts)],
+        "flooding" | "guo" => vec![e13_flooding::run(&opts)],
+        _ => usage(),
+    };
+
+    for r in &reports {
+        println!("{}", r.render());
+    }
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(&dir).expect("create json output dir");
+        for r in &reports {
+            let slug: String =
+                r.id.chars()
+                    .take_while(|c| !c.is_whitespace())
+                    .flat_map(char::to_lowercase)
+                    .collect();
+            let path = format!("{dir}/{slug}.json");
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            f.write_all(
+                serde_json::to_string_pretty(&r.to_json())
+                    .expect("json")
+                    .as_bytes(),
+            )
+            .expect("write json");
+            eprintln!("wrote {path}");
+        }
+    }
+}

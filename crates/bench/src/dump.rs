@@ -1,0 +1,56 @@
+//! Plot-ready CSV artifacts: occupancy series and pause-event logs, the
+//! raw data behind the paper's time-series panels.
+
+use std::io::Write;
+use std::path::Path;
+
+use pfcsim_simcore::series::{EventLog, TimeSeries};
+
+/// Write a `(time_us, bytes)` series as CSV.
+pub fn write_series(path: &Path, series: &TimeSeries) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "time_us,bytes")?;
+    for &(t, v) in series.samples() {
+        writeln!(f, "{:.3},{v}", t.as_ps() as f64 / 1e6)?;
+    }
+    Ok(())
+}
+
+/// Write an event log as a one-column CSV of microsecond timestamps.
+pub fn write_events(path: &Path, log: &EventLog) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "time_us")?;
+    for &t in log.times() {
+        writeln!(f, "{:.3}", t.as_ps() as f64 / 1e6)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfcsim_simcore::time::SimTime;
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("pfcsim_dump_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_us(1), 10);
+        s.push(SimTime::from_us(2), 20);
+        let p = dir.join("series.csv");
+        write_series(&p, &s).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.starts_with("time_us,bytes"));
+        assert!(text.contains("1.000,10"));
+
+        let mut log = EventLog::new();
+        log.record(SimTime::from_us(5));
+        let p = dir.join("events.csv");
+        write_events(&p, &log).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.contains("5.000"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,98 @@
+//! E1 — Figure 1: PFC-induced deadlock on a 3-switch cycle.
+//!
+//! The paper's illustration: packets A→B→C→A; once every link's PAUSE
+//! overlaps, "no switch in the cycle can proceed \[and\] throughput of the
+//! whole network or part of the network will go to zero".
+
+use pfcsim_net::sim::Verdict;
+use pfcsim_simcore::time::SimTime;
+use pfcsim_topo::ids::Priority;
+
+use super::Opts;
+use crate::scenarios::{fig1, paper_config};
+use crate::table::{fmt, Report, Table};
+
+/// Run E1.
+pub fn run(opts: &Opts) -> Report {
+    let mut report = Report::new("E1 / Figure 1", "PFC-induced deadlock on a 3-switch cycle");
+    let horizon = opts.horizon_ms(10);
+    let mut cfg = paper_config();
+    cfg.stop_on_deadlock = false; // let throughput visibly die
+    let mut sc = fig1(cfg);
+    let cycle = sc.cycle.clone();
+    let result = sc.sim.run(horizon);
+
+    let mut t = Table::new("verdict", &["deadlock", "detected_at", "witness_channels"]);
+    match &result.verdict {
+        Verdict::Deadlock {
+            detected_at,
+            witness,
+        } => t.row(vec![
+            "yes".into(),
+            format!("{detected_at}"),
+            witness.len().to_string(),
+        ]),
+        Verdict::NoDeadlock => t.row(vec!["no".into(), "-".into(), "0".into()]),
+    }
+    report.table(t);
+
+    let mut t = Table::new(
+        "pause events per cycle link",
+        &["link", "pause_frames", "still_paused_at_end"],
+    );
+    for (i, &(from, to)) in cycle.iter().enumerate() {
+        let count = result.stats.pause_count(from, to, Priority::DEFAULT);
+        let open = result
+            .stats
+            .pause_log(from, to, Priority::DEFAULT)
+            .map(|l| l.intervals.is_open())
+            .unwrap_or(false);
+        t.row(vec![
+            format!("L{} ({from}->{to})", i + 1),
+            count.to_string(),
+            fmt::yn(open),
+        ]);
+    }
+    report.table(t);
+
+    let mut t = Table::new(
+        "throughput collapse",
+        &[
+            "flow",
+            "delivered_pkts",
+            "last_delivery",
+            "avg_gbps_to_horizon",
+        ],
+    );
+    for (id, fs) in &result.stats.flows {
+        let bps = fs
+            .meter
+            .average_bps(SimTime::ZERO, result.end_time)
+            .unwrap_or(0.0);
+        t.row(vec![
+            id.to_string(),
+            fs.delivered_packets.to_string(),
+            fs.meter
+                .last_delivery()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+            fmt::gbps(bps),
+        ]);
+    }
+    report.table(t);
+
+    if let Verdict::Deadlock { detected_at, .. } = &result.verdict {
+        let last = result
+            .stats
+            .flows
+            .values()
+            .filter_map(|f| f.meter.last_delivery())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        report.note(format!(
+            "deadlock at {detected_at}; last packet delivered at {last}; deliveries stop \
+             shortly after the cycle freezes — \"throughput ... will go to zero\" (paper §1)."
+        ));
+    }
+    report
+}

@@ -1,0 +1,172 @@
+//! E4 — Figure 4: a slightly different traffic matrix (adding flow 3
+//! b→B→C→c) turns the same CBD into a real deadlock.
+//!
+//! Regenerates (b) the unchanged dependency cycle, (c) pause events at all
+//! four links, the deadlock verdict, and the paper's own permanence check:
+//! stop all flows, confirm pauses persist and bytes stay wedged.
+
+use pfcsim_core::bdg::BufferDependencyGraph;
+use pfcsim_core::sufficiency::analyze_cycle_overlap;
+use pfcsim_net::sim::Verdict;
+use pfcsim_simcore::time::SimTime;
+use pfcsim_topo::ids::{FlowId, NodeId, Priority};
+
+use super::Opts;
+use crate::scenarios::{paper_config, square_flow3, square_flows, square_scenario};
+use crate::table::{fmt, Report, Table};
+
+/// Run E4.
+pub fn run(opts: &Opts) -> Report {
+    let mut report = Report::new(
+        "E4 / Figure 4",
+        "Adding flow 3 turns the CBD into a deadlock",
+    );
+    let horizon = opts.horizon_ms(10);
+
+    // Dependency graph: one extra edge, same cycle (paper §3.2).
+    let built = pfcsim_topo::builders::square(pfcsim_topo::builders::LinkSpec::default());
+    let tables = pfcsim_topo::routing::shortest_path_tables(&built.topo);
+    let mut specs = square_flows(&built);
+    let g2 = BufferDependencyGraph::from_specs(&built.topo, &tables, &specs);
+    specs.push(square_flow3(&built));
+    let g3 = BufferDependencyGraph::from_specs(&built.topo, &tables, &specs);
+    let mut t = Table::new(
+        "Fig. 4(b): dependency graph vs Fig. 3(b)",
+        &["property", "fig3", "fig4"],
+    );
+    t.row(vec![
+        "dependencies".into(),
+        g2.edge_count().to_string(),
+        g3.edge_count().to_string(),
+    ]);
+    t.row(vec![
+        "cycles".into(),
+        g2.cbd_cycles(8).len().to_string(),
+        g3.cbd_cycles(8).len().to_string(),
+    ]);
+    t.row(vec![
+        "cycle length".into(),
+        g2.cbd_cycles(1)[0].len().to_string(),
+        g3.cbd_cycles(1)[0].len().to_string(),
+    ]);
+    report.table(t);
+
+    // Live run.
+    let mut sc = square_scenario(paper_config(), true, None);
+    let cycle = sc.cycle.clone();
+    let cycle_nodes: Vec<NodeId> = sc.built.switches.clone();
+    let result = sc.sim.run(horizon);
+
+    let mut t = Table::new(
+        "Fig. 4(c): pause events at L1..L4",
+        &["link", "pause_frames", "paper"],
+    );
+    for (i, &(from, to)) in cycle.iter().enumerate() {
+        t.row(vec![
+            format!("L{} ({from}->{to})", i + 1),
+            result
+                .stats
+                .pause_count(from, to, Priority::DEFAULT)
+                .to_string(),
+            "paused".into(),
+        ]);
+    }
+    report.table(t);
+
+    let overlap = analyze_cycle_overlap(
+        &result.stats,
+        &cycle_nodes,
+        Priority::DEFAULT,
+        result.end_time,
+    );
+    let mut t = Table::new("verdict and trigger", &["metric", "value"]);
+    match &result.verdict {
+        Verdict::Deadlock {
+            detected_at,
+            witness,
+        } => {
+            t.row(vec!["deadlock".into(), "yes".into()]);
+            t.row(vec!["detected_at".into(), detected_at.to_string()]);
+            t.row(vec![
+                "witness".into(),
+                witness
+                    .iter()
+                    .map(|k| format!("{}->{}", k.from, k.to))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ]);
+        }
+        Verdict::NoDeadlock => t.row(vec!["deadlock".into(), "NO (unexpected)".into()]),
+    }
+    t.row(vec![
+        "all 4 links simultaneously paused".into(),
+        fmt::yn(overlap.all_paused_simultaneously()),
+    ]);
+    t.row(vec![
+        "first simultaneous pause".into(),
+        overlap
+            .first_all_paused
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "-".into()),
+    ]);
+    report.table(t);
+
+    // Optional CSV artifacts: pause-event series for Fig. 4(c).
+    if let Some(dir) = &opts.dump_dir {
+        std::fs::create_dir_all(dir).expect("create dump dir");
+        for (i, &(from, to)) in cycle.iter().enumerate() {
+            if let Some(log) = result.stats.pause_log(from, to, Priority::DEFAULT) {
+                crate::dump::write_events(
+                    &dir.join(format!("fig4_pauses_L{}.csv", i + 1)),
+                    &log.events,
+                )
+                .expect("write pause csv");
+            }
+        }
+    }
+
+    // The paper's permanence check: stop flows, drain, verify.
+    let mut cfg = paper_config();
+    cfg.stop_on_deadlock = false;
+    let mut sc2 = square_scenario(cfg, true, None);
+    let stop_at = opts.horizon_ms(5);
+    let drain_until = SimTime::from_ms(stop_at.as_ms() * 4);
+    let drained = sc2.sim.run_with_drain(stop_at, drain_until);
+    let mut t = Table::new(
+        "permanence: stop flows, let the network drain",
+        &["metric", "value", "paper"],
+    );
+    t.row(vec![
+        "still deadlocked after stop".into(),
+        fmt::yn(drained.verdict.is_deadlock()),
+        "yes".into(),
+    ]);
+    t.row(vec![
+        "bytes wedged forever".into(),
+        drained.buffered.to_string(),
+        "> 0".into(),
+    ]);
+    t.row(vec![
+        "channels never resumed".into(),
+        drained.stats.permanently_paused().len().to_string(),
+        ">= 4".into(),
+    ]);
+    report.table(t);
+
+    // Pre-deadlock throughputs (flow-level analysis says 20G each — the
+    // paper's point is that averages don't predict the packet-level fate).
+    let mut t = Table::new("throughput until freeze", &["flow", "gbps"]);
+    for f in [FlowId(1), FlowId(2), FlowId(3)] {
+        let bps = result.stats.flows[&f]
+            .meter
+            .average_bps(SimTime::ZERO, result.end_time)
+            .unwrap_or(0.0);
+        t.row(vec![f.to_string(), fmt::gbps(bps)]);
+    }
+    report.table(t);
+    report.note(
+        "Same CBD as Fig. 3; only the traffic matrix changed. Deadlock follows the first \
+         instant all four links are paused at once with cycle-bound bytes over XON.",
+    );
+    report
+}

@@ -1,0 +1,121 @@
+//! E6 — §4 "TTL-based mitigation": remaining-TTL priority bands.
+//!
+//! Three sub-experiments:
+//!  (a) the analytic threshold table (`n·B/width`, Eq. 3 refined);
+//!  (b) the honest limit: an *oversaturated* loop (r > n·B/TTL) still
+//!      deadlocks with classes, because the lowest-priority band starves —
+//!      classing cannot repeal the Eq. 2 capacity constraint;
+//!  (c) where it shines: the alignment-driven Fig. 4 deadlock disappears
+//!      when each hop lands in its own TTL band.
+
+use pfcsim_core::boundary::BoundaryModel;
+use pfcsim_net::config::TtlClassConfig;
+use pfcsim_simcore::units::BitRate;
+
+use super::Opts;
+use crate::scenarios::{paper_config, routing_loop, square_scenario};
+use crate::table::{fmt, Report, Table};
+
+/// Run E6.
+pub fn run(opts: &Opts) -> Report {
+    let mut report = Report::new(
+        "E6 / §4 TTL classes",
+        "Remaining-TTL priority bands against loop and alignment deadlocks",
+    );
+    let horizon = opts.horizon_ms(20);
+
+    // (a) analytic thresholds.
+    let m = BoundaryModel::new(2, BitRate::from_gbps(40), 16);
+    let mut t = Table::new(
+        "analytic per-class threshold (n=2, B=40 Gbps): n*B/width",
+        &["class_width", "threshold_gbps", "note"],
+    );
+    for width in [16u32, 8, 4, 2] {
+        let thr = m.threshold_with_class_width(width);
+        let note = if thr >= BitRate::from_gbps(40) {
+            "≥ line rate: unconditionally safe per class"
+        } else {
+            ""
+        };
+        t.row(vec![
+            width.to_string(),
+            fmt::gbps(thr.bps() as f64),
+            note.into(),
+        ]);
+    }
+    report.table(t);
+
+    // (b) oversaturated loop: classes do not help.
+    let mut t = Table::new(
+        "oversaturated loop (r=8 Gbps > n*B/TTL=5 Gbps), TTL 16",
+        &["config", "deadlock"],
+    );
+    for (label, classes, wrr) in [
+        ("flat (single class)", None, false),
+        (
+            "TTL bands width=4, 5 classes (strict priority)",
+            Some(TtlClassConfig {
+                width: 4,
+                base_class: 0,
+                classes: 5,
+            }),
+            false,
+        ),
+        (
+            "TTL bands width=4, 5 classes + WRR classes",
+            Some(TtlClassConfig {
+                width: 4,
+                base_class: 0,
+                classes: 5,
+            }),
+            true,
+        ),
+    ] {
+        let mut cfg = paper_config();
+        cfg.ttl_class_mode = classes;
+        if wrr {
+            cfg.class_scheduling = pfcsim_net::config::ClassScheduling::Wrr;
+        }
+        let mut sc = routing_loop(cfg, BitRate::from_gbps(8), 16);
+        let res = sc.sim.run(horizon);
+        t.row(vec![label.into(), fmt::yn(res.verdict.is_deadlock())]);
+    }
+    report.table(t);
+    report.note(
+        "Finding: at r > n*B/TTL the loop is oversaturated in *aggregate* (per-link demand \
+         ≈ r·TTL/n > B), so some band always starves and deadlocks within its own class — \
+         under strict priority AND under WRR between the classes, proving it is a capacity \
+         constraint, not a scheduling artifact. The §4 sketch raises the threshold against \
+         bursty/alignment-driven deadlock, not against capacity overload.",
+    );
+
+    // (c) alignment-driven Fig. 4 deadlock defused.
+    let mut t = Table::new(
+        "Fig. 4 workload with per-hop TTL bands (width 1, 4 classes)",
+        &["config", "deadlock"],
+    );
+    for (label, classes) in [
+        ("flat (single class)", None),
+        (
+            "TTL bands width=1, 4 classes",
+            Some(TtlClassConfig {
+                width: 1,
+                base_class: 0,
+                classes: 4,
+            }),
+        ),
+    ] {
+        let mut cfg = paper_config();
+        cfg.ttl_class_mode = classes;
+        let mut sc = square_scenario(cfg, true, None);
+        let res = sc.sim.run(opts.horizon_ms(10));
+        t.row(vec![label.into(), fmt::yn(res.verdict.is_deadlock())]);
+    }
+    report.table(t);
+    report.note(
+        "Per-hop TTL bands put every hop of every flow in a distinct PFC class; no \
+         dependency cycle survives within a class and the Fig. 4 deadlock disappears \
+         (at the cost of 4 lossless classes — twice what commodity switches offer, §1).",
+    );
+    report
+}

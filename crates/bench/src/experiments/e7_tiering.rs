@@ -1,0 +1,147 @@
+//! E7 — §4 "Limiting PFC pause frames propagation": position-dependent
+//! thresholds on a leaf–spine incast.
+//!
+//! Flat thresholds let the incast's congestion pause fabric links and
+//! collateral-damage a victim flow crossing the same spines; the tiered
+//! plan (small thresholds toward hosts, large toward/at the core) pushes
+//! pause generation to the sources and shields the fabric.
+
+use pfcsim_core::sufficiency::blast_radius;
+use pfcsim_simcore::time::{SimDuration, SimTime};
+use pfcsim_topo::graph::NodeKind;
+
+use super::Opts;
+use crate::scenarios::{paper_config, tiering_scenario};
+use crate::table::{Report, Table};
+
+struct Outcome {
+    fabric_pauses: usize,
+    host_pauses: usize,
+    victim_gbps: f64,
+    incast_gbps: f64,
+    blast_channels: usize,
+    blast_fabric: usize,
+    fabric_paused_us: u64,
+}
+
+fn run_one(opts: &Opts, tiered: bool, seed: u64) -> Outcome {
+    let horizon = opts.horizon_ms(5);
+    let fan = 6;
+    let mut cfg = paper_config();
+    cfg.seed = seed;
+    let mut sc = tiering_scenario(cfg, fan, tiered);
+    let victim = sc.victim;
+    let topo = sc.built.topo.clone();
+    let result = sc.sim.run(horizon);
+    let mut fabric = 0usize;
+    let mut host = 0usize;
+    for (key, log) in &result.stats.pause {
+        if topo.node(key.from).kind == NodeKind::Switch {
+            fabric += log.events.count();
+        } else {
+            host += log.events.count();
+        }
+    }
+    let victim_gbps = result.stats.flows[&victim]
+        .meter
+        .average_bps(SimTime::ZERO, result.end_time)
+        .unwrap_or(0.0)
+        / 1e9;
+    let incast_gbps: f64 = result
+        .stats
+        .flows
+        .iter()
+        .filter(|(id, _)| **id != victim)
+        .filter_map(|(_, fs)| fs.meter.average_bps(SimTime::ZERO, result.end_time))
+        .sum::<f64>()
+        / 1e9;
+    let br = blast_radius(&result.stats, |n| topo.node(n).kind == NodeKind::Switch);
+    let fabric_paused: SimDuration = result
+        .stats
+        .pause
+        .iter()
+        .filter(|(k, _)| topo.node(k.from).kind == NodeKind::Switch)
+        .map(|(_, log)| log.intervals.total_duration(result.end_time))
+        .fold(SimDuration::ZERO, |a, b| a + b);
+    Outcome {
+        fabric_pauses: fabric,
+        host_pauses: host,
+        victim_gbps,
+        incast_gbps,
+        blast_channels: br.channels_paused,
+        blast_fabric: br.fabric_channels_paused,
+        fabric_paused_us: fabric_paused.as_us(),
+    }
+}
+
+/// Run E7.
+pub fn run(opts: &Opts) -> Report {
+    let mut report = Report::new(
+        "E7 / §4 threshold tiering",
+        "Limiting PFC propagation: 6-way incast + victim on a 3-leaf/2-spine fabric",
+    );
+    // The workload is stochastic (on-off bursts); average over seeds.
+    let seeds: &[u64] = if opts.quick { &[1] } else { &[1, 2, 3] };
+    let avg = |tiered: bool| -> Outcome {
+        let runs: Vec<Outcome> = seeds.iter().map(|&s| run_one(opts, tiered, s)).collect();
+        let n = runs.len();
+        Outcome {
+            fabric_pauses: runs.iter().map(|r| r.fabric_pauses).sum::<usize>() / n,
+            host_pauses: runs.iter().map(|r| r.host_pauses).sum::<usize>() / n,
+            victim_gbps: runs.iter().map(|r| r.victim_gbps).sum::<f64>() / n as f64,
+            incast_gbps: runs.iter().map(|r| r.incast_gbps).sum::<f64>() / n as f64,
+            blast_channels: runs.iter().map(|r| r.blast_channels).sum::<usize>() / n,
+            blast_fabric: runs.iter().map(|r| r.blast_fabric).sum::<usize>() / n,
+            fabric_paused_us: runs.iter().map(|r| r.fabric_paused_us).sum::<u64>() / n as u64,
+        }
+    };
+    let flat = avg(false);
+    let tiered = avg(true);
+    let mut t = Table::new(
+        "flat vs tiered thresholds (mean over seeds)",
+        &["metric", "flat", "tiered", "goal"],
+    );
+    t.row(vec![
+        "fabric (switch->switch) pause frames".into(),
+        flat.fabric_pauses.to_string(),
+        tiered.fabric_pauses.to_string(),
+        "fewer".into(),
+    ]);
+    t.row(vec![
+        "host-link pause frames".into(),
+        flat.host_pauses.to_string(),
+        tiered.host_pauses.to_string(),
+        "pauses move toward sources".into(),
+    ]);
+    t.row(vec![
+        "victim throughput (Gbps)".into(),
+        format!("{:.2}", flat.victim_gbps),
+        format!("{:.2}", tiered.victim_gbps),
+        "higher".into(),
+    ]);
+    t.row(vec![
+        "incast aggregate (Gbps)".into(),
+        format!("{:.2}", flat.incast_gbps),
+        format!("{:.2}", tiered.incast_gbps),
+        "~40 (bottleneck)".into(),
+    ]);
+    t.row(vec![
+        "blast radius (channels ever paused)".into(),
+        format!("{} ({} fabric)", flat.blast_channels, flat.blast_fabric),
+        format!("{} ({} fabric)", tiered.blast_channels, tiered.blast_fabric),
+        "(saturates on long runs)".into(),
+    ]);
+    t.row(vec![
+        "fabric paused time (us, summed)".into(),
+        flat.fabric_paused_us.to_string(),
+        tiered.fabric_paused_us.to_string(),
+        "much smaller".into(),
+    ]);
+    report.table(t);
+    report.note(
+        "Tiering trades fairness knobs for blast-radius: pauses are generated near the \
+         traffic sources and the spine layer absorbs bursts instead of propagating them — \
+         the paper's §4 sketch, including its caveat about long-vs-short flow fairness.",
+    );
+    report
+}

@@ -1,0 +1,182 @@
+//! Plain-text tables + JSON dumping for experiment reports.
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// One table of an experiment report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table caption.
+    pub name: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of rendered cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(name: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            name: name.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in table '{}'",
+            self.name
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.name));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("| ");
+            for (c, w) in cells.iter().zip(widths) {
+                s.push_str(&format!("{c:<w$} | ", w = *w));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+}
+
+/// A full experiment report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment id, e.g. "E3 / Figure 3".
+    pub id: String,
+    /// One-line description.
+    pub title: String,
+    /// Tables.
+    pub tables: Vec<Table>,
+    /// Free-form findings/notes (paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add a table.
+    pub fn table(&mut self, t: Table) {
+        self.tables.push(t);
+    }
+
+    /// Add a note.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Render the full report as text.
+    pub fn render(&self) -> String {
+        let mut out = format!("==== {} — {} ====\n\n", self.id, self.title);
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("NOTE: {n}\n"));
+        }
+        out
+    }
+
+    /// JSON form for machine consumption.
+    pub fn to_json(&self) -> Value {
+        serde_json::to_value(self).expect("report serializes")
+    }
+}
+
+/// Format helpers.
+pub mod fmt {
+    /// Gbps with 2 decimals.
+    pub fn gbps(bps: f64) -> String {
+        format!("{:.2}", bps / 1e9)
+    }
+    /// Yes/no.
+    pub fn yn(b: bool) -> String {
+        if b {
+            "yes".into()
+        } else {
+            "no".into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["col", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| long-name | 22    |"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let mut r = Report::new("E0", "smoke");
+        let mut t = Table::new("t", &["x"]);
+        t.row(vec!["1".into()]);
+        r.table(t);
+        r.note("a note");
+        let s = r.render();
+        assert!(s.contains("==== E0"));
+        assert!(s.contains("NOTE: a note"));
+        let j = r.to_json();
+        assert_eq!(j["id"], "E0");
+        assert_eq!(j["tables"][0]["rows"][0][0], "1");
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt::gbps(5e9), "5.00");
+        assert_eq!(fmt::yn(true), "yes");
+        assert_eq!(fmt::yn(false), "no");
+    }
+}

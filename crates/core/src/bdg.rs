@@ -1,0 +1,457 @@
+//! Buffer dependency graphs (BDG) — the paper's analytic object.
+//!
+//! Vertices are receiving (ingress) buffers `(switch, ingress port,
+//! priority)`; a directed edge `q1 → q2` means packets held in `q1` are
+//! forwarded into `q2`, i.e. *whether `q1` can drain depends on `q2`
+//! having room* (paper §3.1: "Switch A's dependency on switch B means
+//! whether switch A can move the packets in its receiving buffer RX1 to
+//! egress depends on switch B's buffer RX1").
+//!
+//! A **cyclic buffer dependency (CBD)** — a cycle in this graph — is the
+//! *necessary* condition for PFC deadlock (Dally & Seitz); the paper's
+//! whole point is that it is not *sufficient*.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use pfcsim_net::flow::{FlowSpec, RouteKind};
+use pfcsim_simcore::units::Bytes;
+use pfcsim_topo::graph::{NodeKind, Topology};
+use pfcsim_topo::ids::{NodeId, PortNo, Priority};
+use pfcsim_topo::routing::{trace_path, ForwardingTables};
+
+use crate::cycles::elementary_cycles;
+use crate::scc::{has_cycle, tarjan_scc};
+
+/// One receiving buffer: the unit PFC pauses on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RxQueue {
+    /// The switch owning the buffer.
+    pub node: NodeId,
+    /// The ingress port.
+    pub port: PortNo,
+    /// The traffic class.
+    pub priority: Priority,
+}
+
+/// A buffer dependency graph.
+#[derive(Debug, Clone, Default)]
+pub struct BufferDependencyGraph {
+    verts: Vec<RxQueue>,
+    index: BTreeMap<RxQueue, usize>,
+    edges: Vec<BTreeSet<usize>>,
+}
+
+impl BufferDependencyGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a queue, returning its dense index.
+    pub fn add_queue(&mut self, q: RxQueue) -> usize {
+        if let Some(&i) = self.index.get(&q) {
+            return i;
+        }
+        let i = self.verts.len();
+        self.verts.push(q);
+        self.index.insert(q, i);
+        self.edges.push(BTreeSet::new());
+        i
+    }
+
+    /// Add a dependency edge.
+    pub fn add_dependency(&mut self, from: RxQueue, to: RxQueue) {
+        let f = self.add_queue(from);
+        let t = self.add_queue(to);
+        self.edges[f].insert(t);
+    }
+
+    /// All queues.
+    pub fn queues(&self) -> &[RxQueue] {
+        &self.verts
+    }
+
+    /// Number of queues.
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// True iff no queues recorded.
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Direct dependencies of `q`.
+    pub fn dependencies_of(&self, q: RxQueue) -> Vec<RxQueue> {
+        match self.index.get(&q) {
+            Some(&i) => self.edges[i].iter().map(|&j| self.verts[j]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn adj(&self) -> Vec<Vec<usize>> {
+        self.edges
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect()
+    }
+
+    /// Does a cyclic buffer dependency exist?
+    pub fn has_cbd(&self) -> bool {
+        has_cycle(&self.adj())
+    }
+
+    /// Strongly connected components with more than one queue (the CBD
+    /// cores).
+    pub fn cbd_components(&self) -> Vec<Vec<RxQueue>> {
+        tarjan_scc(&self.adj())
+            .into_iter()
+            .filter(|c| c.len() > 1)
+            .map(|c| c.into_iter().map(|i| self.verts[i]).collect())
+            .collect()
+    }
+
+    /// Up to `limit` elementary dependency cycles (the Figs. 2(b)/3(b)
+    /// rings).
+    pub fn cbd_cycles(&self, limit: usize) -> Vec<Vec<RxQueue>> {
+        elementary_cycles(&self.adj(), limit)
+            .into_iter()
+            .map(|c| c.into_iter().map(|i| self.verts[i]).collect())
+            .collect()
+    }
+
+    /// Queues participating in at least one cycle.
+    pub fn cyclic_queues(&self) -> BTreeSet<RxQueue> {
+        self.cbd_components().into_iter().flatten().collect()
+    }
+
+    /// Build from explicit node paths (host → switches… → host), one per
+    /// flow, with per-flow priority. `class_ladder` applies the
+    /// structured-buffer-pool remap (class = min(hop, n−1)).
+    pub fn from_paths<'a>(
+        topo: &Topology,
+        paths: impl IntoIterator<Item = (&'a [NodeId], Priority)>,
+        class_ladder: Option<u8>,
+    ) -> Self {
+        let mut g = Self::new();
+        for (nodes, prio) in paths {
+            g.add_path(topo, nodes, prio, class_ladder);
+        }
+        g
+    }
+
+    /// Add one flow path's dependencies.
+    pub fn add_path(
+        &mut self,
+        topo: &Topology,
+        nodes: &[NodeId],
+        prio: Priority,
+        class_ladder: Option<u8>,
+    ) {
+        // Collect the RX queue at every switch along the path.
+        let mut rxs: Vec<RxQueue> = Vec::new();
+        let mut hop: u8 = 0;
+        for w in nodes.windows(2) {
+            let (from, to) = (w[0], w[1]);
+            if topo.node(to).kind != NodeKind::Switch {
+                continue; // final host hop has no PFC ingress of interest
+            }
+            // The ingress port of `to` that receives from `from`.
+            let ingress = topo
+                .port_towards(to, from)
+                .unwrap_or_else(|| panic!("{from} and {to} are not adjacent"))
+                .port;
+            let class = match class_ladder {
+                Some(n) => Priority(hop.min(n - 1)),
+                None => prio,
+            };
+            rxs.push(RxQueue {
+                node: to,
+                port: ingress,
+                priority: class,
+            });
+            hop = hop.saturating_add(1);
+        }
+        for w in rxs.windows(2) {
+            self.add_dependency(w[0], w[1]);
+        }
+        // Register single-switch paths too.
+        if rxs.len() == 1 {
+            self.add_queue(rxs[0]);
+        }
+    }
+
+    /// Build by tracing `specs` through `tables` (pinned flows use their
+    /// pinned path; table flows are traced with a hop cap of their TTL, so
+    /// a routing loop contributes one full ring of dependencies).
+    pub fn from_specs(topo: &Topology, tables: &ForwardingTables, specs: &[FlowSpec]) -> Self {
+        let mut g = Self::new();
+        for spec in specs {
+            match &spec.route {
+                RouteKind::Pinned(p) => {
+                    g.add_path(topo, &p.nodes, spec.priority, None);
+                }
+                RouteKind::Tables => {
+                    let trace =
+                        trace_path(topo, tables, spec.id, spec.src, spec.dst, spec.ttl as usize);
+                    g.add_path(topo, trace.nodes(), spec.priority, None);
+                }
+            }
+        }
+        g
+    }
+
+    /// Sum of XOFF thresholds needed to fill every queue of a cycle — the
+    /// minimum wedged bytes a deadlock on this cycle implies.
+    pub fn cycle_wedged_bytes(cycle: &[RxQueue], xoff: Bytes) -> Bytes {
+        Bytes::new(xoff.get() * cycle.len() as u64)
+    }
+
+    /// Graphviz DOT rendering: queues as nodes (named via `label`,
+    /// typically the switch's human name), cyclic queues highlighted.
+    pub fn to_dot(&self, label: impl Fn(&RxQueue) -> String) -> String {
+        let cyclic = self.cyclic_queues();
+        let mut out = String::from("digraph bdg {\n  rankdir=LR;\n");
+        for (i, q) in self.verts.iter().enumerate() {
+            let style = if cyclic.contains(q) {
+                " style=filled fillcolor=salmon"
+            } else {
+                ""
+            };
+            out.push_str(&format!("  q{i} [label=\"{}\"{style}];\n", label(q)));
+        }
+        for (i, outs) in self.edges.iter().enumerate() {
+            for &j in outs {
+                out.push_str(&format!("  q{i} -> q{j};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfcsim_net::flow::FlowSpec;
+    use pfcsim_topo::builders::{fat_tree, line, square, two_switch_loop, LinkSpec};
+    use pfcsim_topo::routing::{install_cycle_route, shortest_path_tables, up_down_tables};
+
+    fn prio() -> Priority {
+        Priority::DEFAULT
+    }
+
+    #[test]
+    fn line_path_is_acyclic_chain() {
+        let b = line(3, LinkSpec::default());
+        let path = [
+            b.hosts[0],
+            b.switches[0],
+            b.switches[1],
+            b.switches[2],
+            b.hosts[2],
+        ];
+        let g = BufferDependencyGraph::from_paths(&b.topo, [(path.as_slice(), prio())], None);
+        assert_eq!(g.len(), 3, "one RX per switch");
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_cbd());
+        assert!(g.cbd_components().is_empty());
+    }
+
+    #[test]
+    fn square_two_flows_form_the_fig3b_cycle() {
+        let b = square(LinkSpec::default());
+        let (s, h) = (&b.switches, &b.hosts);
+        let f1 = [h[0], s[0], s[1], s[2], s[3], h[3]];
+        let f2 = [h[2], s[2], s[3], s[0], s[1], h[1]];
+        let g = BufferDependencyGraph::from_paths(
+            &b.topo,
+            [(f1.as_slice(), prio()), (f2.as_slice(), prio())],
+            None,
+        );
+        assert!(g.has_cbd(), "Fig. 3(b): cyclic buffer dependency exists");
+        let cycles = g.cbd_cycles(10);
+        assert_eq!(cycles.len(), 1, "exactly the 4-ring");
+        assert_eq!(cycles[0].len(), 4);
+        let nodes: BTreeSet<NodeId> = cycles[0].iter().map(|q| q.node).collect();
+        assert_eq!(nodes, s.iter().copied().collect());
+    }
+
+    #[test]
+    fn fig4_extra_flow_leaves_cycle_unchanged() {
+        // Paper: "one additional dependency ... is added, but it is outside
+        // the cyclic buffer dependency. The cyclic buffer dependency itself
+        // remains unchanged."
+        let b = square(LinkSpec::default());
+        let (s, h) = (&b.switches, &b.hosts);
+        let f1 = [h[0], s[0], s[1], s[2], s[3], h[3]];
+        let f2 = [h[2], s[2], s[3], s[0], s[1], h[1]];
+        let f3 = [h[1], s[1], s[2], h[2]];
+        let g2 = BufferDependencyGraph::from_paths(
+            &b.topo,
+            [(f1.as_slice(), prio()), (f2.as_slice(), prio())],
+            None,
+        );
+        let g3 = BufferDependencyGraph::from_paths(
+            &b.topo,
+            [
+                (f1.as_slice(), prio()),
+                (f2.as_slice(), prio()),
+                (f3.as_slice(), prio()),
+            ],
+            None,
+        );
+        assert_eq!(g3.cbd_cycles(10), g2.cbd_cycles(10), "same single cycle");
+        assert_eq!(g3.edge_count(), g2.edge_count() + 1, "one extra edge");
+    }
+
+    #[test]
+    fn routing_loop_creates_two_queue_cycle() {
+        let b = two_switch_loop(LinkSpec::default());
+        let mut tables = shortest_path_tables(&b.topo);
+        install_cycle_route(
+            &b.topo,
+            &mut tables,
+            &[b.switches[0], b.switches[1]],
+            b.hosts[1],
+        );
+        let spec = FlowSpec::cbr(
+            0,
+            b.hosts[0],
+            b.hosts[1],
+            pfcsim_simcore::units::BitRate::from_gbps(1),
+        )
+        .with_ttl(16);
+        let g = BufferDependencyGraph::from_specs(&b.topo, &tables, &[spec]);
+        assert!(g.has_cbd(), "Fig. 2(b)");
+        let cycles = g.cbd_cycles(10);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 2, "A<->B two-ring");
+    }
+
+    #[test]
+    fn up_down_fat_tree_is_cbd_free_over_all_pairs() {
+        let b = fat_tree(4, LinkSpec::default());
+        let tables = up_down_tables(&b.topo);
+        let mut specs = Vec::new();
+        let mut id = 0;
+        for &s in &b.hosts {
+            for &d in &b.hosts {
+                if s != d {
+                    specs.push(FlowSpec::infinite(id, s, d));
+                    id += 1;
+                }
+            }
+        }
+        let g = BufferDependencyGraph::from_specs(&b.topo, &tables, &specs);
+        assert!(!g.has_cbd(), "valley-free routing must be deadlock-free");
+        assert!(g.len() > 50, "plenty of queues involved: {}", g.len());
+    }
+
+    #[test]
+    fn class_ladder_breaks_the_square_cycle() {
+        let b = square(LinkSpec::default());
+        let (s, h) = (&b.switches, &b.hosts);
+        let f1 = [h[0], s[0], s[1], s[2], s[3], h[3]];
+        let f2 = [h[2], s[2], s[3], s[0], s[1], h[1]];
+        // 4 classes >= max hop count (4 switch hops): provably acyclic.
+        let g = BufferDependencyGraph::from_paths(
+            &b.topo,
+            [(f1.as_slice(), prio()), (f2.as_slice(), prio())],
+            Some(4),
+        );
+        assert!(!g.has_cbd(), "hop-laddered classes climb, never cycle");
+        // 1 class = no ladder: cycle returns.
+        let g1 = BufferDependencyGraph::from_paths(
+            &b.topo,
+            [(f1.as_slice(), prio()), (f2.as_slice(), prio())],
+            Some(1),
+        );
+        assert!(g1.has_cbd());
+    }
+
+    #[test]
+    fn insufficient_ladder_classes_leave_cycles() {
+        // 8-switch ring; four flows, each spanning five switches and
+        // overlapping the next by two, so their RX chains hand over and
+        // wrap the ring (the generalisation of Fig. 3's construction).
+        use pfcsim_topo::builders::ring;
+        let b = ring(8, LinkSpec::default());
+        let (s, h) = (&b.switches, &b.hosts);
+        let paths: Vec<Vec<NodeId>> = (0..4)
+            .map(|i| {
+                let base = 2 * i;
+                let mut p = vec![h[base]];
+                for k in 0..5 {
+                    p.push(s[(base + k) % 8]);
+                }
+                p.push(h[(base + 4) % 8]);
+                p
+            })
+            .collect();
+        let with_ladder = |ladder: Option<u8>| {
+            BufferDependencyGraph::from_paths(
+                &b.topo,
+                paths.iter().map(|p| (p.as_slice(), prio())),
+                ladder,
+            )
+        };
+        assert!(with_ladder(None).has_cbd(), "flat classes: full ring CBD");
+        assert!(
+            !with_ladder(Some(4)).has_cbd(),
+            "4 classes cover the 4 RX hops of each path: acyclic"
+        );
+        assert!(
+            with_ladder(Some(2)).has_cbd(),
+            "2 classes saturate at class 1, which still wraps the ring"
+        );
+    }
+
+    #[test]
+    fn dot_export_marks_cycles() {
+        let b = square(LinkSpec::default());
+        let (s, h) = (&b.switches, &b.hosts);
+        let f1 = [h[0], s[0], s[1], s[2], s[3], h[3]];
+        let f2 = [h[2], s[2], s[3], s[0], s[1], h[1]];
+        let g = BufferDependencyGraph::from_paths(
+            &b.topo,
+            [(f1.as_slice(), prio()), (f2.as_slice(), prio())],
+            None,
+        );
+        let dot = g.to_dot(|q| b.topo.node(q.node).name.clone());
+        assert!(dot.starts_with("digraph bdg {"));
+        assert_eq!(dot.matches("->").count(), g.edge_count());
+        // The four cyclic queues are highlighted.
+        assert_eq!(dot.matches("salmon").count(), 4);
+        assert!(dot.contains("label=\"S0\""));
+    }
+
+    #[test]
+    fn dependencies_of_reports_direct_edges() {
+        let b = line(2, LinkSpec::default());
+        let path = [b.hosts[0], b.switches[0], b.switches[1], b.hosts[1]];
+        let g = BufferDependencyGraph::from_paths(&b.topo, [(path.as_slice(), prio())], None);
+        let q0 = RxQueue {
+            node: b.switches[0],
+            port: b.topo.port_towards(b.switches[0], b.hosts[0]).unwrap().port,
+            priority: prio(),
+        };
+        let deps = g.dependencies_of(q0);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].node, b.switches[1]);
+        assert!(g
+            .dependencies_of(RxQueue {
+                node: b.switches[1],
+                port: PortNo(99),
+                priority: prio()
+            })
+            .is_empty());
+    }
+}

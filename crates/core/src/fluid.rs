@@ -1,0 +1,518 @@
+//! A fluid (flow-level) model of PFC networks — the analysis tool the
+//! paper names as future work ("we are currently working on analysis
+//! tools, e.g., a fluid model that can describe PFC behavior", §3.3).
+//!
+//! The model integrates per-queue fluid levels in discrete time: flows
+//! stream along their paths, each egress channel's capacity is divided
+//! max–min between the ingress ports contending for it, and PFC pause
+//! toggles on XOFF/XON level crossings of the downstream ingress queue.
+//!
+//! Its purpose here is **calibrated failure**: the fluid model accurately
+//! reproduces the stable-state throughputs of the paper's scenarios
+//! (B/2 each in Figs. 3–4) while predicting *no fabric pauses and no
+//! deadlock for either* — making precise the paper's claim that
+//! "flow-level stable state analysis cannot capture such behavior" and
+//! that deadlock lives strictly at the packet level.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use pfcsim_simcore::units::{BitRate, Bytes};
+use pfcsim_topo::graph::{NodeKind, Topology};
+use pfcsim_topo::ids::{FlowId, NodeId, PortNo};
+
+/// One fluid flow: a demand streaming along a fixed path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FluidFlow {
+    /// Identifier.
+    pub id: FlowId,
+    /// Offered rate in bits/s; `None` = infinite demand (always backlogged
+    /// at the source).
+    pub demand: Option<BitRate>,
+    /// Node path, host → switches… → host.
+    pub path: Vec<NodeId>,
+}
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FluidConfig {
+    /// Integration step (fluid time constant; 100 ns default).
+    pub dt_ns: u64,
+    /// PFC XOFF level (bytes).
+    pub xoff: Bytes,
+    /// PFC XON level (bytes).
+    pub xon: Bytes,
+}
+
+impl Default for FluidConfig {
+    fn default() -> Self {
+        FluidConfig {
+            dt_ns: 100,
+            xoff: Bytes::from_kb(40),
+            xon: Bytes::from_kb(20),
+        }
+    }
+}
+
+/// A directed channel in the fluid network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+struct Chan {
+    from: NodeId,
+    to: NodeId,
+}
+
+/// Results of a fluid run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FluidReport {
+    /// Average delivered rate per flow (bits/s) over the run.
+    pub throughput: BTreeMap<FlowId, f64>,
+    /// Fraction of steps each fabric (switch→switch) channel spent paused.
+    pub pause_fraction: BTreeMap<(NodeId, NodeId), f64>,
+    /// Fraction of steps each host uplink spent paused.
+    pub host_pause_fraction: BTreeMap<NodeId, f64>,
+    /// Whether the final state is a fluid deadlock: a cycle of paused
+    /// fabric channels whose downstream queues all hold ≥ XON bytes.
+    pub deadlock: bool,
+    /// Final total buffered bytes across all switch queues.
+    pub final_buffered: f64,
+}
+
+/// The fluid simulator.
+pub struct FluidNetwork {
+    topo: Topology,
+    flows: Vec<FluidFlow>,
+    cfg: FluidConfig,
+    /// Per flow, the queue sequence: (switch, ingress port) pairs.
+    queues_of: Vec<Vec<(NodeId, PortNo)>>,
+    /// Per flow, the channel sequence (host uplink, fabric hops, downlink).
+    chans_of: Vec<Vec<Chan>>,
+}
+
+impl FluidNetwork {
+    /// Build the model; paths are validated against the topology.
+    pub fn new(topo: &Topology, flows: Vec<FluidFlow>, cfg: FluidConfig) -> Self {
+        assert!(cfg.dt_ns > 0, "dt must be positive");
+        assert!(cfg.xon <= cfg.xoff, "xon must not exceed xoff");
+        let mut queues_of = Vec::with_capacity(flows.len());
+        let mut chans_of = Vec::with_capacity(flows.len());
+        for f in &flows {
+            assert!(f.path.len() >= 2, "flow path too short");
+            assert_eq!(
+                topo.node(f.path[0]).kind,
+                NodeKind::Host,
+                "flow must start at a host"
+            );
+            let mut queues = Vec::new();
+            let mut chans = Vec::new();
+            for w in f.path.windows(2) {
+                let port = topo
+                    .port_towards(w[1], w[0])
+                    .unwrap_or_else(|| panic!("{} and {} not adjacent", w[0], w[1]));
+                chans.push(Chan {
+                    from: w[0],
+                    to: w[1],
+                });
+                if topo.node(w[1]).kind == NodeKind::Switch {
+                    queues.push((w[1], port.port));
+                }
+            }
+            queues_of.push(queues);
+            chans_of.push(chans);
+        }
+        FluidNetwork {
+            topo: topo.clone(),
+            flows,
+            cfg,
+            queues_of,
+            chans_of,
+        }
+    }
+
+    /// Integrate `steps` steps and report.
+    pub fn run(&self, steps: usize) -> FluidReport {
+        let dt = self.cfg.dt_ns as f64 * 1e-9;
+        let nf = self.flows.len();
+        // levels[f][k]: bytes of flow f in its k-th queue.
+        let mut levels: Vec<Vec<f64>> = self
+            .queues_of
+            .iter()
+            .map(|qs| vec![0.0; qs.len()])
+            .collect();
+        // Host backlog for CBR flows (bytes); infinite flows don't need it.
+        let mut host_backlog = vec![0.0f64; nf];
+        let mut paused: BTreeSet<Chan> = BTreeSet::new();
+        let mut paused_steps: BTreeMap<Chan, u64> = BTreeMap::new();
+        let mut delivered = vec![0.0f64; nf];
+
+        // Map each (flow, hop) to the channel it exits through, and build
+        // channel capacity lookup.
+        let cap = |c: Chan| -> f64 {
+            let link = self
+                .topo
+                .port_towards(c.from, c.to)
+                .expect("validated")
+                .link;
+            self.topo.link(link).rate.bps() as f64
+        };
+
+        for _ in 0..steps {
+            // 1. Source arrivals into host backlogs.
+            for (fi, f) in self.flows.iter().enumerate() {
+                if let Some(rate) = f.demand {
+                    host_backlog[fi] += rate.bps() as f64 / 8.0 * dt;
+                }
+            }
+
+            // 2. Compute per-channel rate allocations (bytes/s).
+            //    Demand of flow f on channel c = what it could send this
+            //    step: backlog-limited or upstream-limited. We relax a few
+            //    sweeps so pass-through rates propagate along paths.
+            let mut out_rate: Vec<Vec<f64>> =
+                self.chans_of.iter().map(|cs| vec![0.0; cs.len()]).collect();
+            for _sweep in 0..4 {
+                // Gather demands per channel, grouped by ingress port at
+                // the sending switch (per-hop per-ingress fairness).
+                let mut groups: BTreeMap<Chan, BTreeMap<i64, Vec<(usize, usize, f64)>>> =
+                    BTreeMap::new();
+                for (fi, chans) in self.chans_of.iter().enumerate() {
+                    for (hop, &c) in chans.iter().enumerate() {
+                        if paused.contains(&c) {
+                            continue;
+                        }
+                        // Available bytes this step at this hop.
+                        let avail = if hop == 0 {
+                            match self.flows[fi].demand {
+                                None => f64::INFINITY,
+                                Some(_) => host_backlog[fi] / dt,
+                            }
+                        } else {
+                            // Queue hop-1 level plus what flows in this step.
+                            levels[fi][hop - 1] / dt + out_rate[fi][hop - 1]
+                        };
+                        if avail <= 0.0 {
+                            continue;
+                        }
+                        // Group key: ingress port at the sender (or -1 for
+                        // the host/source side).
+                        let key = if hop == 0 {
+                            -1
+                        } else {
+                            let (_, port) = self.queues_of[fi][hop - 1];
+                            port.0 as i64
+                        };
+                        groups
+                            .entry(c)
+                            .or_default()
+                            .entry(key)
+                            .or_default()
+                            .push((fi, hop, avail));
+                    }
+                }
+                // Max-min between groups, then between flows in a group.
+                for (c, by_group) in &groups {
+                    let capacity = cap(*c) / 8.0; // bytes/s
+                    let shares = waterfill(
+                        by_group
+                            .values()
+                            .map(|v| v.iter().map(|&(_, _, a)| a).sum::<f64>())
+                            .collect(),
+                        capacity,
+                    );
+                    for (gi, members) in by_group.values().enumerate() {
+                        let inner =
+                            waterfill(members.iter().map(|&(_, _, a)| a).collect(), shares[gi]);
+                        for (mi, &(fi, hop, _)) in members.iter().enumerate() {
+                            out_rate[fi][hop] = inner[mi];
+                        }
+                    }
+                }
+                // Paused channels send nothing.
+                for (fi, chans) in self.chans_of.iter().enumerate() {
+                    for (hop, &c) in chans.iter().enumerate() {
+                        if paused.contains(&c) {
+                            out_rate[fi][hop] = 0.0;
+                        }
+                    }
+                }
+            }
+
+            // 3. Integrate levels.
+            for (fi, chans) in self.chans_of.iter().enumerate() {
+                for (hop, _) in chans.iter().enumerate() {
+                    let sent = out_rate[fi][hop] * dt;
+                    if hop == 0 {
+                        if self.flows[fi].demand.is_some() {
+                            host_backlog[fi] = (host_backlog[fi] - sent).max(0.0);
+                        }
+                    } else {
+                        levels[fi][hop - 1] = (levels[fi][hop - 1] - sent).max(0.0);
+                    }
+                    if hop == chans.len() - 1 {
+                        delivered[fi] += sent;
+                    } else {
+                        levels[fi][hop] += sent;
+                    }
+                }
+            }
+
+            // 4. Pause/resume on queue totals.
+            let mut totals: BTreeMap<(NodeId, PortNo), f64> = BTreeMap::new();
+            for (fi, qs) in self.queues_of.iter().enumerate() {
+                for (k, &(node, port)) in qs.iter().enumerate() {
+                    *totals.entry((node, port)).or_insert(0.0) += levels[fi][k];
+                }
+            }
+            for (&(node, port), &level) in &totals {
+                let upstream = self.topo.ports(node)[port.0 as usize].peer;
+                let c = Chan {
+                    from: upstream,
+                    to: node,
+                };
+                if level >= self.cfg.xoff.get() as f64 {
+                    paused.insert(c);
+                } else if level < self.cfg.xon.get() as f64 {
+                    paused.remove(&c);
+                }
+            }
+            for &c in &paused {
+                *paused_steps.entry(c).or_insert(0) += 1;
+            }
+        }
+
+        // Final deadlock check: a cycle among paused fabric channels whose
+        // downstream levels all sit at/above XON.
+        let fabric_paused: Vec<Chan> = paused
+            .iter()
+            .copied()
+            .filter(|c| {
+                self.topo.node(c.from).kind == NodeKind::Switch
+                    && self.topo.node(c.to).kind == NodeKind::Switch
+            })
+            .collect();
+        let deadlock = has_channel_cycle(&fabric_paused);
+
+        let total_time = steps as f64 * dt;
+        let mut throughput = BTreeMap::new();
+        for (fi, f) in self.flows.iter().enumerate() {
+            throughput.insert(f.id, delivered[fi] * 8.0 / total_time);
+        }
+        let mut pause_fraction = BTreeMap::new();
+        let mut host_pause_fraction = BTreeMap::new();
+        for (c, n) in paused_steps {
+            let frac = n as f64 / steps as f64;
+            if self.topo.node(c.from).kind == NodeKind::Host {
+                host_pause_fraction.insert(c.from, frac);
+            } else if self.topo.node(c.to).kind == NodeKind::Switch {
+                pause_fraction.insert((c.from, c.to), frac);
+            }
+        }
+        let final_buffered: f64 = levels.iter().flatten().sum();
+        FluidReport {
+            throughput,
+            pause_fraction,
+            host_pause_fraction,
+            deadlock,
+            final_buffered,
+        }
+    }
+}
+
+/// Max–min (water-filling) allocation of `capacity` to `demands`.
+fn waterfill(demands: Vec<f64>, capacity: f64) -> Vec<f64> {
+    let n = demands.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut alloc = vec![0.0; n];
+    let mut remaining = capacity;
+    let mut active: Vec<usize> = (0..n).collect();
+    loop {
+        if active.is_empty() || remaining <= 1e-9 {
+            break;
+        }
+        let share = remaining / active.len() as f64;
+        let mut satisfied = Vec::new();
+        for &i in &active {
+            if demands[i] - alloc[i] <= share {
+                satisfied.push(i);
+            }
+        }
+        if satisfied.is_empty() {
+            for &i in &active {
+                alloc[i] += share;
+            }
+            break;
+        }
+        for &i in &satisfied {
+            remaining -= demands[i] - alloc[i];
+            alloc[i] = demands[i];
+        }
+        active.retain(|i| !satisfied.contains(i));
+    }
+    alloc
+}
+
+/// Does the directed channel set contain a cycle?
+fn has_channel_cycle(chans: &[Chan]) -> bool {
+    use crate::scc::has_cycle;
+    let nodes: BTreeSet<NodeId> = chans.iter().flat_map(|c| [c.from, c.to]).collect();
+    let index: BTreeMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut adj = vec![Vec::new(); nodes.len()];
+    for c in chans {
+        adj[index[&c.from]].push(index[&c.to]);
+    }
+    has_cycle(&adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfcsim_topo::builders::{line, square, LinkSpec};
+
+    fn gbps(x: f64) -> f64 {
+        x / 1e9
+    }
+
+    #[test]
+    fn waterfill_properties() {
+        assert_eq!(waterfill(vec![], 10.0), Vec::<f64>::new());
+        // Under-subscribed: everyone satisfied.
+        let a = waterfill(vec![1.0, 2.0], 10.0);
+        assert_eq!(a, vec![1.0, 2.0]);
+        // Over-subscribed equal demands: equal split.
+        let a = waterfill(vec![10.0, 10.0], 10.0);
+        assert!((a[0] - 5.0).abs() < 1e-9 && (a[1] - 5.0).abs() < 1e-9);
+        // Max-min: small demand satisfied, big ones split the rest.
+        let a = waterfill(vec![1.0, 100.0, 100.0], 11.0);
+        assert!((a[0] - 1.0).abs() < 1e-9);
+        assert!((a[1] - 5.0).abs() < 1e-9);
+        assert!((a[2] - 5.0).abs() < 1e-9);
+        // Total never exceeds capacity.
+        assert!(a.iter().sum::<f64>() <= 11.0 + 1e-9);
+    }
+
+    #[test]
+    fn single_flow_reaches_line_rate() {
+        let b = line(2, LinkSpec::default());
+        let flow = FluidFlow {
+            id: FlowId(0),
+            demand: None,
+            path: vec![b.hosts[0], b.switches[0], b.switches[1], b.hosts[1]],
+        };
+        let net = FluidNetwork::new(&b.topo, vec![flow], FluidConfig::default());
+        let r = net.run(10_000); // 1 ms
+        let thr = gbps(r.throughput[&FlowId(0)]);
+        assert!((thr - 40.0).abs() < 1.0, "throughput {thr} Gbps");
+        assert!(!r.deadlock);
+    }
+
+    #[test]
+    fn cbr_flow_passes_through_at_demand() {
+        let b = line(2, LinkSpec::default());
+        let flow = FluidFlow {
+            id: FlowId(0),
+            demand: Some(BitRate::from_gbps(7)),
+            path: vec![b.hosts[0], b.switches[0], b.switches[1], b.hosts[1]],
+        };
+        let net = FluidNetwork::new(&b.topo, vec![flow], FluidConfig::default());
+        let r = net.run(10_000);
+        let thr = gbps(r.throughput[&FlowId(0)]);
+        assert!((thr - 7.0).abs() < 0.5, "throughput {thr} Gbps");
+        assert!(r.final_buffered < 1_000.0, "no queue should build");
+    }
+
+    fn square_fluid(with_flow3: bool) -> FluidReport {
+        let b = square(LinkSpec::default());
+        let (s, h) = (&b.switches, &b.hosts);
+        let mut flows = vec![
+            FluidFlow {
+                id: FlowId(1),
+                demand: None,
+                path: vec![h[0], s[0], s[1], s[2], s[3], h[3]],
+            },
+            FluidFlow {
+                id: FlowId(2),
+                demand: None,
+                path: vec![h[2], s[2], s[3], s[0], s[1], h[1]],
+            },
+        ];
+        if with_flow3 {
+            flows.push(FluidFlow {
+                id: FlowId(3),
+                demand: None,
+                path: vec![h[1], s[1], s[2], h[2]],
+            });
+        }
+        FluidNetwork::new(&b.topo, flows, FluidConfig::default()).run(20_000) // 2 ms
+    }
+
+    #[test]
+    fn fig3_fluid_predicts_stable_state_without_fabric_pauses() {
+        let r = square_fluid(false);
+        // The paper's flow-level analysis: each flow gets B/2 = 20 Gbps.
+        for f in [FlowId(1), FlowId(2)] {
+            let thr = gbps(r.throughput[&f]);
+            assert!((thr - 20.0).abs() < 1.5, "flow {f}: {thr} Gbps");
+        }
+        // ...and, being infinitely smooth, no fabric pause and no deadlock.
+        assert!(
+            r.pause_fraction.values().all(|&f| f < 0.01),
+            "fluid fabric pauses: {:?}",
+            r.pause_fraction
+        );
+        assert!(!r.deadlock);
+        // Hosts DO get paused (their demand is infinite).
+        assert!(!r.host_pause_fraction.is_empty());
+    }
+
+    #[test]
+    fn fig4_fluid_cannot_see_the_deadlock() {
+        // The punchline: the fluid model says Fig. 4 ≈ Fig. 3 (stable
+        // 20 Gbps state, no deadlock) — but the packet-level simulator
+        // deadlocks. Flow-level analysis is structurally blind here.
+        let r = square_fluid(true);
+        for f in [FlowId(1), FlowId(2), FlowId(3)] {
+            let thr = gbps(r.throughput[&f]);
+            assert!((thr - 20.0).abs() < 2.5, "flow {f}: {thr} Gbps");
+        }
+        assert!(
+            !r.deadlock,
+            "fluid model must NOT predict the Fig. 4 deadlock"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_incast_paused_in_fluid() {
+        // 2:1 incast: fluid model must show host pauses and fair split.
+        let spec = LinkSpec::default();
+        let mut t = Topology::new();
+        let s0 = t.add_switch("s0");
+        let s1 = t.add_switch("s1");
+        let h0 = t.add_host("h0");
+        let h1 = t.add_host("h1");
+        let sink = t.add_host("sink");
+        t.connect(s0, s1, spec.rate, spec.delay);
+        t.connect(h0, s0, spec.rate, spec.delay);
+        t.connect(h1, s0, spec.rate, spec.delay);
+        t.connect(sink, s1, spec.rate, spec.delay);
+        let flows = vec![
+            FluidFlow {
+                id: FlowId(0),
+                demand: None,
+                path: vec![h0, s0, s1, sink],
+            },
+            FluidFlow {
+                id: FlowId(1),
+                demand: None,
+                path: vec![h1, s0, s1, sink],
+            },
+        ];
+        let r = FluidNetwork::new(&t, flows, FluidConfig::default()).run(20_000);
+        for f in [FlowId(0), FlowId(1)] {
+            let thr = gbps(r.throughput[&f]);
+            assert!((thr - 20.0).abs() < 1.5, "flow {f}: {thr} Gbps");
+        }
+        assert!(!r.deadlock);
+    }
+}

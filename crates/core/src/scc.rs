@@ -1,0 +1,176 @@
+//! Strongly connected components (iterative Tarjan).
+
+/// Compute the strongly connected components of a digraph given as an
+/// adjacency list. Returns components in reverse topological order (every
+/// edge between components points from a later-listed component to an
+/// earlier one). Each component lists vertex indices in discovery order.
+pub fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative DFS frame: (vertex, next child position).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        call.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.reverse();
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// True iff the digraph has a cycle (an SCC of size > 1, or a self-loop).
+pub fn has_cycle(adj: &[Vec<usize>]) -> bool {
+    if adj.iter().enumerate().any(|(v, out)| out.contains(&v)) {
+        return true;
+    }
+    tarjan_scc(adj).iter().any(|c| c.len() > 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(tarjan_scc(&[]).is_empty());
+        let adj = vec![vec![]];
+        assert_eq!(tarjan_scc(&adj), vec![vec![0]]);
+        assert!(!has_cycle(&adj));
+    }
+
+    #[test]
+    fn dag_has_no_cycle_and_n_components() {
+        let adj = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let comps = tarjan_scc(&adj);
+        assert_eq!(comps.len(), 4);
+        assert!(!has_cycle(&adj));
+    }
+
+    #[test]
+    fn simple_cycle_is_one_component() {
+        let adj = vec![vec![1], vec![2], vec![0]];
+        let comps = tarjan_scc(&adj);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 3);
+        assert!(has_cycle(&adj));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let adj = vec![vec![0]];
+        assert!(has_cycle(&adj));
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // 0<->1 -> 2<->3
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![2]];
+        let comps = tarjan_scc(&adj);
+        assert_eq!(comps.len(), 2);
+        let mut sizes: Vec<usize> = comps.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2]);
+        assert!(has_cycle(&adj));
+    }
+
+    #[test]
+    fn reverse_topological_order() {
+        // 0 -> 1 -> 2, SCCs come out children-first.
+        let adj = vec![vec![1], vec![2], vec![]];
+        let comps = tarjan_scc(&adj);
+        assert_eq!(comps, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_graphs() {
+        use pfcsim_simcore::rng::SimRng;
+        let mut rng = SimRng::new(42);
+        for _ in 0..50 {
+            let n = 2 + (rng.gen_range(8) as usize);
+            let mut adj = vec![Vec::new(); n];
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.gen_bool(0.25) {
+                        adj[u].push(v);
+                    }
+                }
+            }
+            // Brute-force reachability.
+            let mut reach = vec![vec![false; n]; n];
+            for u in 0..n {
+                let mut st = vec![u];
+                while let Some(x) = st.pop() {
+                    for &y in &adj[x] {
+                        if !reach[u][y] {
+                            reach[u][y] = true;
+                            st.push(y);
+                        }
+                    }
+                }
+            }
+            let comps = tarjan_scc(&adj);
+            // Same component iff mutually reachable.
+            let mut comp_of = vec![usize::MAX; n];
+            for (ci, c) in comps.iter().enumerate() {
+                for &v in c {
+                    comp_of[v] = ci;
+                }
+            }
+            for u in 0..n {
+                for v in 0..n {
+                    if u == v {
+                        continue;
+                    }
+                    let together = comp_of[u] == comp_of[v];
+                    let mutual = reach[u][v] && reach[v][u];
+                    assert_eq!(together, mutual, "u={u} v={v}");
+                }
+            }
+        }
+    }
+}

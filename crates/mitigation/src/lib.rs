@@ -1,0 +1,62 @@
+//! # pfcsim-mitigation — deadlock mitigation planners (paper §4) and the
+//! §2 baselines
+//!
+//! Mechanisms that avoid deadlock *despite* cyclic buffer dependency:
+//!
+//! * [`ttl_class`] — TTL-band priority classes raise the loop threshold to
+//!   `n·B / class_width`;
+//! * [`rate_plan`] — shaper placement from the boundary model and from a
+//!   workload's BDG;
+//! * [`tiering`] — position-dependent PFC thresholds to keep pauses near
+//!   sources and let the fabric core absorb bursts;
+//!
+//! and the conservative baselines the paper argues are too expensive:
+//!
+//! * [`buffer_classes`] — structured buffer pools (classes ≥ max hops);
+//! * [`routing_restriction`] — up*/down* on arbitrary topologies, with a
+//!   quantified path-stretch cost;
+//! * [`lash`] — layered shortest-path routing (deadlock freedom at zero
+//!   stretch, paid in priority classes);
+//! * [`turn_model`] — dimension-order (XY) routing for meshes;
+//! * [`repair`] — surgical CBD repair: re-path only the flows that close
+//!   a cycle.
+//!
+//! ```
+//! use pfcsim_mitigation::prelude::*;
+//! use pfcsim_simcore::units::BitRate;
+//!
+//! // Rate limiting (§4): cap a loop's injector 20% under the Eq. 3
+//! // threshold (n=2, B=40 Gbps, TTL=16 → 5 Gbps → 4 Gbps cap).
+//! let cap = loop_rate_cap(2, BitRate::from_gbps(40), 16, 0.8);
+//! assert_eq!(cap, BitRate::from_gbps(4));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod buffer_classes;
+pub mod lash;
+pub mod rate_plan;
+pub mod repair;
+pub mod routing_restriction;
+pub mod tiering;
+pub mod ttl_class;
+pub mod turn_model;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::buffer_classes::{
+        max_route_hops, plan_all_pairs, plan_for_workload as plan_buffer_classes, switch_diameter,
+        BufferClassPlan,
+    };
+    pub use crate::lash::{lash_assign, LashAssignment, LashOverflow};
+    pub use crate::rate_plan::{
+        loop_rate_cap, plan_for_workload as plan_rate_limits, RatePlan, ShaperDirective,
+    };
+    pub use crate::repair::{plan_repair, RepairFailed, RepairPlan, Repath};
+    pub use crate::routing_restriction::{restriction_cost, up_down_arbitrary, RestrictionCost};
+    pub use crate::tiering::{
+        plan_tiered_thresholds, ThresholdDirective, TieringPlan, TieringPolicy,
+    };
+    pub use crate::ttl_class::TtlClassPlan;
+    pub use crate::turn_model::xy_routing;
+}

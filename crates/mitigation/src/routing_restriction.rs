@@ -1,0 +1,230 @@
+//! Routing restriction (the §2 baseline: deadlock-free routing via
+//! up*/down*) and its cost.
+//!
+//! For tiered Clos topologies, `pfcsim_topo::routing::up_down_tables`
+//! already gives valley-free routing. This module adds the classic
+//! **up*/down*** scheme for *arbitrary* topologies (Jellyfish, torus, …):
+//! a BFS spanning tree orders nodes; each link gets an "up" direction
+//! (toward the root, ties broken by id); a legal path climbs zero or more
+//! up-links then descends down-links only. Down→up turns are prohibited,
+//! which provably breaks every buffer-dependency cycle — at the price of
+//! longer paths and skewed load, "wast\[ing\] link bandwidth and limit\[ing\]
+//! throughput performance" (§2). [`restriction_cost`] quantifies exactly
+//! that.
+
+use serde::{Deserialize, Serialize};
+
+use pfcsim_topo::graph::{NodeKind, Topology};
+use pfcsim_topo::ids::NodeId;
+use pfcsim_topo::routing::{bfs_distances, path_stretch, ForwardingTables};
+
+/// Total order used to orient links: (BFS level from root, node id).
+fn order_key(levels: &[Option<u32>], n: NodeId) -> (u32, u32) {
+    (levels[n.0 as usize].unwrap_or(u32::MAX), n.0)
+}
+
+/// Build up*/down* forwarding tables for an arbitrary connected topology.
+///
+/// Next-hop policy per destination: take a *down* step whenever any
+/// down-only path to the destination exists (choosing the shortest), else
+/// take the best *up* step. Because a node reached by a down step was
+/// chosen for having a down-only path, descending packets never need to
+/// turn upward — every realized path is up*down* and the buffer dependency
+/// graph is provably acyclic.
+pub fn up_down_arbitrary(topo: &Topology, root: NodeId) -> ForwardingTables {
+    assert_eq!(
+        topo.node(root).kind,
+        NodeKind::Switch,
+        "root the spanning tree at a switch"
+    );
+    let levels = bfs_distances(topo, root);
+    let n = topo.node_count();
+    // Node processing orders.
+    let mut by_order: Vec<NodeId> = topo.nodes().iter().map(|nd| nd.id).collect();
+    by_order.sort_by_key(|&x| order_key(&levels, x));
+
+    let mut ft = ForwardingTables::empty(topo);
+    let hosts: Vec<NodeId> = topo.hosts().collect();
+    const INF: u32 = u32::MAX / 2;
+    for &dst in &hosts {
+        // dist_down[u]: shortest path u -> dst using only down moves
+        // (strictly increasing order key). The final hop into the host is
+        // a down move iff the host orders below its switch — hosts have
+        // maximal levels (level(switch)+1), so it always is.
+        let mut dist_down = vec![INF; n];
+        dist_down[dst.0 as usize] = 0;
+        // Process in decreasing order so all down-neighbors are final.
+        for &u in by_order.iter().rev() {
+            if topo.node(u).kind == NodeKind::Host {
+                continue;
+            }
+            let ku = order_key(&levels, u);
+            let mut best = INF;
+            for p in topo.ports(u) {
+                let v = p.peer;
+                if topo.node(v).kind == NodeKind::Host && v != dst {
+                    continue;
+                }
+                if order_key(&levels, v) > ku && dist_down[v.0 as usize] < best {
+                    best = dist_down[v.0 as usize];
+                }
+            }
+            if best < INF {
+                dist_down[u.0 as usize] = best + 1;
+            }
+        }
+        // Policy distance: down if possible, else best up neighbor's
+        // policy distance + 1. Up moves strictly decrease the order key,
+        // so increasing-order processing suffices.
+        let mut pd = vec![INF; n];
+        for &u in by_order.iter() {
+            if topo.node(u).kind == NodeKind::Host {
+                continue;
+            }
+            if dist_down[u.0 as usize] < INF {
+                pd[u.0 as usize] = dist_down[u.0 as usize];
+                continue;
+            }
+            let ku = order_key(&levels, u);
+            let mut best = INF;
+            for p in topo.ports(u) {
+                let v = p.peer;
+                if topo.node(v).kind == NodeKind::Host {
+                    continue;
+                }
+                if order_key(&levels, v) < ku && pd[v.0 as usize] < best {
+                    best = pd[v.0 as usize];
+                }
+            }
+            if best < INF {
+                pd[u.0 as usize] = best + 1;
+            }
+        }
+        // Emit next hops.
+        for node in topo.nodes() {
+            if node.kind == NodeKind::Host || node.id == dst {
+                continue;
+            }
+            let u = node.id;
+            let ku = order_key(&levels, u);
+            let mut hops = Vec::new();
+            if dist_down[u.0 as usize] < INF {
+                for p in topo.ports(u) {
+                    let v = p.peer;
+                    if v == dst {
+                        hops.push(p.port);
+                        continue;
+                    }
+                    if topo.node(v).kind == NodeKind::Host {
+                        continue;
+                    }
+                    if order_key(&levels, v) > ku
+                        && dist_down[v.0 as usize] + 1 == dist_down[u.0 as usize]
+                    {
+                        hops.push(p.port);
+                    }
+                }
+            } else if pd[u.0 as usize] < INF {
+                for p in topo.ports(u) {
+                    let v = p.peer;
+                    if topo.node(v).kind == NodeKind::Host {
+                        continue;
+                    }
+                    if order_key(&levels, v) < ku && pd[v.0 as usize] + 1 == pd[u.0 as usize] {
+                        hops.push(p.port);
+                    }
+                }
+            }
+            if !hops.is_empty() {
+                ft.set(u, dst, hops);
+            }
+        }
+    }
+    ft
+}
+
+/// The cost of a routing restriction relative to shortest paths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RestrictionCost {
+    /// Mean path stretch over all host pairs.
+    pub mean_stretch: f64,
+    /// Worst-case stretch.
+    pub max_stretch: f64,
+    /// Host pairs that became unroutable (should be 0 on connected graphs).
+    pub unreachable_pairs: usize,
+}
+
+/// Quantify §2's "waste link bandwidth and limit throughput performance".
+pub fn restriction_cost(topo: &Topology, restricted: &ForwardingTables) -> RestrictionCost {
+    let (mean, max, unreachable) = path_stretch(topo, restricted);
+    RestrictionCost {
+        mean_stretch: mean,
+        max_stretch: max,
+        unreachable_pairs: unreachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfcsim_core::freedom::verify_all_pairs;
+    use pfcsim_topo::builders::{jellyfish, ring, torus2d, LinkSpec};
+    use pfcsim_topo::ids::Priority;
+    use pfcsim_topo::routing::shortest_path_tables;
+
+    #[test]
+    fn ring_up_down_is_deadlock_free_but_stretched() {
+        let b = ring(6, LinkSpec::default());
+        let ft = up_down_arbitrary(&b.topo, b.switches[0]);
+        verify_all_pairs(&b.topo, &ft, Priority::DEFAULT).expect("up*/down* is deadlock-free");
+        let cost = restriction_cost(&b.topo, &ft);
+        assert_eq!(cost.unreachable_pairs, 0);
+        assert!(
+            cost.mean_stretch > 1.0,
+            "restriction must cost something on a ring: {cost:?}"
+        );
+        // Shortest paths on the even ring may or may not be CBD-free
+        // (ECMP-dependent), but they are never *stretched*.
+        let sp = shortest_path_tables(&b.topo);
+        let sp_cost = restriction_cost(&b.topo, &sp);
+        assert!((sp_cost.mean_stretch - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn torus_up_down_is_deadlock_free() {
+        let b = torus2d(3, 3, LinkSpec::default());
+        let ft = up_down_arbitrary(&b.topo, b.switches[0]);
+        verify_all_pairs(&b.topo, &ft, Priority::DEFAULT).expect("deadlock-free");
+        let cost = restriction_cost(&b.topo, &ft);
+        assert_eq!(cost.unreachable_pairs, 0);
+        assert!(cost.max_stretch >= 1.0);
+    }
+
+    #[test]
+    fn jellyfish_up_down_is_deadlock_free_across_seeds() {
+        for seed in [1u64, 2, 3] {
+            let b = jellyfish(10, 3, 1, seed, LinkSpec::default());
+            let ft = up_down_arbitrary(&b.topo, b.switches[0]);
+            verify_all_pairs(&b.topo, &ft, Priority::DEFAULT)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            let cost = restriction_cost(&b.topo, &ft);
+            assert_eq!(cost.unreachable_pairs, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn up_down_root_choice_changes_paths_not_safety() {
+        let b = ring(6, LinkSpec::default());
+        for root in [b.switches[0], b.switches[3]] {
+            let ft = up_down_arbitrary(&b.topo, root);
+            verify_all_pairs(&b.topo, &ft, Priority::DEFAULT).expect("any root works");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "root the spanning tree at a switch")]
+    fn host_root_rejected() {
+        let b = ring(3, LinkSpec::default());
+        up_down_arbitrary(&b.topo, b.hosts[0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! PFC-threshold tiering (paper §4, "Limiting PFC pause frames
+//! propagation").
+//!
+//! "Assign different PFC thresholds to the ports of a switch based on
+//! their position in the topology. Ports connecting to the downstream
+//! (i.e. towards leaf) get smaller threshold, whereas ports connecting to
+//! the upstream get larger threshold. [...] use switches with larger
+//! threshold values at the higher tiers so that they can absorb small
+//! bursts instead of generating PFC pause frames."
+
+use serde::{Deserialize, Serialize};
+
+use pfcsim_net::sim::NetSim;
+use pfcsim_simcore::units::Bytes;
+use pfcsim_topo::graph::{NodeKind, Topology};
+use pfcsim_topo::ids::{NodeId, PortNo};
+
+/// One per-port threshold override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThresholdDirective {
+    /// Switch.
+    pub node: NodeId,
+    /// Ingress port.
+    pub port: PortNo,
+    /// XOFF threshold.
+    pub xoff: Bytes,
+    /// XON threshold.
+    pub xon: Bytes,
+}
+
+/// Tiering policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TieringPolicy {
+    /// Threshold for ports whose peer is *below* this switch (towards
+    /// hosts) — small, so pauses are generated near the source.
+    pub downstream_xoff: Bytes,
+    /// Threshold for ports whose peer is *above* (towards spines/cores) —
+    /// large, so upper tiers absorb bursts instead of pausing.
+    pub upstream_xoff: Bytes,
+    /// Extra XOFF added per tier of the owning switch (higher tiers absorb
+    /// more).
+    pub per_tier_bonus: Bytes,
+    /// XON as a fraction of XOFF, in percent.
+    pub xon_percent: u8,
+}
+
+impl Default for TieringPolicy {
+    fn default() -> Self {
+        TieringPolicy {
+            downstream_xoff: Bytes::from_kb(20),
+            upstream_xoff: Bytes::from_kb(80),
+            per_tier_bonus: Bytes::from_kb(40),
+            xon_percent: 50,
+        }
+    }
+}
+
+/// A computed tiering plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TieringPlan {
+    /// Overrides to install.
+    pub directives: Vec<ThresholdDirective>,
+}
+
+impl TieringPlan {
+    /// Install on a simulator.
+    pub fn apply(&self, sim: &mut NetSim) {
+        for d in &self.directives {
+            sim.set_port_thresholds(d.node, d.port, d.xoff, d.xon);
+        }
+    }
+}
+
+/// Compute per-port thresholds for a tiered topology.
+///
+/// # Panics
+/// Panics if a switch lacks a tier annotation.
+pub fn plan_tiered_thresholds(topo: &Topology, policy: &TieringPolicy) -> TieringPlan {
+    assert!(policy.xon_percent > 0 && policy.xon_percent <= 100);
+    let mut directives = Vec::new();
+    for node in topo.nodes() {
+        if node.kind != NodeKind::Switch {
+            continue;
+        }
+        let my_tier = node
+            .tier
+            .unwrap_or_else(|| panic!("switch {} has no tier", node.name));
+        for p in topo.ports(node.id) {
+            let peer = topo.node(p.peer);
+            let peer_tier = peer.tier.unwrap_or(0);
+            // Ingress from below (host or lower tier): small threshold so
+            // the pause lands near the traffic source. Ingress from above:
+            // large threshold to absorb bursts from the fabric core.
+            let base = if peer_tier < my_tier {
+                policy.downstream_xoff
+            } else {
+                policy.upstream_xoff
+            };
+            let bonus = Bytes::new(policy.per_tier_bonus.get() * my_tier.saturating_sub(1) as u64);
+            let xoff = base + bonus;
+            let xon = Bytes::new(xoff.get() * policy.xon_percent as u64 / 100);
+            directives.push(ThresholdDirective {
+                node: node.id,
+                port: p.port,
+                xoff,
+                xon,
+            });
+        }
+    }
+    TieringPlan { directives }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfcsim_topo::builders::{fat_tree, leaf_spine, LinkSpec};
+
+    #[test]
+    fn leaf_spine_ports_get_position_dependent_thresholds() {
+        let b = leaf_spine(2, 2, 1, LinkSpec::default());
+        let plan = plan_tiered_thresholds(&b.topo, &TieringPolicy::default());
+        // Every switch port got a directive.
+        let total_ports: usize = b.switches.iter().map(|&s| b.topo.ports(s).len()).sum();
+        assert_eq!(plan.directives.len(), total_ports);
+        // A leaf's host-facing port: downstream (20 KB). A leaf's
+        // spine-facing port: upstream (80 KB).
+        let leaf = b.switches[0];
+        let host_port = b.topo.port_towards(leaf, b.hosts[0]).unwrap().port;
+        let spine_port = b.topo.port_towards(leaf, b.switches[2]).unwrap().port;
+        let get = |n: NodeId, p: PortNo| {
+            plan.directives
+                .iter()
+                .find(|d| d.node == n && d.port == p)
+                .copied()
+                .unwrap()
+        };
+        assert_eq!(get(leaf, host_port).xoff, Bytes::from_kb(20));
+        assert_eq!(get(leaf, spine_port).xoff, Bytes::from_kb(80));
+        // Spine (tier 2) ingress from a leaf (below): downstream base plus
+        // one tier bonus = 20 + 40.
+        let spine = b.switches[2];
+        let from_leaf = b.topo.port_towards(spine, leaf).unwrap().port;
+        assert_eq!(get(spine, from_leaf).xoff, Bytes::from_kb(60));
+        // XON is half of XOFF.
+        assert_eq!(get(spine, from_leaf).xon, Bytes::from_kb(30));
+    }
+
+    #[test]
+    fn fat_tree_cores_get_the_biggest_absorption() {
+        let b = fat_tree(4, LinkSpec::default());
+        let plan = plan_tiered_thresholds(&b.topo, &TieringPolicy::default());
+        let core = *b
+            .switches
+            .iter()
+            .find(|&&s| b.topo.node(s).tier == Some(3))
+            .unwrap();
+        let d = plan.directives.iter().find(|d| d.node == core).unwrap();
+        // Core ingress (all peers are aggs, below): 20 + 2*40 = 100 KB.
+        assert_eq!(d.xoff, Bytes::from_kb(100));
+    }
+
+    #[test]
+    fn plan_applies_to_simulator() {
+        use pfcsim_net::config::SimConfig;
+        let b = leaf_spine(2, 2, 1, LinkSpec::default());
+        let mut cfg = SimConfig::default();
+        // The plan's largest threshold must fit the shared buffer.
+        cfg.switch_buffer = Bytes::from_mb(12);
+        let mut sim = NetSim::new(&b.topo, cfg);
+        plan_tiered_thresholds(&b.topo, &TieringPolicy::default()).apply(&mut sim);
+    }
+}

@@ -1,0 +1,145 @@
+//! TTL-based class partitioning (paper §4, "TTL-based mitigation for
+//! deadlock caused by loops").
+//!
+//! PFC pauses per priority class, so if packets whose TTLs differ by at
+//! least `X` are assigned to different classes, the *effective* TTL inside
+//! any one class is at most `X`, and the loop-deadlock threshold rises
+//! from `n·B/TTL` to `n·B/X`. With `X ≤ n` (the loop length), the
+//! threshold reaches line rate and no injector can cause deadlock.
+
+use serde::{Deserialize, Serialize};
+
+use pfcsim_core::boundary::BoundaryModel;
+use pfcsim_net::flow::FlowSpec;
+use pfcsim_simcore::units::BitRate;
+use pfcsim_topo::ids::Priority;
+
+/// A TTL→class partition plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TtlClassPlan {
+    /// Band width `X`: TTLs in `[k·X, (k+1)·X)` share a class.
+    pub class_width: u8,
+    /// Lowest priority used; bands map to `base_class + k` (mod the
+    /// available range).
+    pub base_class: u8,
+    /// Number of priority classes available (lossless classes on the
+    /// switch; commodity switches support at most 2 — paper §1).
+    pub classes_available: u8,
+}
+
+impl TtlClassPlan {
+    /// Build a plan; widths and ranges must be positive and fit 802.1p.
+    pub fn new(class_width: u8, base_class: u8, classes_available: u8) -> Self {
+        assert!(class_width >= 1, "class width must be positive");
+        assert!(classes_available >= 1, "need at least one class");
+        assert!(
+            base_class + classes_available <= 8,
+            "classes exceed the 802.1p range"
+        );
+        TtlClassPlan {
+            class_width,
+            base_class,
+            classes_available,
+        }
+    }
+
+    /// The class for an initial TTL value.
+    pub fn class_for_ttl(&self, ttl: u8) -> Priority {
+        let band = ttl / self.class_width;
+        Priority(self.base_class + band % self.classes_available)
+    }
+
+    /// Whether the plan achieves the intended separation: with enough
+    /// classes to give every band in `[0, max_ttl]` a distinct class, the
+    /// effective TTL within any class is at most `class_width`.
+    pub fn fully_separates(&self, max_ttl: u8) -> bool {
+        max_ttl / self.class_width < self.classes_available
+    }
+
+    /// Effective TTL spread within one class, for TTLs up to `max_ttl`.
+    /// If bands alias (not enough classes), the spread degrades back
+    /// toward the full range.
+    pub fn effective_ttl(&self, max_ttl: u8) -> u8 {
+        if self.fully_separates(max_ttl) {
+            self.class_width
+        } else {
+            max_ttl
+        }
+    }
+
+    /// The resulting loop-deadlock threshold for an `n`-switch loop at
+    /// bandwidth `B` (Eq. 3 with the effective TTL).
+    pub fn deadlock_threshold(&self, loop_len: u32, bandwidth: BitRate, max_ttl: u8) -> BitRate {
+        let eff = self.effective_ttl(max_ttl).max(1);
+        BoundaryModel::new(loop_len, bandwidth, eff as u32).deadlock_threshold()
+    }
+
+    /// Apply the plan to a workload: every flow's priority becomes the
+    /// class of its initial TTL.
+    pub fn apply(&self, specs: &mut [FlowSpec]) {
+        for s in specs.iter_mut() {
+            s.priority = self.class_for_ttl(s.ttl);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfcsim_topo::ids::NodeId;
+
+    #[test]
+    fn banding_maps_ttl_ranges() {
+        let p = TtlClassPlan::new(4, 2, 4);
+        assert_eq!(p.class_for_ttl(0), Priority(2));
+        assert_eq!(p.class_for_ttl(3), Priority(2));
+        assert_eq!(p.class_for_ttl(4), Priority(3));
+        assert_eq!(p.class_for_ttl(15), Priority(5));
+        // Aliasing beyond the range wraps.
+        assert_eq!(p.class_for_ttl(16), Priority(2));
+    }
+
+    #[test]
+    fn separation_depends_on_class_budget() {
+        let p = TtlClassPlan::new(4, 0, 4);
+        assert!(p.fully_separates(15), "4 bands for TTL<=15");
+        assert!(!p.fully_separates(16), "band 4 would alias band 0");
+        assert_eq!(p.effective_ttl(15), 4);
+        assert_eq!(p.effective_ttl(64), 64, "aliasing destroys the benefit");
+    }
+
+    #[test]
+    fn threshold_rises_with_separation() {
+        // Paper's loop: n=2, B=40G. Flat TTL 16 ⇒ 5 Gbps. Width-4 classes
+        // (fully separated) ⇒ 2*40/4 = 20 Gbps.
+        let p = TtlClassPlan::new(4, 0, 4);
+        assert_eq!(
+            p.deadlock_threshold(2, BitRate::from_gbps(40), 15),
+            BitRate::from_gbps(20)
+        );
+        // Width 2 = loop length ⇒ threshold = B: unconditionally safe.
+        let p2 = TtlClassPlan::new(2, 0, 8);
+        assert_eq!(
+            p2.deadlock_threshold(2, BitRate::from_gbps(40), 15),
+            BitRate::from_gbps(40)
+        );
+    }
+
+    #[test]
+    fn apply_rewrites_flow_priorities() {
+        let p = TtlClassPlan::new(8, 1, 2);
+        let mut specs = vec![
+            FlowSpec::infinite(0, NodeId(0), NodeId(1)).with_ttl(5),
+            FlowSpec::infinite(1, NodeId(0), NodeId(1)).with_ttl(12),
+        ];
+        p.apply(&mut specs);
+        assert_eq!(specs[0].priority, Priority(1));
+        assert_eq!(specs[1].priority, Priority(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "802.1p")]
+    fn class_range_overflow_rejected() {
+        TtlClassPlan::new(4, 6, 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Turn-model routing for 2-D meshes: dimension-order (XY) routing, the
+//! classic Dally–Seitz-style restriction behind the odd-even turn model
+//! family the paper cites (\[22\]).
+//!
+//! XY routing forbids every Y→X turn: packets exhaust their horizontal
+//! hops before any vertical hop. Buffer dependencies can therefore never
+//! cycle (X-channel → X-channel edges are monotone along a row, X→Y edges
+//! cross dimensions exactly once, Y→Y edges are monotone along a column),
+//! and — unlike up*/down* — **every XY path is shortest**: deadlock
+//! freedom with zero stretch when the topology has the right structure.
+
+use pfcsim_topo::graph::{NodeKind, Topology};
+use pfcsim_topo::ids::NodeId;
+use pfcsim_topo::routing::ForwardingTables;
+
+/// Coordinates of mesh switches, inferred from the `M{row}-{col}` names
+/// produced by [`pfcsim_topo::builders::mesh2d`].
+fn coords(topo: &Topology, node: NodeId) -> Option<(i64, i64)> {
+    let name = &topo.node(node).name;
+    let rest = name.strip_prefix('M')?;
+    let (r, c) = rest.split_once('-')?;
+    Some((r.parse().ok()?, c.parse().ok()?))
+}
+
+/// Build XY (dimension-order) forwarding tables for a [`mesh2d`]
+/// topology: route along the row first, then the column.
+///
+/// # Panics
+/// Panics if a switch lacks mesh coordinates (not built by `mesh2d`).
+///
+/// [`mesh2d`]: pfcsim_topo::builders::mesh2d
+pub fn xy_routing(topo: &Topology) -> ForwardingTables {
+    let mut ft = ForwardingTables::empty(topo);
+    let hosts: Vec<NodeId> = topo.hosts().collect();
+    for &dst in &hosts {
+        // The destination's switch and coordinates.
+        let dst_sw = topo.ports(dst)[0].peer;
+        let (dr, dc) = coords(topo, dst_sw).expect("mesh2d names required");
+        for node in topo.nodes() {
+            if node.kind != NodeKind::Switch {
+                continue;
+            }
+            let (r, c) = coords(topo, node.id).expect("mesh2d names required");
+            // Decide the XY next hop.
+            let next_coord = if c != dc {
+                (r, if dc > c { c + 1 } else { c - 1 })
+            } else if r != dr {
+                (if dr > r { r + 1 } else { r - 1 }, c)
+            } else {
+                // At the destination switch: deliver to the host.
+                let port = topo
+                    .port_towards(node.id, dst)
+                    .expect("host attached to its switch");
+                ft.set(node.id, dst, vec![port.port]);
+                continue;
+            };
+            let next = topo
+                .ports(node.id)
+                .iter()
+                .find(|p| {
+                    topo.node(p.peer).kind == NodeKind::Switch
+                        && coords(topo, p.peer) == Some(next_coord)
+                })
+                .unwrap_or_else(|| panic!("mesh neighbor {next_coord:?} of {} missing", node.name));
+            ft.set(node.id, dst, vec![next.port]);
+        }
+    }
+    ft
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfcsim_core::freedom::verify_all_pairs;
+    use pfcsim_topo::builders::{mesh2d, LinkSpec};
+    use pfcsim_topo::ids::{FlowId, Priority};
+    use pfcsim_topo::routing::{path_stretch, trace_path};
+
+    #[test]
+    fn xy_routing_is_deadlock_free_on_meshes() {
+        for (r, c) in [(2usize, 2usize), (3, 3), (3, 5), (4, 4)] {
+            let b = mesh2d(r, c, LinkSpec::default());
+            let ft = xy_routing(&b.topo);
+            verify_all_pairs(&b.topo, &ft, Priority::DEFAULT)
+                .unwrap_or_else(|e| panic!("{r}x{c}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn xy_routing_has_zero_stretch() {
+        let b = mesh2d(4, 4, LinkSpec::default());
+        let ft = xy_routing(&b.topo);
+        let (mean, max, unreachable) = path_stretch(&b.topo, &ft);
+        assert_eq!(unreachable, 0);
+        assert!((mean - 1.0).abs() < 1e-9, "XY is shortest-path: {mean}");
+        assert!((max - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xy_paths_never_turn_from_y_to_x() {
+        let b = mesh2d(3, 4, LinkSpec::default());
+        let ft = xy_routing(&b.topo);
+        let mut id = 0u32;
+        for &s in &b.hosts {
+            for &d in &b.hosts {
+                if s == d {
+                    continue;
+                }
+                let t = trace_path(&b.topo, &ft, FlowId(id), s, d, 32);
+                id += 1;
+                assert!(t.delivered());
+                // Extract switch coordinates; once the column changes stop,
+                // it must never change again.
+                let cs: Vec<(i64, i64)> = t
+                    .nodes()
+                    .iter()
+                    .filter_map(|&n| coords(&b.topo, n))
+                    .collect();
+                let mut moved_vertically = false;
+                for w in cs.windows(2) {
+                    if w[0].0 != w[1].0 {
+                        moved_vertically = true;
+                    } else if w[0].1 != w[1].1 {
+                        assert!(!moved_vertically, "Y->X turn in {cs:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh2d names required")]
+    fn non_mesh_topology_rejected() {
+        let b = pfcsim_topo::builders::ring(4, LinkSpec::default());
+        let _ = xy_routing(&b.topo);
+    }
+}

@@ -1,0 +1,245 @@
+//! DCQCN congestion control (Zhu et al., SIGCOMM 2015) — the paper's §4
+//! "preventing PFC from being generated" mitigation.
+//!
+//! The switch marks ECN on egress enqueue (optionally against a *phantom
+//! queue* draining slower than line rate, per Alizadeh et al.'s
+//! "less is more"); the receiver coalesces marks into CNPs at most once per
+//! `cnp_interval`; the sender runs the standard DCQCN rate machine:
+//! multiplicative decrease on CNP, alpha decay, and timer/byte-counter
+//! driven fast-recovery + additive/hyper increase.
+
+use serde::{Deserialize, Serialize};
+
+use pfcsim_simcore::time::SimDuration;
+use pfcsim_simcore::units::{BitRate, Bytes};
+
+/// DCQCN parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcqcnConfig {
+    /// Line rate / initial rate.
+    pub line_rate: BitRate,
+    /// Minimum sending rate clamp.
+    pub min_rate: BitRate,
+    /// Alpha EWMA gain `g`.
+    pub g: f64,
+    /// Alpha-decay timer period (no-CNP ⇒ alpha shrinks).
+    pub alpha_timer: SimDuration,
+    /// Rate-increase timer period.
+    pub rate_timer: SimDuration,
+    /// Byte counter triggering a rate-increase stage.
+    pub byte_counter: Bytes,
+    /// Additive increase step.
+    pub rai: BitRate,
+    /// Hyper increase step (after `hyper_after` stages).
+    pub rhai: BitRate,
+    /// Stages of fast recovery before additive increase.
+    pub fast_recovery_stages: u32,
+    /// Stages after which increase becomes hyper.
+    pub hyper_after: u32,
+    /// Receiver-side minimum CNP spacing.
+    pub cnp_interval: SimDuration,
+}
+
+impl DcqcnConfig {
+    /// Defaults from the DCQCN paper, scaled for a 40 Gbps fabric.
+    pub fn for_line_rate(line_rate: BitRate) -> Self {
+        DcqcnConfig {
+            line_rate,
+            min_rate: BitRate::from_mbps(40),
+            g: 1.0 / 256.0,
+            alpha_timer: SimDuration::from_us(55),
+            rate_timer: SimDuration::from_us(55),
+            byte_counter: Bytes::from_kb(150),
+            rai: BitRate::from_mbps(40),
+            rhai: BitRate::from_mbps(400),
+            fast_recovery_stages: 5,
+            hyper_after: 10,
+            cnp_interval: SimDuration::from_us(50),
+        }
+    }
+}
+
+/// Per-sender-flow DCQCN state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DcqcnState {
+    /// Current sending rate R_C.
+    pub rate: BitRate,
+    /// Target rate R_T.
+    pub target: BitRate,
+    /// Congestion estimate alpha.
+    pub alpha: f64,
+    /// Bytes sent since the last byte-counter stage.
+    pub bytes_since_stage: Bytes,
+    /// Byte-counter stage count since last decrease.
+    pub bc_stage: u32,
+    /// Timer stage count since last decrease.
+    pub timer_stage: u32,
+    /// Set when a CNP arrived since the last alpha tick.
+    pub cnp_since_alpha_tick: bool,
+}
+
+impl DcqcnState {
+    /// Fresh state at line rate.
+    pub fn new(cfg: &DcqcnConfig) -> Self {
+        DcqcnState {
+            rate: cfg.line_rate,
+            target: cfg.line_rate,
+            alpha: 1.0,
+            bytes_since_stage: Bytes::ZERO,
+            bc_stage: 0,
+            timer_stage: 0,
+            cnp_since_alpha_tick: false,
+        }
+    }
+
+    /// React to a CNP: cut rate multiplicatively, raise alpha.
+    pub fn on_cnp(&mut self, cfg: &DcqcnConfig) {
+        self.alpha = (1.0 - cfg.g) * self.alpha + cfg.g;
+        self.target = self.rate;
+        let factor = 1.0 - self.alpha / 2.0;
+        let new_bps = (self.rate.bps() as f64 * factor) as u64;
+        self.rate = BitRate::from_bps(new_bps.max(cfg.min_rate.bps()));
+        self.bc_stage = 0;
+        self.timer_stage = 0;
+        self.bytes_since_stage = Bytes::ZERO;
+        self.cnp_since_alpha_tick = true;
+    }
+
+    /// Alpha-decay tick (runs every `alpha_timer`).
+    pub fn on_alpha_tick(&mut self, cfg: &DcqcnConfig) {
+        if self.cnp_since_alpha_tick {
+            self.cnp_since_alpha_tick = false;
+        } else {
+            self.alpha *= 1.0 - cfg.g;
+        }
+    }
+
+    /// Record `sent` bytes; returns true if the byte counter fired a stage.
+    pub fn on_bytes_sent(&mut self, sent: Bytes, cfg: &DcqcnConfig) -> bool {
+        self.bytes_since_stage += sent;
+        if self.bytes_since_stage >= cfg.byte_counter {
+            self.bytes_since_stage = Bytes::ZERO;
+            self.bc_stage += 1;
+            self.raise(cfg);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rate-increase timer tick (runs every `rate_timer`).
+    pub fn on_rate_tick(&mut self, cfg: &DcqcnConfig) {
+        self.timer_stage += 1;
+        self.raise(cfg);
+    }
+
+    fn raise(&mut self, cfg: &DcqcnConfig) {
+        // Fast recovery while neither counter has passed its stage budget;
+        // hyper increase once *both* counters are deep (DCQCN §5).
+        let effective = self.bc_stage.max(self.timer_stage);
+        if effective > cfg.fast_recovery_stages {
+            let both_deep = self.bc_stage.min(self.timer_stage) > cfg.hyper_after;
+            let step = if both_deep { cfg.rhai } else { cfg.rai };
+            self.target =
+                BitRate::from_bps((self.target.bps() + step.bps()).min(cfg.line_rate.bps()));
+        }
+        // Fast recovery step in all cases: R_C = (R_T + R_C)/2.
+        self.rate =
+            BitRate::from_bps(((self.target.bps() + self.rate.bps()) / 2).min(cfg.line_rate.bps()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DcqcnConfig {
+        DcqcnConfig::for_line_rate(BitRate::from_gbps(40))
+    }
+
+    #[test]
+    fn starts_at_line_rate() {
+        let s = DcqcnState::new(&cfg());
+        assert_eq!(s.rate, BitRate::from_gbps(40));
+        assert_eq!(s.alpha, 1.0);
+    }
+
+    #[test]
+    fn cnp_cuts_rate() {
+        let c = cfg();
+        let mut s = DcqcnState::new(&c);
+        s.on_cnp(&c);
+        // alpha stays ~1, so cut is ~half.
+        assert!(s.rate.bps() < 21_000_000_000);
+        assert!(s.rate.bps() > 19_000_000_000);
+        assert_eq!(s.target, BitRate::from_gbps(40));
+    }
+
+    #[test]
+    fn repeated_cnps_floor_at_min_rate() {
+        let c = cfg();
+        let mut s = DcqcnState::new(&c);
+        for _ in 0..200 {
+            s.on_cnp(&c);
+        }
+        assert_eq!(s.rate, c.min_rate);
+    }
+
+    #[test]
+    fn alpha_decays_without_cnps() {
+        let c = cfg();
+        let mut s = DcqcnState::new(&c);
+        s.on_cnp(&c);
+        let a0 = s.alpha;
+        s.on_alpha_tick(&c); // clears the cnp flag, no decay yet
+        assert_eq!(s.alpha, a0);
+        s.on_alpha_tick(&c);
+        assert!(s.alpha < a0);
+    }
+
+    #[test]
+    fn fast_recovery_converges_to_target() {
+        let c = cfg();
+        let mut s = DcqcnState::new(&c);
+        s.on_cnp(&c);
+        let target = s.target;
+        for _ in 0..c.fast_recovery_stages {
+            s.on_rate_tick(&c);
+        }
+        // After 5 halvings of the gap, rate is within ~3% of target.
+        let gap = target.bps() - s.rate.bps();
+        assert!(gap < target.bps() / 30, "gap {gap}");
+    }
+
+    #[test]
+    fn active_increase_raises_target_beyond() {
+        let c = cfg();
+        let mut s = DcqcnState::new(&c);
+        s.on_cnp(&c);
+        for _ in 0..(c.fast_recovery_stages + 3) {
+            s.on_rate_tick(&c);
+        }
+        assert!(s.target.bps() > 40_000_000_000 - 1 || s.target.bps() > s.rate.bps());
+        // Never exceeds line rate.
+        for _ in 0..10_000 {
+            s.on_rate_tick(&c);
+        }
+        assert!(s.rate <= c.line_rate);
+        assert!(s.target <= c.line_rate);
+    }
+
+    #[test]
+    fn byte_counter_fires_on_threshold() {
+        let c = cfg();
+        let mut s = DcqcnState::new(&c);
+        s.on_cnp(&c);
+        let mut fired = 0;
+        for _ in 0..200 {
+            if s.on_bytes_sent(Bytes::new(1000), &c) {
+                fired += 1;
+            }
+        }
+        // 200 KB / 150 KB counter -> exactly 1 stage.
+        assert_eq!(fired, 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Runtime deadlock detection.
+//!
+//! A PFC deadlock is a set of paused channels that can *never* resume: each
+//! pausing ingress queue holds at least XON bytes that are queued toward
+//! egresses whose channels are themselves permanently paused. We find the
+//! largest such set by a fixpoint elimination:
+//!
+//! 1. Start from every channel currently paused (switch-to-switch only —
+//!    hosts are sources/sinks and cannot propagate a pause cycle).
+//! 2. Repeatedly *unfreeze* any channel whose pausing ingress holds fewer
+//!    than XON bytes destined to still-frozen egresses: once everything
+//!    else drains, its counter must fall below XON and it will resume.
+//! 3. Whatever survives is self-sustaining: a proven permanent deadlock.
+//!
+//! The analysis is sound (never reports a resumable configuration as
+//! deadlocked) because in-flight and shaper-held bytes are optimistically
+//! treated as drainable; it converges to exact at event-queue quiescence,
+//! which is how [`NetSim::run_with_drain`](crate::sim::NetSim::run_with_drain)
+//! uses it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pfcsim_simcore::units::Bytes;
+use pfcsim_topo::graph::NodeKind;
+use pfcsim_topo::ids::{NodeId, PortNo, Priority};
+
+use crate::sim::NetSim;
+use crate::stats::PauseKey;
+
+/// One frozen-candidate channel: priority `prio` traffic from the upstream
+/// peer into `(node, port)` is paused by `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Chan {
+    node: NodeId,
+    port: PortNo,
+    prio: u8,
+}
+
+impl NetSim {
+    /// Run the deadlock fixpoint on the current state. Returns a witness —
+    /// a cyclic core of permanently-paused channels if one exists, else the
+    /// whole frozen set — or `None` if every pause can still resolve.
+    pub fn analyze_deadlock(&self) -> Option<Vec<PauseKey>> {
+        // Candidate set: every asserted pause whose upstream is a switch.
+        let mut frozen: BTreeSet<Chan> = BTreeSet::new();
+        for sw in self.switches.iter().flatten() {
+            for (pi, ing) in sw.ingress.iter().enumerate() {
+                let port = PortNo(pi as u16);
+                let peer = self.peer_of(sw.node, port);
+                if self.topo.node(peer).kind != NodeKind::Switch {
+                    continue;
+                }
+                for (prio, &sent) in ing.pause_sent.iter().enumerate() {
+                    if sent {
+                        frozen.insert(Chan {
+                            node: sw.node,
+                            port,
+                            prio: prio as u8,
+                        });
+                    }
+                }
+            }
+        }
+        if frozen.is_empty() {
+            return None;
+        }
+
+        // Fixpoint elimination. Under dynamic (alpha) thresholds the XON
+        // level rises as the rest of the buffer drains, so the resume test
+        // must use the *optimistic* threshold — computed as if everything
+        // except the frozen set's own stuck bytes had already left the
+        // switch — to stay sound (never report a resolvable state).
+        loop {
+            let mut stuck_of: std::collections::BTreeMap<Chan, u64> = BTreeMap::new();
+            let mut stuck_at_node: BTreeMap<NodeId, u64> = BTreeMap::new();
+            for &ch in &frozen {
+                let stuck = self.stuck_toward_frozen(ch, &frozen);
+                stuck_of.insert(ch, stuck);
+                *stuck_at_node.entry(ch.node).or_insert(0) += stuck;
+            }
+            let mut released = Vec::new();
+            for &ch in &frozen {
+                let stuck = stuck_of[&ch];
+                let xon = self
+                    .optimistic_xon(ch.node, ch.port, stuck_at_node[&ch.node])
+                    .get();
+                if stuck < xon {
+                    released.push(ch);
+                }
+            }
+            if released.is_empty() {
+                break;
+            }
+            for ch in released {
+                frozen.remove(&ch);
+            }
+        }
+        if frozen.is_empty() {
+            return None;
+        }
+
+        // Prefer reporting a cycle within the frozen set.
+        let cycle = self.find_frozen_cycle(&frozen);
+        let core = if cycle.is_empty() {
+            frozen.into_iter().collect::<Vec<_>>()
+        } else {
+            cycle
+        };
+        Some(
+            core.into_iter()
+                .map(|ch| PauseKey {
+                    from: self.peer_of(ch.node, ch.port),
+                    to: ch.node,
+                    priority: Priority(ch.prio),
+                })
+                .collect(),
+        )
+    }
+
+    fn peer_of(&self, node: NodeId, port: PortNo) -> NodeId {
+        self.port_info[node.0 as usize][port.0 as usize].peer
+    }
+
+    /// The highest XON this ingress could ever see while `stuck_at_node`
+    /// bytes remain wedged at the switch: static configs return the
+    /// configured XON; dynamic-alpha configs assume every non-stuck byte
+    /// has drained (maximal free buffer, maximal threshold).
+    fn optimistic_xon(&self, node: NodeId, port: PortNo, stuck_at_node: u64) -> Bytes {
+        let pfc = self.switch_pfc.get(&node).unwrap_or(&self.cfg.pfc);
+        let sw = self.switches[node.0 as usize].as_ref().expect("switch");
+        let base_xon = sw.ingress[port.0 as usize].xon_override.unwrap_or(pfc.xon);
+        match pfc.dynamic_alpha {
+            None => base_xon,
+            Some((num, den)) => {
+                let base_xoff = sw.ingress[port.0 as usize]
+                    .xoff_override
+                    .unwrap_or(pfc.xoff);
+                let free_best = self
+                    .cfg
+                    .switch_buffer
+                    .saturating_sub(Bytes::new(stuck_at_node));
+                let dyn_xoff = Bytes::new(
+                    u64::try_from(free_best.get() as u128 * num as u128 / den as u128)
+                        .expect("fits"),
+                )
+                .min(base_xoff);
+                Bytes::new(dyn_xoff.get() * base_xon.get() / base_xoff.get().max(1))
+            }
+        }
+    }
+
+    /// Bytes accounted to `ch`'s ingress that are queued toward egresses
+    /// whose outgoing channel is in `frozen`.
+    fn stuck_toward_frozen(&self, ch: Chan, frozen: &BTreeSet<Chan>) -> u64 {
+        let sw = self.switches[ch.node.0 as usize]
+            .as_ref()
+            .expect("frozen channel is on a switch");
+        let mut stuck = 0;
+        for (e, _) in sw.egress.iter().enumerate() {
+            let epeer = self.peer_of(ch.node, PortNo(e as u16));
+            if self.topo.node(epeer).kind != NodeKind::Switch {
+                continue;
+            }
+            let epeer_port = self.port_info[ch.node.0 as usize][e].peer_port;
+            let downstream = Chan {
+                node: epeer,
+                port: epeer_port,
+                prio: ch.prio,
+            };
+            if frozen.contains(&downstream) {
+                stuck += sw.stuck_bytes(ch.port, Priority(ch.prio), e).get();
+            }
+        }
+        stuck
+    }
+
+    /// DFS for a directed cycle in the "holds bytes toward" relation among
+    /// frozen channels.
+    fn find_frozen_cycle(&self, frozen: &BTreeSet<Chan>) -> Vec<Chan> {
+        // Build adjacency: frozen channel A -> frozen channel B when A's
+        // ingress holds bytes queued on the egress whose channel is B.
+        let nodes: Vec<Chan> = frozen.iter().copied().collect();
+        let index: BTreeMap<Chan, usize> = nodes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (i, &ch) in nodes.iter().enumerate() {
+            let sw = self.switches[ch.node.0 as usize].as_ref().expect("switch");
+            for (e, _) in sw.egress.iter().enumerate() {
+                let epeer = self.peer_of(ch.node, PortNo(e as u16));
+                if self.topo.node(epeer).kind != NodeKind::Switch {
+                    continue;
+                }
+                let downstream = Chan {
+                    node: epeer,
+                    port: self.port_info[ch.node.0 as usize][e].peer_port,
+                    prio: ch.prio,
+                };
+                if let Some(&j) = index.get(&downstream) {
+                    if !sw.stuck_bytes(ch.port, Priority(ch.prio), e).is_zero() {
+                        adj[i].push(j);
+                    }
+                }
+            }
+        }
+        // Iterative DFS with colouring to extract one cycle.
+        let n = nodes.len();
+        let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
+        let mut parent = vec![usize::MAX; n];
+        for start in 0..n {
+            if colour[start] != 0 {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            colour[start] = 1;
+            while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+                if *next < adj[u].len() {
+                    let v = adj[u][*next];
+                    *next += 1;
+                    match colour[v] {
+                        0 => {
+                            colour[v] = 1;
+                            parent[v] = u;
+                            stack.push((v, 0));
+                        }
+                        1 => {
+                            // Found a cycle v -> ... -> u -> v.
+                            let mut cyc = vec![nodes[v]];
+                            let mut cur = u;
+                            while cur != v {
+                                cyc.push(nodes[cur]);
+                                cur = parent[cur];
+                            }
+                            cyc.reverse();
+                            return cyc;
+                        }
+                        _ => {}
+                    }
+                } else {
+                    colour[u] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SimConfig;
+    use crate::flow::FlowSpec;
+    use crate::sim::NetSim;
+    use pfcsim_simcore::time::SimTime;
+    use pfcsim_simcore::units::BitRate;
+    use pfcsim_topo::builders::{line, two_switch_loop, LinkSpec};
+    use pfcsim_topo::routing::install_cycle_route;
+
+    #[test]
+    fn no_deadlock_reported_on_clean_network() {
+        let b = line(3, LinkSpec::default());
+        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[2]));
+        let report = sim.run(SimTime::from_us(500));
+        assert!(!report.verdict.is_deadlock());
+    }
+
+    #[test]
+    fn loop_deadlock_witness_contains_the_cycle() {
+        let b = two_switch_loop(LinkSpec::default());
+        let mut tables = pfcsim_topo::routing::shortest_path_tables(&b.topo);
+        install_cycle_route(
+            &b.topo,
+            &mut tables,
+            &[b.switches[0], b.switches[1]],
+            b.hosts[1],
+        );
+        let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+        sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(10)).with_ttl(16));
+        let report = sim.run(SimTime::from_ms(50));
+        match report.verdict {
+            crate::sim::Verdict::Deadlock { ref witness, .. } => {
+                // The A<->B cycle: both directions of the inter-switch link.
+                let chans: Vec<(u32, u32)> = witness.iter().map(|k| (k.from.0, k.to.0)).collect();
+                assert!(
+                    chans.contains(&(b.switches[0].0, b.switches[1].0)),
+                    "witness {chans:?} misses A->B"
+                );
+                assert!(
+                    chans.contains(&(b.switches[1].0, b.switches[0].0)),
+                    "witness {chans:?} misses B->A"
+                );
+            }
+            ref v => panic!("expected deadlock, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_protocol_confirms_loop_deadlock_permanence() {
+        let b = two_switch_loop(LinkSpec::default());
+        let mut tables = pfcsim_topo::routing::shortest_path_tables(&b.topo);
+        install_cycle_route(
+            &b.topo,
+            &mut tables,
+            &[b.switches[0], b.switches[1]],
+            b.hosts[1],
+        );
+        let mut cfg = SimConfig::default();
+        cfg.stop_on_deadlock = false; // let the drain play out
+        let mut sim = NetSim::with_tables(&b.topo, cfg, tables);
+        sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(10)).with_ttl(16));
+        let report = sim.run_with_drain(SimTime::from_ms(20), SimTime::from_ms(60));
+        assert!(report.verdict.is_deadlock());
+        assert!(report.quiesced, "deadlocked drain must quiesce");
+        assert!(
+            !report.buffered.is_zero(),
+            "bytes must remain wedged in the cycle"
+        );
+    }
+}

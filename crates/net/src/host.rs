@@ -1,0 +1,112 @@
+//! Host / NIC model: traffic sources that honour PFC.
+//!
+//! A host has a single port toward its ToR. Flows resident on the host
+//! share the NIC round-robin. Infinite-demand flows materialize packets on
+//! demand; CBR flows are fed by timed injection into an unbounded host-side
+//! backlog (the application keeps producing even while the NIC is paused,
+//! exactly like the paper's testbed injector).
+
+use std::collections::VecDeque;
+
+use pfcsim_simcore::time::SimTime;
+use pfcsim_simcore::units::Bytes;
+use pfcsim_topo::ids::{FlowId, NodeId, Priority};
+
+use crate::packet::Packet;
+use crate::switch::TxPause;
+
+/// Host/NIC state.
+#[derive(Debug)]
+pub struct Host {
+    /// This host's node id.
+    pub node: NodeId,
+    /// Flows sourced here, in round-robin order.
+    pub rr: VecDeque<FlowId>,
+    /// NIC is serializing a frame.
+    pub busy: bool,
+    /// Pause state per priority (set by PFC from the ToR).
+    pub paused: [TxPause; Priority::COUNT],
+    /// A HostWake event is pending at this time (dedup).
+    pub wake_at: Option<SimTime>,
+    /// Bytes received (sink side).
+    pub received: Bytes,
+}
+
+impl Host {
+    /// New idle host.
+    pub fn new(node: NodeId) -> Self {
+        Host {
+            node,
+            rr: VecDeque::new(),
+            busy: false,
+            paused: [TxPause::Open; Priority::COUNT],
+            wake_at: None,
+            received: Bytes::ZERO,
+        }
+    }
+
+    /// Register a flow sourced at this host.
+    pub fn add_flow(&mut self, id: FlowId) {
+        self.rr.push_back(id);
+    }
+
+    /// Rotate the round-robin cursor past the flow just served.
+    pub fn rotate(&mut self) {
+        if !self.rr.is_empty() {
+            self.rr.rotate_left(1);
+        }
+    }
+}
+
+/// Per-flow runtime state held by the simulator.
+#[derive(Debug, Default)]
+pub struct FlowRt {
+    /// Flow has started and not stopped.
+    pub active: bool,
+    /// Next per-flow sequence number.
+    pub next_seq: u64,
+    /// CBR backlog awaiting the NIC.
+    pub backlog: VecDeque<Packet>,
+    /// Bytes injected so far (for finite demand).
+    pub injected: Bytes,
+    /// DCQCN pacing: earliest next transmission.
+    pub next_send: SimTime,
+    /// Per-flow randomness (Poisson/on-off sources).
+    pub rng: Option<pfcsim_simcore::rng::SimRng>,
+    /// On-off sources: currently in the ON phase.
+    pub on: bool,
+    /// DCQCN congestion-control state, if this is a DCQCN flow.
+    pub dcqcn: Option<crate::dcqcn::DcqcnState>,
+    /// TIMELY congestion-control state, if this is a TIMELY flow.
+    pub timely: Option<crate::timely::TimelyState>,
+    /// Receiver-side: last time a CNP was generated for this flow.
+    pub last_cnp: Option<SimTime>,
+    /// One-way feedback delay used for CNP delivery.
+    pub feedback_delay: pfcsim_simcore::time::SimDuration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotation() {
+        let mut h = Host::new(NodeId(0));
+        h.add_flow(FlowId(1));
+        h.add_flow(FlowId(2));
+        h.add_flow(FlowId(3));
+        assert_eq!(*h.rr.front().unwrap(), FlowId(1));
+        h.rotate();
+        assert_eq!(*h.rr.front().unwrap(), FlowId(2));
+        h.rotate();
+        h.rotate();
+        assert_eq!(*h.rr.front().unwrap(), FlowId(1));
+    }
+
+    #[test]
+    fn rotate_empty_is_noop() {
+        let mut h = Host::new(NodeId(0));
+        h.rotate();
+        assert!(h.rr.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! # pfcsim-net — packet-level lossless-Ethernet (PFC) simulator
+//!
+//! The substrate behind the paper's experiments: a deterministic,
+//! byte-accurate simulator of PFC (IEEE 802.1Qbb) datacenter fabrics.
+//!
+//! * [`packet`] — data packets and PFC PAUSE/RESUME frames;
+//! * [`switch`] — shared-buffer switches with per-(ingress, priority) PFC
+//!   accounting, per-(egress, priority) queues, DRR/FIFO arbitration;
+//! * [`host`] — PFC-respecting NICs and traffic sources;
+//! * [`flow`] — infinite-demand / CBR / finite / DCQCN flows;
+//! * [`shaper`] — token-bucket ingress rate limiting (Case 3);
+//! * [`dcqcn`] — DCQCN congestion control with optional phantom queues;
+//! * [`sim`] — the event loop, run protocols and reports;
+//! * [`deadlock`] — the fixpoint detector proving pauses permanent;
+//! * [`stats`] — pause logs, occupancy series, per-flow counters;
+//! * [`config`] — PFC thresholds, pause modes, arbitration, ECN.
+//!
+//! ```
+//! use pfcsim_net::prelude::*;
+//! use pfcsim_topo::prelude::*;
+//! use pfcsim_simcore::prelude::*;
+//!
+//! // Two hosts, two switches, one infinite-demand flow.
+//! let built = line(2, LinkSpec::default());
+//! let mut sim = NetSim::new(&built.topo, SimConfig::default());
+//! sim.add_flow(FlowSpec::infinite(0, built.hosts[0], built.hosts[1]));
+//! let report = sim.run(SimTime::from_us(100));
+//! assert!(!report.verdict.is_deadlock());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dcqcn;
+pub mod deadlock;
+pub mod flow;
+pub mod host;
+pub mod packet;
+pub mod recovery;
+pub mod report;
+pub mod shaper;
+pub mod sim;
+pub mod stats;
+pub mod switch;
+pub mod timely;
+pub mod trace;
+
+/// Number of 802.1p priority classes.
+pub const PRIORITY_COUNT: usize = 8;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::config::{
+        Arbitration, ClassScheduling, EcnConfig, PauseMode, PfcConfig, SimConfig, TtlClassConfig,
+    };
+    pub use crate::dcqcn::{DcqcnConfig, DcqcnState};
+    pub use crate::flow::{Demand, FlowSpec, RouteKind};
+    pub use crate::packet::{Frame, Packet, PfcFrame, PfcOp};
+    pub use crate::recovery::{RecoveryConfig, RecoveryStrategy};
+    pub use crate::shaper::TokenBucket;
+    pub use crate::sim::{NetSim, RunReport, Verdict};
+    pub use crate::stats::{FlowStats, IngressKey, NetStats, PauseKey, PauseLog};
+    pub use crate::timely::{TimelyConfig, TimelyState};
+    pub use crate::trace::{by_packet, DropReason, TraceEvent};
+}

@@ -1,0 +1,112 @@
+//! Wire units: data packets and PFC control frames.
+
+use serde::{Deserialize, Serialize};
+
+use pfcsim_simcore::time::SimTime;
+use pfcsim_simcore::units::Bytes;
+use pfcsim_topo::ids::{FlowId, NodeId, Priority};
+
+/// Size of an 802.1Qbb PFC PAUSE frame on the wire (64-byte minimum
+/// Ethernet frame).
+pub const PFC_FRAME_SIZE: Bytes = Bytes::new(64);
+
+/// A data packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique (per simulation) id, in injection order.
+    pub id: u64,
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// On-wire size including headers.
+    pub size: Bytes,
+    /// Remaining time-to-live, decremented per switch hop; the packet is
+    /// dropped when it reaches zero (the drain `r_d` of the paper's Eq. 1).
+    pub ttl: u8,
+    /// 802.1p class; PFC pauses per class.
+    pub priority: Priority,
+    /// Per-flow sequence number.
+    pub seq: u64,
+    /// Injection time at the source NIC (for latency accounting).
+    pub injected_at: SimTime,
+    /// ECN-capable + congestion-experienced mark (DCQCN).
+    pub ecn_marked: bool,
+}
+
+/// PFC operation carried by a control frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PfcOp {
+    /// Stop transmitting this class. In quanta mode carries a pause time in
+    /// 512-bit-time units; in XON/XOFF mode the value is `u16::MAX` and the
+    /// pause lasts until an explicit resume.
+    Pause {
+        /// Pause duration in quanta (512 bit times at the receiver's rate).
+        quanta: u16,
+    },
+    /// Resume transmission of this class (quanta = 0 frame).
+    Resume,
+}
+
+/// An 802.1Qbb priority flow-control frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PfcFrame {
+    /// The class being paused/resumed.
+    pub priority: Priority,
+    /// Pause or resume.
+    pub op: PfcOp,
+}
+
+/// Anything that can occupy a link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Frame {
+    /// A data packet.
+    Data(Packet),
+    /// A PFC control frame.
+    Pfc(PfcFrame),
+}
+
+impl Frame {
+    /// On-wire size.
+    pub fn size(&self) -> Bytes {
+        match self {
+            Frame::Data(p) => p.size,
+            Frame::Pfc(_) => PFC_FRAME_SIZE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(size: u64) -> Packet {
+        Packet {
+            id: 0,
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: Bytes::new(size),
+            ttl: 16,
+            priority: Priority::DEFAULT,
+            seq: 0,
+            injected_at: SimTime::ZERO,
+            ecn_marked: false,
+        }
+    }
+
+    #[test]
+    fn frame_sizes() {
+        assert_eq!(Frame::Data(packet(1000)).size(), Bytes::new(1000));
+        assert_eq!(
+            Frame::Pfc(PfcFrame {
+                priority: Priority::DEFAULT,
+                op: PfcOp::Resume
+            })
+            .size(),
+            PFC_FRAME_SIZE
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Human-readable run summaries.
+
+use core::fmt;
+
+use pfcsim_simcore::time::SimTime;
+
+use crate::sim::{RunReport, Verdict};
+
+/// A compact, display-ready digest of a [`RunReport`].
+pub struct Summary<'a>(&'a RunReport);
+
+impl RunReport {
+    /// A one-screen digest: verdict, traffic totals, PFC activity, drops.
+    pub fn summary(&self) -> Summary<'_> {
+        Summary(self)
+    }
+}
+
+impl fmt::Display for Summary<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.0;
+        match &r.verdict {
+            Verdict::Deadlock {
+                detected_at,
+                witness,
+            } => writeln!(
+                f,
+                "verdict: DEADLOCK at {detected_at} ({} frozen channels)",
+                witness.len()
+            )?,
+            Verdict::NoDeadlock => writeln!(f, "verdict: no deadlock")?,
+        }
+        writeln!(
+            f,
+            "simulated: {} ({} events{})",
+            r.end_time,
+            r.events,
+            if r.quiesced { ", quiesced" } else { "" }
+        )?;
+        let (mut inj, mut del) = (0u64, 0u64);
+        for fs in r.stats.flows.values() {
+            inj += fs.injected_packets;
+            del += fs.delivered_packets;
+        }
+        writeln!(f, "packets: {inj} injected, {del} delivered")?;
+        writeln!(
+            f,
+            "pfc: {} PAUSE / {} RESUME frames on {} channels",
+            r.stats.pause_frames,
+            r.stats.resume_frames,
+            r.stats.pause.len()
+        )?;
+        if r.stats.drops_ttl + r.stats.drops_no_route + r.stats.drops_overflow > 0 {
+            writeln!(
+                f,
+                "drops: {} ttl, {} no-route, {} overflow",
+                r.stats.drops_ttl, r.stats.drops_no_route, r.stats.drops_overflow
+            )?;
+        }
+        if r.stats.recovery_actions > 0 {
+            writeln!(
+                f,
+                "recovery: {} interventions destroyed {} packets",
+                r.stats.recovery_actions, r.stats.drops_recovery
+            )?;
+        }
+        if !r.buffered.is_zero() {
+            writeln!(f, "buffered at end: {}", r.buffered)?;
+        }
+        for (id, fs) in &r.stats.flows {
+            let gbps = fs
+                .meter
+                .average_bps(SimTime::ZERO, r.end_time)
+                .unwrap_or(0.0)
+                / 1e9;
+            writeln!(
+                f,
+                "  flow {id}: {gbps:.2} Gbps, {}/{} delivered",
+                fs.delivered_packets, fs.injected_packets
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SimConfig;
+    use crate::flow::FlowSpec;
+    use crate::sim::NetSim;
+    use pfcsim_simcore::time::SimTime;
+    use pfcsim_topo::builders::{line, LinkSpec};
+
+    #[test]
+    fn summary_renders_key_facts() {
+        let b = line(2, LinkSpec::default());
+        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
+        let report = sim.run(SimTime::from_us(100));
+        let s = report.summary().to_string();
+        assert!(s.contains("verdict: no deadlock"));
+        assert!(s.contains("packets:"));
+        assert!(s.contains("flow f0:"));
+        assert!(!s.contains("recovery:"), "no recovery ran");
+    }
+
+    #[test]
+    fn summary_shows_deadlock() {
+        use pfcsim_topo::routing::{install_cycle_route, shortest_path_tables};
+        let b = pfcsim_topo::builders::two_switch_loop(LinkSpec::default());
+        let mut tables = shortest_path_tables(&b.topo);
+        install_cycle_route(
+            &b.topo,
+            &mut tables,
+            &[b.switches[0], b.switches[1]],
+            b.hosts[1],
+        );
+        let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+        sim.add_flow(
+            FlowSpec::cbr(
+                0,
+                b.hosts[0],
+                b.hosts[1],
+                pfcsim_simcore::units::BitRate::from_gbps(10),
+            )
+            .with_ttl(16),
+        );
+        let report = sim.run(SimTime::from_ms(30));
+        let s = report.summary().to_string();
+        assert!(s.contains("DEADLOCK"), "{s}");
+        assert!(s.contains("frozen channels"));
+        assert!(s.contains("buffered at end:"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Measurement collection: pause logs per directed link, occupancy series
+//! per ingress queue, per-flow counters.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use pfcsim_simcore::series::{EventLog, IntervalLog, ThroughputMeter, TimeSeries};
+use pfcsim_simcore::time::SimTime;
+use pfcsim_simcore::units::Bytes;
+use pfcsim_topo::ids::{FlowId, NodeId, PortNo, Priority};
+
+/// Identifies the *paused direction* of a link: the channel carrying data
+/// `from → to`, paused by `to` (the receiver) for one priority. This is the
+/// "pause event at link Lᵢ" unit of the paper's Figures 3(c)/4(c)/5(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PauseKey {
+    /// Upstream transmitter being paused.
+    pub from: NodeId,
+    /// Downstream receiver issuing the pause.
+    pub to: NodeId,
+    /// Paused class.
+    pub priority: Priority,
+}
+
+/// Pause history of one directed (link, priority).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PauseLog {
+    /// One entry per PAUSE frame sent (dense dots in the paper's plots).
+    pub events: EventLog,
+    /// Paused spans: open at XOFF, closed at XON. A span still open at the
+    /// end of the run means the link never resumed — in a deadlock, spans
+    /// on every cycle link stay open forever.
+    pub intervals: IntervalLog,
+}
+
+/// Identifies one ingress queue: (switch, ingress port, priority).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IngressKey {
+    /// Switch.
+    pub node: NodeId,
+    /// Ingress port.
+    pub port: PortNo,
+    /// Class.
+    pub priority: Priority,
+}
+
+/// Per-flow counters and meters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Packets handed to the source NIC.
+    pub injected_packets: u64,
+    /// Bytes handed to the source NIC.
+    pub injected_bytes: Bytes,
+    /// Packets received by the destination host.
+    pub delivered_packets: u64,
+    /// Bytes received by the destination host.
+    pub delivered_bytes: Bytes,
+    /// Packets dropped by TTL expiry.
+    pub dropped_ttl: u64,
+    /// Packets dropped for lack of a route.
+    pub dropped_no_route: u64,
+    /// Packets generated but never transmitted by the source NIC (CBR
+    /// backlog remaining when the flow stopped or the run ended).
+    pub unsent_packets: u64,
+    /// Bytes never transmitted by the source NIC.
+    pub unsent_bytes: Bytes,
+    /// Delivery meter (for goodput).
+    pub meter: ThroughputMeter,
+    /// ECN-marked packets delivered (DCQCN).
+    pub ecn_marked: u64,
+}
+
+/// Serialize ordered maps with non-string keys as `[key, value]` pairs,
+/// which every self-describing format (JSON included) accepts.
+mod map_as_pairs {
+    use serde::de::{Deserialize, Deserializer};
+    use serde::ser::{Serialize, Serializer};
+    use std::collections::BTreeMap;
+
+    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, ser: S) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize,
+        V: Serialize,
+        S: Serializer,
+    {
+        ser.collect_seq(map.iter())
+    }
+
+    pub fn deserialize<'de, K, V, D>(de: D) -> Result<BTreeMap<K, V>, D::Error>
+    where
+        K: Deserialize<'de> + Ord,
+        V: Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(K, V)> = Vec::deserialize(de)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+/// Everything measured during a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Pause history per (directed link, priority).
+    #[serde(with = "map_as_pairs")]
+    pub pause: BTreeMap<PauseKey, PauseLog>,
+    /// Occupancy time series for watched ingress queues.
+    #[serde(with = "map_as_pairs")]
+    pub occupancy: BTreeMap<IngressKey, TimeSeries>,
+    /// Per-flow occupancy inside watched ingress queues (enabled by
+    /// `SimConfig::track_per_flow_occupancy`).
+    #[serde(with = "map_as_pairs")]
+    pub flow_occupancy: BTreeMap<(IngressKey, FlowId), TimeSeries>,
+    /// Per-flow counters.
+    #[serde(with = "map_as_pairs")]
+    pub flows: BTreeMap<FlowId, FlowStats>,
+    /// Global drop counters.
+    pub drops_ttl: u64,
+    /// Drops from missing routes.
+    pub drops_no_route: u64,
+    /// Drops from total-buffer exhaustion (should stay 0 in lossless runs).
+    pub drops_overflow: u64,
+    /// Flood replicas created on forwarding-table misses.
+    pub flood_replicas: u64,
+    /// Flood copies that reached a host other than their destination and
+    /// were discarded by the NIC.
+    pub misdelivered: u64,
+    /// Packets destroyed by reactive deadlock recovery (port drains).
+    pub drops_recovery: u64,
+    /// Number of recovery interventions performed.
+    pub recovery_actions: u64,
+    /// PAUSE frames sent network-wide.
+    pub pause_frames: u64,
+    /// RESUME frames sent network-wide.
+    pub resume_frames: u64,
+    /// CNPs generated (DCQCN).
+    pub cnps: u64,
+    /// Per-packet lifecycle events for traced flows (see
+    /// [`crate::sim::NetSim::trace_flows`]).
+    pub trace: Vec<crate::trace::TraceEvent>,
+}
+
+impl NetStats {
+    /// Pause log for a channel, if any pause ever occurred on it.
+    pub fn pause_log(&self, from: NodeId, to: NodeId, priority: Priority) -> Option<&PauseLog> {
+        self.pause.get(&PauseKey { from, to, priority })
+    }
+
+    /// Count of PAUSE frames on one channel.
+    pub fn pause_count(&self, from: NodeId, to: NodeId, priority: Priority) -> usize {
+        self.pause_log(from, to, priority)
+            .map_or(0, |l| l.events.count())
+    }
+
+    /// True iff the channel is paused at `t` (open interval or covering span).
+    pub fn paused_at(&self, from: NodeId, to: NodeId, priority: Priority, t: SimTime) -> bool {
+        self.pause_log(from, to, priority)
+            .is_some_and(|l| l.intervals.covers(t))
+    }
+
+    /// Channels whose pause interval never closed (still paused at run end).
+    pub fn permanently_paused(&self) -> Vec<PauseKey> {
+        self.pause
+            .iter()
+            .filter(|(_, log)| log.intervals.is_open())
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Mutable flow stats accessor, creating on first use.
+    pub fn flow_mut(&mut self, id: FlowId) -> &mut FlowStats {
+        self.flows.entry(id).or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pause_bookkeeping() {
+        let mut s = NetStats::default();
+        let key = PauseKey {
+            from: NodeId(0),
+            to: NodeId(1),
+            priority: Priority::DEFAULT,
+        };
+        let log = s.pause.entry(key).or_default();
+        log.events.record(SimTime::from_us(1));
+        log.intervals.open(SimTime::from_us(1));
+        log.intervals.close(SimTime::from_us(2));
+        log.events.record(SimTime::from_us(5));
+        log.intervals.open(SimTime::from_us(5));
+
+        assert_eq!(s.pause_count(NodeId(0), NodeId(1), Priority::DEFAULT), 2);
+        assert!(s.paused_at(NodeId(0), NodeId(1), Priority::DEFAULT, SimTime::from_us(1)));
+        assert!(!s.paused_at(NodeId(0), NodeId(1), Priority::DEFAULT, SimTime::from_us(3)));
+        assert!(s.paused_at(
+            NodeId(0),
+            NodeId(1),
+            Priority::DEFAULT,
+            SimTime::from_us(99)
+        ));
+        assert_eq!(s.permanently_paused(), vec![key]);
+        assert_eq!(s.pause_count(NodeId(1), NodeId(0), Priority::DEFAULT), 0);
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let mut s = NetStats::default();
+        let key = PauseKey {
+            from: NodeId(0),
+            to: NodeId(1),
+            priority: Priority::DEFAULT,
+        };
+        s.pause
+            .entry(key)
+            .or_default()
+            .events
+            .record(SimTime::from_us(3));
+        s.flow_mut(FlowId(7)).injected_packets = 42;
+        s.occupancy
+            .entry(IngressKey {
+                node: NodeId(1),
+                port: PortNo(0),
+                priority: Priority::DEFAULT,
+            })
+            .or_default()
+            .push(SimTime::from_us(1), 10);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: NetStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.flows[&FlowId(7)].injected_packets, 42);
+        assert_eq!(back.pause[&key].events.count(), 1);
+        assert_eq!(back.occupancy.len(), 1);
+    }
+
+    #[test]
+    fn flow_stats_accessor_creates() {
+        let mut s = NetStats::default();
+        s.flow_mut(FlowId(3)).injected_packets += 1;
+        assert_eq!(s.flows[&FlowId(3)].injected_packets, 1);
+    }
+}

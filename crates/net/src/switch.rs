@@ -1,0 +1,481 @@
+//! Shared-buffer switch state: per-(ingress, priority) PFC accounting,
+//! per-(egress, priority) queues with DRR or FIFO arbitration, ingress
+//! shapers, and pause state.
+//!
+//! The model mirrors the paper's NS-3 implementation (§3.2): "For each
+//! ingress queue, the switch maintains a counter to track the bytes of
+//! buffered packets received by this ingress queue. Once the queue length
+//! exceeds the preset PFC threshold, the corresponding incoming link will
+//! be paused." Packets are counted against their *arrival* port and
+//! released when they finish transmitting out of the switch.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use pfcsim_simcore::time::SimTime;
+use pfcsim_simcore::units::Bytes;
+use pfcsim_topo::ids::{FlowId, NodeId, PortNo, Priority};
+
+use crate::config::{Arbitration, ClassScheduling};
+use crate::packet::{Packet, PfcFrame};
+use crate::shaper::TokenBucket;
+
+/// A buffered packet tagged with the ingress port it is accounted to.
+#[derive(Debug, Clone)]
+pub struct QPkt {
+    /// The packet.
+    pub pkt: Packet,
+    /// Ingress port whose PFC counter holds this packet's bytes.
+    pub ingress: PortNo,
+}
+
+/// One (egress port, priority) queue.
+///
+/// In DRR mode packets are kept in per-ingress subqueues served
+/// deficit-round-robin (quantum = MTU), giving the per-hop per-ingress-port
+/// fairness of the paper's footnote 4. In FIFO mode a single arrival-order
+/// queue is used.
+#[derive(Debug, Default)]
+pub struct EgressQueue {
+    subs: BTreeMap<PortNo, VecDeque<QPkt>>,
+    rr: VecDeque<PortNo>,
+    deficit: BTreeMap<PortNo, u64>,
+    fifo: VecDeque<QPkt>,
+    bytes: Bytes,
+    len: usize,
+}
+
+impl EgressQueue {
+    /// Total queued bytes.
+    pub fn bytes(&self) -> Bytes {
+        self.bytes
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueue.
+    pub fn push(&mut self, qp: QPkt, arb: Arbitration) {
+        self.bytes += qp.pkt.size;
+        self.len += 1;
+        match arb {
+            Arbitration::Fifo => self.fifo.push_back(qp),
+            Arbitration::Drr => {
+                let sub = self.subs.entry(qp.ingress).or_default();
+                if sub.is_empty() {
+                    self.rr.push_back(qp.ingress);
+                    self.deficit.entry(qp.ingress).or_insert(0);
+                }
+                sub.push_back(qp);
+            }
+        }
+    }
+
+    /// Dequeue the next packet under the arbitration policy.
+    pub fn pop(&mut self, arb: Arbitration, quantum: u64) -> Option<QPkt> {
+        if self.len == 0 {
+            return None;
+        }
+        let qp = match arb {
+            Arbitration::Fifo => self.fifo.pop_front()?,
+            Arbitration::Drr => {
+                debug_assert!(quantum > 0, "DRR quantum must be positive");
+                loop {
+                    let &front = self.rr.front().expect("non-empty queue has an active sub");
+                    let head_size = self.subs[&front]
+                        .front()
+                        .expect("active sub is non-empty")
+                        .pkt
+                        .size
+                        .get();
+                    let d = self
+                        .deficit
+                        .get_mut(&front)
+                        .expect("active sub has deficit");
+                    if *d >= head_size {
+                        *d -= head_size;
+                        let sub = self.subs.get_mut(&front).expect("sub exists");
+                        let qp = sub.pop_front().expect("non-empty");
+                        if sub.is_empty() {
+                            self.deficit.insert(front, 0);
+                            self.rr.pop_front();
+                        }
+                        break qp;
+                    }
+                    // Grant a quantum and move to the next subqueue.
+                    *d += quantum;
+                    self.rr.rotate_left(1);
+                }
+            }
+        };
+        self.bytes -= qp.pkt.size;
+        self.len -= 1;
+        Some(qp)
+    }
+
+    /// Bytes queued here that arrived via `ingress` (for deadlock analysis).
+    pub fn bytes_from_ingress(&self, ingress: PortNo) -> Bytes {
+        let drr: Bytes = self
+            .subs
+            .get(&ingress)
+            .map(|q| q.iter().map(|qp| qp.pkt.size).sum())
+            .unwrap_or(Bytes::ZERO);
+        let fifo: Bytes = self
+            .fifo
+            .iter()
+            .filter(|qp| qp.ingress == ingress)
+            .map(|qp| qp.pkt.size)
+            .sum();
+        drr + fifo
+    }
+
+    /// Iterate over all queued packets (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = &QPkt> {
+        self.subs.values().flatten().chain(self.fifo.iter())
+    }
+
+    /// Remove and return every queued packet that arrived via `ingress`
+    /// (used by reactive deadlock recovery to force-drain a frozen queue).
+    pub fn drain_from_ingress(&mut self, ingress: PortNo) -> Vec<QPkt> {
+        let mut out = Vec::new();
+        if let Some(sub) = self.subs.get_mut(&ingress) {
+            out.extend(sub.drain(..));
+            self.subs.remove(&ingress);
+            self.rr.retain(|&p| p != ingress);
+            self.deficit.remove(&ingress);
+        }
+        let mut keep = VecDeque::with_capacity(self.fifo.len());
+        for qp in self.fifo.drain(..) {
+            if qp.ingress == ingress {
+                out.push(qp);
+            } else {
+                keep.push_back(qp);
+            }
+        }
+        self.fifo = keep;
+        for qp in &out {
+            self.bytes -= qp.pkt.size;
+            self.len -= 1;
+        }
+        out
+    }
+}
+
+/// Pause state of a transmitter (egress, priority) as set by received PFC
+/// frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TxPause {
+    /// Free to send.
+    #[default]
+    Open,
+    /// Paused until an explicit RESUME (XON/XOFF mode).
+    UntilResume,
+    /// Paused until the quanta timer expires (quanta mode).
+    Until(SimTime),
+}
+
+impl TxPause {
+    /// Whether transmission of this class is blocked at `now`.
+    pub fn is_paused(self, now: SimTime) -> bool {
+        match self {
+            TxPause::Open => false,
+            TxPause::UntilResume => true,
+            TxPause::Until(t) => now < t,
+        }
+    }
+}
+
+/// What is currently on the wire out of an egress port.
+#[derive(Debug, Clone)]
+pub enum InFlight {
+    /// A data packet, remembering its accounting ingress.
+    Data(QPkt),
+    /// A PFC control frame.
+    Pfc(PfcFrame),
+}
+
+/// Egress side of one switch port.
+#[derive(Debug)]
+pub struct Egress {
+    /// Per-priority data queues.
+    pub queues: Vec<EgressQueue>,
+    /// Pause state per priority (set by the downstream receiver).
+    pub paused: [TxPause; Priority::COUNT],
+    /// Control frames waiting to go out (sent ahead of data).
+    pub ctrl: VecDeque<PfcFrame>,
+    /// Round-robin cursor for [`ClassScheduling::Wrr`].
+    pub wrr_cursor: u8,
+    /// Frame currently serializing, if any.
+    pub in_flight: Option<InFlight>,
+    /// Phantom-queue state per priority: (virtual bytes, last update).
+    pub phantom: [(Bytes, SimTime); Priority::COUNT],
+}
+
+impl Default for Egress {
+    fn default() -> Self {
+        Egress {
+            queues: (0..Priority::COUNT)
+                .map(|_| EgressQueue::default())
+                .collect(),
+            paused: [TxPause::Open; Priority::COUNT],
+            ctrl: VecDeque::new(),
+            wrr_cursor: 0,
+            in_flight: None,
+            phantom: [(Bytes::ZERO, SimTime::ZERO); Priority::COUNT],
+        }
+    }
+}
+
+impl Egress {
+    /// True iff the transmitter is serializing a frame.
+    pub fn busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Total data bytes queued across priorities.
+    pub fn queued_bytes(&self) -> Bytes {
+        self.queues.iter().map(|q| q.bytes()).sum()
+    }
+
+    /// Highest-priority non-empty, non-paused queue index at `now`.
+    pub fn next_eligible(&self, now: SimTime) -> Option<usize> {
+        (0..Priority::COUNT)
+            .rev()
+            .find(|&p| !self.queues[p].is_empty() && !self.paused[p].is_paused(now))
+    }
+
+    /// Pick the class to serve next under the configured inter-class
+    /// policy, advancing the WRR cursor on a round-robin pick.
+    pub fn pick_class(&mut self, now: SimTime, policy: ClassScheduling) -> Option<usize> {
+        match policy {
+            ClassScheduling::Strict => self.next_eligible(now),
+            ClassScheduling::Wrr => {
+                for k in 0..Priority::COUNT {
+                    let c = (self.wrr_cursor as usize + k) % Priority::COUNT;
+                    if !self.queues[c].is_empty() && !self.paused[c].is_paused(now) {
+                        self.wrr_cursor = ((c + 1) % Priority::COUNT) as u8;
+                        return Some(c);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Ingress side of one switch port: PFC accounting and optional shaping.
+#[derive(Debug, Default)]
+pub struct Ingress {
+    /// Buffered bytes per priority attributed to this port.
+    pub count: [Bytes; Priority::COUNT],
+    /// Whether we have paused the upstream sender, per priority.
+    pub pause_sent: [bool; Priority::COUNT],
+    /// Optional ingress rate limiter.
+    pub shaper: Option<TokenBucket>,
+    /// Packets held by the shaper (still counted in `count`).
+    pub shaper_q: VecDeque<Packet>,
+    /// Whether a ShaperRelease event is pending.
+    pub shaper_scheduled: bool,
+    /// Per-port XOFF override (threshold tiering); `None` = switch default.
+    pub xoff_override: Option<Bytes>,
+    /// Per-port XON override.
+    pub xon_override: Option<Bytes>,
+    /// Per-flow byte tracking (only when enabled in config).
+    pub per_flow: BTreeMap<(u8, FlowId), Bytes>,
+}
+
+impl Ingress {
+    /// Total buffered bytes across priorities.
+    pub fn total(&self) -> Bytes {
+        self.count.iter().copied().sum()
+    }
+}
+
+/// A switch: one ingress + egress record per port.
+#[derive(Debug)]
+pub struct Switch {
+    /// This switch's node id.
+    pub node: NodeId,
+    /// Per-port ingress state.
+    pub ingress: Vec<Ingress>,
+    /// Per-port egress state.
+    pub egress: Vec<Egress>,
+    /// Total buffered bytes (shared buffer usage).
+    pub buffered: Bytes,
+}
+
+impl Switch {
+    /// A switch with `n_ports` ports.
+    pub fn new(node: NodeId, n_ports: usize) -> Self {
+        Switch {
+            node,
+            ingress: (0..n_ports).map(|_| Ingress::default()).collect(),
+            egress: (0..n_ports).map(|_| Egress::default()).collect(),
+            buffered: Bytes::ZERO,
+        }
+    }
+
+    /// Bytes accounted to ingress `p`, priority `c`, that are queued toward
+    /// egress `e` (used by the deadlock fixpoint analyzer).
+    pub fn stuck_bytes(&self, p: PortNo, c: Priority, e: usize) -> Bytes {
+        self.egress[e].queues[c.index()].bytes_from_ingress(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfcsim_simcore::time::SimTime;
+
+    fn qp(ingress: u16, size: u64, id: u64) -> QPkt {
+        QPkt {
+            pkt: Packet {
+                id,
+                flow: FlowId(ingress as u32),
+                src: NodeId(0),
+                dst: NodeId(1),
+                size: Bytes::new(size),
+                ttl: 16,
+                priority: Priority::DEFAULT,
+                seq: id,
+                injected_at: SimTime::ZERO,
+                ecn_marked: false,
+            },
+            ingress: PortNo(ingress),
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut q = EgressQueue::default();
+        for i in 0..5 {
+            q.push(qp(i % 2, 100, i as u64), Arbitration::Fifo);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(Arbitration::Fifo, 1000).unwrap().pkt.id, i);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drr_alternates_between_backlogged_ingresses() {
+        let mut q = EgressQueue::default();
+        // 6 packets from ingress 0 enqueued first, then 6 from ingress 1.
+        for i in 0..6 {
+            q.push(qp(0, 1000, i), Arbitration::Drr);
+        }
+        for i in 6..12 {
+            q.push(qp(1, 1000, i), Arbitration::Drr);
+        }
+        let mut served = Vec::new();
+        while let Some(p) = q.pop(Arbitration::Drr, 1000) {
+            served.push(p.ingress.0);
+        }
+        assert_eq!(served.len(), 12);
+        // Equal-size packets with quantum = size: perfect alternation after
+        // the first service decision.
+        let zeros = served.iter().filter(|&&p| p == 0).count();
+        assert_eq!(zeros, 6);
+        // No run of 3+ from the same ingress while both are backlogged.
+        for w in served[..10].windows(3) {
+            assert!(!(w[0] == w[1] && w[1] == w[2]), "unfair run: {served:?}");
+        }
+    }
+
+    #[test]
+    fn drr_is_work_conserving_when_one_ingress_empty() {
+        let mut q = EgressQueue::default();
+        for i in 0..3 {
+            q.push(qp(0, 1000, i), Arbitration::Drr);
+        }
+        for i in 0..3 {
+            assert_eq!(q.pop(Arbitration::Drr, 1000).unwrap().pkt.id, i);
+        }
+        assert!(q.pop(Arbitration::Drr, 1000).is_none());
+    }
+
+    #[test]
+    fn drr_byte_fairness_with_unequal_sizes() {
+        let mut q = EgressQueue::default();
+        // Ingress 0 sends 500-byte packets, ingress 1 sends 1000-byte ones.
+        for i in 0..20 {
+            q.push(qp(0, 500, i), Arbitration::Drr);
+        }
+        for i in 20..30 {
+            q.push(qp(1, 1000, i), Arbitration::Drr);
+        }
+        // Serve 12 KB worth; byte share should be ~50/50, so ~12 small and
+        // ~6 big packets.
+        let mut bytes = [0u64; 2];
+        let mut served_bytes = 0;
+        while served_bytes < 12_000 {
+            let p = q.pop(Arbitration::Drr, 1000).unwrap();
+            bytes[p.ingress.0 as usize] += p.pkt.size.get();
+            served_bytes += p.pkt.size.get();
+        }
+        let diff = bytes[0].abs_diff(bytes[1]);
+        assert!(diff <= 2000, "byte shares {bytes:?} differ by {diff}");
+    }
+
+    #[test]
+    fn bytes_from_ingress_accounting() {
+        let mut q = EgressQueue::default();
+        q.push(qp(0, 300, 0), Arbitration::Drr);
+        q.push(qp(1, 500, 1), Arbitration::Drr);
+        q.push(qp(0, 200, 2), Arbitration::Drr);
+        assert_eq!(q.bytes_from_ingress(PortNo(0)), Bytes::new(500));
+        assert_eq!(q.bytes_from_ingress(PortNo(1)), Bytes::new(500));
+        assert_eq!(q.bytes_from_ingress(PortNo(9)), Bytes::ZERO);
+        assert_eq!(q.bytes(), Bytes::new(1000));
+        assert_eq!(q.iter().count(), 3);
+    }
+
+    #[test]
+    fn tx_pause_states() {
+        let now = SimTime::from_us(10);
+        assert!(!TxPause::Open.is_paused(now));
+        assert!(TxPause::UntilResume.is_paused(now));
+        assert!(TxPause::Until(SimTime::from_us(11)).is_paused(now));
+        assert!(!TxPause::Until(SimTime::from_us(10)).is_paused(now));
+    }
+
+    #[test]
+    fn egress_strict_priority_and_pause() {
+        let mut e = Egress::default();
+        let now = SimTime::ZERO;
+        let mut low = qp(0, 100, 0);
+        low.pkt.priority = Priority::new(1);
+        let mut high = qp(0, 100, 1);
+        high.pkt.priority = Priority::new(5);
+        e.queues[1].push(low, Arbitration::Drr);
+        e.queues[5].push(high, Arbitration::Drr);
+        assert_eq!(e.next_eligible(now), Some(5));
+        e.paused[5] = TxPause::UntilResume;
+        assert_eq!(e.next_eligible(now), Some(1));
+        e.paused[1] = TxPause::UntilResume;
+        assert_eq!(e.next_eligible(now), None);
+        assert_eq!(e.queued_bytes(), Bytes::new(200));
+    }
+
+    #[test]
+    fn switch_stuck_bytes() {
+        let mut sw = Switch::new(NodeId(0), 3);
+        sw.egress[2].queues[Priority::DEFAULT.index()].push(qp(0, 700, 0), Arbitration::Drr);
+        sw.egress[2].queues[Priority::DEFAULT.index()].push(qp(1, 300, 1), Arbitration::Drr);
+        assert_eq!(
+            sw.stuck_bytes(PortNo(0), Priority::DEFAULT, 2),
+            Bytes::new(700)
+        );
+        assert_eq!(
+            sw.stuck_bytes(PortNo(1), Priority::DEFAULT, 2),
+            Bytes::new(300)
+        );
+        assert_eq!(sw.stuck_bytes(PortNo(0), Priority::DEFAULT, 1), Bytes::ZERO);
+    }
+}

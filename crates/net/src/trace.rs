@@ -1,0 +1,203 @@
+//! Per-packet lifecycle tracing.
+//!
+//! Opt-in (`NetSim::trace_flows`) recording of every event in a packet's
+//! life: injection, each switch hop, delivery, and any drop — the
+//! simulator's answer to "where exactly did this packet die?". Bounded
+//! (oldest runs are *not* evicted; recording simply stops at the cap) so
+//! a runaway flood cannot eat the heap.
+
+use serde::{Deserialize, Serialize};
+
+use pfcsim_simcore::time::SimTime;
+use pfcsim_topo::ids::{FlowId, NodeId};
+
+/// Why a traced packet was destroyed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// TTL reached zero at a switch.
+    TtlExpired,
+    /// No forwarding entry (L3 miss without flooding).
+    NoRoute,
+    /// Shared buffer exhausted / lossy-class tail drop.
+    Overflow,
+    /// Destroyed by reactive deadlock recovery.
+    Recovery,
+    /// A flood copy reached the wrong host.
+    Misdelivered,
+}
+
+/// One step of a packet's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Generated at the source NIC.
+    Injected {
+        /// Simulated time.
+        t: SimTime,
+        /// Owning flow.
+        flow: FlowId,
+        /// Packet id.
+        pkt: u64,
+        /// Source host.
+        src: NodeId,
+    },
+    /// Accepted by a switch and queued toward an egress.
+    Hop {
+        /// Simulated time.
+        t: SimTime,
+        /// Packet id.
+        pkt: u64,
+        /// The switch.
+        node: NodeId,
+        /// Remaining TTL after the decrement.
+        ttl: u8,
+    },
+    /// Received by the destination host.
+    Delivered {
+        /// Simulated time.
+        t: SimTime,
+        /// Packet id.
+        pkt: u64,
+        /// The host.
+        host: NodeId,
+    },
+    /// Destroyed.
+    Dropped {
+        /// Simulated time.
+        t: SimTime,
+        /// Packet id.
+        pkt: u64,
+        /// Where.
+        node: NodeId,
+        /// Why.
+        reason: DropReason,
+    },
+}
+
+impl TraceEvent {
+    /// The packet this event belongs to.
+    pub fn pkt(&self) -> u64 {
+        match *self {
+            TraceEvent::Injected { pkt, .. }
+            | TraceEvent::Hop { pkt, .. }
+            | TraceEvent::Delivered { pkt, .. }
+            | TraceEvent::Dropped { pkt, .. } => pkt,
+        }
+    }
+
+    /// The event's timestamp.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceEvent::Injected { t, .. }
+            | TraceEvent::Hop { t, .. }
+            | TraceEvent::Delivered { t, .. }
+            | TraceEvent::Dropped { t, .. } => t,
+        }
+    }
+}
+
+/// Group a trace by packet id, each packet's events in time order.
+pub fn by_packet(trace: &[TraceEvent]) -> std::collections::BTreeMap<u64, Vec<TraceEvent>> {
+    let mut map: std::collections::BTreeMap<u64, Vec<TraceEvent>> = Default::default();
+    for ev in trace {
+        map.entry(ev.pkt()).or_default().push(*ev);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::flow::FlowSpec;
+    use crate::sim::NetSim;
+    use pfcsim_simcore::units::BitRate;
+    use pfcsim_topo::builders::{line, two_switch_loop, LinkSpec};
+    use pfcsim_topo::routing::{install_cycle_route, shortest_path_tables};
+
+    #[test]
+    fn traced_packet_walks_the_line() {
+        let b = line(3, LinkSpec::default());
+        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        sim.add_flow(FlowSpec::cbr(
+            0,
+            b.hosts[0],
+            b.hosts[2],
+            BitRate::from_gbps(1),
+        ));
+        sim.trace_flows([FlowId(0)]);
+        let report = sim.run(pfcsim_simcore::time::SimTime::from_us(50));
+        let by_pkt = by_packet(&report.stats.trace);
+        assert!(!by_pkt.is_empty());
+        let first = &by_pkt[&0];
+        // Injected -> Hop(s0) -> Hop(s1) -> Hop(s2) -> Delivered.
+        assert!(matches!(first[0], TraceEvent::Injected { .. }));
+        let hops: Vec<NodeId> = first
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Hop { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hops, vec![b.switches[0], b.switches[1], b.switches[2]]);
+        assert!(matches!(
+            first.last().unwrap(),
+            TraceEvent::Delivered { .. }
+        ));
+        // Times strictly increase.
+        for w in first.windows(2) {
+            assert!(w[0].time() <= w[1].time());
+        }
+    }
+
+    #[test]
+    fn traced_loop_packet_dies_of_ttl() {
+        let b = two_switch_loop(LinkSpec::default());
+        let mut tables = shortest_path_tables(&b.topo);
+        install_cycle_route(
+            &b.topo,
+            &mut tables,
+            &[b.switches[0], b.switches[1]],
+            b.hosts[1],
+        );
+        let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+        sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(1)).with_ttl(6));
+        sim.trace_flows([FlowId(0)]);
+        let report = sim.run(pfcsim_simcore::time::SimTime::from_us(100));
+        let by_pkt = by_packet(&report.stats.trace);
+        let first = &by_pkt[&0];
+        let hops = first
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Hop { .. }))
+            .count();
+        // TTL 6: decremented to 0 on the 6th switch arrival, where it dies
+        // (5 successful hops + the fatal arrival).
+        assert_eq!(hops, 5, "events: {first:?}");
+        assert!(matches!(
+            first.last().unwrap(),
+            TraceEvent::Dropped {
+                reason: DropReason::TtlExpired,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn untraced_flows_record_nothing() {
+        let b = line(2, LinkSpec::default());
+        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
+        let report = sim.run(pfcsim_simcore::time::SimTime::from_us(100));
+        assert!(report.stats.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_is_capped() {
+        let b = line(2, LinkSpec::default());
+        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
+        sim.trace_flows([FlowId(0)]);
+        sim.set_trace_cap(100);
+        let report = sim.run(pfcsim_simcore::time::SimTime::from_ms(1));
+        assert!(report.stats.trace.len() <= 100);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for datapath components: token-bucket conformance and
+//! DRR fairness bounds.
+
+use proptest::prelude::*;
+
+use pfcsim_net::config::Arbitration;
+use pfcsim_net::packet::Packet;
+use pfcsim_net::shaper::TokenBucket;
+use pfcsim_net::switch::{EgressQueue, QPkt};
+use pfcsim_simcore::rng::SimRng;
+use pfcsim_simcore::time::SimTime;
+use pfcsim_simcore::units::{BitRate, Bytes};
+use pfcsim_topo::ids::{FlowId, NodeId, PortNo, Priority};
+
+fn qp(ingress: u16, size: u64, id: u64) -> QPkt {
+    QPkt {
+        pkt: Packet {
+            id,
+            flow: FlowId(ingress as u32),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: Bytes::new(size),
+            ttl: 16,
+            priority: Priority::DEFAULT,
+            seq: id,
+            injected_at: SimTime::ZERO,
+            ecn_marked: false,
+        },
+        ingress: PortNo(ingress),
+    }
+}
+
+proptest! {
+    /// Token-bucket conformance: over any observation pattern, the bytes
+    /// admitted in [0, T] never exceed burst + rate·T.
+    #[test]
+    fn token_bucket_conformance(
+        rate_mbps in 100u64..100_000,
+        burst_kb in 1u64..64,
+        seed in 0u64..1_000_000,
+        tries in 10usize..300,
+    ) {
+        let rate = BitRate::from_mbps(rate_mbps);
+        let burst = Bytes::from_kb(burst_kb);
+        let mut tb = TokenBucket::new(rate, burst);
+        let mut rng = SimRng::new(seed);
+        let mut now = SimTime::ZERO;
+        let mut admitted = 0u64;
+        for _ in 0..tries {
+            now += pfcsim_simcore::time::SimDuration::from_ns(rng.gen_range(5_000));
+            let size = Bytes::new(1 + rng.gen_range(burst.get()));
+            if tb.try_consume(now, size).is_ok() {
+                admitted += size.get();
+            }
+        }
+        let elapsed_s = now.as_secs_f64();
+        let cap = burst.get() as f64 + rate.bps() as f64 / 8.0 * elapsed_s;
+        prop_assert!(
+            admitted as f64 <= cap + 1.0,
+            "admitted {admitted} exceeds envelope {cap}"
+        );
+    }
+
+    /// Token bucket is work-conserving at its rate: waiting exactly until
+    /// the reported ready time always succeeds.
+    #[test]
+    fn token_bucket_ready_time_exact(
+        rate_mbps in 100u64..100_000,
+        sizes in prop::collection::vec(1u64..1500, 1..100),
+    ) {
+        let rate = BitRate::from_mbps(rate_mbps);
+        let mut tb = TokenBucket::new(rate, Bytes::new(2000));
+        let mut now = SimTime::ZERO;
+        for &s in &sizes {
+            match tb.try_consume(now, Bytes::new(s)) {
+                Ok(()) => {}
+                Err(ready) => {
+                    prop_assert!(ready > now);
+                    now = ready;
+                    prop_assert!(tb.try_consume(now, Bytes::new(s)).is_ok());
+                }
+            }
+        }
+    }
+
+    /// DRR byte-fairness: with two continuously-backlogged ingresses, the
+    /// served byte counts differ by at most one quantum + one max packet.
+    #[test]
+    fn drr_two_ingress_fairness(
+        sizes_a in prop::collection::vec(64u64..1500, 20..60),
+        sizes_b in prop::collection::vec(64u64..1500, 20..60),
+    ) {
+        let quantum = 1500u64;
+        let mut q = EgressQueue::default();
+        let mut id = 0;
+        for &s in &sizes_a {
+            q.push(qp(0, s, id), Arbitration::Drr);
+            id += 1;
+        }
+        for &s in &sizes_b {
+            q.push(qp(1, s, id), Arbitration::Drr);
+            id += 1;
+        }
+        let min_total: u64 = sizes_a.iter().sum::<u64>().min(sizes_b.iter().sum());
+        let mut served = [0u64; 2];
+        // Serve while both stay backlogged.
+        while served[0].min(served[1]) + 2 * quantum < min_total {
+            let Some(p) = q.pop(Arbitration::Drr, quantum) else { break };
+            served[p.ingress.0 as usize] += p.pkt.size.get();
+        }
+        let diff = served[0].abs_diff(served[1]);
+        prop_assert!(
+            diff <= 2 * quantum,
+            "fairness gap {diff} with served {served:?}"
+        );
+    }
+
+    /// Queue conservation: everything pushed is popped, bytes match.
+    #[test]
+    fn egress_queue_conservation(
+        pkts in prop::collection::vec((0u16..4, 64u64..1500), 0..200),
+        fifo in any::<bool>(),
+    ) {
+        let arb = if fifo { Arbitration::Fifo } else { Arbitration::Drr };
+        let mut q = EgressQueue::default();
+        let mut total = 0u64;
+        for (i, &(ing, size)) in pkts.iter().enumerate() {
+            q.push(qp(ing, size, i as u64), arb);
+            total += size;
+        }
+        prop_assert_eq!(q.bytes().get(), total);
+        prop_assert_eq!(q.len(), pkts.len());
+        let mut popped = 0u64;
+        let mut count = 0;
+        while let Some(p) = q.pop(arb, 1500) {
+            popped += p.pkt.size.get();
+            count += 1;
+        }
+        prop_assert_eq!(popped, total);
+        prop_assert_eq!(count, pkts.len());
+        prop_assert!(q.is_empty());
+    }
+
+    /// drain_from_ingress removes exactly that ingress's packets.
+    #[test]
+    fn drain_matches_accounting(
+        pkts in prop::collection::vec((0u16..3, 64u64..1500), 0..100),
+        target in 0u16..3,
+        fifo in any::<bool>(),
+    ) {
+        let arb = if fifo { Arbitration::Fifo } else { Arbitration::Drr };
+        let mut q = EgressQueue::default();
+        for (i, &(ing, size)) in pkts.iter().enumerate() {
+            q.push(qp(ing, size, i as u64), arb);
+        }
+        let expected: u64 = pkts
+            .iter()
+            .filter(|&&(ing, _)| ing == target)
+            .map(|&(_, s)| s)
+            .sum();
+        let drained = q.drain_from_ingress(PortNo(target));
+        let got: u64 = drained.iter().map(|p| p.pkt.size.get()).sum();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(q.bytes_from_ingress(PortNo(target)), Bytes::ZERO);
+        // Remaining packets still pop cleanly.
+        let mut rest = 0u64;
+        while let Some(p) = q.pop(arb, 1500) {
+            rest += p.pkt.size.get();
+        }
+        let total: u64 = pkts.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(rest + got, total);
+    }
+}

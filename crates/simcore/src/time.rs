@@ -1,0 +1,351 @@
+//! Simulated time in integer picoseconds.
+//!
+//! All simulator arithmetic is integral so that every run is exactly
+//! reproducible. Picoseconds are fine enough that common datacenter rates
+//! divide evenly: one byte at 40 Gbps serializes in exactly 200 ps, at
+//! 100 Gbps in exactly 80 ps, at 10 Gbps in 800 ps.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// An absolute instant on the simulated clock, in picoseconds since the
+/// start of the simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * PS_PER_NS)
+    }
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * PS_PER_US)
+    }
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * PS_PER_MS)
+    }
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * PS_PER_SEC)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    /// Value in nanoseconds (truncating).
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / PS_PER_NS
+    }
+    /// Value in microseconds (truncating).
+    #[inline]
+    pub const fn as_us(self) -> u64 {
+        self.0 / PS_PER_US
+    }
+    /// Value in milliseconds (truncating).
+    #[inline]
+    pub const fn as_ms(self) -> u64 {
+        self.0 / PS_PER_MS
+    }
+    /// Value in (fractional) seconds — for reporting only, never simulation logic.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration (`None` on overflow).
+    #[inline]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns * PS_PER_NS)
+    }
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * PS_PER_US)
+    }
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * PS_PER_MS)
+    }
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * PS_PER_SEC)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    /// Value in nanoseconds (truncating).
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / PS_PER_NS
+    }
+    /// Value in microseconds (truncating).
+    #[inline]
+    pub const fn as_us(self) -> u64 {
+        self.0 / PS_PER_US
+    }
+    /// Value in (fractional) seconds — for reporting only.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// True iff this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiply by an integer factor, saturating on overflow.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// Integer division of two spans (how many `other` fit in `self`).
+    #[inline]
+    pub fn div_duration(self, other: SimDuration) -> u64 {
+        assert!(!other.is_zero(), "division by zero duration");
+        self.0 / other.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(d.0)
+                .expect("SimTime overflow: simulation horizon exceeds u64 picoseconds"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(d.0).expect("SimTime underflow"))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime subtraction underflow: rhs is later than lhs"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        format_ps(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        format_ps(self.0, f)
+    }
+}
+
+/// Human-friendly rendering with an auto-selected unit.
+fn format_ps(ps: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ps >= PS_PER_SEC {
+        write!(f, "{:.3}s", ps as f64 / PS_PER_SEC as f64)
+    } else if ps >= PS_PER_MS {
+        write!(f, "{:.3}ms", ps as f64 / PS_PER_MS as f64)
+    } else if ps >= PS_PER_US {
+        write!(f, "{:.3}us", ps as f64 / PS_PER_US as f64)
+    } else if ps >= PS_PER_NS {
+        write!(f, "{:.3}ns", ps as f64 / PS_PER_NS as f64)
+    } else {
+        write!(f, "{}ps", ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors_round_trip() {
+        assert_eq!(SimTime::from_ns(5).as_ps(), 5_000);
+        assert_eq!(SimTime::from_us(5).as_ns(), 5_000);
+        assert_eq!(SimTime::from_ms(5).as_us(), 5_000);
+        assert_eq!(SimTime::from_secs(2).as_ms(), 2_000);
+        assert_eq!(SimDuration::from_ns(7).as_ps(), 7_000);
+        assert_eq!(SimDuration::from_secs(1).as_ps(), PS_PER_SEC);
+    }
+
+    #[test]
+    fn arithmetic_time_duration() {
+        let t = SimTime::from_us(10);
+        let d = SimDuration::from_us(3);
+        assert_eq!((t + d).as_us(), 13);
+        assert_eq!((t - d).as_us(), 7);
+        assert_eq!(((t + d) - t).as_us(), 3);
+        let mut t2 = t;
+        t2 += d;
+        assert_eq!(t2.as_us(), 13);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_ns(100);
+        let b = SimDuration::from_ns(40);
+        assert_eq!((a + b).as_ns(), 140);
+        assert_eq!((a - b).as_ns(), 60);
+        assert_eq!(a.saturating_mul(3).as_ns(), 300);
+        assert_eq!(a.div_duration(b), 2);
+        let mut c = a;
+        c -= b;
+        assert_eq!(c.as_ns(), 60);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::from_ns(10);
+        let late = SimTime::from_ns(30);
+        assert_eq!(late.saturating_since(early).as_ns(), 20);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_sub_underflow_panics() {
+        let _ = SimTime::from_ns(1) - SimDuration::from_ns(2);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_ns(1) < SimTime::from_ns(2));
+        assert!(SimTime::ZERO < SimTime::MAX);
+        assert!(SimDuration::from_ps(1) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(format!("{}", SimTime::from_ps(512)), "512ps");
+        assert_eq!(format!("{}", SimTime::from_ns(1)), "1.000ns");
+        assert_eq!(format!("{}", SimDuration::from_us(2)), "2.000us");
+        assert_eq!(format!("{}", SimDuration::from_ms(3)), "3.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(1)), "1.000s");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(SimTime::MAX.checked_add(SimDuration::from_ps(1)).is_none());
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimDuration::from_ps(7)),
+            Some(SimTime::from_ps(7))
+        );
+    }
+}

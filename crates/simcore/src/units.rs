@@ -1,0 +1,290 @@
+//! Data-size and data-rate units with exact integer conversions.
+//!
+//! `Bytes` counts payload+header octets; `BitRate` is bits per second.
+//! Serialization time is computed with a u128 intermediate so that no
+//! realistic (rate, size) pair can overflow or lose precision beyond the
+//! final integer division to picoseconds.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, PS_PER_SEC};
+
+/// A byte count (buffer occupancies, packet and frame sizes, thresholds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Construct from a raw byte count.
+    #[inline]
+    pub const fn new(b: u64) -> Self {
+        Bytes(b)
+    }
+    /// Construct from kilobytes (1 KB = 1000 B, matching the paper's axes).
+    #[inline]
+    pub const fn from_kb(kb: u64) -> Self {
+        Bytes(kb * 1_000)
+    }
+    /// Construct from megabytes (1 MB = 10^6 B).
+    #[inline]
+    pub const fn from_mb(mb: u64) -> Self {
+        Bytes(mb * 1_000_000)
+    }
+    /// Construct from kibibytes (1 KiB = 1024 B).
+    #[inline]
+    pub const fn from_kib(kib: u64) -> Self {
+        Bytes(kib * 1024)
+    }
+
+    /// Raw byte count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+    /// Bit count (×8).
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0 * 8
+    }
+    /// Value in (fractional) kilobytes — reporting only.
+    #[inline]
+    pub fn as_kb_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+    /// True iff zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+    /// Checked subtraction.
+    #[inline]
+    pub fn checked_sub(self, rhs: Bytes) -> Option<Bytes> {
+        self.0.checked_sub(rhs.0).map(Bytes)
+    }
+    /// Minimum of two counts.
+    #[inline]
+    pub fn min(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.min(rhs.0))
+    }
+    /// Maximum of two counts.
+    #[inline]
+    pub fn max(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.checked_add(rhs.0).expect("Bytes overflow"))
+    }
+}
+impl AddAssign for Bytes {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bytes) {
+        *self = *self + rhs;
+    }
+}
+impl Sub for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.checked_sub(rhs.0).expect("Bytes underflow"))
+    }
+}
+impl SubAssign for Bytes {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Bytes) {
+        *self = *self - rhs;
+    }
+}
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}MB", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}KB", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// A data rate in bits per second.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BitRate(u64);
+
+impl BitRate {
+    /// Zero rate (used to model a fully blocked limiter).
+    pub const ZERO: BitRate = BitRate(0);
+
+    /// Construct from bits per second.
+    #[inline]
+    pub const fn from_bps(bps: u64) -> Self {
+        BitRate(bps)
+    }
+    /// Construct from megabits per second.
+    #[inline]
+    pub const fn from_mbps(mbps: u64) -> Self {
+        BitRate(mbps * 1_000_000)
+    }
+    /// Construct from gigabits per second.
+    #[inline]
+    pub const fn from_gbps(gbps: u64) -> Self {
+        BitRate(gbps * 1_000_000_000)
+    }
+
+    /// Raw bits per second.
+    #[inline]
+    pub const fn bps(self) -> u64 {
+        self.0
+    }
+    /// Value in (fractional) Gbps — reporting only.
+    #[inline]
+    pub fn as_gbps_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// True iff zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Exact serialization time for `size` at this rate, rounded up to the
+    /// next picosecond. Rounding up preserves the non-starvation invariant:
+    /// a transmitter never finishes a packet earlier than the wire could.
+    #[inline]
+    pub fn serialization_time(self, size: Bytes) -> SimDuration {
+        assert!(self.0 > 0, "serialization over a zero-rate link");
+        let bits = size.bits() as u128;
+        let ps = (bits * PS_PER_SEC as u128).div_ceil(self.0 as u128);
+        SimDuration::from_ps(u64::try_from(ps).expect("serialization time overflows u64 ps"))
+    }
+
+    /// Bytes transferable in `d` at this rate (truncating).
+    #[inline]
+    pub fn bytes_in(self, d: SimDuration) -> Bytes {
+        let bits = self.0 as u128 * d.as_ps() as u128 / PS_PER_SEC as u128;
+        Bytes::new(u64::try_from(bits / 8).expect("byte count overflows u64"))
+    }
+
+    /// Scale the rate by a rational factor `num/den` (for fair-share math).
+    #[inline]
+    pub fn scale(self, num: u64, den: u64) -> BitRate {
+        assert!(den > 0, "zero denominator");
+        BitRate(u64::try_from(self.0 as u128 * num as u128 / den as u128).expect("rate overflow"))
+    }
+}
+
+impl fmt::Display for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.2}Gbps", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.2}Mbps", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_constructors() {
+        assert_eq!(Bytes::from_kb(40).get(), 40_000);
+        assert_eq!(Bytes::from_mb(12).get(), 12_000_000);
+        assert_eq!(Bytes::from_kib(4).get(), 4_096);
+        assert_eq!(Bytes::new(9).bits(), 72);
+    }
+
+    #[test]
+    fn byte_arithmetic_and_saturation() {
+        let a = Bytes::new(100);
+        let b = Bytes::new(30);
+        assert_eq!((a + b).get(), 130);
+        assert_eq!((a - b).get(), 70);
+        assert_eq!(b.saturating_sub(a), Bytes::ZERO);
+        assert_eq!(a.checked_sub(b), Some(Bytes::new(70)));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        let total: Bytes = [a, b, Bytes::new(1)].into_iter().sum();
+        assert_eq!(total.get(), 131);
+    }
+
+    #[test]
+    fn serialization_is_exact_at_dc_rates() {
+        // 1 byte @ 40 Gbps = 8 bits / 40e9 bps = 0.2 ns = 200 ps exactly.
+        let r40 = BitRate::from_gbps(40);
+        assert_eq!(r40.serialization_time(Bytes::new(1)).as_ps(), 200);
+        // A 1000-byte packet @ 40 Gbps = 200 ns.
+        assert_eq!(r40.serialization_time(Bytes::new(1000)).as_ns(), 200);
+        // 64-byte PFC frame @ 100 Gbps = 5.12 ns = 5120 ps.
+        let r100 = BitRate::from_gbps(100);
+        assert_eq!(r100.serialization_time(Bytes::new(64)).as_ps(), 5_120);
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        // 1 byte at 3 bps: 8/3 s = 2.666... s -> rounds up.
+        let r = BitRate::from_bps(3);
+        let t = r.serialization_time(Bytes::new(1));
+        assert_eq!(t.as_ps(), (8 * PS_PER_SEC).div_ceil(3));
+    }
+
+    #[test]
+    fn bytes_in_inverts_serialization() {
+        let r = BitRate::from_gbps(40);
+        let d = r.serialization_time(Bytes::from_kb(40));
+        assert_eq!(r.bytes_in(d), Bytes::from_kb(40));
+    }
+
+    #[test]
+    fn rate_scaling() {
+        let r = BitRate::from_gbps(40);
+        assert_eq!(r.scale(1, 2), BitRate::from_gbps(20));
+        assert_eq!(r.scale(3, 4), BitRate::from_gbps(30));
+        assert_eq!(BitRate::from_bps(5).scale(1, 2), BitRate::from_bps(2));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(format!("{}", Bytes::from_kb(40)), "40.00KB");
+        assert_eq!(format!("{}", Bytes::new(12)), "12B");
+        assert_eq!(format!("{}", Bytes::from_mb(12)), "12.00MB");
+        assert_eq!(format!("{}", BitRate::from_gbps(40)), "40.00Gbps");
+        assert_eq!(format!("{}", BitRate::from_mbps(250)), "250.00Mbps");
+        assert_eq!(format!("{}", BitRate::from_bps(12)), "12bps");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-rate")]
+    fn zero_rate_serialization_panics() {
+        let _ = BitRate::ZERO.serialization_time(Bytes::new(1));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the simulation core: the event queue against a
+//! reference model, unit arithmetic, and recorder invariants.
+
+use proptest::prelude::*;
+
+use pfcsim_simcore::event::EventQueue;
+use pfcsim_simcore::series::{Histogram, IntervalLog, TimeSeries};
+use pfcsim_simcore::time::{SimDuration, SimTime};
+use pfcsim_simcore::units::{BitRate, Bytes};
+
+proptest! {
+    /// The queue pops every scheduled event exactly once, in (time,
+    /// schedule-order) order — checked against a stable sort.
+    #[test]
+    fn event_queue_matches_stable_sort(times in prop::collection::vec(0u64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort_by_key(|&(t, _)| t); // stable: preserves schedule order
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t.as_ns(), i));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Cancellation removes exactly the cancelled subset.
+    #[test]
+    fn event_queue_cancellation(
+        times in prop::collection::vec(0u64..1000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_ns(t), i))
+            .collect();
+        let mut kept: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+                prop_assert!(!q.cancel(*id), "double cancel is false");
+            } else {
+                kept.push(i);
+            }
+        }
+        prop_assert_eq!(q.len(), kept.len());
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            got.push(i);
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, kept);
+    }
+
+    /// serialization_time is exact-or-rounded-up and bytes_in inverts it.
+    #[test]
+    fn rate_arithmetic_roundtrip(bps in 1_000_000u64..400_000_000_000, bytes in 1u64..100_000) {
+        let rate = BitRate::from_bps(bps);
+        let size = Bytes::new(bytes);
+        let t = rate.serialization_time(size);
+        // Exact-or-up: transmitting for t at `rate` moves at least `size`.
+        let moved = rate.bytes_in(t);
+        prop_assert!(moved >= size.saturating_sub(Bytes::new(1)));
+        // Never over by more than one byte's time.
+        let t_minus = SimDuration::from_ps(t.as_ps().saturating_sub(1));
+        prop_assert!(rate.bytes_in(t_minus) <= size);
+    }
+
+    /// Time arithmetic is associative with durations and ordered.
+    #[test]
+    fn time_arithmetic(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64, c in 0u64..u32::MAX as u64) {
+        let t = SimTime::from_ps(a);
+        let d1 = SimDuration::from_ps(b);
+        let d2 = SimDuration::from_ps(c);
+        prop_assert_eq!((t + d1) + d2, t + (d1 + d2));
+        prop_assert!((t + d1) >= t);
+        prop_assert_eq!((t + d1) - t, d1);
+    }
+
+    /// TimeSeries stats are consistent with the raw samples.
+    #[test]
+    fn time_series_stats_consistent(vals in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut s = TimeSeries::new();
+        for (i, &v) in vals.iter().enumerate() {
+            s.push(SimTime::from_ns(i as u64), v);
+        }
+        prop_assert_eq!(s.max(), *vals.iter().max().unwrap());
+        prop_assert_eq!(s.min(), *vals.iter().min().unwrap());
+        let mean = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6);
+    }
+
+    /// Interval logs measure what they cover.
+    #[test]
+    fn interval_log_duration(spans in prop::collection::vec((0u64..1000, 1u64..1000), 0..20)) {
+        let mut log = IntervalLog::new();
+        let mut cursor = 0u64;
+        let mut expected = 0u64;
+        for &(gap, len) in &spans {
+            let start = cursor + gap;
+            let end = start + len;
+            log.open(SimTime::from_ns(start));
+            log.close(SimTime::from_ns(end));
+            expected += len;
+            cursor = end;
+        }
+        let total = log.total_duration(SimTime::from_ns(cursor));
+        prop_assert_eq!(total.as_ns(), expected);
+        prop_assert_eq!(log.count(), spans.len());
+    }
+
+    /// Histogram totals and quantile ordering.
+    #[test]
+    fn histogram_invariants(vals in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut h = Histogram::new(100, 50);
+        for &v in &vals {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), vals.len() as u64);
+        let q10 = h.quantile(0.1);
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        prop_assert!(q10 <= q50 && q50 <= q99);
+    }
+}

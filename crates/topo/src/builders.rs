@@ -1,0 +1,631 @@
+//! Standard datacenter topologies.
+//!
+//! Every builder returns a [`Built`] bundle: the graph plus host/switch
+//! handles in a documented order, so experiments can address "the host on
+//! switch B" without string lookups.
+//!
+//! The paper's scenarios map to [`two_switch_loop`] (Case 1, Fig. 2),
+//! [`square`] (Cases 2–3, Figs. 3–5) and [`ring`] (Fig. 1). The wider
+//! catalogue (fat-tree, leaf-spine, BCube, Jellyfish, torus) backs the §2
+//! discussion — deadlock-free routing "largely limits the choice of
+//! topology" — and the baseline-cost experiments.
+
+use pfcsim_simcore::rng::SimRng;
+use pfcsim_simcore::time::SimDuration;
+use pfcsim_simcore::units::BitRate;
+
+use crate::graph::Topology;
+use crate::ids::NodeId;
+
+/// Link parameters shared by a builder invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Line rate per direction.
+    pub rate: BitRate,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+}
+
+impl Default for LinkSpec {
+    /// The paper's setup: 40 Gbps links; 1 µs propagation (typical DC).
+    fn default() -> Self {
+        LinkSpec {
+            rate: BitRate::from_gbps(40),
+            delay: SimDuration::from_us(1),
+        }
+    }
+}
+
+/// A built topology with handles.
+#[derive(Debug, Clone)]
+pub struct Built {
+    /// The graph.
+    pub topo: Topology,
+    /// Hosts in builder-documented order.
+    pub hosts: Vec<NodeId>,
+    /// Switches in builder-documented order.
+    pub switches: Vec<NodeId>,
+}
+
+/// Two switches joined by one link, one injecting host on the first switch
+/// and (for realism) one host on the second. The routing loop itself is
+/// installed by the routing layer (Case 1 / Fig. 2(a)).
+///
+/// Order: `switches = [A, B]`, `hosts = [hA, hB]`.
+pub fn two_switch_loop(spec: LinkSpec) -> Built {
+    let mut t = Topology::new();
+    let a = t.add_switch_tiered("A", 1);
+    let b = t.add_switch_tiered("B", 1);
+    let ha = t.add_host("hA");
+    let hb = t.add_host("hB");
+    t.connect(a, b, spec.rate, spec.delay);
+    t.connect(ha, a, spec.rate, spec.delay);
+    t.connect(hb, b, spec.rate, spec.delay);
+    t.validate().expect("two_switch_loop invariants");
+    Built {
+        topo: t,
+        hosts: vec![ha, hb],
+        switches: vec![a, b],
+    }
+}
+
+/// A unidirectionally-used ring of `n` switches, one host per switch
+/// (Fig. 1 uses n = 3). Switch `i` connects to switch `(i+1) % n`.
+///
+/// Order: `switches[i]` ↔ `hosts[i]`.
+pub fn ring(n: usize, spec: LinkSpec) -> Built {
+    assert!(n >= 2, "ring needs at least 2 switches");
+    let mut t = Topology::new();
+    let switches: Vec<NodeId> = (0..n)
+        .map(|i| t.add_switch_tiered(format!("S{i}"), 1))
+        .collect();
+    let hosts: Vec<NodeId> = (0..n).map(|i| t.add_host(format!("h{i}"))).collect();
+    for i in 0..n {
+        if n == 2 && i == 1 {
+            break; // avoid a parallel second link in the 2-ring
+        }
+        t.connect(switches[i], switches[(i + 1) % n], spec.rate, spec.delay);
+    }
+    for i in 0..n {
+        t.connect(hosts[i], switches[i], spec.rate, spec.delay);
+    }
+    t.validate().expect("ring invariants");
+    Built {
+        topo: t,
+        hosts,
+        switches,
+    }
+}
+
+/// The paper's 4-switch square (Figs. 3–5): switches A, B, C, D with links
+/// A–B, B–C, C–D, D–A and one host per switch.
+///
+/// Link direction naming used across the experiments (paper Fig. 3(a)):
+/// `L1 = A→B`, `L2 = B→C`, `L3 = C→D`, `L4 = D→A`.
+///
+/// Order: `switches = [A, B, C, D]`, `hosts = [a, b, c, d]`.
+pub fn square(spec: LinkSpec) -> Built {
+    ring(4, spec)
+}
+
+/// A leaf–spine (2-tier Clos): every leaf connects to every spine;
+/// `hosts_per_leaf` hosts per leaf.
+///
+/// Order: `switches = [leaf0..leafL-1, spine0..spineS-1]`,
+/// `hosts = leaf-major (leaf0's hosts first)`.
+pub fn leaf_spine(leaves: usize, spines: usize, hosts_per_leaf: usize, spec: LinkSpec) -> Built {
+    assert!(leaves >= 1 && spines >= 1, "need at least one of each tier");
+    let mut t = Topology::new();
+    let leaf_ids: Vec<NodeId> = (0..leaves)
+        .map(|i| t.add_switch_tiered(format!("leaf{i}"), 1))
+        .collect();
+    let spine_ids: Vec<NodeId> = (0..spines)
+        .map(|i| t.add_switch_tiered(format!("spine{i}"), 2))
+        .collect();
+    let mut hosts = Vec::new();
+    for (li, &leaf) in leaf_ids.iter().enumerate() {
+        for h in 0..hosts_per_leaf {
+            let host = t.add_host(format!("h{li}-{h}"));
+            t.connect(host, leaf, spec.rate, spec.delay);
+            hosts.push(host);
+        }
+    }
+    for &leaf in &leaf_ids {
+        for &spine in &spine_ids {
+            t.connect(leaf, spine, spec.rate, spec.delay);
+        }
+    }
+    t.validate().expect("leaf_spine invariants");
+    let mut switches = leaf_ids;
+    switches.extend(spine_ids);
+    Built {
+        topo: t,
+        hosts,
+        switches,
+    }
+}
+
+/// A 3-tier k-ary fat-tree (k even): k pods, each with k/2 edge and k/2
+/// aggregation switches; (k/2)² cores; (k/2) hosts per edge; k³/4 hosts.
+///
+/// Order: `switches = [edges pod-major, aggs pod-major, cores]`,
+/// `hosts = pod-major, edge-major`.
+pub fn fat_tree(k: usize, spec: LinkSpec) -> Built {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree requires even k >= 2"
+    );
+    let half = k / 2;
+    let mut t = Topology::new();
+    let mut edges = Vec::new();
+    let mut aggs = Vec::new();
+    for p in 0..k {
+        for e in 0..half {
+            edges.push(t.add_switch_tiered(format!("edge{p}-{e}"), 1));
+        }
+    }
+    for p in 0..k {
+        for a in 0..half {
+            aggs.push(t.add_switch_tiered(format!("agg{p}-{a}"), 2));
+        }
+    }
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|c| t.add_switch_tiered(format!("core{c}"), 3))
+        .collect();
+    let mut hosts = Vec::new();
+    for p in 0..k {
+        for e in 0..half {
+            let edge = edges[p * half + e];
+            for h in 0..half {
+                let host = t.add_host(format!("h{p}-{e}-{h}"));
+                t.connect(host, edge, spec.rate, spec.delay);
+                hosts.push(host);
+            }
+        }
+    }
+    // Edge <-> agg full bipartite within a pod.
+    for p in 0..k {
+        for e in 0..half {
+            for a in 0..half {
+                t.connect(
+                    edges[p * half + e],
+                    aggs[p * half + a],
+                    spec.rate,
+                    spec.delay,
+                );
+            }
+        }
+    }
+    // Agg a of every pod connects to cores [a*half, (a+1)*half).
+    for p in 0..k {
+        for a in 0..half {
+            for c in 0..half {
+                t.connect(
+                    aggs[p * half + a],
+                    cores[a * half + c],
+                    spec.rate,
+                    spec.delay,
+                );
+            }
+        }
+    }
+    t.validate().expect("fat_tree invariants");
+    let mut switches = edges;
+    switches.extend(aggs);
+    switches.extend(cores);
+    Built {
+        topo: t,
+        hosts,
+        switches,
+    }
+}
+
+/// BCube(n, k): a server-centric topology. Servers forward traffic, so each
+/// "server" is modelled as a tier-0 forwarding switch with a single host
+/// attached (keeping the one-port NIC model). There are n^(k+1) servers and
+/// (k+1)·n^k level switches.
+///
+/// Order: `switches = [server-switches…, level-0 switches…, level-1 …]`,
+/// `hosts[i]` attaches `switches[i]` (the i-th server).
+pub fn bcube(n: usize, k: usize, spec: LinkSpec) -> Built {
+    assert!(n >= 2, "bcube needs n >= 2 ports per switch");
+    let n_servers = n.pow(k as u32 + 1);
+    let per_level = n.pow(k as u32);
+    let mut t = Topology::new();
+    let servers: Vec<NodeId> = (0..n_servers)
+        .map(|i| t.add_switch_tiered(format!("srv{i}"), 0))
+        .collect();
+    let mut level_switches = Vec::new();
+    for lvl in 0..=k {
+        for s in 0..per_level {
+            level_switches.push(t.add_switch_tiered(format!("sw{lvl}-{s}"), 1));
+        }
+    }
+    let hosts: Vec<NodeId> = (0..n_servers)
+        .map(|i| {
+            let h = t.add_host(format!("h{i}"));
+            t.connect(h, servers[i], spec.rate, spec.delay);
+            h
+        })
+        .collect();
+    // Server with digits (d_k … d_0) base n connects at level l to switch
+    // indexed by the digits with d_l removed.
+    for (i, &srv) in servers.iter().enumerate() {
+        for lvl in 0..=k {
+            let mut idx = 0;
+            let mut mul = 1;
+            for d in 0..=k {
+                if d == lvl {
+                    continue;
+                }
+                let digit = (i / n.pow(d as u32)) % n;
+                idx += digit * mul;
+                mul *= n;
+            }
+            let sw = level_switches[lvl * per_level + idx];
+            t.connect(srv, sw, spec.rate, spec.delay);
+        }
+    }
+    t.validate().expect("bcube invariants");
+    let mut switches = servers;
+    switches.extend(level_switches);
+    Built {
+        topo: t,
+        hosts,
+        switches,
+    }
+}
+
+/// Jellyfish: a random `degree`-regular graph over `n_switches`, built with
+/// deterministic seeded edge sampling + swaps, `hosts_per_switch` hosts each.
+///
+/// Order: `switches[i]` gets hosts `[i*hps, (i+1)*hps)`.
+pub fn jellyfish(
+    n_switches: usize,
+    degree: usize,
+    hosts_per_switch: usize,
+    seed: u64,
+    spec: LinkSpec,
+) -> Built {
+    assert!(n_switches > degree, "degree must be < n_switches");
+    assert!(
+        (n_switches * degree).is_multiple_of(2),
+        "n_switches * degree must be even"
+    );
+    let mut rng = SimRng::new(seed);
+    // Pairing model with retries: sample a perfect matching on port stubs,
+    // rejecting self-loops and parallel edges via bounded re-draws.
+    let edges = loop {
+        let mut stubs: Vec<usize> = (0..n_switches)
+            .flat_map(|s| std::iter::repeat_n(s, degree))
+            .collect();
+        rng.shuffle(&mut stubs);
+        let mut used = std::collections::BTreeSet::new();
+        let mut edges = Vec::with_capacity(n_switches * degree / 2);
+        let mut ok = true;
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            let key = (u.min(v), u.max(v));
+            if u == v || !used.insert(key) {
+                ok = false;
+                break;
+            }
+            edges.push(key);
+        }
+        if ok {
+            break edges;
+        }
+    };
+    let mut t = Topology::new();
+    let switches: Vec<NodeId> = (0..n_switches)
+        .map(|i| t.add_switch(format!("J{i}")))
+        .collect();
+    let mut hosts = Vec::new();
+    for (i, &sw) in switches.iter().enumerate() {
+        for h in 0..hosts_per_switch {
+            let host = t.add_host(format!("h{i}-{h}"));
+            t.connect(host, sw, spec.rate, spec.delay);
+            hosts.push(host);
+        }
+    }
+    for (u, v) in edges {
+        t.connect(switches[u], switches[v], spec.rate, spec.delay);
+    }
+    t.validate().expect("jellyfish invariants");
+    Built {
+        topo: t,
+        hosts,
+        switches,
+    }
+}
+
+/// 2-D torus: `rows × cols` switches, wraparound in both dimensions, one
+/// host each. A classic deadlock-prone interconnect (cf. the odd–even turn
+/// model literature the paper cites).
+pub fn torus2d(rows: usize, cols: usize, spec: LinkSpec) -> Built {
+    assert!(rows >= 2 && cols >= 2, "torus needs at least 2x2");
+    let mut t = Topology::new();
+    let switches: Vec<NodeId> = (0..rows * cols)
+        .map(|i| t.add_switch(format!("T{}-{}", i / cols, i % cols)))
+        .collect();
+    let hosts: Vec<NodeId> = (0..rows * cols)
+        .map(|i| {
+            let h = t.add_host(format!("h{}-{}", i / cols, i % cols));
+            t.connect(h, switches[i], spec.rate, spec.delay);
+            h
+        })
+        .collect();
+    for r in 0..rows {
+        for c in 0..cols {
+            let cur = switches[r * cols + c];
+            // Right neighbor (wraps) — skip duplicate when cols == 2 and c == 1.
+            if !(cols == 2 && c == 1) {
+                let right = switches[r * cols + (c + 1) % cols];
+                t.connect(cur, right, spec.rate, spec.delay);
+            }
+            if !(rows == 2 && r == 1) {
+                let down = switches[((r + 1) % rows) * cols + c];
+                t.connect(cur, down, spec.rate, spec.delay);
+            }
+        }
+    }
+    t.validate().expect("torus invariants");
+    Built {
+        topo: t,
+        hosts,
+        switches,
+    }
+}
+
+/// 2-D mesh (no wraparound): `rows × cols` switches, one host each.
+/// The canonical substrate for turn-model routing (XY/odd-even — the
+/// paper's citation \[22\] territory).
+pub fn mesh2d(rows: usize, cols: usize, spec: LinkSpec) -> Built {
+    assert!(rows >= 2 && cols >= 2, "mesh needs at least 2x2");
+    let mut t = Topology::new();
+    let switches: Vec<NodeId> = (0..rows * cols)
+        .map(|i| t.add_switch(format!("M{}-{}", i / cols, i % cols)))
+        .collect();
+    let hosts: Vec<NodeId> = (0..rows * cols)
+        .map(|i| {
+            let h = t.add_host(format!("h{}-{}", i / cols, i % cols));
+            t.connect(h, switches[i], spec.rate, spec.delay);
+            h
+        })
+        .collect();
+    for r in 0..rows {
+        for c in 0..cols {
+            let cur = switches[r * cols + c];
+            if c + 1 < cols {
+                t.connect(cur, switches[r * cols + c + 1], spec.rate, spec.delay);
+            }
+            if r + 1 < rows {
+                t.connect(cur, switches[(r + 1) * cols + c], spec.rate, spec.delay);
+            }
+        }
+    }
+    t.validate().expect("mesh invariants");
+    Built {
+        topo: t,
+        hosts,
+        switches,
+    }
+}
+
+/// A chain of `n` switches, one host at each end plus one per switch —
+/// handy for buffer-class (hop count) experiments.
+pub fn line(n: usize, spec: LinkSpec) -> Built {
+    assert!(n >= 1, "line needs at least 1 switch");
+    let mut t = Topology::new();
+    let switches: Vec<NodeId> = (0..n)
+        .map(|i| t.add_switch_tiered(format!("S{i}"), 1))
+        .collect();
+    for i in 1..n {
+        t.connect(switches[i - 1], switches[i], spec.rate, spec.delay);
+    }
+    let hosts: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let h = t.add_host(format!("h{i}"));
+            t.connect(h, switches[i], spec.rate, spec.delay);
+            h
+        })
+        .collect();
+    t.validate().expect("line invariants");
+    Built {
+        topo: t,
+        hosts,
+        switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    fn spec() -> LinkSpec {
+        LinkSpec::default()
+    }
+
+    #[test]
+    fn two_switch_loop_shape() {
+        let b = two_switch_loop(spec());
+        assert_eq!(b.switches.len(), 2);
+        assert_eq!(b.hosts.len(), 2);
+        assert_eq!(b.topo.link_count(), 3);
+        assert!(b.topo.port_towards(b.switches[0], b.switches[1]).is_some());
+    }
+
+    #[test]
+    fn ring_shape() {
+        let b = ring(4, spec());
+        assert_eq!(b.topo.link_count(), 4 + 4); // ring + host links
+        for i in 0..4 {
+            assert!(b
+                .topo
+                .port_towards(b.switches[i], b.switches[(i + 1) % 4])
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn ring_of_two_has_single_interswitch_link() {
+        let b = ring(2, spec());
+        assert_eq!(b.topo.link_count(), 1 + 2);
+    }
+
+    #[test]
+    fn square_is_paper_fig3_topology() {
+        let b = square(spec());
+        assert_eq!(b.switches.len(), 4);
+        assert_eq!(b.hosts.len(), 4);
+        let names: Vec<_> = b
+            .switches
+            .iter()
+            .map(|&s| b.topo.node(s).name.clone())
+            .collect();
+        assert_eq!(names, ["S0", "S1", "S2", "S3"]);
+    }
+
+    #[test]
+    fn leaf_spine_shape() {
+        let b = leaf_spine(4, 2, 3, spec());
+        assert_eq!(b.switches.len(), 6);
+        assert_eq!(b.hosts.len(), 12);
+        // leaf-spine links = 4*2; host links = 12.
+        assert_eq!(b.topo.link_count(), 8 + 12);
+        // leaves are tier 1, spines tier 2.
+        assert_eq!(b.topo.node(b.switches[0]).tier, Some(1));
+        assert_eq!(b.topo.node(b.switches[5]).tier, Some(2));
+    }
+
+    #[test]
+    fn fat_tree_k4_counts() {
+        let b = fat_tree(4, spec());
+        // k=4: 16 hosts, 8 edge, 8 agg, 4 core.
+        assert_eq!(b.hosts.len(), 16);
+        assert_eq!(b.switches.len(), 20);
+        // links: 16 host + 4 pods * 4 edge-agg + 8 aggs * 2 cores = 16+16+16.
+        assert_eq!(b.topo.link_count(), 48);
+        let tiers: Vec<_> = b
+            .switches
+            .iter()
+            .map(|&s| b.topo.node(s).tier.unwrap())
+            .collect();
+        assert_eq!(tiers.iter().filter(|&&t| t == 1).count(), 8);
+        assert_eq!(tiers.iter().filter(|&&t| t == 2).count(), 8);
+        assert_eq!(tiers.iter().filter(|&&t| t == 3).count(), 4);
+    }
+
+    #[test]
+    fn fat_tree_every_edge_reaches_every_core_via_some_agg() {
+        let b = fat_tree(4, spec());
+        // Structural sanity: each agg has half=2 core links.
+        let aggs: Vec<_> = b
+            .switches
+            .iter()
+            .copied()
+            .filter(|&s| b.topo.node(s).tier == Some(2))
+            .collect();
+        for agg in aggs {
+            let n_core = b
+                .topo
+                .ports(agg)
+                .iter()
+                .filter(|p| b.topo.node(p.peer).tier == Some(3))
+                .count();
+            assert_eq!(n_core, 2);
+        }
+    }
+
+    #[test]
+    fn bcube_1_2_counts() {
+        // BCube(n=2, k=1): 4 servers, 2 levels x 2 switches.
+        let b = bcube(2, 1, spec());
+        assert_eq!(b.hosts.len(), 4);
+        assert_eq!(b.switches.len(), 4 + 4);
+        // each server: 1 host link + 2 level links => 4 + 8 links total.
+        assert_eq!(b.topo.link_count(), 4 + 8);
+        // each level switch has n=2 server links.
+        for sw in &b.switches[4..] {
+            assert_eq!(b.topo.ports(*sw).len(), 2);
+        }
+    }
+
+    #[test]
+    fn jellyfish_is_regular_and_deterministic() {
+        let b1 = jellyfish(10, 3, 1, 42, spec());
+        let b2 = jellyfish(10, 3, 1, 42, spec());
+        assert_eq!(b1.topo.link_count(), b2.topo.link_count());
+        for (l1, l2) in b1.topo.links().iter().zip(b2.topo.links()) {
+            assert_eq!((l1.a, l1.b), (l2.a, l2.b));
+        }
+        for &sw in &b1.switches {
+            let sw_deg = b1
+                .topo
+                .ports(sw)
+                .iter()
+                .filter(|p| b1.topo.node(p.peer).kind == NodeKind::Switch)
+                .count();
+            assert_eq!(sw_deg, 3, "switch degree");
+        }
+    }
+
+    #[test]
+    fn jellyfish_different_seed_differs() {
+        let b1 = jellyfish(12, 3, 0, 1, spec());
+        let b2 = jellyfish(12, 3, 0, 2, spec());
+        let e1: Vec<_> = b1.topo.links().iter().map(|l| (l.a, l.b)).collect();
+        let e2: Vec<_> = b2.topo.links().iter().map(|l| (l.a, l.b)).collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn torus_shape() {
+        let b = torus2d(3, 3, spec());
+        assert_eq!(b.switches.len(), 9);
+        // 9 host links + 2*9 torus links.
+        assert_eq!(b.topo.link_count(), 9 + 18);
+        for &sw in &b.switches {
+            let deg = b
+                .topo
+                .ports(sw)
+                .iter()
+                .filter(|p| b.topo.node(p.peer).kind == NodeKind::Switch)
+                .count();
+            assert_eq!(deg, 4);
+        }
+    }
+
+    #[test]
+    fn torus_2x2_avoids_parallel_links() {
+        let b = torus2d(2, 2, spec());
+        assert_eq!(b.topo.link_count(), 4 + 4);
+        b.topo.validate().unwrap();
+    }
+
+    #[test]
+    fn mesh_shape() {
+        let b = mesh2d(3, 4, spec());
+        assert_eq!(b.switches.len(), 12);
+        // host links + horizontal (3*3) + vertical (2*4).
+        assert_eq!(b.topo.link_count(), 12 + 9 + 8);
+        // Corner has degree 2 (switch links), middle has 4.
+        let deg = |i: usize| {
+            b.topo
+                .ports(b.switches[i])
+                .iter()
+                .filter(|p| b.topo.node(p.peer).kind == NodeKind::Switch)
+                .count()
+        };
+        assert_eq!(deg(0), 2);
+        assert_eq!(deg(5), 4); // (1,1) interior
+    }
+
+    #[test]
+    fn line_shape() {
+        let b = line(5, spec());
+        assert_eq!(b.topo.link_count(), 4 + 5);
+        assert_eq!(b.hosts.len(), 5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Typed identifiers for topology elements.
+//!
+//! Separate newtypes prevent the classic simulator bug of indexing the
+//! wrong table with the right integer.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A node (host or switch) in the topology. Dense, 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// A full-duplex link. Dense, 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// A port number local to one node. Port `p` of node `n` attaches exactly
+/// one link end. Dense, 0-based, in attachment order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortNo(pub u16);
+
+/// One direction of a full-duplex link: the channel carrying traffic from
+/// `from` to `to`. This is the unit that PFC pauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Channel {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+}
+
+/// A flow identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(pub u32);
+
+/// An 802.1p priority / PFC class, 0–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// Number of PFC classes defined by 802.1Qbb.
+    pub const COUNT: usize = 8;
+    /// The default lossless class used throughout the experiments.
+    pub const DEFAULT: Priority = Priority(3);
+
+    /// Construct, panicking if out of the 0–7 range.
+    pub fn new(p: u8) -> Self {
+        assert!(p < 8, "priority must be 0..8, got {p}");
+        Priority(p)
+    }
+
+    /// Index form for dense per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+impl fmt::Display for PortNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio{}", self.0)
+    }
+}
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_bounds() {
+        assert_eq!(Priority::new(0).index(), 0);
+        assert_eq!(Priority::new(7).index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority must be")]
+    fn priority_out_of_range_panics() {
+        Priority::new(8);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(1).to_string(), "l1");
+        assert_eq!(PortNo(2).to_string(), "p2");
+        assert_eq!(FlowId(9).to_string(), "f9");
+        assert_eq!(Priority(3).to_string(), "prio3");
+        assert_eq!(
+            Channel {
+                from: NodeId(1),
+                to: NodeId(2)
+            }
+            .to_string(),
+            "n1->n2"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! The §4 playbook: take the Fig. 4 deadlock and defuse it five ways.
+//!
+//! ```sh
+//! cargo run --example mitigation_playbook
+//! ```
+
+use pfcsim::prelude::*;
+
+/// Build the Fig. 4 scenario (square A–D, flows 1–3) on `cfg`; optionally
+/// shape flow 3's ingress; optionally make the flows DCQCN-controlled.
+fn fig4_sim(mut cfg: SimConfig, limiter: Option<BitRate>, dcqcn: bool) -> NetSim {
+    let built = square(LinkSpec::default());
+    let (s, h) = (&built.switches, &built.hosts);
+    if dcqcn {
+        cfg.ecn = Some(EcnConfig {
+            kmin: Bytes::from_kb(5),
+            kmax: Bytes::from_kb(40),
+            pmax: 0.2,
+            phantom_drain_permille: None,
+        });
+    }
+    let mut sim = NetSim::new(&built.topo, cfg);
+    if dcqcn {
+        sim.set_dcqcn(DcqcnConfig::for_line_rate(BitRate::from_gbps(40)));
+    }
+    let mut flows = vec![
+        FlowSpec::infinite(1, h[0], h[3]).pinned(vec![h[0], s[0], s[1], s[2], s[3], h[3]]),
+        FlowSpec::infinite(2, h[2], h[1]).pinned(vec![h[2], s[2], s[3], s[0], s[1], h[1]]),
+        FlowSpec::infinite(3, h[1], h[2]).pinned(vec![h[1], s[1], s[2], h[2]]),
+    ];
+    if dcqcn {
+        for f in &mut flows {
+            f.demand = Demand::Dcqcn;
+        }
+    }
+    for f in flows {
+        sim.add_flow(f);
+    }
+    if let Some(rate) = limiter {
+        let rx2 = built.topo.port_towards(s[1], h[1]).expect("host link").port;
+        sim.set_ingress_shaper(s[1], rx2, rate, Bytes::from_kb(2));
+    }
+    sim
+}
+
+fn verdict(name: &str, mut sim: NetSim) -> bool {
+    let r = sim.run(SimTime::from_ms(5));
+    let dl = r.verdict.is_deadlock();
+    println!(
+        "{name:<42} deadlock={:<5} pause_frames={}",
+        dl, r.stats.pause_frames
+    );
+    dl
+}
+
+fn main() {
+    println!("The Fig. 4 deadlock, and every way §4 offers to avoid it:\n");
+
+    // 0. Baseline: deadlock.
+    assert!(verdict(
+        "baseline (UDP, flat thresholds)",
+        fig4_sim(SimConfig::default(), None, false)
+    ));
+
+    // 1. Rate limiting (Case 3 / Fig. 5): shape flow 3 below the crossover.
+    assert!(!verdict(
+        "rate limiting: flow3 capped at 2 Gbps",
+        fig4_sim(SimConfig::default(), Some(BitRate::from_gbps(2)), false)
+    ));
+
+    // 2. TTL classes: one PFC class per hop band.
+    let mut cfg = SimConfig::default();
+    cfg.ttl_class_mode = Some(TtlClassConfig {
+        width: 1,
+        base_class: 0,
+        classes: 4,
+    });
+    assert!(!verdict(
+        "TTL classes: width 1, 4 classes",
+        fig4_sim(cfg, None, false)
+    ));
+
+    // 3. Structured buffer pool (the §2 baseline): hop-laddered classes.
+    let mut cfg = SimConfig::default();
+    cfg.hop_class_mode = Some(4);
+    assert!(!verdict(
+        "buffer classes: hop ladder, 4 classes",
+        fig4_sim(cfg, None, false)
+    ));
+
+    // 4. Preventing PFC generation: DCQCN congestion control.
+    assert!(!verdict(
+        "DCQCN end-to-end congestion control",
+        fig4_sim(SimConfig::default(), None, true)
+    ));
+
+    // 5. Routing restriction (the other §2 baseline) — not a runtime knob:
+    //    the planner proves the flow set deadlock-free or rejects it.
+    let built = square(LinkSpec::default());
+    let tables = shortest_path_tables(&built.topo);
+    let (s, h) = (&built.switches, &built.hosts);
+    let fig4_paths = vec![
+        FlowSpec::infinite(1, h[0], h[3]).pinned(vec![h[0], s[0], s[1], s[2], s[3], h[3]]),
+        FlowSpec::infinite(2, h[2], h[1]).pinned(vec![h[2], s[2], s[3], s[0], s[1], h[1]]),
+        FlowSpec::infinite(3, h[1], h[2]).pinned(vec![h[1], s[1], s[2], h[2]]),
+    ];
+    match verify_workload(&built.topo, &tables, &fig4_paths) {
+        Ok(()) => println!(
+            "{:<42} deadlock=false (verified acyclic)",
+            "routing restriction: Fig. 4 paths"
+        ),
+        Err(FreedomViolation::CyclicDependency(cycle)) => {
+            println!(
+                "{:<42} REJECTED: CBD of {} queues — restricted routing would re-path them",
+                "routing restriction: admission check",
+                cycle.len()
+            );
+            // And indeed the unrestricted shortest-path routes for the same
+            // endpoints are acyclic here: re-pathing removes the CBD.
+            let repathed = vec![
+                FlowSpec::infinite(1, h[0], h[3]),
+                FlowSpec::infinite(2, h[2], h[1]),
+                FlowSpec::infinite(3, h[1], h[2]),
+            ];
+            let ok = verify_workload(&built.topo, &tables, &repathed).is_ok();
+            println!(
+                "{:<42} deadlock={} (same endpoints, re-pathed)",
+                "routing restriction: after re-pathing", !ok
+            );
+        }
+        Err(e) => println!("routing check failed: {e:?}"),
+    }
+
+    println!("\nEvery §4 mitigation defuses the deadlock without eliminating the CBD —");
+    println!("the paper's thesis: target the *sufficient* conditions, not the necessary one.");
+}

@@ -1,0 +1,47 @@
+//! # pfcsim — PFC deadlocks in datacenter networks
+//!
+//! Facade crate for the `pfcsim` workspace, a full reproduction of
+//! *"Deadlocks in Datacenter Networks: Why Do They Form, and How to Avoid
+//! Them"* (Hu et al., HotNets 2016).
+//!
+//! The workspace provides, from the bottom up:
+//!
+//! * [`simcore`] — deterministic discrete-event engine (picosecond time,
+//!   exact rate arithmetic, seeded RNG, recorders);
+//! * [`topo`] — datacenter topologies (Clos/fat-tree, leaf-spine, BCube,
+//!   Jellyfish, rings) and routing, including deliberate loop injection;
+//! * [`net`] — a packet-level lossless-Ethernet simulator: shared-buffer
+//!   switches with per-(ingress, priority) PFC accounting, 802.1Qbb
+//!   PAUSE/RESUME, DRR egress arbitration, TTL expiry, token-bucket rate
+//!   limiters, DCQCN, and built-in deadlock detection;
+//! * [`analysis`] — the paper's contribution: buffer-dependency graphs,
+//!   cycle detection, the boundary-state model (Eq. 1–3), deadlock-freedom
+//!   verification and sufficiency analysis;
+//! * [`mitigation`] — the §4 mitigation planners (TTL classes, rate
+//!   limiting, threshold tiering, buffer classes, routing restriction).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pfcsim::prelude::*;
+//!
+//! // The paper's Case 1: a two-switch routing loop at 40 Gbps with TTL 16
+//! // deadlocks iff the injection rate exceeds n*B/TTL = 5 Gbps (Eq. 3).
+//! let threshold = BoundaryModel::new(2, BitRate::from_gbps(40), 16).deadlock_threshold();
+//! assert_eq!(threshold, BitRate::from_gbps(5));
+//! ```
+
+pub use pfcsim_core as analysis;
+pub use pfcsim_mitigation as mitigation;
+pub use pfcsim_net as net;
+pub use pfcsim_simcore as simcore;
+pub use pfcsim_topo as topo;
+
+/// Convenience re-exports spanning the whole workspace.
+pub mod prelude {
+    pub use pfcsim_core::prelude::*;
+    pub use pfcsim_mitigation::prelude::*;
+    pub use pfcsim_net::prelude::*;
+    pub use pfcsim_simcore::prelude::*;
+    pub use pfcsim_topo::prelude::*;
+}

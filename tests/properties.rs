@@ -1,0 +1,168 @@
+//! Property-based tests over random topologies and workloads.
+//!
+//! The headline property is Dally–Seitz soundness, the necessary-condition
+//! half of the paper's argument, checked end to end: *if the workload's
+//! buffer dependency graph is acyclic, the simulator never deadlocks* —
+//! and conversely, every simulated deadlock coincides with an analytic
+//! CBD. Plus conservation and losslessness invariants on every run.
+
+use proptest::prelude::*;
+
+use pfcsim::prelude::*;
+
+/// A random connected topology: `n` switches with a host each, a random
+/// spanning tree plus `extra` random chords.
+fn random_topology(n: usize, extra: usize, seed: u64) -> Built {
+    let spec = LinkSpec::default();
+    let mut rng = SimRng::new(seed);
+    let mut t = Topology::new();
+    let switches: Vec<NodeId> = (0..n).map(|i| t.add_switch(format!("s{i}"))).collect();
+    let hosts: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let h = t.add_host(format!("h{i}"));
+            t.connect(h, switches[i], spec.rate, spec.delay);
+            h
+        })
+        .collect();
+    // Random spanning tree.
+    for i in 1..n {
+        let parent = rng.gen_range(i as u64) as usize;
+        t.connect(switches[i], switches[parent], spec.rate, spec.delay);
+    }
+    // Chords (skip duplicates).
+    let mut have: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
+    for l in t.links() {
+        if l.a.0 < n as u32 && l.b.0 < n as u32 {
+            let (a, b) = (l.a.0 as usize, l.b.0 as usize);
+            have.insert((a.min(b), a.max(b)));
+        }
+    }
+    for _ in 0..extra {
+        let a = rng.gen_range(n as u64) as usize;
+        let b = rng.gen_range(n as u64) as usize;
+        if a != b && have.insert((a.min(b), a.max(b))) {
+            t.connect(switches[a], switches[b], spec.rate, spec.delay);
+        }
+    }
+    t.validate().expect("random topology is well-formed");
+    Built {
+        topo: t,
+        hosts,
+        switches,
+    }
+}
+
+/// Random flows over the hosts (table-routed so traces match the sim).
+fn random_flows(b: &Built, count: usize, seed: u64) -> Vec<FlowSpec> {
+    let mut rng = SimRng::new(seed ^ 0xF10F);
+    let n = b.hosts.len();
+    (0..count)
+        .map(|i| {
+            let src = rng.gen_range(n as u64) as usize;
+            let mut dst = rng.gen_range(n as u64) as usize;
+            if dst == src {
+                dst = (dst + 1) % n;
+            }
+            let f = FlowSpec::infinite(i as u32, b.hosts[src], b.hosts[dst]);
+            if rng.gen_bool(0.5) {
+                f
+            } else {
+                FlowSpec::cbr(
+                    i as u32,
+                    b.hosts[src],
+                    b.hosts[dst],
+                    BitRate::from_gbps(1 + rng.gen_range(30)),
+                )
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    /// Dally–Seitz soundness + conservation + losslessness, end to end.
+    #[test]
+    fn acyclic_bdg_implies_no_deadlock(
+        n in 3usize..6,
+        extra in 0usize..4,
+        flows in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let b = random_topology(n, extra, seed);
+        let tables = shortest_path_tables(&b.topo);
+        let specs = random_flows(&b, flows, seed);
+        let g = BufferDependencyGraph::from_specs(&b.topo, &tables, &specs);
+        let cbd = g.has_cbd();
+
+        let mut cfg = SimConfig::default();
+        cfg.sample_interval = None; // speed
+        cfg.stop_on_deadlock = false;
+        let mut sim = NetSim::with_tables(&b.topo, cfg, tables);
+        for f in &specs {
+            sim.add_flow(f.clone());
+        }
+        let report = sim.run_with_drain(SimTime::from_us(300), SimTime::from_ms(3));
+
+        // Lossless invariant: a PFC network must never tail-drop.
+        prop_assert_eq!(report.stats.drops_overflow, 0);
+
+        // Soundness: deadlock requires CBD.
+        if report.verdict.is_deadlock() {
+            prop_assert!(cbd, "deadlock without analytic CBD: {:?}", report.verdict);
+        }
+        // Dally–Seitz: acyclic BDG guarantees full drain.
+        if !cbd {
+            prop_assert!(!report.verdict.is_deadlock());
+            prop_assert!(report.quiesced, "acyclic workloads drain to quiescence");
+            prop_assert_eq!(report.buffered, Bytes::ZERO);
+            // Conservation per flow.
+            for fs in report.stats.flows.values() {
+                prop_assert_eq!(
+                    fs.injected_packets,
+                    fs.delivered_packets
+                        + fs.dropped_ttl
+                        + fs.dropped_no_route
+                        + fs.unsent_packets
+                );
+            }
+        }
+    }
+
+    /// The boundary model is monotone and the simulator respects both
+    /// sides of the threshold for random loop parameters.
+    #[test]
+    fn loop_threshold_brackets_hold(ttl in 6u8..40, below in 1u64..99) {
+        let model = BoundaryModel::new(2, BitRate::from_gbps(40), ttl as u32);
+        let threshold = model.deadlock_threshold();
+        // A rate strictly below (percentage of threshold).
+        let safe = BitRate::from_bps(threshold.bps() * below / 100);
+        prop_assume!(safe.bps() > 0);
+        prop_assert!(!model.predicts_deadlock(safe));
+        // A rate 60% above.
+        let risky = BitRate::from_bps(threshold.bps() * 16 / 10);
+        prop_assert!(model.predicts_deadlock(risky));
+        // Monotonicity in TTL.
+        let tighter = BoundaryModel::new(2, BitRate::from_gbps(40), ttl as u32 + 1);
+        prop_assert!(tighter.deadlock_threshold() <= threshold);
+    }
+
+    /// Up*/down* restricted routing is deadlock-free on random topologies
+    /// (the §2 baseline's guarantee, verified analytically).
+    #[test]
+    fn up_down_arbitrary_always_deadlock_free(
+        n in 3usize..7,
+        extra in 0usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let b = random_topology(n, extra, seed);
+        let ft = up_down_arbitrary(&b.topo, b.switches[0]);
+        prop_assert!(verify_all_pairs(&b.topo, &ft, Priority::DEFAULT).is_ok());
+        let cost = restriction_cost(&b.topo, &ft);
+        prop_assert_eq!(cost.unreachable_pairs, 0, "connected graphs stay connected");
+        prop_assert!(cost.mean_stretch >= 1.0 - 1e-9);
+    }
+}
