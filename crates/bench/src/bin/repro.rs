@@ -8,8 +8,8 @@
 use std::io::Write;
 
 use pfcsim_experiments::experiments::{
-    self, e10_ablations, e11_recovery, e12_fluid, e13_flooding, e1_fig1, e2_fig2, e3_fig3, e4_fig4,
-    e5_fig5, e6_ttl, e7_tiering, e8_dcqcn, e9_baselines, Opts,
+    self, e10_ablations, e11_recovery, e12_fluid, e13_flooding, e14_faults, e1_fig1, e2_fig2,
+    e3_fig3, e4_fig4, e5_fig5, e6_ttl, e7_tiering, e8_dcqcn, e9_baselines, Opts,
 };
 use pfcsim_experiments::Report;
 use pfcsim_topo::builders::{
@@ -68,7 +68,7 @@ fn verify(topo_name: &str, routing: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <all|fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations|recovery|fluid|flooding|verify> \
+        "usage: repro <all|fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations|recovery|fluid|flooding|faults|verify> \
          [--quick] [--json DIR] [--csv DIR]"
     );
     std::process::exit(2);
@@ -116,6 +116,7 @@ fn main() {
         "recovery" => vec![e11_recovery::run(&opts)],
         "fluid" => vec![e12_fluid::run(&opts)],
         "flooding" | "guo" => vec![e13_flooding::run(&opts)],
+        "faults" => vec![e14_faults::run(&opts)],
         _ => usage(),
     };
 

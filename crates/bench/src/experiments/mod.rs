@@ -4,6 +4,7 @@ pub mod e10_ablations;
 pub mod e11_recovery;
 pub mod e12_fluid;
 pub mod e13_flooding;
+pub mod e14_faults;
 pub mod e1_fig1;
 pub mod e2_fig2;
 pub mod e3_fig3;
@@ -53,5 +54,6 @@ pub fn run_all(opts: &Opts) -> Vec<crate::table::Report> {
         e11_recovery::run(opts),
         e12_fluid::run(opts),
         e13_flooding::run(opts),
+        e14_faults::run(opts),
     ]
 }

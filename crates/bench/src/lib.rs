@@ -14,6 +14,10 @@
 //! | E8  | §4 DCQCN/phantom | [`experiments::e8_dcqcn`] |
 //! | E9  | §2 baselines   | [`experiments::e9_baselines`] |
 //! | E10 | model ablations | [`experiments::e10_ablations`] |
+//! | E11 | §1 reactive recovery | [`experiments::e11_recovery`] |
+//! | E12 | §3.3 fluid model | [`experiments::e12_fluid`] |
+//! | E13 | §2 flooding case | [`experiments::e13_flooding`] |
+//! | E14 | §2 Case 1 fault injection | [`experiments::e14_faults`] |
 //!
 //! The `repro` binary drives them: `repro all`, `repro fig3`, `repro
 //! fig3 --quick --json out.json`, …

@@ -103,6 +103,83 @@ pub fn square_scenario(cfg: SimConfig, with_flow3: bool, limiter: Option<BitRate
     Scenario { built, sim, cycle }
 }
 
+/// Case 1 as a *transient* event (E14): the two-switch topology with
+/// correct shortest-path routes and a fault plan that, for each
+/// `(install, repair)` pair, rewrites S1's entry for h1 to point back at
+/// S0 (closing the loop) and later restores the host port. The
+/// loop-existence window of each cycle is `repair - install`.
+pub fn transient_loop_train(
+    cfg: SimConfig,
+    rate: BitRate,
+    ttl: u8,
+    windows: &[(SimTime, SimTime)],
+) -> Scenario {
+    let built = two_switch_loop(LinkSpec::default());
+    let (s, h) = (built.switches.clone(), built.hosts.clone());
+    let to_s0 = built
+        .topo
+        .port_towards(s[1], s[0])
+        .expect("s1-s0 link")
+        .port;
+    let to_h1 = built
+        .topo
+        .port_towards(s[1], h[1])
+        .expect("s1 host port")
+        .port;
+    let mut sim = NetSim::new(&built.topo, cfg);
+    sim.add_flow(FlowSpec::cbr(0, h[0], h[1], rate).with_ttl(ttl));
+    // S0 already forwards h1-bound traffic to S1; pointing S1 back at S0
+    // closes the loop, restoring the host port repairs it.
+    let mut plan = FaultPlan::new();
+    for &(install, repair) in windows {
+        plan = plan.route_set(install, s[1], h[1], vec![to_s0]).route_set(
+            repair,
+            s[1],
+            h[1],
+            vec![to_h1],
+        );
+    }
+    sim.set_fault_plan(plan).expect("valid transient-loop plan");
+    let cycle = vec![(s[0], s[1]), (s[1], s[0])];
+    Scenario { built, sim, cycle }
+}
+
+/// One install/repair cycle of [`transient_loop_train`].
+pub fn transient_loop(
+    cfg: SimConfig,
+    rate: BitRate,
+    ttl: u8,
+    install_at: SimTime,
+    repair_at: SimTime,
+) -> Scenario {
+    transient_loop_train(cfg, rate, ttl, &[(install_at, repair_at)])
+}
+
+/// Case 1 from a *real* failure (E14): the square fabric under ECMP
+/// shortest-path routing, one CBR flow h0→h3, the S0–S3 link cut at
+/// 100 µs, and a network-wide reconvergence in which each switch applies
+/// its new table after an independent uniform lag in `[0, jitter]`.
+/// While switches disagree, h3-bound traffic can loop.
+pub fn reconvergence_scenario(
+    cfg: SimConfig,
+    flow: u32,
+    rate: BitRate,
+    jitter: SimDuration,
+) -> Scenario {
+    let built = square(LinkSpec::default());
+    let (s, h) = (built.switches.clone(), built.hosts.clone());
+    let mut sim = NetSim::new(&built.topo, cfg);
+    sim.add_flow(FlowSpec::cbr(flow, h[0], h[3], rate).with_ttl(16));
+    sim.set_fault_plan(
+        FaultPlan::new()
+            .link_down(SimTime::from_us(100), s[0], s[3])
+            .route_reconverge(SimTime::from_us(110), SimDuration::ZERO, jitter),
+    )
+    .expect("valid reconvergence plan");
+    let cycle = vec![(s[0], s[1]), (s[1], s[2]), (s[2], s[3]), (s[3], s[0])];
+    Scenario { built, sim, cycle }
+}
+
 /// The DCQCN variant of Fig. 4 (E8): the same three flows but congestion-
 /// controlled, with ECN marking at switches.
 pub fn square_dcqcn(mut cfg: SimConfig, phantom: bool) -> Scenario {

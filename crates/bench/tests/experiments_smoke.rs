@@ -16,7 +16,7 @@ fn all_experiments_run_and_agree_with_the_paper() {
         dump_dir: None,
     };
     let reports = experiments::run_all(&opts);
-    assert_eq!(reports.len(), 13, "E1..E13");
+    assert_eq!(reports.len(), 14, "E1..E14");
     for r in &reports {
         assert!(!r.tables.is_empty(), "{} produced no tables", r.id);
         for t in &r.tables {
@@ -95,6 +95,22 @@ fn all_experiments_run_and_agree_with_the_paper() {
     let e13 = &reports[12].tables[0];
     assert_eq!(e13.rows[0][1], "no", "L3 drop is safe");
     assert_eq!(e13.rows[0][2], "yes", "L2 flood freezes");
+
+    // E14: short loop-existence windows are harmless, long ones wedge,
+    // and the watchdog restores goodput under route flaps.
+    let e14_window = &reports[13].tables[0];
+    assert_eq!(e14_window.rows[0][1], "no", "shortest window drains");
+    let last = e14_window.rows.last().expect("window rows");
+    assert_eq!(last[1], "yes", "longest window wedges");
+    let e14_flap = &reports[13].tables[2];
+    assert_eq!(e14_flap.rows[0][4], "0", "no watchdog, no interventions");
+    assert_ne!(e14_flap.rows[1][4], "0", "watchdog intervenes under flaps");
+    let frozen: u64 = e14_flap.rows[0][2].parse().expect("delivered count");
+    let recovered: u64 = e14_flap.rows[1][2].parse().expect("delivered count");
+    assert!(
+        recovered > frozen * 3,
+        "watchdog restores goodput under churn"
+    );
 
     // E12: fluid blind to the Fig. 4 deadlock, packet sees it.
     let e12_fig4 = &reports[11].tables[1];

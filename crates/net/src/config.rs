@@ -6,6 +6,8 @@ use serde::{Deserialize, Serialize};
 use pfcsim_simcore::time::SimDuration;
 use pfcsim_simcore::units::Bytes;
 
+use crate::recovery::RecoveryConfig;
+
 /// How a PAUSE is expressed on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PauseMode {
@@ -200,6 +202,11 @@ pub struct SimConfig {
     /// rises from `n·B/TTL` to `n·B/width`. Mutually exclusive with
     /// `hop_class_mode`.
     pub ttl_class_mode: Option<TtlClassConfig>,
+    /// Reactive deadlock-recovery watchdog (see [`crate::recovery`]);
+    /// `None` disables. `NetSim::enable_recovery` sets this and also
+    /// clears `stop_on_deadlock`, since the point of recovery is to keep
+    /// running through detections.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 /// Parameters of the per-hop TTL-band class remap.
@@ -250,6 +257,7 @@ impl Default for SimConfig {
             flood_on_miss: false,
             hop_class_mode: None,
             ttl_class_mode: None,
+            recovery: None,
         }
     }
 }
@@ -282,6 +290,9 @@ impl SimConfig {
             if self.hop_class_mode.is_some() {
                 return Err("hop_class_mode and ttl_class_mode are mutually exclusive".into());
             }
+        }
+        if let Some(rc) = &self.recovery {
+            rc.validate()?;
         }
         Ok(())
     }
@@ -325,6 +336,18 @@ mod tests {
         let mut c = SimConfig::default();
         c.switch_buffer = Bytes::from_kb(10);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_validation_rejects_zero_interval() {
+        let mut c = SimConfig::default();
+        c.recovery = Some(RecoveryConfig {
+            check_interval: SimDuration::ZERO,
+            ..RecoveryConfig::default()
+        });
+        assert!(c.validate().is_err());
+        c.recovery = Some(RecoveryConfig::default());
+        c.validate().unwrap();
     }
 
     #[test]

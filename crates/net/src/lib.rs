@@ -12,6 +12,8 @@
 //! * [`dcqcn`] — DCQCN congestion control with optional phantom queues;
 //! * [`sim`] — the event loop, run protocols and reports;
 //! * [`deadlock`] — the fixpoint detector proving pauses permanent;
+//! * [`faults`] — scripted link failures, flaps, lossy PFC, reboots, and
+//!   route reconvergence with transient loops;
 //! * [`stats`] — pause logs, occupancy series, per-flow counters;
 //! * [`config`] — PFC thresholds, pause modes, arbitration, ECN.
 //!
@@ -33,6 +35,7 @@
 pub mod config;
 pub mod dcqcn;
 pub mod deadlock;
+pub mod faults;
 pub mod flow;
 pub mod host;
 pub mod packet;
@@ -54,6 +57,7 @@ pub mod prelude {
         Arbitration, ClassScheduling, EcnConfig, PauseMode, PfcConfig, SimConfig, TtlClassConfig,
     };
     pub use crate::dcqcn::{DcqcnConfig, DcqcnState};
+    pub use crate::faults::{FaultAction, FaultEvent, FaultKind, FaultPlan, FaultRecord};
     pub use crate::flow::{Demand, FlowSpec, RouteKind};
     pub use crate::packet::{Frame, Packet, PfcFrame, PfcOp};
     pub use crate::recovery::{RecoveryConfig, RecoveryStrategy};

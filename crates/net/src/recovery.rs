@@ -43,6 +43,17 @@ impl Default for RecoveryConfig {
     }
 }
 
+impl RecoveryConfig {
+    /// Validate parameters: a zero check interval would schedule the
+    /// watchdog at the current instant forever.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.check_interval.is_zero() {
+            return Err("recovery check_interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -50,11 +50,27 @@ impl fmt::Display for Summary<'_> {
             r.stats.resume_frames,
             r.stats.pause.len()
         )?;
-        if r.stats.drops_ttl + r.stats.drops_no_route + r.stats.drops_overflow > 0 {
+        let dropped = r.stats.drops_ttl
+            + r.stats.drops_no_route
+            + r.stats.drops_overflow
+            + r.stats.drops_link_down
+            + r.stats.drops_pause_loss;
+        if dropped > 0 {
             writeln!(
                 f,
-                "drops: {} ttl, {} no-route, {} overflow",
-                r.stats.drops_ttl, r.stats.drops_no_route, r.stats.drops_overflow
+                "drops: {} ttl, {} no-route, {} overflow, {} link-down, {} pause-loss",
+                r.stats.drops_ttl,
+                r.stats.drops_no_route,
+                r.stats.drops_overflow,
+                r.stats.drops_link_down,
+                r.stats.drops_pause_loss
+            )?;
+        }
+        if r.stats.pause_frames_lost > 0 {
+            writeln!(
+                f,
+                "pfc lost: {} frames destroyed",
+                r.stats.pause_frames_lost
             )?;
         }
         if r.stats.recovery_actions > 0 {
@@ -66,6 +82,27 @@ impl fmt::Display for Summary<'_> {
         }
         if !r.buffered.is_zero() {
             writeln!(f, "buffered at end: {}", r.buffered)?;
+        }
+        if !r.stats.faults.is_empty() {
+            // A typed fault timeline, correlated against the deadlock
+            // verdict: every entry before `detected_at` is a candidate
+            // cause; entries after it show what the failure went on to do.
+            writeln!(f, "faults: {} events", r.stats.faults.len())?;
+            let deadlock_at = match &r.verdict {
+                Verdict::Deadlock { detected_at, .. } => Some(*detected_at),
+                Verdict::NoDeadlock => None,
+            };
+            const SHOWN: usize = 20;
+            for rec in r.stats.faults.iter().take(SHOWN) {
+                let marker = match deadlock_at {
+                    Some(d) if rec.at <= d => " [pre-deadlock]",
+                    _ => "",
+                };
+                writeln!(f, "  {} {}{marker}", rec.at, rec.action)?;
+            }
+            if r.stats.faults.len() > SHOWN {
+                writeln!(f, "  … and {} more", r.stats.faults.len() - SHOWN)?;
+            }
         }
         for (id, fs) in &r.stats.flows {
             let gbps = fs
@@ -102,6 +139,31 @@ mod tests {
         assert!(s.contains("packets:"));
         assert!(s.contains("flow f0:"));
         assert!(!s.contains("recovery:"), "no recovery ran");
+    }
+
+    #[test]
+    fn summary_shows_fault_timeline() {
+        use crate::faults::FaultPlan;
+        use pfcsim_simcore::units::BitRate;
+        let b = line(2, LinkSpec::default());
+        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        sim.add_flow(FlowSpec::cbr(
+            0,
+            b.hosts[0],
+            b.hosts[1],
+            BitRate::from_gbps(10),
+        ));
+        sim.set_fault_plan(
+            FaultPlan::new()
+                .link_down(SimTime::from_us(20), b.switches[0], b.switches[1])
+                .link_up(SimTime::from_us(60), b.switches[0], b.switches[1]),
+        )
+        .unwrap();
+        let report = sim.run(SimTime::from_us(200));
+        let s = report.summary().to_string();
+        assert!(s.contains("faults: 2 events"), "{s}");
+        assert!(s.contains("DOWN") && s.contains("UP"), "{s}");
+        assert!(s.contains("link-down"), "drops line must attribute: {s}");
     }
 
     #[test]

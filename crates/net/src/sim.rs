@@ -28,12 +28,13 @@ use pfcsim_topo::routing::{trace_path, ForwardingTables};
 
 use crate::config::{PauseMode, PfcConfig, SimConfig};
 use crate::dcqcn::{DcqcnConfig, DcqcnState};
+use crate::faults::{FaultAction, FaultKind, FaultPlan, FaultRecord};
 use crate::flow::{Demand, FlowSpec, RouteKind};
 use crate::host::{FlowRt, Host};
 use crate::packet::{Frame, Packet, PfcFrame, PfcOp, PFC_FRAME_SIZE};
 use crate::recovery::{RecoveryConfig, RecoveryStrategy};
 use crate::stats::{IngressKey, NetStats, PauseKey};
-use crate::switch::{InFlight, QPkt, Switch, TxPause};
+use crate::switch::{InFlight, Ingress, QPkt, Switch, TxPause};
 use crate::timely::{TimelyConfig, TimelyState};
 use crate::trace::{DropReason, TraceEvent};
 
@@ -44,7 +45,6 @@ pub(crate) struct PortInfo {
     pub peer_port: PortNo,
     pub rate: BitRate,
     pub delay: SimDuration,
-    #[allow(dead_code)]
     pub link: LinkId,
 }
 
@@ -108,6 +108,12 @@ enum Ev {
     RouteUpdate {
         idx: usize,
     },
+    Fault {
+        idx: usize,
+    },
+    SwitchRestore {
+        node: NodeId,
+    },
     Sample,
     DeadlockScan,
     RecoveryScan,
@@ -124,6 +130,15 @@ struct RouteUpdate {
     node: NodeId,
     dst: NodeId,
     ports: Vec<PortNo>,
+}
+
+/// State saved across a [`FaultKind::SwitchReboot`] for the restore.
+#[derive(Debug, Clone)]
+struct RebootState {
+    /// Links this reboot took down (restored together).
+    links: Vec<LinkId>,
+    /// The wiped forwarding-table rows.
+    routes: Vec<(NodeId, Vec<PortNo>)>,
 }
 
 /// Outcome of a run.
@@ -193,10 +208,26 @@ pub struct NetSim {
     timely_cfg: Option<TimelyConfig>,
     traced: BTreeSet<FlowId>,
     trace_cap: usize,
-    recovery: Option<RecoveryConfig>,
     events: u64,
     started: bool,
     finished: bool,
+    // --- fault injection ---
+    /// Per-link up/down state, indexed by `LinkId`.
+    link_up: Vec<bool>,
+    fault_plan: Option<FaultPlan>,
+    /// The plan expanded (flaps unrolled) and sorted; `Ev::Fault` indexes it.
+    fault_events: Vec<(SimTime, FaultKind)>,
+    /// Fault randomness (pause-loss coins, reconvergence jitter): an
+    /// independent stream so installing a plan never perturbs traffic RNG.
+    fault_rng: SimRng,
+    /// Armed per-switch PFC loss probabilities.
+    pfc_loss: BTreeMap<NodeId, f64>,
+    /// Armed per-switch PFC delays.
+    pfc_delay: BTreeMap<NodeId, SimDuration>,
+    /// Lossless headroom above XOFF under an armed pause fault.
+    pause_headroom: Bytes,
+    /// Switches currently down, with the state their restore needs.
+    reboots: BTreeMap<NodeId, RebootState>,
 }
 
 impl NetSim {
@@ -270,10 +301,17 @@ impl NetSim {
             timely_cfg: None,
             traced: BTreeSet::new(),
             trace_cap: 1_000_000,
-            recovery: None,
             events: 0,
             started: false,
             finished: false,
+            link_up: vec![true; topo.link_count()],
+            fault_plan: None,
+            fault_events: Vec::new(),
+            fault_rng: SimRng::new(seed ^ 0xFA17_5EED_0DD5_EED5),
+            pfc_loss: BTreeMap::new(),
+            pfc_delay: BTreeMap::new(),
+            pause_headroom: Bytes::from_kb(20),
+            reboots: BTreeMap::new(),
         }
     }
 
@@ -337,38 +375,96 @@ impl NetSim {
         self.flows.insert(spec.id, spec);
     }
 
+    /// Look up a switch's ingress record, with a diagnosable error for
+    /// non-switch nodes and out-of-range ports.
+    fn ingress_mut(&mut self, node: NodeId, port: PortNo) -> Result<&mut Ingress, String> {
+        let sw = self
+            .switches
+            .get_mut(node.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| format!("{node} is not a switch"))?;
+        sw.ingress
+            .get_mut(port.0 as usize)
+            .ok_or_else(|| format!("{node} has no port {}", port.0))
+    }
+
     /// Override PFC settings for one switch (threshold tiering).
-    pub fn set_switch_pfc(&mut self, node: NodeId, pfc: PfcConfig) {
-        pfc.validate().expect("invalid per-switch PfcConfig");
-        assert!(
-            self.switches[node.0 as usize].is_some(),
-            "{node} is not a switch"
-        );
+    ///
+    /// Returns an error for an invalid config or a non-switch node.
+    pub fn try_set_switch_pfc(&mut self, node: NodeId, pfc: PfcConfig) -> Result<(), String> {
+        pfc.validate()?;
+        if self
+            .switches
+            .get(node.0 as usize)
+            .is_none_or(Option::is_none)
+        {
+            return Err(format!("{node} is not a switch"));
+        }
         self.switch_pfc.insert(node, pfc);
+        Ok(())
+    }
+
+    /// Panicking convenience for [`NetSim::try_set_switch_pfc`].
+    pub fn set_switch_pfc(&mut self, node: NodeId, pfc: PfcConfig) {
+        self.try_set_switch_pfc(node, pfc).expect("set_switch_pfc");
     }
 
     /// Override the XOFF/XON thresholds of a single ingress port.
-    pub fn set_port_thresholds(&mut self, node: NodeId, port: PortNo, xoff: Bytes, xon: Bytes) {
-        assert!(xon <= xoff, "xon must not exceed xoff");
-        let sw = self.switches[node.0 as usize]
-            .as_mut()
-            .expect("not a switch");
-        let ing = &mut sw.ingress[port.0 as usize];
+    ///
+    /// Returns an error for inverted thresholds, a non-switch node, or an
+    /// out-of-range port.
+    pub fn try_set_port_thresholds(
+        &mut self,
+        node: NodeId,
+        port: PortNo,
+        xoff: Bytes,
+        xon: Bytes,
+    ) -> Result<(), String> {
+        if xon > xoff {
+            return Err(format!("xon ({xon}) must not exceed xoff ({xoff})"));
+        }
+        let ing = self.ingress_mut(node, port)?;
         ing.xoff_override = Some(xoff);
         ing.xon_override = Some(xon);
+        Ok(())
+    }
+
+    /// Panicking convenience for [`NetSim::try_set_port_thresholds`].
+    pub fn set_port_thresholds(&mut self, node: NodeId, port: PortNo, xoff: Bytes, xon: Bytes) {
+        self.try_set_port_thresholds(node, port, xoff, xon)
+            .expect("set_port_thresholds");
     }
 
     /// Attach an ingress token-bucket shaper (the paper's Case-3 rate
     /// limiter on switch B's ingress RX2).
+    ///
+    /// Returns an error for a non-switch node, an out-of-range port, or a
+    /// zero rate.
+    pub fn try_set_ingress_shaper(
+        &mut self,
+        node: NodeId,
+        port: PortNo,
+        rate: BitRate,
+        burst: Bytes,
+    ) -> Result<(), String> {
+        if rate.is_zero() {
+            return Err("shaper rate must be positive".into());
+        }
+        let ing = self.ingress_mut(node, port)?;
+        ing.shaper = Some(crate::shaper::TokenBucket::new(rate, burst));
+        Ok(())
+    }
+
+    /// Panicking convenience for [`NetSim::try_set_ingress_shaper`].
     pub fn set_ingress_shaper(&mut self, node: NodeId, port: PortNo, rate: BitRate, burst: Bytes) {
-        let sw = self.switches[node.0 as usize]
-            .as_mut()
-            .expect("not a switch");
-        sw.ingress[port.0 as usize].shaper = Some(crate::shaper::TokenBucket::new(rate, burst));
+        self.try_set_ingress_shaper(node, port, rate, burst)
+            .expect("set_ingress_shaper");
     }
 
     /// Schedule a forwarding-table change at `at` (fault injection:
-    /// transient loops, reroutes, repairs).
+    /// transient loops, reroutes, repairs). Works both before the run and
+    /// mid-run (route reconvergence schedules these as it fires); a
+    /// mid-run update must not be in the past.
     pub fn schedule_route_update(
         &mut self,
         at: SimTime,
@@ -376,13 +472,27 @@ impl NetSim {
         dst: NodeId,
         ports: Vec<PortNo>,
     ) {
-        assert!(!self.started, "schedule updates before running");
+        let idx = self.route_updates.len();
         self.route_updates.push(RouteUpdate {
             at,
             node,
             dst,
             ports,
         });
+        if self.started {
+            assert!(at >= self.now(), "route update scheduled in the past");
+            self.sched(at, Ev::RouteUpdate { idx });
+        }
+    }
+
+    /// Install a fault schedule (see [`crate::faults`]). Must be called
+    /// before the run starts; the plan is validated against the topology.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), String> {
+        assert!(!self.started, "install the fault plan before running");
+        plan.validate(&self.topo)?;
+        self.pause_headroom = plan.pause_headroom;
+        self.fault_plan = Some(plan);
+        Ok(())
     }
 
     /// Mutable access to the forwarding tables (before the run starts).
@@ -431,12 +541,9 @@ impl NetSim {
     /// is to keep running through detections and measure the damage.
     pub fn enable_recovery(&mut self, rc: RecoveryConfig) {
         assert!(!self.started, "arm recovery before running");
-        assert!(
-            !rc.check_interval.is_zero(),
-            "recovery interval must be positive"
-        );
+        rc.validate().expect("invalid RecoveryConfig");
         self.cfg.stop_on_deadlock = false;
-        self.recovery = Some(rc);
+        self.cfg.recovery = Some(rc);
     }
 
     // ------------------------------------------------------------------
@@ -575,8 +682,37 @@ impl NetSim {
         if self.cfg.deadlock_scan_interval.is_some() {
             self.sched(SimTime::ZERO, Ev::DeadlockScan);
         }
-        if let Some(rc) = self.recovery {
+        if let Some(rc) = self.cfg.recovery {
             self.sched(SimTime::ZERO + rc.check_interval, Ev::RecoveryScan);
+        }
+        // Expand the fault plan into concrete timed events. Flaps unroll
+        // into their individual down/up edges here so the runtime only ever
+        // sees instantaneous faults.
+        if let Some(plan) = self.fault_plan.take() {
+            let mut evs: Vec<(SimTime, FaultKind)> = Vec::new();
+            for ev in plan.events {
+                match ev.kind {
+                    FaultKind::LinkFlap {
+                        a,
+                        b,
+                        down_for,
+                        period,
+                        cycles,
+                    } => {
+                        for c in 0..cycles {
+                            let down_at = ev.at + period.saturating_mul(c as u64);
+                            evs.push((down_at, FaultKind::LinkDown { a, b }));
+                            evs.push((down_at + down_for, FaultKind::LinkUp { a, b }));
+                        }
+                    }
+                    kind => evs.push((ev.at, kind)),
+                }
+            }
+            evs.sort_by_key(|(t, _)| *t);
+            for (i, (at, _)) in evs.iter().enumerate() {
+                self.sched(*at, Ev::Fault { idx: i });
+            }
+            self.fault_events = evs;
         }
     }
 
@@ -638,6 +774,44 @@ impl NetSim {
             let fs = self.stats.flow_mut(id);
             fs.unsent_packets += pkts;
             fs.unsent_bytes += bytes;
+        }
+        // Packets still inside the network — wedged in a deadlock or
+        // simply in transit at the horizon — so per-flow conservation
+        // (injected = delivered + dropped + unsent + stuck) balances at
+        // every run end. Exact at quiescence: with no meaningful events
+        // pending, nothing is on the wire.
+        let mut stuck: BTreeMap<FlowId, (u64, Bytes)> = BTreeMap::new();
+        {
+            let mut add = |pkt: &Packet| {
+                let e = stuck.entry(pkt.flow).or_insert((0, Bytes::ZERO));
+                e.0 += 1;
+                e.1 += pkt.size;
+            };
+            for sw in self.switches.iter().flatten() {
+                for eg in &sw.egress {
+                    for q in &eg.queues {
+                        for qp in q.iter() {
+                            add(&qp.pkt);
+                        }
+                    }
+                    if let Some(InFlight::Data(qp)) = &eg.in_flight {
+                        add(&qp.pkt);
+                    }
+                }
+                for ing in &sw.ingress {
+                    for pkt in &ing.shaper_q {
+                        add(pkt);
+                    }
+                }
+            }
+            for pkt in self.host_in_flight.values() {
+                add(pkt);
+            }
+        }
+        for (f, (pkts, bytes)) in stuck {
+            let fs = self.stats.flow_mut(f);
+            fs.stuck_packets = pkts;
+            fs.stuck_bytes = bytes;
         }
         let buffered: Bytes = self.switches.iter().flatten().map(|s| s.buffered).sum();
         // Quiescence with buffered bytes is a deadlock even if the fixpoint
@@ -703,6 +877,8 @@ impl NetSim {
                 let u = self.route_updates[idx].clone();
                 self.tables.set(u.node, u.dst, u.ports);
             }
+            Ev::Fault { idx } => self.on_fault(idx),
+            Ev::SwitchRestore { node } => self.on_switch_restore(node),
             Ev::Sample => self.on_sample(),
             Ev::DeadlockScan => self.on_deadlock_scan(),
             Ev::RecoveryScan => self.on_recovery_scan(),
@@ -879,6 +1055,9 @@ impl NetSim {
         if h.busy || h.rr.is_empty() {
             return;
         }
+        if !self.link_ok(host, PortNo(0)) {
+            return; // NIC link down; LinkUp revives the sender
+        }
         let n = h.rr.len();
         let mut chosen: Option<FlowId> = None;
         let mut earliest_wake: Option<SimTime> = None;
@@ -977,19 +1156,23 @@ impl NetSim {
     }
 
     fn on_host_tx_done(&mut self, host: NodeId) {
-        let pkt = self
-            .host_in_flight
-            .remove(&host)
-            .expect("HostTxDone with a packet in flight");
+        let Some(pkt) = self.host_in_flight.remove(&host) else {
+            return; // destroyed by a fault mid-serialization
+        };
         let info = self.port_info[host.0 as usize][0];
-        self.sched(
-            self.now() + info.delay,
-            Ev::Arrive {
-                node: info.peer,
-                port: info.peer_port,
-                frame: Frame::Data(pkt),
-            },
-        );
+        if self.link_ok(host, PortNo(0)) {
+            self.sched(
+                self.now() + info.delay,
+                Ev::Arrive {
+                    node: info.peer,
+                    port: info.peer_port,
+                    frame: Frame::Data(pkt),
+                },
+            );
+        } else {
+            // The NIC finished serializing onto a dead link.
+            self.drop_link_down(host, &pkt);
+        }
         let h = self.hosts[host.0 as usize].as_mut().expect("host");
         h.busy = false;
         self.host_try_send(host);
@@ -1000,6 +1183,13 @@ impl NetSim {
     // ------------------------------------------------------------------
 
     fn on_arrive(&mut self, node: NodeId, port: PortNo, frame: Frame) {
+        if !self.link_ok(node, port) {
+            // The frame was on the wire when the link died.
+            if let Frame::Data(pkt) = frame {
+                self.drop_link_down(node, &pkt);
+            }
+            return;
+        }
         match (self.topo.node(node).kind, frame) {
             (NodeKind::Host, Frame::Data(pkt)) => self.host_deliver(node, pkt),
             (NodeKind::Host, Frame::Pfc(f)) => self.host_pfc(node, f),
@@ -1225,15 +1415,23 @@ impl NetSim {
             }
             return;
         };
+        // Stale forwarding state pointing at a dead link black-holes the
+        // packet until reconvergence repairs the tables.
+        if !self.link_ok(node, egress) {
+            self.drop_link_down(node, &pkt);
+            return;
+        }
         // Buffer admission.
-        let sw = self.switches[node.0 as usize].as_ref().expect("switch");
+        let (buffered_now, ing_count) = {
+            let sw = self.switches[node.0 as usize].as_ref().expect("switch");
+            (sw.buffered, sw.ingress[port.0 as usize].count[prio.index()])
+        };
         let lossless = self.pfc_of(node).is_lossless(prio.0);
-        let over_shared = sw.buffered + pkt.size > self.cfg.switch_buffer;
-        let lossy_tail_drop = !lossless
-            && sw.ingress[port.0 as usize].count[prio.index()] + pkt.size
-                > self.xoff_of(node, port);
+        let over_shared = buffered_now + pkt.size > self.cfg.switch_buffer;
+        let lossy_tail_drop = !lossless && ing_count + pkt.size > self.xoff_of(node, port);
         if over_shared || lossy_tail_drop {
             self.stats.drops_overflow += 1;
+            self.stats.flow_mut(pkt.flow).dropped_overflow += 1;
             self.trace(
                 pkt.flow,
                 TraceEvent::Dropped {
@@ -1241,6 +1439,27 @@ impl NetSim {
                     pkt: pkt.id,
                     node,
                     reason: DropReason::Overflow,
+                },
+            );
+            return;
+        }
+        // With PFC signalling faulty at this hop, backpressure may never
+        // arrive upstream; past XOFF plus the headroom the lossless
+        // guarantee breaks and the port tail-drops.
+        let pause_faulty = self.pfc_loss.contains_key(&node) || self.pfc_delay.contains_key(&node);
+        if lossless
+            && pause_faulty
+            && ing_count + pkt.size > self.xoff_of(node, port) + self.pause_headroom
+        {
+            self.stats.drops_pause_loss += 1;
+            self.stats.flow_mut(pkt.flow).dropped_pause_loss += 1;
+            self.trace(
+                pkt.flow,
+                TraceEvent::Dropped {
+                    t: self.queue.now(),
+                    pkt: pkt.id,
+                    node,
+                    reason: DropReason::PauseLoss,
                 },
             );
             return;
@@ -1327,6 +1546,9 @@ impl NetSim {
             if e == ingress.0 as usize {
                 continue;
             }
+            if !self.link_ok(node, PortNo(e as u16)) {
+                continue; // no replica onto a dead link
+            }
             let copy = pkt.clone();
             let over = {
                 let sw = self.switches[node.0 as usize].as_ref().expect("switch");
@@ -1334,6 +1556,7 @@ impl NetSim {
             };
             if over {
                 self.stats.drops_overflow += 1;
+                self.stats.flow_mut(copy.flow).dropped_overflow += 1;
                 continue;
             }
             // Account the copy against the original ingress.
@@ -1419,6 +1642,11 @@ impl NetSim {
                         None => self.tables.select(node, pkt.dst, pkt.flow),
                     };
                     match egress {
+                        Some(e) if !self.link_ok(node, e) => {
+                            // Released onto a route that died while held.
+                            self.drop_link_down(node, &pkt);
+                            self.release_ingress(node, port, &pkt);
+                        }
                         Some(e) => self.enqueue_egress(node, e, QPkt { pkt, ingress: port }),
                         None => {
                             // Route vanished: count and release the buffer.
@@ -1473,6 +1701,9 @@ impl NetSim {
 
     /// Start a transmission on (node, egress port) if possible.
     fn try_tx(&mut self, node: NodeId, port: PortNo) {
+        if !self.link_ok(node, port) {
+            return; // dead transmitter; LinkUp revives it
+        }
         let now = self.now();
         let info = self.port_info[node.0 as usize][port.0 as usize];
         let arb = self.cfg.arbitration;
@@ -1506,31 +1737,76 @@ impl NetSim {
         let info = self.port_info[node.0 as usize][port.0 as usize];
         let in_flight = {
             let sw = self.switches[node.0 as usize].as_mut().expect("switch");
-            sw.egress[port.0 as usize]
-                .in_flight
-                .take()
-                .expect("TxDone with a frame in flight")
+            match sw.egress[port.0 as usize].in_flight.take() {
+                Some(f) => f,
+                // A reboot wiped this port while the frame serialized.
+                None => return,
+            }
         };
+        let up = self.link_ok(node, port);
         match in_flight {
             InFlight::Pfc(f) => {
-                self.sched(
-                    self.now() + info.delay,
-                    Ev::Arrive {
-                        node: info.peer,
-                        port: info.peer_port,
-                        frame: Frame::Pfc(f),
-                    },
-                );
+                if !up {
+                    // PFC dies silently with the link.
+                } else if self.pfc_lost(node) {
+                    let resume = matches!(f.op, PfcOp::Resume);
+                    self.stats.pause_frames_lost += 1;
+                    self.record_fault(FaultAction::PauseFrameLost {
+                        from: node,
+                        to: info.peer,
+                        priority: f.priority,
+                        resume,
+                    });
+                    // Keep the pause log truthful about the upstream's
+                    // view: a lost PAUSE never takes effect, a lost
+                    // RESUME leaves the transmitter paused.
+                    let now = self.now();
+                    let log = self
+                        .stats
+                        .pause
+                        .entry(PauseKey {
+                            from: info.peer,
+                            to: node,
+                            priority: f.priority,
+                        })
+                        .or_default();
+                    if resume {
+                        if !log.intervals.is_open() {
+                            log.intervals.open(now);
+                        }
+                    } else if log.intervals.is_open() {
+                        log.intervals.close(now);
+                    }
+                } else {
+                    let extra = self
+                        .pfc_delay
+                        .get(&node)
+                        .copied()
+                        .unwrap_or(SimDuration::ZERO);
+                    self.sched(
+                        self.now() + info.delay + extra,
+                        Ev::Arrive {
+                            node: info.peer,
+                            port: info.peer_port,
+                            frame: Frame::Pfc(f),
+                        },
+                    );
+                }
             }
             InFlight::Data(qp) => {
-                self.sched(
-                    self.now() + info.delay,
-                    Ev::Arrive {
-                        node: info.peer,
-                        port: info.peer_port,
-                        frame: Frame::Data(qp.pkt.clone()),
-                    },
-                );
+                if up {
+                    self.sched(
+                        self.now() + info.delay,
+                        Ev::Arrive {
+                            node: info.peer,
+                            port: info.peer_port,
+                            frame: Frame::Data(qp.pkt.clone()),
+                        },
+                    );
+                } else {
+                    // Finished serializing onto a dead link.
+                    self.drop_link_down(node, &qp.pkt);
+                }
                 self.release_ingress(node, qp.ingress, &qp.pkt);
             }
         }
@@ -1561,6 +1837,9 @@ impl NetSim {
     }
 
     fn send_pause(&mut self, node: NodeId, port: PortNo, prio: Priority) {
+        if !self.link_ok(node, port) {
+            return; // nothing to protect across a dead link
+        }
         let now = self.now();
         let mode = self.pause_mode_of(node);
         let info = self.port_info[node.0 as usize][port.0 as usize];
@@ -1620,6 +1899,24 @@ impl NetSim {
     fn send_resume(&mut self, node: NodeId, port: PortNo, prio: Priority) {
         let now = self.now();
         let info = self.port_info[node.0 as usize][port.0 as usize];
+        if !self.link_ok(node, port) {
+            // No frame can cross a dead link, but the channel is no
+            // longer pausing anyone: close the span so the log stays
+            // truthful.
+            let log = self
+                .stats
+                .pause
+                .entry(PauseKey {
+                    from: info.peer,
+                    to: node,
+                    priority: prio,
+                })
+                .or_default();
+            if log.intervals.is_open() {
+                log.intervals.close(now);
+            }
+            return;
+        }
         let sw = self.switches[node.0 as usize].as_mut().expect("switch");
         sw.egress[port.0 as usize].ctrl.push_back(PfcFrame {
             priority: prio,
@@ -1787,7 +2084,10 @@ impl NetSim {
     }
 
     fn on_recovery_scan(&mut self) {
-        let rc = self.recovery.expect("RecoveryScan only fires when armed");
+        let rc = self
+            .cfg
+            .recovery
+            .expect("RecoveryScan only fires when armed");
         if let Some(witness) = self.analyze_deadlock() {
             if self.deadlock.is_none() {
                 self.deadlock = Some((self.now(), witness.clone()));
@@ -1861,6 +2161,7 @@ impl NetSim {
         }
         for pkt in victims {
             self.stats.drops_recovery += 1;
+            self.stats.flow_mut(pkt.flow).dropped_recovery += 1;
             self.trace(
                 pkt.flow,
                 TraceEvent::Dropped {
@@ -1875,6 +2176,324 @@ impl NetSim {
         // Freed buffer may unblock local transmitters.
         for e in 0..n_egress {
             self.try_tx(node, PortNo(e as u16));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn link_of(&self, node: NodeId, port: PortNo) -> LinkId {
+        self.port_info[node.0 as usize][port.0 as usize].link
+    }
+
+    /// Whether the link behind (node, port) is currently up.
+    fn link_ok(&self, node: NodeId, port: PortNo) -> bool {
+        self.link_up[self.link_of(node, port).0 as usize]
+    }
+
+    fn record_fault(&mut self, action: FaultAction) {
+        let at = self.now();
+        self.stats.faults.push(FaultRecord { at, action });
+    }
+
+    /// Account a packet destroyed by a dead link or a reboot.
+    fn drop_link_down(&mut self, node: NodeId, pkt: &Packet) {
+        self.stats.drops_link_down += 1;
+        self.stats.flow_mut(pkt.flow).dropped_link_down += 1;
+        self.trace(
+            pkt.flow,
+            TraceEvent::Dropped {
+                t: self.queue.now(),
+                pkt: pkt.id,
+                node,
+                reason: DropReason::LinkDown,
+            },
+        );
+    }
+
+    /// Draw from the PFC-loss process armed at `node`, if any.
+    fn pfc_lost(&mut self, node: NodeId) -> bool {
+        match self.pfc_loss.get(&node).copied() {
+            Some(p) => self.fault_rng.gen_bool(p),
+            None => false,
+        }
+    }
+
+    fn on_fault(&mut self, idx: usize) {
+        let kind = self.fault_events[idx].1.clone();
+        match kind {
+            FaultKind::LinkDown { a, b } => self.fault_link_down(a, b),
+            FaultKind::LinkUp { a, b } => self.fault_link_up(a, b),
+            FaultKind::LinkFlap { .. } => unreachable!("flaps are unrolled at start()"),
+            FaultKind::PauseLoss { node, probability } => {
+                if probability > 0.0 {
+                    self.pfc_loss.insert(node, probability);
+                } else {
+                    self.pfc_loss.remove(&node);
+                }
+                self.record_fault(FaultAction::PauseLossArmed { node, probability });
+            }
+            FaultKind::PauseDelay { node, extra } => {
+                if extra.is_zero() {
+                    self.pfc_delay.remove(&node);
+                } else {
+                    self.pfc_delay.insert(node, extra);
+                }
+                self.record_fault(FaultAction::PauseDelayArmed { node, extra });
+            }
+            FaultKind::SwitchReboot { node, downtime } => self.fault_switch_reboot(node, downtime),
+            FaultKind::RouteReconverge { base_lag, jitter } => {
+                self.fault_route_reconverge(base_lag, jitter)
+            }
+            FaultKind::RouteSet { node, dst, ports } => {
+                self.tables.set(node, dst, ports);
+                self.record_fault(FaultAction::RouteChanged { node, dst });
+            }
+        }
+    }
+
+    fn fault_link_down(&mut self, a: NodeId, b: NodeId) {
+        let p = self.topo.port_towards(a, b).expect("validated adjacency");
+        if !self.link_up[p.link.0 as usize] {
+            return; // already down (overlapping faults)
+        }
+        self.link_up[p.link.0 as usize] = false;
+        let dropped = self.take_down_endpoint(a, p.port) + self.take_down_endpoint(b, p.peer_port);
+        self.record_fault(FaultAction::LinkDown { a, b, dropped });
+    }
+
+    /// Clear one endpoint of a failing link: destroy every frame already
+    /// committed to the dead port, silence its PFC state, and release
+    /// buffer accounting so the rest of the switch keeps moving. Returns
+    /// the number of packets destroyed.
+    fn take_down_endpoint(&mut self, node: NodeId, port: PortNo) -> u64 {
+        if self.topo.node(node).kind == NodeKind::Host {
+            // NIC pause state dies with the link.
+            if let Some(h) = self.hosts[node.0 as usize].as_mut() {
+                h.paused = [TxPause::Open; Priority::COUNT];
+            }
+            return 0;
+        }
+        let mut victims: Vec<QPkt> = Vec::new();
+        {
+            let sw = self.switches[node.0 as usize].as_mut().expect("switch");
+            let eg = &mut sw.egress[port.0 as usize];
+            for q in eg.queues.iter_mut() {
+                victims.extend(q.drain_all());
+            }
+            eg.ctrl.clear();
+            eg.paused = [TxPause::Open; Priority::COUNT];
+        }
+        let dropped = victims.len() as u64;
+        for qp in victims {
+            self.drop_link_down(node, &qp.pkt);
+            self.release_ingress(node, qp.ingress, &qp.pkt);
+        }
+        // Silence PFC issued *by* this endpoint: the dead channel pauses
+        // no one any more, so its open spans close.
+        let info = self.port_info[node.0 as usize][port.0 as usize];
+        let now = self.now();
+        let mut silenced: Vec<Priority> = Vec::new();
+        {
+            let sw = self.switches[node.0 as usize].as_mut().expect("switch");
+            let ing = &mut sw.ingress[port.0 as usize];
+            for pr in 0..Priority::COUNT {
+                if ing.pause_sent[pr] {
+                    ing.pause_sent[pr] = false;
+                    silenced.push(Priority(pr as u8));
+                }
+            }
+        }
+        for prio in silenced {
+            let key = PauseKey {
+                from: info.peer,
+                to: node,
+                priority: prio,
+            };
+            if let Some(log) = self.stats.pause.get_mut(&key) {
+                if log.intervals.is_open() {
+                    log.intervals.close(now);
+                }
+            }
+        }
+        dropped
+    }
+
+    fn fault_link_up(&mut self, a: NodeId, b: NodeId) {
+        let p = self.topo.port_towards(a, b).expect("validated adjacency");
+        if self.link_up[p.link.0 as usize] {
+            return; // already up
+        }
+        self.link_up[p.link.0 as usize] = true;
+        self.record_fault(FaultAction::LinkUp { a, b });
+        self.revive_endpoint(a, p.port);
+        self.revive_endpoint(b, p.peer_port);
+    }
+
+    /// Kick the transmitter behind a freshly repaired link.
+    fn revive_endpoint(&mut self, node: NodeId, port: PortNo) {
+        match self.topo.node(node).kind {
+            NodeKind::Host => self.host_try_send(node),
+            NodeKind::Switch => self.try_tx(node, port),
+        }
+    }
+
+    fn fault_switch_reboot(&mut self, node: NodeId, downtime: SimDuration) {
+        if self.reboots.contains_key(&node) {
+            return; // already mid-reboot
+        }
+        let ports: Vec<pfcsim_topo::graph::PortRef> = self.topo.ports(node).to_vec();
+        let mut downed: Vec<LinkId> = Vec::new();
+        let mut dropped = 0u64;
+        for p in &ports {
+            if !self.link_up[p.link.0 as usize] {
+                continue; // already down; not this reboot's to restore
+            }
+            self.link_up[p.link.0 as usize] = false;
+            downed.push(p.link);
+            dropped += self.take_down_endpoint(node, p.port);
+            dropped += self.take_down_endpoint(p.peer, p.peer_port);
+        }
+        // Wipe what take_down_endpoint leaves behind on the rebooting
+        // switch itself: shaper holds and frames mid-serialization.
+        for p in &ports {
+            let held: Vec<Packet> = {
+                let sw = self.switches[node.0 as usize].as_mut().expect("switch");
+                let ing = &mut sw.ingress[p.port.0 as usize];
+                ing.shaper_scheduled = false;
+                ing.shaper_q.drain(..).collect()
+            };
+            for pkt in held {
+                dropped += 1;
+                self.drop_link_down(node, &pkt);
+                self.release_ingress(node, p.port, &pkt);
+            }
+            let in_flight = {
+                let sw = self.switches[node.0 as usize].as_mut().expect("switch");
+                sw.egress[p.port.0 as usize].in_flight.take()
+            };
+            if let Some(InFlight::Data(qp)) = in_flight {
+                dropped += 1;
+                self.drop_link_down(node, &qp.pkt);
+                self.release_ingress(node, qp.ingress, &qp.pkt);
+            }
+        }
+        // Hard power-cycle: every counter back to zero (the queues are
+        // all empty now; this clears any residual accounting).
+        {
+            let sw = self.switches[node.0 as usize].as_mut().expect("switch");
+            sw.buffered = Bytes::ZERO;
+            for ing in sw.ingress.iter_mut() {
+                ing.count = [Bytes::ZERO; Priority::COUNT];
+                ing.pause_sent = [false; Priority::COUNT];
+                ing.per_flow.clear();
+            }
+        }
+        // Forget the forwarding state until the restore.
+        let routes: Vec<(NodeId, Vec<PortNo>)> = self
+            .tables
+            .entries(node)
+            .map(|(d, p)| (d, p.to_vec()))
+            .collect();
+        for (d, _) in &routes {
+            self.tables.remove(node, *d);
+        }
+        self.reboots.insert(
+            node,
+            RebootState {
+                links: downed,
+                routes,
+            },
+        );
+        let at = self.now() + downtime;
+        self.sched(at, Ev::SwitchRestore { node });
+        self.record_fault(FaultAction::SwitchRebooted { node, dropped });
+    }
+
+    fn on_switch_restore(&mut self, node: NodeId) {
+        let Some(st) = self.reboots.remove(&node) else {
+            return;
+        };
+        for (dst, ports) in st.routes {
+            self.tables.set(node, dst, ports);
+        }
+        for l in st.links {
+            if self.link_up[l.0 as usize] {
+                continue; // repaired early by an explicit LinkUp
+            }
+            self.link_up[l.0 as usize] = true;
+            let link = self.topo.link(l).clone();
+            self.revive_endpoint(link.a, link.a_port);
+            self.revive_endpoint(link.b, link.b_port);
+        }
+        self.record_fault(FaultAction::SwitchRestored { node });
+    }
+
+    /// Every switch independently recomputes shortest paths over the
+    /// currently-up links and applies the result after its own lag — the
+    /// paper's Case 1 mechanism: while lags disagree, neighbouring
+    /// switches forward on inconsistent trees and transient loops form.
+    fn fault_route_reconverge(&mut self, base_lag: SimDuration, jitter: SimDuration) {
+        let now = self.now();
+        let switch_list: Vec<NodeId> = self.topo.switches().collect();
+        let host_list: Vec<NodeId> = self.topo.hosts().collect();
+        // Per-switch application lag, drawn once per switch.
+        let mut lags: BTreeMap<NodeId, SimDuration> = BTreeMap::new();
+        for &s in &switch_list {
+            let j = if jitter.is_zero() {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_ps(self.fault_rng.gen_range(jitter.as_ps() + 1))
+            };
+            lags.insert(s, base_lag + j);
+        }
+        let n = self.topo.node_count();
+        for &dst in &host_list {
+            // BFS from the destination over up links only.
+            let mut dist = vec![u32::MAX; n];
+            dist[dst.0 as usize] = 0;
+            let mut q = std::collections::VecDeque::new();
+            q.push_back(dst);
+            while let Some(u) = q.pop_front() {
+                if u != dst && self.topo.node(u).kind == NodeKind::Host {
+                    continue; // hosts do not forward
+                }
+                let du = dist[u.0 as usize];
+                for p in self.topo.ports(u) {
+                    if !self.link_up[p.link.0 as usize] {
+                        continue;
+                    }
+                    let v = p.peer;
+                    if dist[v.0 as usize] == u32::MAX {
+                        dist[v.0 as usize] = du + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            for &s in &switch_list {
+                if self.reboots.contains_key(&s) {
+                    continue; // a rebooting switch has no control plane
+                }
+                let ds = dist[s.0 as usize];
+                let ports: Vec<PortNo> = if ds == u32::MAX {
+                    Vec::new() // unreachable: the row black-holes
+                } else {
+                    self.topo
+                        .ports(s)
+                        .iter()
+                        .filter(|p| {
+                            self.link_up[p.link.0 as usize]
+                                && dist[p.peer.0 as usize].saturating_add(1) == ds
+                        })
+                        .map(|p| p.port)
+                        .collect()
+                };
+                self.schedule_route_update(now + lags[&s], s, dst, ports);
+            }
+        }
+        for (s, lag) in lags {
+            self.record_fault(FaultAction::RoutesReconverged { node: s, lag });
         }
     }
 

@@ -60,11 +60,25 @@ pub struct FlowStats {
     pub dropped_ttl: u64,
     /// Packets dropped for lack of a route.
     pub dropped_no_route: u64,
+    /// Packets dropped on overflow (shared buffer or lossy-class tail).
+    pub dropped_overflow: u64,
+    /// Packets destroyed by reactive deadlock recovery.
+    pub dropped_recovery: u64,
+    /// Packets destroyed by link failures and switch reboots.
+    pub dropped_link_down: u64,
+    /// Packets dropped past the lossless headroom while PFC signalling was
+    /// lost or delayed.
+    pub dropped_pause_loss: u64,
     /// Packets generated but never transmitted by the source NIC (CBR
     /// backlog remaining when the flow stopped or the run ended).
     pub unsent_packets: u64,
     /// Bytes never transmitted by the source NIC.
     pub unsent_bytes: Bytes,
+    /// Packets still buffered inside the network when the run ended
+    /// (stuck in a deadlock, or simply in transit at the horizon).
+    pub stuck_packets: u64,
+    /// Bytes still buffered inside the network when the run ended.
+    pub stuck_bytes: Bytes,
     /// Delivery meter (for goodput).
     pub meter: ThroughputMeter,
     /// ECN-marked packets delivered (DCQCN).
@@ -74,26 +88,28 @@ pub struct FlowStats {
 /// Serialize ordered maps with non-string keys as `[key, value]` pairs,
 /// which every self-describing format (JSON included) accepts.
 mod map_as_pairs {
-    use serde::de::{Deserialize, Deserializer};
-    use serde::ser::{Serialize, Serializer};
+    use serde::value::Value;
+    use serde::{de, Deserialize, Serialize};
     use std::collections::BTreeMap;
 
-    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, ser: S) -> Result<S::Ok, S::Error>
+    pub fn to_value<K, V>(map: &BTreeMap<K, V>) -> Value
     where
         K: Serialize,
         V: Serialize,
-        S: Serializer,
     {
-        ser.collect_seq(map.iter())
+        Value::Array(
+            map.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
     }
 
-    pub fn deserialize<'de, K, V, D>(de: D) -> Result<BTreeMap<K, V>, D::Error>
+    pub fn from_value<K, V>(v: &Value) -> Result<BTreeMap<K, V>, de::Error>
     where
-        K: Deserialize<'de> + Ord,
-        V: Deserialize<'de>,
-        D: Deserializer<'de>,
+        K: Deserialize + Ord,
+        V: Deserialize,
     {
-        let pairs: Vec<(K, V)> = Vec::deserialize(de)?;
+        let pairs: Vec<(K, V)> = Vec::from_value(v)?;
         Ok(pairs.into_iter().collect())
     }
 }
@@ -129,6 +145,14 @@ pub struct NetStats {
     pub drops_recovery: u64,
     /// Number of recovery interventions performed.
     pub recovery_actions: u64,
+    /// Packets destroyed by link failures and switch reboots.
+    pub drops_link_down: u64,
+    /// Packets dropped past the lossless headroom under lost/late PFC.
+    pub drops_pause_loss: u64,
+    /// PFC frames destroyed by an armed loss process.
+    pub pause_frames_lost: u64,
+    /// Timeline of applied faults (see [`crate::faults`]).
+    pub faults: Vec<crate::faults::FaultRecord>,
     /// PAUSE frames sent network-wide.
     pub pause_frames: u64,
     /// RESUME frames sent network-wide.

@@ -165,6 +165,19 @@ impl EgressQueue {
         }
         out
     }
+
+    /// Remove and return every queued packet (link failure / reboot
+    /// clearing — nothing queued at a dead port can ever transmit).
+    pub fn drain_all(&mut self) -> Vec<QPkt> {
+        let mut out: Vec<QPkt> = self.subs.values_mut().flat_map(|q| q.drain(..)).collect();
+        self.subs.clear();
+        self.rr.clear();
+        self.deficit.clear();
+        out.extend(self.fifo.drain(..));
+        self.bytes = Bytes::ZERO;
+        self.len = 0;
+        out
+    }
 }
 
 /// Pause state of a transmitter (egress, priority) as set by received PFC

@@ -24,6 +24,11 @@ pub enum DropReason {
     Recovery,
     /// A flood copy reached the wrong host.
     Misdelivered,
+    /// Destroyed by a link failure or switch reboot (queued at, in flight
+    /// on, or routed at a dead port).
+    LinkDown,
+    /// Lossless-headroom overflow while PFC signalling was lost or late.
+    PauseLoss,
 }
 
 /// One step of a packet's life.

@@ -1,0 +1,412 @@
+//! Integration tests for the fault-injection subsystem: transient loops
+//! (the paper's Case 1 trigger), link failures and flaps, switch reboots,
+//! lossy PFC, and route reconvergence.
+
+use pfcsim_net::prelude::*;
+use pfcsim_simcore::prelude::*;
+use pfcsim_topo::prelude::*;
+
+/// Per-flow conservation at quiescence: everything the source generated
+/// is delivered, dropped (with attribution), still unsent, or stuck.
+fn assert_conserved(report: &RunReport) {
+    for (id, fs) in &report.stats.flows {
+        let accounted = fs.delivered_packets
+            + fs.dropped_ttl
+            + fs.dropped_no_route
+            + fs.dropped_overflow
+            + fs.dropped_recovery
+            + fs.dropped_link_down
+            + fs.dropped_pause_loss
+            + fs.unsent_packets
+            + fs.stuck_packets;
+        assert_eq!(
+            fs.injected_packets, accounted,
+            "flow {id}: injected {} != accounted {accounted}",
+            fs.injected_packets
+        );
+    }
+}
+
+/// Two-switch topology, 8 Gbps CBR toward h1 (above the Eq. 3 threshold
+/// of 5 Gbps for a 2-switch loop at TTL 16), with a transient loop
+/// installed at `t1` and repaired at `t2` via fault-plan route rewrites.
+fn transient_loop_sim(t1: SimTime, t2: SimTime) -> NetSim {
+    let b = two_switch_loop(LinkSpec::default());
+    let (s, h) = (&b.switches, &b.hosts);
+    let to_s0 = b.topo.port_towards(s[1], s[0]).unwrap().port;
+    let to_h1 = b.topo.port_towards(s[1], h[1]).unwrap().port;
+    let mut cfg = SimConfig::default();
+    // Keep running through a detection so the repair still fires; the
+    // claim under test is that the wedge survives it.
+    cfg.stop_on_deadlock = false;
+    let mut sim = NetSim::new(&b.topo, cfg);
+    sim.add_flow(FlowSpec::cbr(0, h[0], h[1], BitRate::from_gbps(8)).with_ttl(16));
+    // s0 already forwards h1-bound traffic to s1; pointing s1 back at s0
+    // closes the loop, and restoring the host port repairs it.
+    sim.set_fault_plan(
+        FaultPlan::new()
+            .route_set(t1, s[1], h[1], vec![to_s0])
+            .route_set(t2, s[1], h[1], vec![to_h1]),
+    )
+    .unwrap();
+    sim
+}
+
+#[test]
+fn transient_loop_longer_than_fill_time_deadlocks() {
+    // 20 ms of looping at 8 Gbps is far beyond the boundary-state fill
+    // time: the cyclic buffer dependency wedges and survives the repair.
+    let mut sim = transient_loop_sim(SimTime::from_us(100), SimTime::from_ms(20));
+    let report = sim.run(SimTime::from_ms(40));
+    assert!(
+        report.verdict.is_deadlock(),
+        "a long transient loop must wedge permanently: {}",
+        report.summary()
+    );
+    // The fault timeline records both rewrites, and the loop was
+    // installed before the deadlock formed.
+    let rewrites = report
+        .stats
+        .faults
+        .iter()
+        .filter(|r| matches!(r.action, FaultAction::RouteChanged { .. }))
+        .count();
+    assert_eq!(rewrites, 2, "install + repair in the timeline");
+    if let Verdict::Deadlock { detected_at, .. } = report.verdict {
+        assert!(
+            report.stats.faults[0].at <= detected_at,
+            "loop install precedes formation"
+        );
+    }
+}
+
+#[test]
+fn transient_loop_shorter_than_fill_time_is_harmless() {
+    // 40 µs of looping cannot fill the boundary state: after the repair
+    // the circulating packets drain and traffic continues.
+    let mut sim = transient_loop_sim(SimTime::from_us(100), SimTime::from_us(140));
+    let report = sim.run(SimTime::from_ms(10));
+    assert!(
+        !report.verdict.is_deadlock(),
+        "a short loop window must not deadlock: {}",
+        report.summary()
+    );
+    let fs = &report.stats.flows[&FlowId(0)];
+    assert!(
+        fs.delivered_packets * 10 >= fs.injected_packets * 9,
+        "delivery must continue after the repair: {}/{}",
+        fs.delivered_packets,
+        fs.injected_packets
+    );
+}
+
+#[test]
+fn link_failure_drops_are_attributed_and_conserved() {
+    let b = line(2, LinkSpec::default());
+    let (s, h) = (&b.switches, &b.hosts);
+    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    sim.add_flow(
+        FlowSpec::cbr(0, h[0], h[1], BitRate::from_gbps(10)).stopping_at(SimTime::from_ms(1)),
+    );
+    sim.set_fault_plan(
+        FaultPlan::new()
+            .link_down(SimTime::from_us(200), s[0], s[1])
+            .link_up(SimTime::from_us(500), s[0], s[1]),
+    )
+    .unwrap();
+    let report = sim.run(SimTime::from_ms(20));
+    assert!(
+        report.quiesced,
+        "finite flow must drain: {}",
+        report.summary()
+    );
+    assert!(
+        report.stats.drops_link_down > 0,
+        "packets routed at the dead link are destroyed"
+    );
+    let fs = &report.stats.flows[&FlowId(0)];
+    assert!(fs.delivered_packets > 0, "delivery resumes after repair");
+    assert_eq!(
+        fs.dropped_link_down + fs.delivered_packets,
+        fs.injected_packets - fs.unsent_packets,
+        "every loss is a link-down loss here"
+    );
+    assert_conserved(&report);
+}
+
+#[test]
+fn link_flap_unrolls_into_cycles_and_conserves() {
+    let b = line(2, LinkSpec::default());
+    let (s, h) = (&b.switches, &b.hosts);
+    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    sim.add_flow(
+        FlowSpec::cbr(0, h[0], h[1], BitRate::from_gbps(10)).stopping_at(SimTime::from_ms(2)),
+    );
+    sim.set_fault_plan(FaultPlan::new().link_flap(
+        SimTime::from_us(100),
+        s[0],
+        s[1],
+        SimDuration::from_us(50),  // down for
+        SimDuration::from_us(400), // period
+        4,                         // cycles
+    ))
+    .unwrap();
+    let report = sim.run(SimTime::from_ms(20));
+    let downs = report
+        .stats
+        .faults
+        .iter()
+        .filter(|r| matches!(r.action, FaultAction::LinkDown { .. }))
+        .count();
+    let ups = report
+        .stats
+        .faults
+        .iter()
+        .filter(|r| matches!(r.action, FaultAction::LinkUp { .. }))
+        .count();
+    assert_eq!((downs, ups), (4, 4), "4 flap cycles leave 4 down/up pairs");
+    assert!(report.stats.drops_link_down > 0);
+    assert_conserved(&report);
+}
+
+#[test]
+fn switch_reboot_wipes_then_restores() {
+    let b = line(3, LinkSpec::default());
+    let (s, h) = (&b.switches, &b.hosts);
+    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    sim.add_flow(
+        FlowSpec::cbr(0, h[0], h[2], BitRate::from_gbps(10)).stopping_at(SimTime::from_ms(1)),
+    );
+    sim.set_fault_plan(FaultPlan::new().switch_reboot(
+        SimTime::from_us(300),
+        s[1],
+        SimDuration::from_us(200),
+    ))
+    .unwrap();
+    let report = sim.run(SimTime::from_ms(20));
+    let rebooted = report
+        .stats
+        .faults
+        .iter()
+        .any(|r| matches!(r.action, FaultAction::SwitchRebooted { .. }));
+    let restored = report
+        .stats
+        .faults
+        .iter()
+        .any(|r| matches!(r.action, FaultAction::SwitchRestored { .. }));
+    assert!(rebooted && restored, "reboot and restore in the timeline");
+    assert!(
+        report.stats.drops_link_down > 0,
+        "buffered and in-flight packets are destroyed by the reboot"
+    );
+    let fs = &report.stats.flows[&FlowId(0)];
+    assert!(
+        fs.delivered_packets > fs.dropped_link_down,
+        "forwarding state is restored and traffic flows again"
+    );
+    assert_conserved(&report);
+}
+
+#[test]
+fn lost_pfc_breaks_losslessness_instead_of_deadlocking() {
+    // The Fig. 4 deadlock scenario — but with every PAUSE frame destroyed
+    // there is no backpressure at all: no deadlock forms, and the
+    // lossless guarantee breaks at the headroom instead.
+    let b = square(LinkSpec::default());
+    let (s, h) = (&b.switches, &b.hosts);
+    let mut cfg = SimConfig::default();
+    cfg.stop_on_deadlock = false;
+    let mut sim = NetSim::new(&b.topo, cfg);
+    sim.add_flow(
+        FlowSpec::infinite(1, h[0], h[3]).pinned(vec![h[0], s[0], s[1], s[2], s[3], h[3]]),
+    );
+    sim.add_flow(
+        FlowSpec::infinite(2, h[2], h[1]).pinned(vec![h[2], s[2], s[3], s[0], s[1], h[1]]),
+    );
+    sim.add_flow(FlowSpec::infinite(3, h[1], h[2]).pinned(vec![h[1], s[1], s[2], h[2]]));
+    let mut plan = FaultPlan::new();
+    for &sw in s {
+        plan = plan.pause_loss(SimTime::ZERO, sw, 1.0);
+    }
+    sim.set_fault_plan(plan).unwrap();
+    let report = sim.run(SimTime::from_ms(5));
+    assert!(
+        report.stats.pause_frames_lost > 0,
+        "the loss process must eat PAUSE frames: {}",
+        report.summary()
+    );
+    assert!(
+        report.stats.drops_pause_loss > 0,
+        "unpaused upstreams overrun the lossless headroom"
+    );
+    assert!(
+        !report.verdict.is_deadlock(),
+        "without PFC there is no cyclic backpressure to wedge"
+    );
+}
+
+#[test]
+fn reconvergence_repairs_routing_after_link_failure() {
+    let b = square(LinkSpec::default());
+    let (s, h) = (&b.switches, &b.hosts);
+    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    sim.add_flow(
+        FlowSpec::cbr(0, h[0], h[3], BitRate::from_gbps(10)).stopping_at(SimTime::from_ms(2)),
+    );
+    // Fail the direct s0–s3 link, then let the control plane reconverge
+    // with zero jitter (a consistent new tree: clean repair, no loop).
+    sim.set_fault_plan(
+        FaultPlan::new()
+            .link_down(SimTime::from_us(100), s[0], s[3])
+            .route_reconverge(
+                SimTime::from_us(110),
+                SimDuration::from_us(20),
+                SimDuration::ZERO,
+            ),
+    )
+    .unwrap();
+    let report = sim.run(SimTime::from_ms(30));
+    assert!(
+        !report.verdict.is_deadlock(),
+        "consistent reconvergence must not loop: {}",
+        report.summary()
+    );
+    let reconverged = report
+        .stats
+        .faults
+        .iter()
+        .filter(|r| matches!(r.action, FaultAction::RoutesReconverged { .. }))
+        .count();
+    assert_eq!(reconverged, s.len(), "every switch reconverges");
+    let fs = &report.stats.flows[&FlowId(0)];
+    assert!(
+        fs.dropped_link_down > 0,
+        "the black-hole window destroys some packets"
+    );
+    assert!(
+        fs.delivered_packets * 10 >= fs.injected_packets * 8,
+        "most traffic survives the failover: {}/{}",
+        fs.delivered_packets,
+        fs.injected_packets
+    );
+    assert_conserved(&report);
+}
+
+#[test]
+fn laggy_reconvergence_forms_a_transient_loop_that_deadlocks() {
+    // The paper's Case 1 end-to-end: a link fails, switches reconverge
+    // with wildly different lags, and during the disagreement window
+    // h3-bound traffic loops. Above the boundary-state fill rate the
+    // loop wedges into a permanent deadlock even though every switch
+    // eventually holds correct routes.
+    let b = square(LinkSpec::default());
+    let (s, h) = (&b.switches, &b.hosts);
+    // The ECMP hash is per (flow, node): whether the not-yet-updated
+    // switch bounces a given flow back into the loop depends on the flow
+    // id, and whether its lag leaves a long enough disagreement window
+    // depends on the seed — so sweep both.
+    let mut found_deadlock = false;
+    'outer: for flow in 0..8u32 {
+        for seed in 0..4u64 {
+            let mut cfg = SimConfig::default();
+            cfg.seed = seed;
+            let mut sim = NetSim::new(&b.topo, cfg);
+            sim.add_flow(FlowSpec::cbr(flow, h[0], h[3], BitRate::from_gbps(30)).with_ttl(16));
+            sim.set_fault_plan(
+                FaultPlan::new()
+                    .link_down(SimTime::from_us(100), s[0], s[3])
+                    .route_reconverge(
+                        SimTime::from_us(110),
+                        SimDuration::ZERO,
+                        SimDuration::from_ms(5), // per-switch lag jitter
+                    ),
+            )
+            .unwrap();
+            let report = sim.run(SimTime::from_ms(30));
+            if report.verdict.is_deadlock() {
+                found_deadlock = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(
+        found_deadlock,
+        "large reconvergence jitter must wedge at least one flow/seed combination"
+    );
+}
+
+#[test]
+fn fault_plan_rejects_invalid_targets() {
+    let b = square(LinkSpec::default());
+    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    // s0 and s2 are opposite corners: not adjacent.
+    let bad = FaultPlan::new().link_down(SimTime::ZERO, b.switches[0], b.switches[2]);
+    assert!(sim.set_fault_plan(bad).is_err());
+    // Hosts cannot lose PFC frames they never relay.
+    let bad = FaultPlan::new().pause_loss(SimTime::ZERO, b.hosts[0], 0.5);
+    assert!(sim.set_fault_plan(bad).is_err());
+}
+
+#[test]
+fn try_config_apis_report_errors_instead_of_panicking() {
+    let b = line(2, LinkSpec::default());
+    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    // Hosts are not switches.
+    assert!(sim
+        .try_set_switch_pfc(b.hosts[0], PfcConfig::default())
+        .is_err());
+    assert!(sim
+        .try_set_port_thresholds(
+            b.hosts[0],
+            PortNo(0),
+            Bytes::from_kb(40),
+            Bytes::from_kb(20)
+        )
+        .is_err());
+    assert!(sim
+        .try_set_ingress_shaper(
+            b.hosts[0],
+            PortNo(0),
+            BitRate::from_gbps(1),
+            Bytes::from_kb(1)
+        )
+        .is_err());
+    // Out-of-range port.
+    assert!(sim
+        .try_set_ingress_shaper(
+            b.switches[0],
+            PortNo(250),
+            BitRate::from_gbps(1),
+            Bytes::from_kb(1)
+        )
+        .is_err());
+    // Inverted thresholds.
+    assert!(sim
+        .try_set_port_thresholds(
+            b.switches[0],
+            PortNo(0),
+            Bytes::from_kb(20),
+            Bytes::from_kb(40)
+        )
+        .is_err());
+    // And the happy paths still work.
+    assert!(sim
+        .try_set_switch_pfc(b.switches[0], PfcConfig::default())
+        .is_ok());
+    assert!(sim
+        .try_set_port_thresholds(
+            b.switches[0],
+            PortNo(0),
+            Bytes::from_kb(40),
+            Bytes::from_kb(20)
+        )
+        .is_ok());
+    assert!(sim
+        .try_set_ingress_shaper(
+            b.switches[0],
+            PortNo(0),
+            BitRate::from_gbps(1),
+            Bytes::from_kb(1)
+        )
+        .is_ok());
+}

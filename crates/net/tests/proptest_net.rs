@@ -171,3 +171,121 @@ proptest! {
         prop_assert_eq!(rest + got, total);
     }
 }
+
+// ---------------------------------------------------------------------
+// Whole-simulator properties under fault injection
+// ---------------------------------------------------------------------
+
+use pfcsim_net::config::SimConfig;
+use pfcsim_net::faults::FaultPlan;
+use pfcsim_net::flow::FlowSpec;
+use pfcsim_net::sim::{NetSim, RunReport};
+use pfcsim_simcore::time::SimDuration;
+use pfcsim_topo::builders::{square, Built, LinkSpec};
+
+/// One generated fault, as raw proptest numbers; [`build_plan`] maps it
+/// onto the square topology so every generated plan validates.
+type RawFault = (u8, u16, u8, u16);
+
+fn build_plan(b: &Built, raw: &[RawFault]) -> FaultPlan {
+    let s = &b.switches;
+    let h = &b.hosts;
+    let mut plan = FaultPlan::new();
+    for &(kind, t_us, which, p) in raw {
+        let at = SimTime::from_us(50 + t_us as u64 % 1500);
+        // Endpoints: the square's ring links plus its host links.
+        let (a, bb) = match which % 8 {
+            0 => (s[0], s[1]),
+            1 => (s[1], s[2]),
+            2 => (s[2], s[3]),
+            3 => (s[3], s[0]),
+            i => (h[(i - 4) as usize], s[(i - 4) as usize]),
+        };
+        let sw = s[(which % 4) as usize];
+        plan = match kind % 7 {
+            0 => plan.link_down(at, a, bb),
+            1 => plan.link_up(at, a, bb),
+            2 => {
+                let down_for = SimDuration::from_us(1 + p as u64 % 50);
+                let period = down_for + SimDuration::from_us(1 + which as u64);
+                plan.link_flap(at, a, bb, down_for, period, 1 + (p % 3) as u32)
+            }
+            3 => plan.pause_loss(at, sw, (p % 101) as f64 / 100.0),
+            4 => plan.pause_delay(at, sw, SimDuration::from_us(p as u64 % 20)),
+            5 => plan.switch_reboot(at, sw, SimDuration::from_us(10 + p as u64 % 300)),
+            _ => plan.route_reconverge(
+                at,
+                SimDuration::from_us(1 + which as u64),
+                SimDuration::from_us(p as u64 % 500),
+            ),
+        };
+    }
+    plan
+}
+
+fn faulted_run(b: &Built, raw: &[RawFault], seed: u64) -> RunReport {
+    let mut cfg = SimConfig::default();
+    cfg.seed = seed;
+    // Run through any deadlock to quiescence so conservation is exact.
+    cfg.stop_on_deadlock = false;
+    let mut sim = NetSim::new(&b.topo, cfg);
+    sim.add_flow(
+        FlowSpec::cbr(0, b.hosts[0], b.hosts[3], BitRate::from_gbps(10))
+            .stopping_at(SimTime::from_ms(2)),
+    );
+    sim.add_flow(
+        FlowSpec::cbr(1, b.hosts[2], b.hosts[1], BitRate::from_gbps(10))
+            .stopping_at(SimTime::from_ms(2)),
+    );
+    sim.set_fault_plan(build_plan(b, raw)).expect("plan valid");
+    sim.run(SimTime::from_ms(50))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Identical seed + identical fault plan ⇒ bit-identical statistics,
+    /// faults and all (the fault RNG is part of the deterministic state).
+    #[test]
+    fn fault_runs_are_deterministic(
+        raw in prop::collection::vec((0u8..14, 0u16..1500, 0u8..8, 0u16..1000), 0..6),
+        seed in 0u64..1_000,
+    ) {
+        let b = square(LinkSpec::default());
+        let one = faulted_run(&b, &raw, seed);
+        let two = faulted_run(&b, &raw, seed);
+        prop_assert_eq!(
+            serde_json::to_string(&one.stats).unwrap(),
+            serde_json::to_string(&two.stats).unwrap()
+        );
+    }
+
+    /// Packet conservation under arbitrary fault schedules: at quiescence
+    /// every injected packet is delivered, attributed to a drop category,
+    /// left unsent at the source, or stuck inside the network.
+    #[test]
+    fn packets_are_conserved_under_faults(
+        raw in prop::collection::vec((0u8..14, 0u16..1500, 0u8..8, 0u16..1000), 0..8),
+        seed in 0u64..1_000,
+    ) {
+        let b = square(LinkSpec::default());
+        let report = faulted_run(&b, &raw, seed);
+        prop_assert!(report.quiesced, "finite flows must quiesce by 50 ms");
+        for (id, fs) in &report.stats.flows {
+            let accounted = fs.delivered_packets
+                + fs.dropped_ttl
+                + fs.dropped_no_route
+                + fs.dropped_overflow
+                + fs.dropped_recovery
+                + fs.dropped_link_down
+                + fs.dropped_pause_loss
+                + fs.unsent_packets
+                + fs.stuck_packets;
+            prop_assert_eq!(
+                fs.injected_packets, accounted,
+                "flow {} injected {} but accounted {}",
+                id, fs.injected_packets, accounted
+            );
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::prop;
+pub use crate::strategy::{Arbitrary, Just, Strategy};
+pub use crate::test_runner::{TestCaseError, TestRng};
+pub use crate::{any, ProptestConfig};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};

@@ -1,0 +1,49 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a minimal serialization framework under serde's names. Instead of the
+//! real serde's zero-copy visitor architecture, this stub uses a direct
+//! document model: [`Serialize`] renders a type into a [`value::Value`]
+//! tree and [`Deserialize`] reads one back. `serde_json` (also vendored)
+//! converts that tree to and from JSON text.
+//!
+//! The derive macros (re-exported from `serde_derive`) generate
+//! implementations for structs and enums, honouring the
+//! `#[serde(with = "module")]` field attribute: the named module must
+//! provide `to_value(&T) -> Value` and
+//! `from_value(&Value) -> Result<T, de::Error>`.
+//!
+//! Representation choices (mirrored by the vendored `serde_json`):
+//! * newtype structs are transparent (serialize as their inner value);
+//! * enums are externally tagged, exactly like real serde;
+//! * ordered maps serialize as arrays of `[key, value]` pairs, so
+//!   non-string keys round-trip through JSON;
+//! * `u64` / `i64` survive losslessly ([`value::Number`] keeps integers
+//!   out of `f64`), which matters for picosecond timestamps.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+pub mod value;
+
+mod impls;
+
+use value::Value;
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Render `self` as a document value.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a document value.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}

@@ -1,0 +1,482 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (a direct `Value`-tree model, not the real visitor API). The
+//! input is parsed by hand from the raw [`proc_macro::TokenStream`] —
+//! `syn`/`quote` are not available offline — which restricts the derive to
+//! what this workspace actually uses:
+//!
+//! * non-generic structs (named, tuple/newtype, unit) and enums (unit,
+//!   tuple and struct variants);
+//! * the `#[serde(with = "module")]` field attribute, where the module
+//!   provides `to_value(&T) -> Value` and
+//!   `from_value(&Value) -> Result<T, serde::de::Error>`.
+//!
+//! Representation matches real serde where it matters: newtype structs
+//! are transparent and enums are externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde stub derive produced invalid Rust")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde stub derive produced invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility, find `struct` / `enum`.
+    let mut is_enum = false;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // #[...]
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive does not support generic type `{name}`");
+    }
+    let kind = if is_enum {
+        let body = match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde stub derive: expected enum body, got {other}"),
+        };
+        Kind::Enum(parse_variants(body))
+    } else {
+        match toks.get(i) {
+            None => Kind::Struct(Fields::Unit),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_top_level_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(other) => panic!("serde stub derive: unexpected token {other} in `{name}`"),
+        }
+    };
+    Item { name, kind }
+}
+
+/// Count comma-separated items at angle-bracket depth 0. Parens/brackets/
+/// braces are opaque `Group`s, so only `<`/`>` need manual depth tracking.
+fn count_top_level_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for t in ts {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    match (any, trailing_comma) {
+        (false, _) => 0,
+        (true, true) => count,
+        (true, false) => count + 1,
+    }
+}
+
+/// Extract `with = "path"` from a `#[serde(...)]` attribute body.
+fn serde_with(attr_body: TokenStream) -> Option<String> {
+    // Body tokens: `serde ( with = "path" )`.
+    let toks: Vec<TokenTree> = attr_body.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                if let TokenTree::Ident(key) = &inner[j] {
+                    if key.to_string() == "with" {
+                        if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                            let s = lit.to_string();
+                            return Some(s.trim_matches('"').to_string());
+                        }
+                    }
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut with = None;
+        // Attributes.
+        while matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                if let Some(w) = serde_with(g.stream()) {
+                    with = Some(w);
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde stub derive: expected field name, got {other}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+                // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Attributes (doc comments mostly).
+        while matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde stub derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn ser_expr(with: &Option<String>, place: &str) -> String {
+    match with {
+        Some(path) => format!("{path}::to_value({place})"),
+        None => format!("::serde::Serialize::to_value({place})"),
+    }
+}
+
+fn de_expr(with: &Option<String>, value: &str) -> String {
+    match with {
+        Some(path) => format!("{path}::from_value({value})?"),
+        None => format!("::serde::Deserialize::from_value({value})?"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => "::serde::value::Value::Null".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => ser_expr(&None, "&self.0"),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| ser_expr(&None, &format!("&self.{i}")))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), {e})",
+                        n = f.name,
+                        e = ser_expr(&f.with, &format!("&self.{}", f.name))
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::value::Value::String(\"{vn}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), {e})]),",
+                            e = ser_expr(&None, "__f0")
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> =
+                                (0..*n).map(|i| ser_expr(&None, &format!("__f{i}"))).collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), ::serde::value::Value::Array(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), {e})",
+                                        n = f.name,
+                                        e = ser_expr(&f.with, &f.name)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), ::serde::value::Value::Object(vec![{pairs}]))]),",
+                                binds = binds.join(", "),
+                                pairs = pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}({}))",
+            de_expr(&None, "__v")
+        ),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| de_expr(&None, &format!("&__a[{i}]")))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::de::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(::serde::de::Error::custom(\"wrong arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{n}: {e}",
+                        n = f.name,
+                        e = de_expr(
+                            &f.with,
+                            &format!("::serde::value::field(__o, \"{}\")?", f.name)
+                        )
+                    )
+                })
+                .collect();
+            format!(
+                "let __o = __v.as_object().ok_or_else(|| ::serde::de::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})",
+                inits = inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({e})),\n",
+                            e = de_expr(&None, "__inner")
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| de_expr(&None, &format!("&__a[{i}]")))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __a = __inner.as_array().ok_or_else(|| ::serde::de::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                                 if __a.len() != {n} {{ return ::std::result::Result::Err(::serde::de::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({items}))\n\
+                             }}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{n}: {e}",
+                                    n = f.name,
+                                    e = de_expr(
+                                        &f.with,
+                                        &format!("::serde::value::field(__o, \"{}\")?", f.name)
+                                    )
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __o = __inner.as_object().ok_or_else(|| ::serde::de::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                             }}\n",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::value::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::de::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::value::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__pairs[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\
+                             __other => ::std::result::Result::Err(::serde::de::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::de::Error::custom(\"bad enum encoding for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

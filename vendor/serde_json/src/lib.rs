@@ -1,0 +1,116 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Writes and parses JSON over the vendored `serde` crate's [`Value`]
+//! document model. Output is deterministic: objects keep insertion order
+//! and integers are lossless (see `serde::value::Number`).
+
+use serde::{Deserialize, Serialize};
+
+pub use serde::value::{Number, Value};
+
+mod read;
+mod write;
+
+use std::fmt;
+
+/// A serialization or parse error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Render any serializable type as a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuild a deserializable type from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize to human-readable, 2-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = read::parse(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for json in ["0", "18446744073709551615", "-42", "true", "null", "\"x\""] {
+            let v: Value = from_str(json).unwrap();
+            assert_eq!(to_string(&v).unwrap(), json);
+        }
+        // Large u64 (picosecond timestamps) survive exactly.
+        let n: u64 = from_str("9007199254740993").unwrap();
+        assert_eq!(n, 9_007_199_254_740_993);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Value = from_str(r#"{"a":[1,2.5,{"b":null}],"c":"s\n\"t\""}"#).unwrap();
+        let text = to_string(&v).unwrap();
+        let v2: Value = from_str(&text).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn pretty_is_reparsable() {
+        let v: Value = from_str(r#"{"a":[1,2],"b":{"c":[]}}"#).unwrap();
+        let v2: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn float_text_stays_a_float() {
+        let f: f64 = from_str(&to_string(&1.0f64).unwrap()).unwrap();
+        assert_eq!(f, 1.0);
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
