@@ -1,80 +1,15 @@
 //! Criterion benchmarks of the simulation engine itself: raw event
 //! throughput, queue operations, and analysis primitives — the numbers a
 //! simulator maintainer watches.
+//!
+//! The bodies live in [`pfcsim_experiments::enginebench`] so that `repro
+//! bench` runs the identical workloads when writing `BENCH_engine.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main};
 
-use pfcsim_net::config::SimConfig;
-use pfcsim_net::flow::FlowSpec;
-use pfcsim_net::sim::NetSim;
-use pfcsim_simcore::event::EventQueue;
-use pfcsim_simcore::rng::SimRng;
-use pfcsim_simcore::time::SimTime;
-use pfcsim_topo::builders::{fat_tree, line, LinkSpec};
-
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("schedule_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = SimRng::new(7);
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_ns(rng.gen_range(1_000_000)), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
-    });
-    g.finish();
-}
-
-fn bench_line_forwarding(c: &mut Criterion) {
-    // A saturated 2-switch line: pure datapath throughput (events/sec).
-    let built = line(2, LinkSpec::default());
-    let mut g = c.benchmark_group("datapath");
-    g.sample_size(10);
-    g.bench_function("line2_saturated_1ms", |b| {
-        b.iter(|| {
-            let mut sim = NetSim::new(&built.topo, SimConfig::default());
-            sim.add_flow(FlowSpec::infinite(0, built.hosts[0], built.hosts[1]));
-            sim.add_flow(FlowSpec::infinite(1, built.hosts[1], built.hosts[0]));
-            let r = sim.run(SimTime::from_ms(1));
-            black_box(r.events)
-        })
-    });
-    g.finish();
-}
-
-fn bench_fat_tree_all_to_all(c: &mut Criterion) {
-    let built = fat_tree(4, LinkSpec::default());
-    let mut g = c.benchmark_group("fabric");
-    g.sample_size(10);
-    g.bench_function("fat_tree4_permutation_200us", |b| {
-        b.iter(|| {
-            let tables = pfcsim_topo::routing::up_down_tables(&built.topo);
-            let mut cfg = SimConfig::default();
-            cfg.sample_interval = None; // measure datapath, not sampling
-            let mut sim = NetSim::with_tables(&built.topo, cfg, tables);
-            let n = built.hosts.len();
-            for i in 0..n {
-                sim.add_flow(FlowSpec::infinite(
-                    i as u32,
-                    built.hosts[i],
-                    built.hosts[(i + n / 2) % n],
-                ));
-            }
-            let r = sim.run(SimTime::from_us(200));
-            assert!(!r.verdict.is_deadlock());
-            black_box(r.events)
-        })
-    });
-    g.finish();
-}
+use pfcsim_experiments::enginebench::{
+    bench_event_queue, bench_fat_tree_all_to_all, bench_line_forwarding,
+};
 
 criterion_group!(
     engine,

@@ -3,6 +3,7 @@
 //! ```text
 //! repro all [--quick] [--json DIR]
 //! repro fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations
+//! repro bench [--quick] [--out PATH]   # engine baselines -> BENCH_engine.json
 //! ```
 
 use std::io::Write;
@@ -68,10 +69,101 @@ fn verify(topo_name: &str, routing: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <all|fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations|recovery|fluid|flooding|faults|verify> \
-         [--quick] [--json DIR] [--csv DIR]"
+        "usage: repro <all|fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations|recovery|fluid|flooding|faults|verify|bench> \
+         [--quick] [--json DIR] [--csv DIR] [--out PATH]"
     );
     std::process::exit(2);
+}
+
+/// `repro bench [--quick] [--out PATH]` — run the engine micro-benchmarks
+/// plus a wall-clock measurement of `repro all --quick`, and write the
+/// machine-readable baseline (default `BENCH_engine.json`).
+fn bench(quick: bool, out: &str) -> ! {
+    use pfcsim_experiments::enginebench::run_engine_benches;
+    use serde_json::{to_value, Value};
+
+    fn obj(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+    fn val<T: serde::Serialize>(x: T) -> Value {
+        to_value(x).expect("to_value")
+    }
+
+    let results = run_engine_benches(quick);
+
+    // Wall-clock the full quick regeneration in-process, serial and at
+    // the ambient thread count; the reports must match byte-for-byte
+    // (the determinism contract of `sweep::parallel_map`).
+    let opts = Opts {
+        quick: true,
+        dump_dir: None,
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let t0 = std::time::Instant::now();
+    let serial = with_threads(1, || experiments::run_all(&opts));
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let parallel = with_threads(threads, || experiments::run_all(&opts));
+    let parallel_secs = t1.elapsed().as_secs_f64();
+    let serial_render: Vec<String> = serial.iter().map(Report::render).collect();
+    let parallel_render: Vec<String> = parallel.iter().map(Report::render).collect();
+    let deterministic = serial_render == parallel_render;
+
+    let benches: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("name", val(&r.name)),
+                ("mean_seconds", val(r.mean_seconds)),
+                ("iters", val(r.iters as u64)),
+                ("events_per_sec", val(r.elements_per_sec())),
+            ])
+        })
+        .collect();
+    let doc = obj(vec![
+        ("schema", val("pfcsim-bench/1")),
+        ("quick", val(quick)),
+        ("threads", val(threads as u64)),
+        ("benches", Value::Array(benches)),
+        (
+            "repro_all_quick",
+            obj(vec![
+                ("serial_seconds", val(serial_secs)),
+                ("parallel_seconds", val(parallel_secs)),
+                ("speedup", val(serial_secs / parallel_secs.max(1e-9))),
+                ("deterministic", val(deterministic)),
+            ]),
+        ),
+    ]);
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&doc).expect("json") + "\n",
+    )
+    .expect("write bench baseline");
+    println!(
+        "repro all --quick: serial {serial_secs:.3}s, parallel({threads}) {parallel_secs:.3}s, \
+         deterministic: {deterministic}"
+    );
+    println!("wrote {out}");
+    if !deterministic {
+        eprintln!("error: serial and parallel reports diverge — sweep determinism is broken");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// Run `f` with `PFCSIM_THREADS` pinned to `n`, restoring it after.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let saved = std::env::var("PFCSIM_THREADS").ok();
+    std::env::set_var("PFCSIM_THREADS", n.to_string());
+    let r = f();
+    match saved {
+        Some(v) => std::env::set_var("PFCSIM_THREADS", v),
+        None => std::env::remove_var("PFCSIM_THREADS"),
+    }
+    r
 }
 
 fn main() {
@@ -86,6 +178,15 @@ fn main() {
         verify(topo, routing);
     }
     let quick = args.iter().any(|a| a == "--quick");
+    if cmd == "bench" {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("BENCH_engine.json");
+        bench(quick, out);
+    }
     let json_dir = args
         .iter()
         .position(|a| a == "--json")

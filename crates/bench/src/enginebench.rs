@@ -1,0 +1,153 @@
+//! Engine micro-benchmarks, shared between `cargo bench` and `repro
+//! bench`.
+//!
+//! The bodies live here (not in `benches/engine.rs`) so the `repro`
+//! binary can run the same workloads and write a machine-readable
+//! baseline (`BENCH_engine.json`) without a second copy of the
+//! scenarios. Three layers, one number each:
+//!
+//! * `event_queue/schedule_pop_10k` — the scheduler alone;
+//! * `datapath/line2_saturated_1ms` — full per-packet pipeline on the
+//!   smallest topology that exercises PFC;
+//! * `fabric/fat_tree4_permutation_200us` — routing + arbitration on a
+//!   16-host fat-tree.
+
+use criterion::{black_box, take_results, BenchResult, Criterion, Throughput};
+
+use pfcsim_net::config::SimConfig;
+use pfcsim_net::flow::FlowSpec;
+use pfcsim_net::sim::NetSim;
+use pfcsim_simcore::event::EventQueue;
+use pfcsim_simcore::rng::SimRng;
+use pfcsim_simcore::time::SimTime;
+use pfcsim_topo::builders::{fat_tree, line, LinkSpec};
+
+fn event_queue_bench(c: &mut Criterion, samples: usize) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.sample_size(samples);
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::new(7);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_ns(rng.gen_range(1_000_000)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+fn line_forwarding_bench(c: &mut Criterion, samples: usize) {
+    // A saturated 2-switch line: pure datapath throughput (events/sec).
+    let built = line(2, LinkSpec::default());
+    let mut g = c.benchmark_group("datapath");
+    g.sample_size(samples);
+    // Pre-measure the event count once so the group can report events/sec.
+    let events = {
+        let mut sim = NetSim::new(&built.topo, SimConfig::default());
+        sim.add_flow(FlowSpec::infinite(0, built.hosts[0], built.hosts[1]));
+        sim.add_flow(FlowSpec::infinite(1, built.hosts[1], built.hosts[0]));
+        sim.run(SimTime::from_ms(1)).events
+    };
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("line2_saturated_1ms", |b| {
+        b.iter(|| {
+            let mut sim = NetSim::new(&built.topo, SimConfig::default());
+            sim.add_flow(FlowSpec::infinite(0, built.hosts[0], built.hosts[1]));
+            sim.add_flow(FlowSpec::infinite(1, built.hosts[1], built.hosts[0]));
+            let r = sim.run(SimTime::from_ms(1));
+            black_box(r.events)
+        })
+    });
+    g.finish();
+}
+
+fn fat_tree_bench(c: &mut Criterion, samples: usize) {
+    let built = fat_tree(4, LinkSpec::default());
+    let run_once = || {
+        let tables = pfcsim_topo::routing::up_down_tables(&built.topo);
+        let mut cfg = SimConfig::default();
+        cfg.sample_interval = None; // measure datapath, not sampling
+        let mut sim = NetSim::with_tables(&built.topo, cfg, tables);
+        let n = built.hosts.len();
+        for i in 0..n {
+            sim.add_flow(FlowSpec::infinite(
+                i as u32,
+                built.hosts[i],
+                built.hosts[(i + n / 2) % n],
+            ));
+        }
+        let r = sim.run(SimTime::from_us(200));
+        assert!(!r.verdict.is_deadlock());
+        r.events
+    };
+    let events = run_once();
+    let mut g = c.benchmark_group("fabric");
+    g.sample_size(samples);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("fat_tree4_permutation_200us", |b| {
+        b.iter(|| black_box(run_once()))
+    });
+    g.finish();
+}
+
+/// `cargo bench` entry point: scheduler micro-benchmark.
+pub fn bench_event_queue(c: &mut Criterion) {
+    event_queue_bench(c, 3);
+}
+
+/// `cargo bench` entry point: line datapath.
+pub fn bench_line_forwarding(c: &mut Criterion) {
+    line_forwarding_bench(c, 10);
+}
+
+/// `cargo bench` entry point: fat-tree fabric.
+pub fn bench_fat_tree_all_to_all(c: &mut Criterion) {
+    fat_tree_bench(c, 10);
+}
+
+/// Run all engine benchmarks and return the recorded measurements
+/// (drains the criterion stub's registry first, so only this run's
+/// numbers are returned).
+pub fn run_engine_benches(quick: bool) -> Vec<BenchResult> {
+    let _ = take_results();
+    let (s_small, s_big) = if quick { (2, 2) } else { (5, 10) };
+    let mut c = Criterion::default();
+    event_queue_bench(&mut c, s_big);
+    line_forwarding_bench(&mut c, s_small.max(3));
+    fat_tree_bench(&mut c, s_small);
+    take_results()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_benches_record_all_three() {
+        let results = run_engine_benches(true);
+        let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "event_queue/schedule_pop_10k",
+                "datapath/line2_saturated_1ms",
+                "fabric/fat_tree4_permutation_200us"
+            ]
+        );
+        for r in &results {
+            assert!(r.mean_seconds > 0.0, "{} measured nothing", r.name);
+            assert!(
+                r.elements_per_sec().unwrap_or(0.0) > 0.0,
+                "{} has no throughput",
+                r.name
+            );
+        }
+    }
+}

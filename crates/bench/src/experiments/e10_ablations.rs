@@ -13,6 +13,7 @@ use pfcsim_topo::ids::Priority;
 
 use super::Opts;
 use crate::scenarios::{paper_config, square_scenario};
+use crate::sweep::parallel_map;
 use crate::table::{fmt, Report, Table};
 
 /// Run E10.
@@ -25,13 +26,14 @@ pub fn run(opts: &Opts) -> Report {
         "(a) Fig. 3 under FIFO vs DRR egress arbitration",
         &["arbitration", "pauses_L2", "pauses_L4", "deadlock"],
     );
-    for arb in [Arbitration::Fifo, Arbitration::Drr] {
+    let arbs = [Arbitration::Fifo, Arbitration::Drr];
+    for row in parallel_map(&arbs, |&arb| {
         let mut cfg = paper_config();
         cfg.arbitration = arb;
         let mut sc = square_scenario(cfg, false, None);
         let cycle = sc.cycle.clone();
         let res = sc.sim.run(horizon);
-        t.row(vec![
+        vec![
             format!("{arb:?}"),
             res.stats
                 .pause_count(cycle[1].0, cycle[1].1, Priority::DEFAULT)
@@ -40,7 +42,9 @@ pub fn run(opts: &Opts) -> Report {
                 .pause_count(cycle[3].0, cycle[3].1, Priority::DEFAULT)
                 .to_string(),
             fmt::yn(res.verdict.is_deadlock()),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     report.table(t);
     report.note(
@@ -64,17 +68,26 @@ pub fn run(opts: &Opts) -> Report {
         "(b) Fig. 5 first deadlocking limiter rate vs XON threshold",
         &["xon_kb", "first_deadlock_gbps"],
     );
+    // Full (xon, rate) grid fanned out at once; "first deadlocking rate"
+    // is the per-xon minimum over the grid, so evaluating every point
+    // gives the same answer as the old serial early-break scan.
+    let grid: Vec<(u64, u64)> = xons
+        .iter()
+        .flat_map(|&xon| rates.iter().map(move |&g| (xon, g)))
+        .collect();
+    let verdicts = parallel_map(&grid, |&(xon, g)| {
+        let mut cfg = paper_config();
+        cfg.pfc.xon = Bytes::from_kb(xon);
+        let mut sc = square_scenario(cfg, true, Some(BitRate::from_gbps(g)));
+        sc.sim.run(horizon).verdict.is_deadlock()
+    });
     for &xon in xons {
-        let mut first = None;
-        for &g in rates {
-            let mut cfg = paper_config();
-            cfg.pfc.xon = Bytes::from_kb(xon);
-            let mut sc = square_scenario(cfg, true, Some(BitRate::from_gbps(g)));
-            if sc.sim.run(horizon).verdict.is_deadlock() {
-                first = Some(g);
-                break;
-            }
-        }
+        let first = grid
+            .iter()
+            .zip(&verdicts)
+            .filter(|((x, _), &dl)| *x == xon && dl)
+            .map(|((_, g), _)| *g)
+            .min();
         t.row(vec![
             xon.to_string(),
             first
@@ -95,22 +108,25 @@ pub fn run(opts: &Opts) -> Report {
         "(c) Fig. 4 under XON/XOFF vs quanta-refresh pauses",
         &["pause_mode", "deadlock", "pause_frames"],
     );
-    for (label, mode) in [
+    let modes = [
         ("xon/xoff", PauseMode::XonXoff),
         (
             "quanta(65535) + refresh",
             PauseMode::Quanta { quanta: 65535 },
         ),
-    ] {
+    ];
+    for row in parallel_map(&modes, |&(label, mode)| {
         let mut cfg = paper_config();
         cfg.pfc.mode = mode;
         let mut sc = square_scenario(cfg, true, None);
         let res = sc.sim.run(horizon);
-        t.row(vec![
+        vec![
             label.into(),
             fmt::yn(res.verdict.is_deadlock()),
             res.stats.pause_frames.to_string(),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     report.table(t);
     report.note("The deadlock verdict is invariant to the pause wire format, as it must be.");
@@ -125,7 +141,7 @@ pub fn run(opts: &Opts) -> Report {
     } else {
         &[40, 100, 400, 1000, 2000]
     };
-    for &kb in sizes {
+    for row in parallel_map(sizes, |&kb| {
         let mut cfg = paper_config();
         cfg.pfc.xoff = Bytes::from_kb(kb);
         cfg.pfc.xon = Bytes::from_kb(kb / 2);
@@ -135,12 +151,14 @@ pub fn run(opts: &Opts) -> Report {
             pfcsim_net::sim::Verdict::Deadlock { detected_at, .. } => detected_at.to_string(),
             _ => "-".into(),
         };
-        t.row(vec![
+        vec![
             kb.to_string(),
             fmt::yn(res.verdict.is_deadlock()),
             at,
             res.buffered.to_string(),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     report.table(t);
     report.note(

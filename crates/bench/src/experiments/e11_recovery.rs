@@ -11,6 +11,7 @@ use pfcsim_simcore::time::SimTime;
 
 use super::Opts;
 use crate::scenarios::{paper_config, square_scenario};
+use crate::sweep::parallel_map;
 use crate::table::{fmt, Report, Table};
 
 struct Outcome {
@@ -47,28 +48,28 @@ pub fn run(opts: &Opts) -> Report {
         "Detect-and-reset on the Fig. 4 deadlock: goodput restored, losslessness destroyed",
     );
     let horizon = opts.horizon_ms(5);
-    let frozen = run_variant(horizon, None, None);
-    let one = run_variant(
-        horizon,
-        Some(RecoveryConfig {
-            strategy: RecoveryStrategy::DrainOneQueue,
+    // The four variants are independent runs: fan them out.
+    let variants: [(
+        Option<RecoveryStrategy>,
+        Option<pfcsim_simcore::units::BitRate>,
+    ); 4] = [
+        (None, None),
+        (Some(RecoveryStrategy::DrainOneQueue), None),
+        (Some(RecoveryStrategy::DrainWitness), None),
+        (None, Some(pfcsim_simcore::units::BitRate::from_gbps(2))),
+    ];
+    let mut outcomes = parallel_map(&variants, |&(strategy, limiter)| {
+        let recovery = strategy.map(|s| RecoveryConfig {
+            strategy: s,
             ..RecoveryConfig::default()
-        }),
-        None,
-    );
-    let all = run_variant(
-        horizon,
-        Some(RecoveryConfig {
-            strategy: RecoveryStrategy::DrainWitness,
-            ..RecoveryConfig::default()
-        }),
-        None,
-    );
-    let mitigated = run_variant(
-        horizon,
-        None,
-        Some(pfcsim_simcore::units::BitRate::from_gbps(2)),
-    );
+        });
+        run_variant(horizon, recovery, limiter)
+    })
+    .into_iter();
+    let frozen = outcomes.next().expect("frozen");
+    let one = outcomes.next().expect("one");
+    let all = outcomes.next().expect("all");
+    let mitigated = outcomes.next().expect("mitigated");
 
     let mut t = Table::new(
         "recovery vs freeze vs proactive mitigation",

@@ -89,8 +89,10 @@ pub fn run(opts: &Opts) -> Report {
         "E12 / fluid model",
         "Flow-level (fluid) analysis vs packet-level simulation on Figs. 3-4",
     );
-    for (label, with_flow3) in [("Fig. 3 (2 flows)", false), ("Fig. 4 (3 flows)", true)] {
-        let s = compare(opts, with_flow3);
+    let cases = [("Fig. 3 (2 flows)", false), ("Fig. 4 (3 flows)", true)];
+    for (label, s) in crate::sweep::parallel_map(&cases, |&(label, with_flow3)| {
+        (label, compare(opts, with_flow3))
+    }) {
         let mut t = Table::new(
             format!("{label}: fluid vs packet"),
             &["metric", "fluid model", "packet simulator"],

@@ -23,6 +23,7 @@ use super::Opts;
 use crate::scenarios::{
     paper_config, reconvergence_scenario, transient_loop, transient_loop_train,
 };
+use crate::sweep::parallel_map;
 use crate::table::{fmt, Report, Table};
 
 /// The detection instant, if the run deadlocked.
@@ -55,7 +56,8 @@ pub fn run(opts: &Opts) -> Report {
         &["window_us", "deadlocked", "detected_at", "delivered_pkts"],
     );
     let mut fill_window_us = None;
-    for window_us in [25u64, 50, 100, 200, 400, 800, 1600] {
+    let windows = [25u64, 50, 100, 200, 400, 800, 1600];
+    for (window_us, at, del) in parallel_map(&windows, |&window_us| {
         let mut cfg = paper_config();
         cfg.stop_on_deadlock = false; // let the repair fire; the wedge survives it
         let mut sc = transient_loop(
@@ -66,7 +68,8 @@ pub fn run(opts: &Opts) -> Report {
             install + SimDuration::from_us(window_us),
         );
         let r = sc.sim.run(horizon);
-        let at = deadlock_at(&r);
+        (window_us, deadlock_at(&r), delivered(&r))
+    }) {
         if at.is_some() && fill_window_us.is_none() {
             fill_window_us = Some(window_us);
         }
@@ -74,7 +77,7 @@ pub fn run(opts: &Opts) -> Report {
             window_us.to_string(),
             fmt::yn(at.is_some()),
             at.map_or("—".into(), |d| d.to_string()),
-            delivered(&r).to_string(),
+            del.to_string(),
         ]);
     }
     report.table(t);
@@ -100,22 +103,33 @@ pub fn run(opts: &Opts) -> Report {
         "link failure + laggy reconvergence: deadlock probability (square, 30 Gbps)",
         &["jitter", "deadlocks", "trials", "probability"],
     );
+    // The full (jitter, flow, seed) grid is one flat fan-out; wedge
+    // counts are tallied per jitter value from the ordered results.
+    let jitters = [0u64, 100, 500, 2000, 5000];
+    let grid: Vec<(u64, u32, u64)> = jitters
+        .iter()
+        .flat_map(|&j| (0..flows).flat_map(move |f| (0..seeds).map(move |s| (j, f, s))))
+        .collect();
+    let grid_wedged = parallel_map(&grid, |&(jitter_us, flow, seed)| {
+        let mut cfg = paper_config();
+        cfg.seed = seed;
+        cfg.stop_on_deadlock = false;
+        let mut sc = reconvergence_scenario(
+            cfg,
+            flow,
+            BitRate::from_gbps(30),
+            SimDuration::from_us(jitter_us),
+        );
+        sc.sim.run(horizon2).verdict.is_deadlock()
+    });
     let mut wedged_at_max_jitter = 0usize;
-    for jitter_us in [0u64, 100, 500, 2000, 5000] {
+    for &jitter_us in &jitters {
         let jitter = SimDuration::from_us(jitter_us);
-        let mut wedged = 0usize;
-        for flow in 0..flows {
-            for seed in 0..seeds {
-                let mut cfg = paper_config();
-                cfg.seed = seed;
-                cfg.stop_on_deadlock = false;
-                let mut sc = reconvergence_scenario(cfg, flow, BitRate::from_gbps(30), jitter);
-                let r = sc.sim.run(horizon2);
-                if r.verdict.is_deadlock() {
-                    wedged += 1;
-                }
-            }
-        }
+        let wedged = grid
+            .iter()
+            .zip(&grid_wedged)
+            .filter(|((j, _, _), &w)| *j == jitter_us && w)
+            .count();
         wedged_at_max_jitter = wedged;
         t.row(vec![
             if jitter_us == 0 {
@@ -158,8 +172,7 @@ pub fn run(opts: &Opts) -> Report {
             "interventions",
         ],
     );
-    let mut flap_outcomes = Vec::new();
-    for (name, recovery) in [
+    let variants = [
         ("no recovery (first wedge is final)", None),
         (
             "watchdog: drain one queue",
@@ -175,14 +188,17 @@ pub fn run(opts: &Opts) -> Report {
                 ..RecoveryConfig::default()
             }),
         ),
-    ] {
+    ];
+    let mut flap_outcomes = Vec::new();
+    for (name, r) in parallel_map(&variants, |(name, recovery)| {
         let mut cfg = paper_config();
         cfg.stop_on_deadlock = false;
         let mut sc = transient_loop_train(cfg, BitRate::from_gbps(8), 16, &train);
-        if let Some(rc) = recovery {
+        if let Some(rc) = *recovery {
             sc.sim.enable_recovery(rc);
         }
-        let r = sc.sim.run(horizon3);
+        (*name, sc.sim.run(horizon3))
+    }) {
         t.row(vec![
             name.into(),
             fmt::yn(r.verdict.is_deadlock()),

@@ -12,6 +12,7 @@ use pfcsim_simcore::units::BitRate;
 
 use super::Opts;
 use crate::scenarios::{paper_config, routing_loop_n};
+use crate::sweep::parallel_map;
 use crate::table::{fmt, Report, Table};
 
 fn deadlocks(rate: BitRate, ttl: u8, n: usize, horizon: SimTime) -> bool {
@@ -51,22 +52,13 @@ pub fn run(opts: &Opts) -> Report {
     );
     let mut agree = true;
     // The ten rate points are independent simulations: fan them out.
-    let results: Vec<(u64, bool, bool, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (1..=10u64)
-            .map(|g| {
-                scope.spawn(move || {
-                    let r = BitRate::from_gbps(g);
-                    let predicted = model.predicts_deadlock(r);
-                    let mut sc = routing_loop_n(paper_config(), r, 16, 2);
-                    let res = sc.sim.run(horizon);
-                    (g, predicted, res.verdict.is_deadlock(), res.stats.drops_ttl)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep thread"))
-            .collect()
+    let rates: Vec<u64> = (1..=10).collect();
+    let results: Vec<(u64, bool, bool, u64)> = parallel_map(&rates, |&g| {
+        let r = BitRate::from_gbps(g);
+        let predicted = model.predicts_deadlock(r);
+        let mut sc = routing_loop_n(paper_config(), r, 16, 2);
+        let res = sc.sim.run(horizon);
+        (g, predicted, res.verdict.is_deadlock(), res.stats.drops_ttl)
     });
     for (g, predicted, simulated, drops) in results {
         if simulated != predicted {
@@ -95,7 +87,8 @@ pub fn run(opts: &Opts) -> Report {
         "Part B: measured vs predicted threshold (bisection, 250 Mbps grain)",
         &["n", "TTL", "predicted_gbps", "measured_gbps", "rel_err_%"],
     );
-    for &(n, ttl) in combos {
+    // Each combo's bisection is independent of the others: fan them out.
+    let rows = parallel_map(combos, |&(n, ttl)| {
         let m = BoundaryModel::new(n as u32, BitRate::from_gbps(40), ttl as u32);
         let pred = m.deadlock_threshold();
         // Bracket: half predicted (safe) to 2.5x predicted (deadlocks).
@@ -103,6 +96,9 @@ pub fn run(opts: &Opts) -> Report {
         let hi = pred.bps() / 400_000;
         let measured_mbps = measure_threshold(ttl, n, horizon, lo, hi, 250);
         let measured = BitRate::from_mbps(measured_mbps);
+        (n, ttl, pred, measured)
+    });
+    for (n, ttl, pred, measured) in rows {
         let rel = (measured.bps() as f64 - pred.bps() as f64).abs() / pred.bps() as f64 * 100.0;
         t.row(vec![
             n.to_string(),

@@ -13,6 +13,7 @@ use pfcsim_topo::ids::{FlowId, NodeId, Priority};
 use super::e3_fig3::{occupancy_row, rx1_key};
 use super::Opts;
 use crate::scenarios::{paper_config, square_scenario};
+use crate::sweep::parallel_map;
 use crate::table::{fmt, Report, Table};
 
 /// Run E5.
@@ -41,12 +42,18 @@ pub fn run(opts: &Opts) -> Report {
     let mut crossover: Option<(u64, u64)> = None; // (last safe, first deadlocked)
     let mut last_safe = None;
     let mut occupancy_tables: Vec<Table> = Vec::new();
-    for &g in rates {
+    // The limiter points are independent simulations; the crossover scan
+    // and occupancy-table selection below stay serial over the ordered
+    // results.
+    let runs = parallel_map(rates, |&g| {
         let mut sc = square_scenario(paper_config(), true, Some(BitRate::from_gbps(g)));
         let cycle = sc.cycle.clone();
         let cycle_nodes: Vec<NodeId> = sc.built.switches.clone();
         let built = sc.built.clone();
         let result = sc.sim.run(horizon);
+        (g, cycle, cycle_nodes, built, result)
+    });
+    for (g, cycle, cycle_nodes, built, result) in runs {
         let overlap = analyze_cycle_overlap(
             &result.stats,
             &cycle_nodes,

@@ -14,6 +14,7 @@ use pfcsim_simcore::units::BitRate;
 
 use super::Opts;
 use crate::scenarios::{paper_config, routing_loop, square_scenario};
+use crate::sweep::parallel_map;
 use crate::table::{fmt, Report, Table};
 
 /// Run E6.
@@ -50,7 +51,7 @@ pub fn run(opts: &Opts) -> Report {
         "oversaturated loop (r=8 Gbps > n*B/TTL=5 Gbps), TTL 16",
         &["config", "deadlock"],
     );
-    for (label, classes, wrr) in [
+    let configs = [
         ("flat (single class)", None, false),
         (
             "TTL bands width=4, 5 classes (strict priority)",
@@ -70,7 +71,8 @@ pub fn run(opts: &Opts) -> Report {
             }),
             true,
         ),
-    ] {
+    ];
+    for (label, dl) in parallel_map(&configs, |&(label, classes, wrr)| {
         let mut cfg = paper_config();
         cfg.ttl_class_mode = classes;
         if wrr {
@@ -78,7 +80,9 @@ pub fn run(opts: &Opts) -> Report {
         }
         let mut sc = routing_loop(cfg, BitRate::from_gbps(8), 16);
         let res = sc.sim.run(horizon);
-        t.row(vec![label.into(), fmt::yn(res.verdict.is_deadlock())]);
+        (label, res.verdict.is_deadlock())
+    }) {
+        t.row(vec![label.into(), fmt::yn(dl)]);
     }
     report.table(t);
     report.note(
@@ -94,7 +98,7 @@ pub fn run(opts: &Opts) -> Report {
         "Fig. 4 workload with per-hop TTL bands (width 1, 4 classes)",
         &["config", "deadlock"],
     );
-    for (label, classes) in [
+    let configs = [
         ("flat (single class)", None),
         (
             "TTL bands width=1, 4 classes",
@@ -104,12 +108,15 @@ pub fn run(opts: &Opts) -> Report {
                 classes: 4,
             }),
         ),
-    ] {
+    ];
+    for (label, dl) in parallel_map(&configs, |&(label, classes)| {
         let mut cfg = paper_config();
         cfg.ttl_class_mode = classes;
         let mut sc = square_scenario(cfg, true, None);
         let res = sc.sim.run(opts.horizon_ms(10));
-        t.row(vec![label.into(), fmt::yn(res.verdict.is_deadlock())]);
+        (label, res.verdict.is_deadlock())
+    }) {
+        t.row(vec![label.into(), fmt::yn(dl)]);
     }
     report.table(t);
     report.note(

@@ -12,6 +12,7 @@ use pfcsim_topo::graph::NodeKind;
 
 use super::Opts;
 use crate::scenarios::{paper_config, tiering_scenario};
+use crate::sweep::parallel_map;
 use crate::table::{Report, Table};
 
 struct Outcome {
@@ -81,9 +82,20 @@ pub fn run(opts: &Opts) -> Report {
         "Limiting PFC propagation: 6-way incast + victim on a 3-leaf/2-spine fabric",
     );
     // The workload is stochastic (on-off bursts); average over seeds.
+    // Every (tiered, seed) pair is an independent simulation: fan them out.
     let seeds: &[u64] = if opts.quick { &[1] } else { &[1, 2, 3] };
+    let pairs: Vec<(bool, u64)> = [false, true]
+        .iter()
+        .flat_map(|&t| seeds.iter().map(move |&s| (t, s)))
+        .collect();
+    let outcomes = parallel_map(&pairs, |&(tiered, seed)| run_one(opts, tiered, seed));
     let avg = |tiered: bool| -> Outcome {
-        let runs: Vec<Outcome> = seeds.iter().map(|&s| run_one(opts, tiered, s)).collect();
+        let runs: Vec<&Outcome> = pairs
+            .iter()
+            .zip(&outcomes)
+            .filter(|((t, _), _)| *t == tiered)
+            .map(|(_, o)| o)
+            .collect();
         let n = runs.len();
         Outcome {
             fabric_pauses: runs.iter().map(|r| r.fabric_pauses).sum::<usize>() / n,

@@ -52,22 +52,22 @@ pub fn run(opts: &Opts) -> Report {
     );
     let horizon = opts.horizon_ms(10);
 
-    let udp = {
-        let mut sc = square_scenario(paper_config(), true, None);
+    // Four independent variants, fanned out.
+    let variants = [0usize, 1, 2, 3];
+    let mut runs = crate::sweep::parallel_map(&variants, |&v| {
+        let mut sc = match v {
+            0 => square_scenario(paper_config(), true, None),
+            1 => square_dcqcn(paper_config(), false),
+            2 => square_dcqcn(paper_config(), true),
+            _ => square_timely(paper_config()),
+        };
         outcome(sc.sim.run(horizon))
-    };
-    let dcqcn = {
-        let mut sc = square_dcqcn(paper_config(), false);
-        outcome(sc.sim.run(horizon))
-    };
-    let phantom = {
-        let mut sc = square_dcqcn(paper_config(), true);
-        outcome(sc.sim.run(horizon))
-    };
-    let timely = {
-        let mut sc = square_timely(paper_config());
-        outcome(sc.sim.run(horizon))
-    };
+    })
+    .into_iter();
+    let udp = runs.next().expect("udp");
+    let dcqcn = runs.next().expect("dcqcn");
+    let phantom = runs.next().expect("phantom");
+    let timely = runs.next().expect("timely");
 
     let mut t = Table::new(
         "UDP vs DCQCN vs DCQCN+phantom vs TIMELY (Fig. 4 workload)",

@@ -25,8 +25,10 @@
 #![warn(missing_docs)]
 
 pub mod dump;
+pub mod enginebench;
 pub mod experiments;
 pub mod scenarios;
+pub mod sweep;
 pub mod table;
 
 pub use experiments::Opts;

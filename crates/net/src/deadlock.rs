@@ -126,7 +126,9 @@ impl NetSim {
     /// configured XON; dynamic-alpha configs assume every non-stuck byte
     /// has drained (maximal free buffer, maximal threshold).
     fn optimistic_xon(&self, node: NodeId, port: PortNo, stuck_at_node: u64) -> Bytes {
-        let pfc = self.switch_pfc.get(&node).unwrap_or(&self.cfg.pfc);
+        let pfc = self.switch_pfc[node.0 as usize]
+            .as_ref()
+            .unwrap_or(&self.cfg.pfc);
         let sw = self.switches[node.0 as usize].as_ref().expect("switch");
         let base_xon = sw.ingress[port.0 as usize].xon_override.unwrap_or(pfc.xon);
         match pfc.dynamic_alpha {

@@ -10,8 +10,9 @@ use pfcsim_topo::ids::{FlowId, NodeId, Priority};
 /// Ethernet frame).
 pub const PFC_FRAME_SIZE: Bytes = Bytes::new(64);
 
-/// A data packet.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A data packet. All fields are plain values, so packets are `Copy`:
+/// forwarding a packet between queues never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Packet {
     /// Globally unique (per simulation) id, in injection order.
     pub id: u64,
@@ -60,7 +61,7 @@ pub struct PfcFrame {
 }
 
 /// Anything that can occupy a link.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Frame {
     /// A data packet.
     Data(Packet),

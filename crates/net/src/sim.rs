@@ -33,7 +33,7 @@ use crate::flow::{Demand, FlowSpec, RouteKind};
 use crate::host::{FlowRt, Host};
 use crate::packet::{Frame, Packet, PfcFrame, PfcOp, PFC_FRAME_SIZE};
 use crate::recovery::{RecoveryConfig, RecoveryStrategy};
-use crate::stats::{IngressKey, NetStats, PauseKey};
+use crate::stats::{FlowStats, IngressKey, NetStats, PauseKey};
 use crate::switch::{InFlight, Ingress, QPkt, Switch, TxPause};
 use crate::timely::{TimelyConfig, TimelyState};
 use crate::trace::{DropReason, TraceEvent};
@@ -141,6 +141,20 @@ struct RebootState {
     routes: Vec<(NodeId, Vec<PortNo>)>,
 }
 
+/// The `Copy` subset of a [`FlowSpec`], extracted by [`NetSim::lite`] for
+/// per-event paths so they never clone the spec (whose `route` owns heap
+/// memory).
+#[derive(Debug, Clone, Copy)]
+struct SpecLite {
+    id: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    priority: Priority,
+    demand: Demand,
+    packet_size: Option<Bytes>,
+    ttl: u8,
+}
+
 /// Outcome of a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
@@ -188,11 +202,25 @@ pub struct NetSim {
     pub(crate) port_info: Vec<Vec<PortInfo>>,
     pub(crate) switches: Vec<Option<Switch>>,
     pub(crate) hosts: Vec<Option<Host>>,
-    pub(crate) switch_pfc: BTreeMap<NodeId, PfcConfig>,
-    flows: BTreeMap<FlowId, FlowSpec>,
-    rt: BTreeMap<FlowId, FlowRt>,
-    pinned: BTreeMap<(FlowId, NodeId), PortNo>,
-    host_in_flight: BTreeMap<NodeId, Packet>,
+    /// Per-switch PFC override, indexed by node id (`None` = global cfg).
+    pub(crate) switch_pfc: Vec<Option<PfcConfig>>,
+    /// Flow specs in registration order — the dense flow arena. Every
+    /// hot-path lookup goes `FlowId` → [`NetSim::fmap`] → index here.
+    flows: Vec<FlowSpec>,
+    /// Runtime flow state, parallel to `flows`.
+    rt: Vec<FlowRt>,
+    /// Hot-path per-flow counters, parallel to `flows`; folded into
+    /// `stats.flows` when the run finishes (entries only for touched
+    /// flows, matching the old `flow_mut` entry semantics).
+    fstats: Vec<FlowStats>,
+    fstats_touched: Vec<bool>,
+    /// Raw `FlowId` value → dense index (`u32::MAX` = unregistered).
+    fmap: Vec<u32>,
+    /// Pinned egress ports: `pinned[dense_flow][node]` (`u16::MAX` =
+    /// none); empty vec for table-routed flows.
+    pinned: Vec<Vec<u16>>,
+    /// NIC frame mid-serialization, indexed by node id.
+    host_in_flight: Vec<Option<Packet>>,
     queue: EventQueue<Ev>,
     meaningful: u64,
     pub(crate) stats: NetStats,
@@ -206,7 +234,8 @@ pub struct NetSim {
     deadlock: Option<(SimTime, Vec<PauseKey>)>,
     dcqcn_cfg: Option<DcqcnConfig>,
     timely_cfg: Option<TimelyConfig>,
-    traced: BTreeSet<FlowId>,
+    /// Raw `FlowId` value → packet-lifecycle tracing enabled.
+    traced: Vec<bool>,
     trace_cap: usize,
     events: u64,
     started: bool,
@@ -220,10 +249,10 @@ pub struct NetSim {
     /// Fault randomness (pause-loss coins, reconvergence jitter): an
     /// independent stream so installing a plan never perturbs traffic RNG.
     fault_rng: SimRng,
-    /// Armed per-switch PFC loss probabilities.
-    pfc_loss: BTreeMap<NodeId, f64>,
-    /// Armed per-switch PFC delays.
-    pfc_delay: BTreeMap<NodeId, SimDuration>,
+    /// Armed per-switch PFC loss probability, indexed by node id.
+    pfc_loss: Vec<Option<f64>>,
+    /// Armed per-switch PFC delay, indexed by node id.
+    pfc_delay: Vec<Option<SimDuration>>,
     /// Lossless headroom above XOFF under an armed pause fault.
     pause_headroom: Bytes,
     /// Switches currently down, with the state their restore needs.
@@ -274,6 +303,7 @@ impl NetSim {
             .collect();
         let seed = cfg.seed;
         let quantum = cfg.default_packet_size.get();
+        let n_nodes = topo.node_count();
         NetSim {
             topo: topo.clone(),
             cfg,
@@ -281,11 +311,14 @@ impl NetSim {
             port_info,
             switches,
             hosts,
-            switch_pfc: BTreeMap::new(),
-            flows: BTreeMap::new(),
-            rt: BTreeMap::new(),
-            pinned: BTreeMap::new(),
-            host_in_flight: BTreeMap::new(),
+            switch_pfc: vec![None; n_nodes],
+            flows: Vec::new(),
+            rt: Vec::new(),
+            fstats: Vec::new(),
+            fstats_touched: Vec::new(),
+            fmap: Vec::new(),
+            pinned: Vec::new(),
+            host_in_flight: vec![None; n_nodes],
             queue: EventQueue::new(),
             meaningful: 0,
             stats: NetStats::default(),
@@ -299,7 +332,7 @@ impl NetSim {
             deadlock: None,
             dcqcn_cfg: None,
             timely_cfg: None,
-            traced: BTreeSet::new(),
+            traced: Vec::new(),
             trace_cap: 1_000_000,
             events: 0,
             started: false,
@@ -308,8 +341,8 @@ impl NetSim {
             fault_plan: None,
             fault_events: Vec::new(),
             fault_rng: SimRng::new(seed ^ 0xFA17_5EED_0DD5_EED5),
-            pfc_loss: BTreeMap::new(),
-            pfc_delay: BTreeMap::new(),
+            pfc_loss: vec![None; n_nodes],
+            pfc_delay: vec![None; n_nodes],
             pause_headroom: Bytes::from_kb(20),
             reboots: BTreeMap::new(),
         }
@@ -328,11 +361,11 @@ impl NetSim {
     /// tables, as in real networks).
     pub fn add_flow(&mut self, spec: FlowSpec) {
         assert!(!self.started, "cannot add flows after the run started");
-        assert!(
-            !self.flows.contains_key(&spec.id),
-            "duplicate flow id {}",
-            spec.id
-        );
+        let raw = spec.id.0 as usize;
+        if self.fmap.len() <= raw {
+            self.fmap.resize(raw + 1, u32::MAX);
+        }
+        assert!(self.fmap[raw] == u32::MAX, "duplicate flow id {}", spec.id);
         assert_eq!(
             self.topo.node(spec.src).kind,
             NodeKind::Host,
@@ -343,6 +376,7 @@ impl NetSim {
             NodeKind::Host,
             "flow destination must be a host"
         );
+        let mut pin: Vec<u16> = Vec::new();
         if let RouteKind::Pinned(path) = &spec.route {
             path.validate(&self.topo).expect("invalid pinned path");
             assert_eq!(*path.nodes.first().unwrap(), spec.src, "path starts at src");
@@ -354,10 +388,11 @@ impl NetSim {
                     "pinned path revisits {n}; use tables for loops"
                 );
             }
+            pin = vec![u16::MAX; self.topo.node_count()];
             for w in path.nodes.windows(2) {
                 if self.topo.node(w[0]).kind == NodeKind::Switch {
                     let port = self.topo.port_towards(w[0], w[1]).expect("validated").port;
-                    self.pinned.insert((spec.id, w[0]), port);
+                    pin[w[0].0 as usize] = port.0;
                 }
             }
         }
@@ -371,8 +406,52 @@ impl NetSim {
             .as_mut()
             .expect("source is a host")
             .add_flow(spec.id);
-        self.rt.insert(spec.id, FlowRt::default());
-        self.flows.insert(spec.id, spec);
+        self.fmap[raw] = self.flows.len() as u32;
+        self.pinned.push(pin);
+        self.rt.push(FlowRt::default());
+        self.fstats.push(FlowStats::default());
+        self.fstats_touched.push(false);
+        self.flows.push(spec);
+    }
+
+    /// Dense arena index of a registered flow.
+    #[inline]
+    fn fidx(&self, f: FlowId) -> usize {
+        self.fmap[f.0 as usize] as usize
+    }
+
+    /// Hot-path per-flow counters (arena-backed; folded into
+    /// `stats.flows` at run end).
+    #[inline]
+    fn fstat_mut(&mut self, f: FlowId) -> &mut FlowStats {
+        let i = self.fidx(f);
+        self.fstats_touched[i] = true;
+        &mut self.fstats[i]
+    }
+
+    /// Pinned egress port of `f` at `node`, if the flow pins one.
+    #[inline]
+    fn pinned_port(&self, f: FlowId, node: NodeId) -> Option<PortNo> {
+        match self.pinned[self.fidx(f)].get(node.0 as usize) {
+            Some(&p) if p != u16::MAX => Some(PortNo(p)),
+            _ => None,
+        }
+    }
+
+    /// The `Copy` subset of a flow's spec (everything per-event code
+    /// needs); reading one is a memcpy, the heap-backed `route` stays put.
+    #[inline]
+    fn lite(&self, f: FlowId) -> SpecLite {
+        let s = &self.flows[self.fidx(f)];
+        SpecLite {
+            id: s.id,
+            src: s.src,
+            dst: s.dst,
+            priority: s.priority,
+            demand: s.demand,
+            packet_size: s.packet_size,
+            ttl: s.ttl,
+        }
     }
 
     /// Look up a switch's ingress record, with a diagnosable error for
@@ -400,7 +479,7 @@ impl NetSim {
         {
             return Err(format!("{node} is not a switch"));
         }
-        self.switch_pfc.insert(node, pfc);
+        self.switch_pfc[node.0 as usize] = Some(pfc);
         Ok(())
     }
 
@@ -516,7 +595,13 @@ impl NetSim {
     /// Record per-packet lifecycle events for the given flows (see
     /// [`crate::trace`]). Recording stops at the trace cap.
     pub fn trace_flows(&mut self, flows: impl IntoIterator<Item = FlowId>) {
-        self.traced.extend(flows);
+        for f in flows {
+            let raw = f.0 as usize;
+            if self.traced.len() <= raw {
+                self.traced.resize(raw + 1, false);
+            }
+            self.traced[raw] = true;
+        }
     }
 
     /// Cap the number of recorded trace events (default 1,000,000).
@@ -525,7 +610,9 @@ impl NetSim {
     }
 
     fn trace(&mut self, flow: FlowId, ev: TraceEvent) {
-        if self.traced.contains(&flow) && self.stats.trace.len() < self.trace_cap {
+        if self.traced.get(flow.0 as usize).copied().unwrap_or(false)
+            && self.stats.trace.len() < self.trace_cap
+        {
             self.stats.trace.push(ev);
         }
     }
@@ -551,7 +638,9 @@ impl NetSim {
     // ------------------------------------------------------------------
 
     fn pfc_of(&self, node: NodeId) -> &PfcConfig {
-        self.switch_pfc.get(&node).unwrap_or(&self.cfg.pfc)
+        self.switch_pfc[node.0 as usize]
+            .as_ref()
+            .unwrap_or(&self.cfg.pfc)
     }
 
     pub(crate) fn xoff_of(&self, node: NodeId, port: PortNo) -> Bytes {
@@ -595,8 +684,8 @@ impl NetSim {
         self.pfc_of(node).mode
     }
 
-    fn packet_size_of(&self, spec: &FlowSpec) -> Bytes {
-        spec.packet_size.unwrap_or(self.cfg.default_packet_size)
+    fn packet_size_of(&self, packet_size: Option<Bytes>) -> Bytes {
+        packet_size.unwrap_or(self.cfg.default_packet_size)
     }
 
     // ------------------------------------------------------------------
@@ -616,7 +705,10 @@ impl NetSim {
         assert!(!self.started, "run methods may be called once");
         // A FlowStop at stop_at for every flow; stopping a flow twice is
         // harmless (the handler is idempotent).
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        // Sorted by id to preserve the scheduling order (and hence the
+        // event tie-breaking) of the original id-keyed map.
+        let mut ids: Vec<FlowId> = self.flows.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
         for id in ids {
             self.sched(stop_at, Ev::FlowStop { flow: id });
         }
@@ -626,11 +718,17 @@ impl NetSim {
     fn start(&mut self) {
         assert!(!self.started, "a NetSim can only run once");
         self.started = true;
-        let flow_ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        // Sorted by id: scheduling order fixes event tie-breaking, and the
+        // original id-keyed map iterated in id order.
+        let mut flow_ids: Vec<FlowId> = self.flows.iter().map(|s| s.id).collect();
+        flow_ids.sort_unstable();
         for id in flow_ids {
-            let spec = &self.flows[&id];
-            let (start, stop) = (spec.start, spec.stop);
-            if matches!(spec.demand, Demand::Dcqcn) {
+            let i = self.fidx(id);
+            let (start, stop, demand) = {
+                let spec = &self.flows[i];
+                (spec.start, spec.stop, spec.demand)
+            };
+            if matches!(demand, Demand::Dcqcn) {
                 assert!(
                     self.dcqcn_cfg.is_some(),
                     "flow {id} uses Demand::Dcqcn but set_dcqcn was not called"
@@ -640,15 +738,15 @@ impl NetSim {
                     "DCQCN requires SimConfig::ecn marking"
                 );
                 let fb = self.compute_feedback_delay(id);
-                self.rt.get_mut(&id).expect("rt exists").feedback_delay = fb;
+                self.rt[i].feedback_delay = fb;
             }
-            if matches!(spec.demand, Demand::Timely) {
+            if matches!(demand, Demand::Timely) {
                 assert!(
                     self.timely_cfg.is_some(),
                     "flow {id} uses Demand::Timely but set_timely was not called"
                 );
                 let fb = self.compute_feedback_delay(id);
-                self.rt.get_mut(&id).expect("rt exists").feedback_delay = fb;
+                self.rt[i].feedback_delay = fb;
             }
             self.sched(start, Ev::FlowStart { flow: id });
             if let Some(stop) = stop {
@@ -755,16 +853,26 @@ impl NetSim {
                 self.deadlock = Some((self.now(), witness));
             }
         }
+        // Fold the hot-path per-flow counters into the reported map. An
+        // entry appears iff the flow's stats were ever touched, preserving
+        // the old lazily-populated `flow_mut` entry semantics.
+        for i in 0..self.flows.len() {
+            if self.fstats_touched[i] {
+                let merged = std::mem::take(&mut self.fstats[i]);
+                self.stats.flows.insert(self.flows[i].id, merged);
+            }
+        }
         // Account packets still waiting in source backlogs so per-flow
         // conservation (injected = delivered + dropped + unsent) holds at
         // every run end.
         let leftover: Vec<(FlowId, u64, Bytes)> = self
-            .rt
+            .flows
             .iter()
+            .zip(self.rt.iter())
             .filter(|(_, rt)| !rt.backlog.is_empty())
-            .map(|(&id, rt)| {
+            .map(|(spec, rt)| {
                 (
-                    id,
+                    spec.id,
                     rt.backlog.len() as u64,
                     rt.backlog.iter().map(|p| p.size).sum(),
                 )
@@ -804,7 +912,7 @@ impl NetSim {
                     }
                 }
             }
-            for pkt in self.host_in_flight.values() {
+            for pkt in self.host_in_flight.iter().flatten() {
                 add(pkt);
             }
         }
@@ -890,19 +998,21 @@ impl NetSim {
     // ------------------------------------------------------------------
 
     fn on_flow_start(&mut self, flow: FlowId) {
-        let spec = self.flows[&flow].clone();
+        let i = self.fidx(flow);
+        let spec = self.lite(flow);
         {
-            let rt = self.rt.get_mut(&flow).expect("flow rt");
+            let now = self.queue.now();
+            let rt = &mut self.rt[i];
             rt.active = true;
             if matches!(spec.demand, Demand::Dcqcn) {
                 let cfg = self.dcqcn_cfg.expect("checked at start");
                 rt.dcqcn = Some(DcqcnState::new(&cfg));
-                rt.next_send = self.queue.now();
+                rt.next_send = now;
             }
             if matches!(spec.demand, Demand::Timely) {
                 let cfg = self.timely_cfg.expect("checked at start");
                 rt.timely = Some(TimelyState::new(&cfg));
-                rt.next_send = self.queue.now();
+                rt.next_send = now;
             }
         }
         match spec.demand {
@@ -911,13 +1021,13 @@ impl NetSim {
             }
             Demand::Poisson(_) => {
                 let child = self.rng.fork(0x50_1550 ^ flow.0 as u64);
-                self.rt.get_mut(&flow).expect("rt").rng = Some(child);
+                self.rt[i].rng = Some(child);
                 self.sched(self.now(), Ev::FlowTick { flow });
             }
             Demand::OnOff { mean_on, .. } => {
                 let mut child = self.rng.fork(0x0F0F ^ flow.0 as u64);
                 let first_on = exp_duration(&mut child, mean_on);
-                let rt = self.rt.get_mut(&flow).expect("rt");
+                let rt = &mut self.rt[i];
                 rt.rng = Some(child);
                 rt.on = true;
                 self.sched(self.now(), Ev::FlowTick { flow });
@@ -935,7 +1045,8 @@ impl NetSim {
     }
 
     fn on_flow_stop(&mut self, flow: FlowId) {
-        let rt = self.rt.get_mut(&flow).expect("flow rt");
+        let i = self.fidx(flow);
+        let rt = &mut self.rt[i];
         rt.active = false;
         let (pkts, bytes) = (
             rt.backlog.len() as u64,
@@ -943,17 +1054,18 @@ impl NetSim {
         );
         rt.backlog.clear();
         if pkts > 0 {
-            let fs = self.stats.flow_mut(flow);
+            let fs = self.fstat_mut(flow);
             fs.unsent_packets += pkts;
             fs.unsent_bytes += bytes;
         }
     }
 
     fn on_flow_tick(&mut self, flow: FlowId) {
-        let spec = self.flows[&flow].clone();
-        let size = self.packet_size_of(&spec);
+        let i = self.fidx(flow);
+        let spec = self.lite(flow);
+        let size = self.packet_size_of(spec.packet_size);
         {
-            let rt = self.rt.get_mut(&flow).expect("flow rt");
+            let rt = &mut self.rt[i];
             if !rt.active {
                 return;
             }
@@ -967,12 +1079,12 @@ impl NetSim {
         // On-off sources skip generation while OFF; the toggle re-arms the
         // tick chain.
         if let Demand::OnOff { .. } = spec.demand {
-            if !self.rt[&flow].on {
+            if !self.rt[i].on {
                 return;
             }
         }
-        let pkt = self.make_packet(&spec, size);
-        let rt = self.rt.get_mut(&flow).expect("flow rt");
+        let pkt = self.make_packet(spec, size);
+        let rt = &mut self.rt[i];
         rt.backlog.push_back(pkt);
         let interval = match spec.demand {
             Demand::Cbr(rate) | Demand::CbrFinite { rate, .. } => rate.serialization_time(size),
@@ -991,7 +1103,8 @@ impl NetSim {
     }
 
     fn on_onoff_toggle(&mut self, flow: FlowId) {
-        let spec = self.flows[&flow].clone();
+        let i = self.fidx(flow);
+        let spec = self.lite(flow);
         let Demand::OnOff {
             mean_on, mean_off, ..
         } = spec.demand
@@ -999,7 +1112,7 @@ impl NetSim {
             unreachable!("toggle only scheduled for on-off flows");
         };
         let (now_on, next_after) = {
-            let rt = self.rt.get_mut(&flow).expect("rt");
+            let rt = &mut self.rt[i];
             if !rt.active {
                 return;
             }
@@ -1015,14 +1128,16 @@ impl NetSim {
         }
     }
 
-    fn make_packet(&mut self, spec: &FlowSpec, size: Bytes) -> Packet {
+    fn make_packet(&mut self, spec: SpecLite, size: Bytes) -> Packet {
         let id = self.next_pkt_id;
         self.next_pkt_id += 1;
-        let rt = self.rt.get_mut(&spec.id).expect("flow rt");
+        let i = self.fidx(spec.id);
+        let rt = &mut self.rt[i];
         let seq = rt.next_seq;
         rt.next_seq += 1;
         rt.injected += size;
-        let fs = self.stats.flow_mut(spec.id);
+        self.fstats_touched[i] = true;
+        let fs = &mut self.fstats[i];
         fs.injected_packets += 1;
         fs.injected_bytes += size;
         self.trace(
@@ -1064,8 +1179,9 @@ impl NetSim {
         for i in 0..n {
             let h = self.hosts[host.0 as usize].as_ref().expect("host");
             let f = h.rr[i];
-            let spec = &self.flows[&f];
-            let rt = &self.rt[&f];
+            let fi = self.fidx(f);
+            let spec = &self.flows[fi];
+            let rt = &self.rt[fi];
             if self.cfg.host_respects_pfc && h.paused[spec.priority.index()].is_paused(now) {
                 continue;
             }
@@ -1116,14 +1232,15 @@ impl NetSim {
             }
             return;
         };
-        let spec = self.flows[&f].clone();
-        let size = self.packet_size_of(&spec);
+        let fi = self.fidx(f);
+        let spec = self.lite(f);
+        let size = self.packet_size_of(spec.packet_size);
         let pkt = match spec.demand {
-            Demand::Infinite => self.make_packet(&spec, size),
+            Demand::Infinite => self.make_packet(spec, size),
             Demand::Dcqcn => {
-                let p = self.make_packet(&spec, size);
+                let p = self.make_packet(spec, size);
                 let cfg = self.dcqcn_cfg.expect("dcqcn flows have config");
-                let rt = self.rt.get_mut(&f).expect("rt");
+                let rt = &mut self.rt[fi];
                 let st = rt.dcqcn.as_mut().expect("dcqcn state");
                 st.on_bytes_sent(size, &cfg);
                 let rate = st.rate.min(cfg.line_rate);
@@ -1131,18 +1248,15 @@ impl NetSim {
                 p
             }
             Demand::Timely => {
-                let p = self.make_packet(&spec, size);
+                let p = self.make_packet(spec, size);
                 let cfg = self.timely_cfg.expect("timely flows have config");
-                let rt = self.rt.get_mut(&f).expect("rt");
+                let rt = &mut self.rt[fi];
                 let st = rt.timely.as_ref().expect("timely state");
                 let rate = st.rate.min(cfg.line_rate);
                 rt.next_send = now + rate.serialization_time(size);
                 p
             }
-            _ => self
-                .rt
-                .get_mut(&f)
-                .expect("rt")
+            _ => self.rt[fi]
                 .backlog
                 .pop_front()
                 .expect("ready tick-driven flow has backlog"),
@@ -1151,12 +1265,12 @@ impl NetSim {
         let ser = info.rate.serialization_time(pkt.size);
         let h = self.hosts[host.0 as usize].as_mut().expect("host");
         h.busy = true;
-        self.host_in_flight.insert(host, pkt);
+        self.host_in_flight[host.0 as usize] = Some(pkt);
         self.sched(now + ser, Ev::HostTxDone { host });
     }
 
     fn on_host_tx_done(&mut self, host: NodeId) {
-        let Some(pkt) = self.host_in_flight.remove(&host) else {
+        let Some(pkt) = self.host_in_flight[host.0 as usize].take() else {
             return; // destroyed by a fault mid-serialization
         };
         let info = self.port_info[host.0 as usize][0];
@@ -1224,13 +1338,15 @@ impl NetSim {
         );
         let h = self.hosts[host.0 as usize].as_mut().expect("host");
         h.received += pkt.size;
-        let fs = self.stats.flow_mut(pkt.flow);
+        let fi = self.fidx(pkt.flow);
+        self.fstats_touched[fi] = true;
+        let fs = &mut self.fstats[fi];
         fs.delivered_packets += 1;
         fs.delivered_bytes += pkt.size;
         fs.meter.record(now, pkt.size);
-        if matches!(self.flows[&pkt.flow].demand, Demand::Timely) {
+        if matches!(self.flows[fi].demand, Demand::Timely) {
             let rtt = now.saturating_since(pkt.injected_at);
-            let delay = self.rt[&pkt.flow].feedback_delay;
+            let delay = self.rt[fi].feedback_delay;
             self.sched(
                 now + delay,
                 Ev::RttSample {
@@ -1239,14 +1355,14 @@ impl NetSim {
                 },
             );
         }
-        let fs = self.stats.flow_mut(pkt.flow);
+        let fs = &mut self.fstats[fi];
         if pkt.ecn_marked {
             fs.ecn_marked += 1;
             // Receiver-side CNP generation for DCQCN flows.
-            let is_dcqcn = matches!(self.flows[&pkt.flow].demand, Demand::Dcqcn);
+            let is_dcqcn = matches!(self.flows[fi].demand, Demand::Dcqcn);
             if is_dcqcn {
                 let cfg = self.dcqcn_cfg.expect("dcqcn cfg");
-                let rt = self.rt.get_mut(&pkt.flow).expect("rt");
+                let rt = &mut self.rt[fi];
                 let due = match rt.last_cnp {
                     Some(last) => now.saturating_since(last) >= cfg.cnp_interval,
                     None => true,
@@ -1383,7 +1499,7 @@ impl NetSim {
         }
         // Structured-buffer-pool class laddering.
         if let Some(n_classes) = self.cfg.hop_class_mode {
-            let spec_ttl = self.flows[&pkt.flow].ttl;
+            let spec_ttl = self.flows[self.fidx(pkt.flow)].ttl;
             let hops = spec_ttl.saturating_sub(pkt.ttl).saturating_sub(1);
             pkt.priority = Priority(hops.min(n_classes - 1));
         }
@@ -1393,16 +1509,15 @@ impl NetSim {
         }
         let prio = pkt.priority;
         // Route lookup.
-        let egress = match self.pinned.get(&(pkt.flow, node)) {
-            Some(&p) => Some(p),
-            None => self.tables.select(node, pkt.dst, pkt.flow),
-        };
+        let egress = self
+            .pinned_port(pkt.flow, node)
+            .or_else(|| self.tables.select(node, pkt.dst, pkt.flow));
         let Some(egress) = egress else {
             if self.cfg.flood_on_miss {
                 self.flood(node, port, pkt);
             } else {
                 self.stats.drops_no_route += 1;
-                self.stats.flow_mut(pkt.flow).dropped_no_route += 1;
+                self.fstat_mut(pkt.flow).dropped_no_route += 1;
                 self.trace(
                     pkt.flow,
                     TraceEvent::Dropped {
@@ -1431,7 +1546,7 @@ impl NetSim {
         let lossy_tail_drop = !lossless && ing_count + pkt.size > self.xoff_of(node, port);
         if over_shared || lossy_tail_drop {
             self.stats.drops_overflow += 1;
-            self.stats.flow_mut(pkt.flow).dropped_overflow += 1;
+            self.fstat_mut(pkt.flow).dropped_overflow += 1;
             self.trace(
                 pkt.flow,
                 TraceEvent::Dropped {
@@ -1446,13 +1561,14 @@ impl NetSim {
         // With PFC signalling faulty at this hop, backpressure may never
         // arrive upstream; past XOFF plus the headroom the lossless
         // guarantee breaks and the port tail-drops.
-        let pause_faulty = self.pfc_loss.contains_key(&node) || self.pfc_delay.contains_key(&node);
+        let pause_faulty =
+            self.pfc_loss[node.0 as usize].is_some() || self.pfc_delay[node.0 as usize].is_some();
         if lossless
             && pause_faulty
             && ing_count + pkt.size > self.xoff_of(node, port) + self.pause_headroom
         {
             self.stats.drops_pause_loss += 1;
-            self.stats.flow_mut(pkt.flow).dropped_pause_loss += 1;
+            self.fstat_mut(pkt.flow).dropped_pause_loss += 1;
             self.trace(
                 pkt.flow,
                 TraceEvent::Dropped {
@@ -1549,14 +1665,14 @@ impl NetSim {
             if !self.link_ok(node, PortNo(e as u16)) {
                 continue; // no replica onto a dead link
             }
-            let copy = pkt.clone();
+            let copy = pkt;
             let over = {
                 let sw = self.switches[node.0 as usize].as_ref().expect("switch");
                 sw.buffered + copy.size > self.cfg.switch_buffer
             };
             if over {
                 self.stats.drops_overflow += 1;
-                self.stats.flow_mut(copy.flow).dropped_overflow += 1;
+                self.fstat_mut(copy.flow).dropped_overflow += 1;
                 continue;
             }
             // Account the copy against the original ingress.
@@ -1587,7 +1703,7 @@ impl NetSim {
 
     fn drop_ttl(&mut self, node: NodeId, pkt: &Packet) {
         self.stats.drops_ttl += 1;
-        self.stats.flow_mut(pkt.flow).dropped_ttl += 1;
+        self.fstat_mut(pkt.flow).dropped_ttl += 1;
         self.trace(
             pkt.flow,
             TraceEvent::Dropped {
@@ -1637,10 +1753,9 @@ impl NetSim {
                 Step::Release(pkt) => {
                     // Re-resolve the route at release time (tables may have
                     // changed while the packet was held).
-                    let egress = match self.pinned.get(&(pkt.flow, node)) {
-                        Some(&p) => Some(p),
-                        None => self.tables.select(node, pkt.dst, pkt.flow),
-                    };
+                    let egress = self
+                        .pinned_port(pkt.flow, node)
+                        .or_else(|| self.tables.select(node, pkt.dst, pkt.flow));
                     match egress {
                         Some(e) if !self.link_ok(node, e) => {
                             // Released onto a route that died while held.
@@ -1651,7 +1766,7 @@ impl NetSim {
                         None => {
                             // Route vanished: count and release the buffer.
                             self.stats.drops_no_route += 1;
-                            self.stats.flow_mut(pkt.flow).dropped_no_route += 1;
+                            self.fstat_mut(pkt.flow).dropped_no_route += 1;
                             self.release_ingress(node, port, &pkt);
                         }
                     }
@@ -1778,11 +1893,7 @@ impl NetSim {
                         log.intervals.close(now);
                     }
                 } else {
-                    let extra = self
-                        .pfc_delay
-                        .get(&node)
-                        .copied()
-                        .unwrap_or(SimDuration::ZERO);
+                    let extra = self.pfc_delay[node.0 as usize].unwrap_or(SimDuration::ZERO);
                     self.sched(
                         self.now() + info.delay + extra,
                         Ev::Arrive {
@@ -1800,7 +1911,7 @@ impl NetSim {
                         Ev::Arrive {
                             node: info.peer,
                             port: info.peer_port,
-                            frame: Frame::Data(qp.pkt.clone()),
+                            frame: Frame::Data(qp.pkt),
                         },
                     );
                 } else {
@@ -1941,7 +2052,8 @@ impl NetSim {
 
     fn on_cnp(&mut self, flow: FlowId) {
         let cfg = self.dcqcn_cfg.expect("dcqcn cfg");
-        let rt = self.rt.get_mut(&flow).expect("rt");
+        let i = self.fidx(flow);
+        let rt = &mut self.rt[i];
         if let Some(st) = rt.dcqcn.as_mut() {
             st.on_cnp(&cfg);
         }
@@ -1949,8 +2061,9 @@ impl NetSim {
 
     fn on_rtt_sample(&mut self, flow: FlowId, rtt_ps: u64) {
         let cfg = self.timely_cfg.expect("timely cfg");
-        let src = self.flows[&flow].src;
-        let rt = self.rt.get_mut(&flow).expect("rt");
+        let i = self.fidx(flow);
+        let src = self.flows[i].src;
+        let rt = &mut self.rt[i];
         if let Some(st) = rt.timely.as_mut() {
             st.on_rtt(SimDuration::from_ps(rtt_ps), &cfg);
         }
@@ -1959,7 +2072,8 @@ impl NetSim {
 
     fn on_dcqcn_alpha(&mut self, flow: FlowId) {
         let cfg = self.dcqcn_cfg.expect("dcqcn cfg");
-        let rt = self.rt.get_mut(&flow).expect("rt");
+        let i = self.fidx(flow);
+        let rt = &mut self.rt[i];
         if !rt.active {
             return;
         }
@@ -1971,8 +2085,9 @@ impl NetSim {
 
     fn on_dcqcn_rate(&mut self, flow: FlowId) {
         let cfg = self.dcqcn_cfg.expect("dcqcn cfg");
-        let src = self.flows[&flow].src;
-        let rt = self.rt.get_mut(&flow).expect("rt");
+        let i = self.fidx(flow);
+        let src = self.flows[i].src;
+        let rt = &mut self.rt[i];
         if !rt.active {
             return;
         }
@@ -1984,7 +2099,7 @@ impl NetSim {
     }
 
     fn compute_feedback_delay(&self, flow: FlowId) -> SimDuration {
-        let spec = &self.flows[&flow];
+        let spec = &self.flows[self.fidx(flow)];
         let mut total = SimDuration::ZERO;
         match &spec.route {
             RouteKind::Pinned(path) => {
@@ -2161,7 +2276,7 @@ impl NetSim {
         }
         for pkt in victims {
             self.stats.drops_recovery += 1;
-            self.stats.flow_mut(pkt.flow).dropped_recovery += 1;
+            self.fstat_mut(pkt.flow).dropped_recovery += 1;
             self.trace(
                 pkt.flow,
                 TraceEvent::Dropped {
@@ -2200,7 +2315,7 @@ impl NetSim {
     /// Account a packet destroyed by a dead link or a reboot.
     fn drop_link_down(&mut self, node: NodeId, pkt: &Packet) {
         self.stats.drops_link_down += 1;
-        self.stats.flow_mut(pkt.flow).dropped_link_down += 1;
+        self.fstat_mut(pkt.flow).dropped_link_down += 1;
         self.trace(
             pkt.flow,
             TraceEvent::Dropped {
@@ -2214,7 +2329,7 @@ impl NetSim {
 
     /// Draw from the PFC-loss process armed at `node`, if any.
     fn pfc_lost(&mut self, node: NodeId) -> bool {
-        match self.pfc_loss.get(&node).copied() {
+        match self.pfc_loss[node.0 as usize] {
             Some(p) => self.fault_rng.gen_bool(p),
             None => false,
         }
@@ -2227,19 +2342,15 @@ impl NetSim {
             FaultKind::LinkUp { a, b } => self.fault_link_up(a, b),
             FaultKind::LinkFlap { .. } => unreachable!("flaps are unrolled at start()"),
             FaultKind::PauseLoss { node, probability } => {
-                if probability > 0.0 {
-                    self.pfc_loss.insert(node, probability);
+                self.pfc_loss[node.0 as usize] = if probability > 0.0 {
+                    Some(probability)
                 } else {
-                    self.pfc_loss.remove(&node);
-                }
+                    None
+                };
                 self.record_fault(FaultAction::PauseLossArmed { node, probability });
             }
             FaultKind::PauseDelay { node, extra } => {
-                if extra.is_zero() {
-                    self.pfc_delay.remove(&node);
-                } else {
-                    self.pfc_delay.insert(node, extra);
-                }
+                self.pfc_delay[node.0 as usize] = if extra.is_zero() { None } else { Some(extra) };
                 self.record_fault(FaultAction::PauseDelayArmed { node, extra });
             }
             FaultKind::SwitchReboot { node, downtime } => self.fault_switch_reboot(node, downtime),

@@ -1,0 +1,111 @@
+//! Golden-digest regression for the engine's core invariant: a fault-laden
+//! run must produce a bit-identical `RunReport` across refactors of the
+//! event queue and the datapath state layout.
+//!
+//! The digest below was recorded from the pre-arena (BTreeMap-keyed)
+//! simulator; the indexed-heap + arena engine must reproduce it exactly.
+//! If an *intentional* behaviour change moves the digest, re-record it and
+//! say so in the commit message — a silent change here means the refactor
+//! altered event ordering or accounting.
+
+use pfcsim_net::config::SimConfig;
+use pfcsim_net::faults::FaultPlan;
+use pfcsim_net::flow::FlowSpec;
+use pfcsim_net::recovery::RecoveryConfig;
+use pfcsim_net::sim::{NetSim, RunReport, Verdict};
+use pfcsim_simcore::time::{SimDuration, SimTime};
+use pfcsim_simcore::units::BitRate;
+use pfcsim_topo::builders::{square, LinkSpec};
+
+/// FNV-1a over the canonical serialized report.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Canonical string form of everything observable in a report. JSON of
+/// `NetStats` is deterministic (ordered maps throughout), so the digest is
+/// sensitive to every counter, series sample, pause interval and fault
+/// record.
+fn digest(r: &RunReport) -> u64 {
+    let verdict = match &r.verdict {
+        Verdict::NoDeadlock => "no-deadlock".to_string(),
+        Verdict::Deadlock {
+            detected_at,
+            witness,
+        } => format!("deadlock@{detected_at}:{witness:?}"),
+    };
+    let canon = format!(
+        "verdict={verdict};end={};buffered={};quiesced={};events={};stats={}",
+        r.end_time,
+        r.buffered,
+        r.quiesced,
+        r.events,
+        serde_json::to_string(&r.stats).expect("stats serialize"),
+    );
+    fnv1a(canon.as_bytes())
+}
+
+/// An E14-style run: CBR + Poisson traffic on the square, a link failure,
+/// jittered route reconvergence (transient loops), lossy PFC on one
+/// switch, a link flap, and the recovery watchdog armed.
+fn fault_laden_run() -> RunReport {
+    let b = square(LinkSpec::default());
+    let mut cfg = SimConfig::default();
+    cfg.seed = 42;
+    cfg.stop_on_deadlock = false;
+    let mut sim = NetSim::new(&b.topo, cfg);
+    sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[2], BitRate::from_gbps(20)).with_ttl(16));
+    sim.add_flow(FlowSpec::cbr(1, b.hosts[1], b.hosts[3], BitRate::from_gbps(20)).with_ttl(16));
+    sim.add_flow(FlowSpec::poisson(
+        2,
+        b.hosts[2],
+        b.hosts[0],
+        BitRate::from_gbps(5),
+    ));
+    let plan = FaultPlan::new()
+        .link_down(SimTime::from_us(100), b.switches[0], b.switches[3])
+        .route_reconverge(
+            SimTime::from_us(120),
+            SimDuration::from_us(30),
+            SimDuration::from_us(400),
+        )
+        .pause_loss(SimTime::from_us(50), b.switches[1], 0.2)
+        .link_flap(
+            SimTime::from_us(900),
+            b.switches[1],
+            b.switches[2],
+            SimDuration::from_us(80),
+            SimDuration::from_us(300),
+            2,
+        )
+        .link_up(SimTime::from_ms(2), b.switches[0], b.switches[3])
+        .route_reconverge(
+            SimTime::from_us(2100),
+            SimDuration::from_us(20),
+            SimDuration::ZERO,
+        );
+    sim.set_fault_plan(plan).expect("valid plan");
+    sim.enable_recovery(RecoveryConfig::default());
+    sim.run_with_drain(SimTime::from_ms(3), SimTime::from_ms(6))
+}
+
+/// Recorded from the pre-refactor engine (BinaryHeap event queue,
+/// BTreeMap-keyed datapath). See module docs before touching.
+const GOLDEN_DIGEST: u64 = 0x6b4f3ae3d876a714;
+
+#[test]
+fn fault_laden_run_matches_golden_digest() {
+    let d1 = digest(&fault_laden_run());
+    let d2 = digest(&fault_laden_run());
+    assert_eq!(d1, d2, "run is not even self-deterministic");
+    assert_eq!(
+        d1, GOLDEN_DIGEST,
+        "RunReport digest changed: {d1:#018x} (golden {GOLDEN_DIGEST:#018x}) — \
+         the engine's observable behaviour moved"
+    );
+}

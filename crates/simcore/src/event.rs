@@ -4,51 +4,63 @@
 //! same instant fire in the order they were scheduled. This makes every
 //! simulation a pure function of its inputs — there is no dependence on heap
 //! iteration order or hashing.
-
-use core::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! The implementation is an indexed 4-ary min-heap over a slot arena.
+//! Every scheduled event owns a slot; the handle returned by
+//! [`EventQueue::schedule`] packs the slot index with a generation stamp,
+//! so cancellation is an O(log n) heap removal with a constant-time
+//! staleness check — no hashing, no lazily-buried tombstones, and the
+//! backing storage never holds more than the live event count.
 
 use crate::time::SimTime;
 
 /// Handle to a scheduled event, usable for cancellation.
+///
+/// Packs `(slot index, generation)`; a handle goes stale the moment its
+/// event fires or is cancelled, and stale handles are rejected even after
+/// the slot is reused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
-struct Entry<E> {
+impl EventId {
+    #[inline]
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId(((gen as u64) << 32) | slot as u64)
+    }
+    #[inline]
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+    #[inline]
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Sentinel for "not in the heap".
+const NO_POS: u32 = u32::MAX;
+
+struct Slot<E> {
     time: SimTime,
     seq: u64,
+    /// Bumped every time the slot is vacated; stale handles never match.
+    gen: u32,
+    /// Index into `heap`, or `NO_POS` when the slot is free.
+    pos: u32,
     payload: Option<E>,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// A future-event list with deterministic tie-breaking and O(log n)
-/// schedule/pop. Cancellation is lazy: cancelled entries are skipped on pop.
+/// A future-event list with deterministic tie-breaking, O(log n)
+/// schedule/pop, and O(log n) eager cancellation via generation-stamped
+/// handles.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    slots: Vec<Slot<E>>,
+    /// Vacant slot indices, reused LIFO.
+    free: Vec<u32>,
+    /// 4-ary min-heap of slot indices, ordered by the slots' `(time, seq)`.
+    heap: Vec<u32>,
     next_seq: u64,
     now: SimTime,
-    /// Sequence numbers scheduled but neither popped nor cancelled.
-    pending: std::collections::HashSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -57,14 +69,19 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// Heap arity. Four keeps the tree shallow (hot for pop-heavy workloads)
+/// while sift-down still scans few children.
+const ARITY: usize = 4;
+
 impl<E> EventQueue<E> {
     /// An empty queue at t = 0.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
-            pending: std::collections::HashSet::new(),
         }
     }
 
@@ -78,13 +95,13 @@ impl<E> EventQueue<E> {
     /// Number of live (not-yet-cancelled) scheduled events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.heap.len()
     }
 
     /// True iff no live events remain.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.heap.is_empty()
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -100,13 +117,31 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            time: at,
-            seq,
-            payload: Some(payload),
-        });
-        self.pending.insert(seq);
-        EventId(seq)
+        let pos = self.heap.len() as u32;
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let s = &mut self.slots[idx as usize];
+                s.time = at;
+                s.seq = seq;
+                s.pos = pos;
+                s.payload = Some(payload);
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    time: at,
+                    seq,
+                    gen: 0,
+                    pos,
+                    payload: Some(payload),
+                });
+                idx
+            }
+        };
+        self.heap.push(idx);
+        self.sift_up(pos as usize);
+        EventId::new(idx, self.slots[idx as usize].gen)
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
@@ -114,39 +149,117 @@ impl<E> EventQueue<E> {
     /// event that already fired, or was already cancelled, returns `false`
     /// and has no effect.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0)
+        let idx = id.slot();
+        match self.slots.get(idx as usize) {
+            Some(s) if s.gen == id.gen() && s.pos != NO_POS => {
+                let pos = s.pos as usize;
+                self.remove_at(pos);
+                self.release(idx);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Timestamp of the next live event, if any.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_cancelled();
-        self.heap.peek().map(|e| e.time)
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|&i| self.slots[i as usize].time)
     }
 
     /// Pop the next live event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.skip_cancelled();
-        let mut entry = self.heap.pop()?;
-        self.now = entry.time;
-        self.pending.remove(&entry.seq);
-        let payload = entry.payload.take().expect("live entry has payload");
-        Some((entry.time, payload))
+        let &root = self.heap.first()?;
+        self.remove_at(0);
+        let s = &mut self.slots[root as usize];
+        let time = s.time;
+        let payload = s.payload.take().expect("live entry has payload");
+        self.now = time;
+        self.release(root);
+        Some((time, payload))
     }
 
-    fn skip_cancelled(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if !self.pending.contains(&top.seq) {
-                self.heap.pop();
+    /// Drop every pending event (used when tearing a simulation down early).
+    pub fn clear(&mut self) {
+        while let Some(idx) = self.heap.pop() {
+            self.slots[idx as usize].payload = None;
+            self.release(idx);
+        }
+    }
+
+    /// Mark `idx` vacant, invalidating outstanding handles to it.
+    #[inline]
+    fn release(&mut self, idx: u32) {
+        let s = &mut self.slots[idx as usize];
+        s.pos = NO_POS;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(idx);
+    }
+
+    /// `(time, seq)` min-order between two slot indices.
+    #[inline]
+    fn before(&self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (&self.slots[a as usize], &self.slots[b as usize]);
+        (sa.time, sa.seq) < (sb.time, sb.seq)
+    }
+
+    /// Remove the heap entry at `pos`, preserving the heap invariant.
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        let removed = self.heap.pop().expect("remove_at on empty heap");
+        self.slots[removed as usize].pos = NO_POS;
+        if pos < self.heap.len() {
+            self.slots[self.heap[pos] as usize].pos = pos as u32;
+            // The filler came from the heap's tail but an arbitrary
+            // subtree; it may need to move either way. If sift_down moved
+            // a former descendant up into `pos`, that element already
+            // satisfies the parent bound, so the follow-up sift_up is a
+            // single no-op comparison.
+            self.sift_down(pos);
+            self.sift_up(pos);
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / ARITY;
+            if self.before(self.heap[pos], self.heap[parent]) {
+                self.swap_heap(pos, parent);
+                pos = parent;
             } else {
                 break;
             }
         }
     }
 
-    /// Drop every pending event (used when tearing a simulation down early).
-    pub fn clear(&mut self) {
-        self.heap.clear();
-        self.pending.clear();
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let first_child = pos * ARITY + 1;
+            if first_child >= self.heap.len() {
+                break;
+            }
+            let mut best = first_child;
+            let end = (first_child + ARITY).min(self.heap.len());
+            for c in first_child + 1..end {
+                if self.before(self.heap[c], self.heap[best]) {
+                    best = c;
+                }
+            }
+            if self.before(self.heap[best], self.heap[pos]) {
+                self.swap_heap(pos, best);
+                pos = best;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[inline]
+    fn swap_heap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.slots[self.heap[a] as usize].pos = a as u32;
+        self.slots[self.heap[b] as usize].pos = b as u32;
     }
 }
 
@@ -241,5 +354,102 @@ mod tests {
         q.schedule(now + SimDuration::from_ns(2), 7);
         assert_eq!(q.pop().unwrap().1, 7);
         assert_eq!(q.pop().unwrap().1, 10);
+    }
+
+    #[test]
+    fn stale_handle_rejected_after_slot_reuse() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(1), "a");
+        assert!(q.cancel(a));
+        // Reuses a's slot; the old handle must not be able to cancel it.
+        let b = q.schedule(SimTime::from_ns(2), "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(!q.cancel(b), "fired handle is stale");
+    }
+
+    #[test]
+    fn stale_handle_rejected_after_clear() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(1), 1);
+        q.clear();
+        assert!(!q.cancel(a));
+        q.schedule(SimTime::from_ns(2), 2);
+        assert!(!q.cancel(a), "pre-clear handle must stay stale");
+    }
+
+    /// Regression for the cancelled-entry leak: with lazy cancellation the
+    /// backing heap retained tombstones until they surfaced, so a
+    /// schedule/cancel churn at a far-future timestamp grew storage without
+    /// bound. Eager removal keeps both the heap and the slot arena at the
+    /// live-event footprint.
+    #[test]
+    fn cancelled_entries_are_reclaimed_not_leaked() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(SimTime::from_ns(1_000_000), "keep");
+        for _ in 0..10_000 {
+            let id = q.schedule(SimTime::from_ns(999_999), "churn");
+            assert!(q.cancel(id));
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.heap.len(), 1, "heap retains cancelled tombstones");
+        assert!(
+            q.slots.len() <= 2,
+            "slot arena grew to {} despite churn reuse",
+            q.slots.len()
+        );
+        assert!(q.cancel(keep));
+        assert!(q.is_empty());
+    }
+
+    /// Randomised (but seeded, self-contained) interleaving of
+    /// schedule/cancel/pop against a sorted-vec reference model.
+    #[test]
+    fn interleaving_matches_reference_model() {
+        // xorshift64* — deterministic, no external deps.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545f4914f6cdd1d)
+        };
+        let mut q = EventQueue::new();
+        let mut live: Vec<(u64, u64, EventId)> = Vec::new(); // (time_ns, tag, id)
+        let mut popped: Vec<u64> = Vec::new();
+        let mut expected: Vec<u64> = Vec::new();
+        let mut tag = 0u64;
+        for _ in 0..5_000 {
+            match rng() % 10 {
+                0..=4 => {
+                    let t = q.now().as_ns() + rng() % 50;
+                    let id = q.schedule(SimTime::from_ns(t), tag);
+                    live.push((t, tag, id));
+                    tag += 1;
+                }
+                5..=6 if !live.is_empty() => {
+                    let victim = (rng() % live.len() as u64) as usize;
+                    let (_, _, id) = live.swap_remove(victim);
+                    assert!(q.cancel(id));
+                }
+                _ => {
+                    if let Some((t, v)) = q.pop() {
+                        popped.push(v);
+                        // Reference: earliest (time, tag) among live.
+                        let best = live
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &(bt, btag, _))| (bt, btag))
+                            .map(|(i, _)| i)
+                            .expect("model had no live events");
+                        let (bt, btag, _) = live.swap_remove(best);
+                        assert_eq!((t.as_ns(), v), (bt, btag));
+                        expected.push(btag);
+                    }
+                }
+            }
+        }
+        assert_eq!(popped, expected);
+        assert_eq!(q.len(), live.len());
     }
 }

@@ -5,8 +5,13 @@
 //! with `std::time::Instant` over a fixed warm-up plus a few measured
 //! iterations, and a mean per-iteration time is printed. No outlier
 //! analysis, no plots, no saved baselines.
+//!
+//! Beyond the real crate's API, the stub records every measurement in a
+//! process-global registry so harnesses can emit machine-readable
+//! reports: run benches, then drain with [`take_results`].
 
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export matching `criterion::black_box`.
@@ -21,6 +26,38 @@ pub enum Throughput {
     Elements(u64),
     /// Bytes processed per iteration.
     Bytes(u64),
+}
+
+/// One completed measurement (stub extension, not in the real crate).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Mean wall-clock seconds per iteration.
+    pub mean_seconds: f64,
+    /// Measured iteration count.
+    pub iters: usize,
+    /// Per-iteration work, if the group declared one.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Work items per second, if an `Elements` throughput was declared.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) if self.mean_seconds > 0.0 => {
+                Some(n as f64 / self.mean_seconds)
+            }
+            _ => None,
+        }
+    }
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drain every result recorded since the last call (stub extension).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().expect("results registry"))
 }
 
 /// The benchmark driver.
@@ -110,6 +147,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
     };
     f(&mut b);
     let per_iter = b.elapsed.as_secs_f64() / iters.max(1) as f64;
+    RESULTS.lock().expect("results registry").push(BenchResult {
+        name: name.to_string(),
+        mean_seconds: per_iter,
+        iters,
+        throughput,
+    });
     let rate = match throughput {
         Some(Throughput::Elements(n)) if per_iter > 0.0 => {
             format!("  {:.3} Melem/s", n as f64 / per_iter / 1e6)
