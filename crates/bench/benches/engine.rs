@@ -8,13 +8,14 @@
 use criterion::{criterion_group, criterion_main};
 
 use pfcsim_experiments::enginebench::{
-    bench_event_queue, bench_fat_tree_all_to_all, bench_line_forwarding,
+    bench_deadlock_scan, bench_event_queue, bench_fat_tree_all_to_all, bench_line_forwarding,
 };
 
 criterion_group!(
     engine,
     bench_event_queue,
     bench_line_forwarding,
-    bench_fat_tree_all_to_all
+    bench_fat_tree_all_to_all,
+    bench_deadlock_scan
 );
 criterion_main!(engine);

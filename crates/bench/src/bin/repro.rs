@@ -93,14 +93,19 @@ fn bench(quick: bool, out: &str) -> ! {
 
     // Wall-clock the full quick regeneration in-process, serial and at
     // the ambient thread count; the reports must match byte-for-byte
-    // (the determinism contract of `sweep::parallel_map`).
+    // (the determinism contract of `sweep::parallel_map`). On a
+    // single-core host a "parallel" pass would time the same serial
+    // execution plus scheduling noise and report a meaningless speedup,
+    // so the comparison is skipped there — the determinism gate still
+    // runs, comparing two serial passes instead.
     let opts = Opts {
         quick: true,
         dump_dir: None,
     };
-    let threads = std::thread::available_parallelism()
+    let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let threads = host_cpus;
     let t0 = std::time::Instant::now();
     let serial = with_threads(1, || experiments::run_all(&opts));
     let serial_secs = t0.elapsed().as_secs_f64();
@@ -110,6 +115,7 @@ fn bench(quick: bool, out: &str) -> ! {
     let serial_render: Vec<String> = serial.iter().map(Report::render).collect();
     let parallel_render: Vec<String> = parallel.iter().map(Report::render).collect();
     let deterministic = serial_render == parallel_render;
+    let multicore = host_cpus > 1;
 
     let benches: Vec<Value> = results
         .iter()
@@ -123,16 +129,32 @@ fn bench(quick: bool, out: &str) -> ! {
         })
         .collect();
     let doc = obj(vec![
-        ("schema", val("pfcsim-bench/1")),
+        ("schema", val("pfcsim-bench/2")),
         ("quick", val(quick)),
         ("threads", val(threads as u64)),
+        ("host_cpus", val(host_cpus as u64)),
         ("benches", Value::Array(benches)),
         (
             "repro_all_quick",
             obj(vec![
                 ("serial_seconds", val(serial_secs)),
                 ("parallel_seconds", val(parallel_secs)),
-                ("speedup", val(serial_secs / parallel_secs.max(1e-9))),
+                (
+                    "speedup",
+                    if multicore {
+                        val(serial_secs / parallel_secs.max(1e-9))
+                    } else {
+                        Value::Null
+                    },
+                ),
+                (
+                    "speedup_note",
+                    if multicore {
+                        Value::Null
+                    } else {
+                        val("single-core host: serial-vs-parallel comparison not meaningful")
+                    },
+                ),
                 ("deterministic", val(deterministic)),
             ]),
         ),
@@ -142,10 +164,17 @@ fn bench(quick: bool, out: &str) -> ! {
         serde_json::to_string_pretty(&doc).expect("json") + "\n",
     )
     .expect("write bench baseline");
-    println!(
-        "repro all --quick: serial {serial_secs:.3}s, parallel({threads}) {parallel_secs:.3}s, \
-         deterministic: {deterministic}"
-    );
+    if multicore {
+        println!(
+            "repro all --quick: serial {serial_secs:.3}s, parallel({threads}) {parallel_secs:.3}s, \
+             deterministic: {deterministic}"
+        );
+    } else {
+        println!(
+            "repro all --quick: serial {serial_secs:.3}s, deterministic: {deterministic} \
+             (single-core host: speedup comparison skipped)"
+        );
+    }
     println!("wrote {out}");
     if !deterministic {
         eprintln!("error: serial and parallel reports diverge — sweep determinism is broken");

@@ -10,7 +10,10 @@
 //! * `datapath/line2_saturated_1ms` — full per-packet pipeline on the
 //!   smallest topology that exercises PFC;
 //! * `fabric/fat_tree4_permutation_200us` — routing + arbitration on a
-//!   16-host fat-tree.
+//!   16-host fat-tree;
+//! * `detector/deadlock_scan_fat_tree4_incast_200us` — the deadlock
+//!   analyzer under heavy pause churn (100 ns scan cadence, no true
+//!   deadlock).
 
 use criterion::{black_box, take_results, BenchResult, Criterion, Throughput};
 
@@ -19,7 +22,7 @@ use pfcsim_net::flow::FlowSpec;
 use pfcsim_net::sim::NetSim;
 use pfcsim_simcore::event::EventQueue;
 use pfcsim_simcore::rng::SimRng;
-use pfcsim_simcore::time::SimTime;
+use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_topo::builders::{fat_tree, line, LinkSpec};
 
 fn event_queue_bench(c: &mut Criterion, samples: usize) {
@@ -97,6 +100,36 @@ fn fat_tree_bench(c: &mut Criterion, samples: usize) {
     g.finish();
 }
 
+fn deadlock_scan_bench(c: &mut Criterion, samples: usize) {
+    // The detector's worst realistic case: a 15-to-1 incast on an
+    // up/down-routed fat-tree keeps many switch-to-switch channels paused
+    // (heavy churn, deep queues) while staying provably deadlock-free, and
+    // a 100 ns scan cadence makes the analyzer the first-order cost.
+    let built = fat_tree(4, LinkSpec::default());
+    let run_once = || {
+        let tables = pfcsim_topo::routing::up_down_tables(&built.topo);
+        let mut cfg = SimConfig::default();
+        cfg.sample_interval = None; // measure the detector, not sampling
+        cfg.deadlock_scan_interval = Some(SimDuration::from_ns(100));
+        let mut sim = NetSim::with_tables(&built.topo, cfg, tables);
+        let n = built.hosts.len();
+        for i in 1..n {
+            sim.add_flow(FlowSpec::infinite(i as u32, built.hosts[i], built.hosts[0]));
+        }
+        let r = sim.run(SimTime::from_us(200));
+        assert!(!r.verdict.is_deadlock(), "up/down routing is deadlock-free");
+        r.events
+    };
+    let events = run_once();
+    let mut g = c.benchmark_group("detector");
+    g.sample_size(samples);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("deadlock_scan_fat_tree4_incast_200us", |b| {
+        b.iter(|| black_box(run_once()))
+    });
+    g.finish();
+}
+
 /// `cargo bench` entry point: scheduler micro-benchmark.
 pub fn bench_event_queue(c: &mut Criterion) {
     event_queue_bench(c, 3);
@@ -112,6 +145,11 @@ pub fn bench_fat_tree_all_to_all(c: &mut Criterion) {
     fat_tree_bench(c, 10);
 }
 
+/// `cargo bench` entry point: deadlock detector under pause churn.
+pub fn bench_deadlock_scan(c: &mut Criterion) {
+    deadlock_scan_bench(c, 10);
+}
+
 /// Run all engine benchmarks and return the recorded measurements
 /// (drains the criterion stub's registry first, so only this run's
 /// numbers are returned).
@@ -122,6 +160,7 @@ pub fn run_engine_benches(quick: bool) -> Vec<BenchResult> {
     event_queue_bench(&mut c, s_big);
     line_forwarding_bench(&mut c, s_small.max(3));
     fat_tree_bench(&mut c, s_small);
+    deadlock_scan_bench(&mut c, s_small);
     take_results()
 }
 
@@ -130,7 +169,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_benches_record_all_three() {
+    fn quick_benches_record_all_workloads() {
         let results = run_engine_benches(true);
         let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(
@@ -138,7 +177,8 @@ mod tests {
             [
                 "event_queue/schedule_pop_10k",
                 "datapath/line2_saturated_1ms",
-                "fabric/fat_tree4_permutation_200us"
+                "fabric/fat_tree4_permutation_200us",
+                "detector/deadlock_scan_fat_tree4_incast_200us"
             ]
         );
         for r in &results {

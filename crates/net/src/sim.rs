@@ -28,6 +28,7 @@ use pfcsim_topo::routing::{trace_path, ForwardingTables};
 
 use crate::config::{PauseMode, PfcConfig, SimConfig};
 use crate::dcqcn::{DcqcnConfig, DcqcnState};
+use crate::deadlock::DeadlockTracker;
 use crate::faults::{FaultAction, FaultKind, FaultPlan, FaultRecord};
 use crate::flow::{Demand, FlowSpec, RouteKind};
 use crate::host::{FlowRt, Host};
@@ -189,6 +190,11 @@ pub struct RunReport {
     pub quiesced: bool,
     /// Number of events processed.
     pub events: u64,
+    /// Periodic deadlock scans that actually ran the analyzer.
+    pub deadlock_scans_run: u64,
+    /// Periodic deadlock scans skipped by the epoch heuristic (nothing
+    /// paused/resumed and no byte moved since the last clean scan).
+    pub deadlock_scans_skipped: u64,
     /// All measurements.
     pub stats: NetStats,
 }
@@ -229,8 +235,23 @@ pub struct NetSim {
     quantum: u64,
     horizon: SimTime,
     route_updates: Vec<RouteUpdate>,
-    watch_keys: Option<BTreeSet<IngressKey>>,
-    used_prios: BTreeSet<u8>,
+    /// Sampling restriction (sorted, deduped); `None` = sample everything.
+    watch_keys: Option<Vec<IngressKey>>,
+    /// Bitmask of priorities carrying traffic (flow specs + class remaps).
+    used_prios: u8,
+    /// Keys `on_sample` walks, precomputed at `start()`.
+    sample_keys: Vec<IngressKey>,
+    /// Dense channel arena + pause bitset for the incremental deadlock
+    /// detector (see [`crate::deadlock`]).
+    pub(crate) dl: DeadlockTracker,
+    /// Tracker epoch at the last deadlock-free periodic scan; while the
+    /// epoch still matches, a rescan is provably redundant.
+    last_clean_scan: Option<u64>,
+    scans_run: u64,
+    scans_skipped: u64,
+    /// Debug: run the reference analyzer beside the incremental one and
+    /// panic on divergence.
+    cross_check_deadlock: bool,
     deadlock: Option<(SimTime, Vec<PauseKey>)>,
     dcqcn_cfg: Option<DcqcnConfig>,
     timely_cfg: Option<TimelyConfig>,
@@ -304,6 +325,7 @@ impl NetSim {
         let seed = cfg.seed;
         let quantum = cfg.default_packet_size.get();
         let n_nodes = topo.node_count();
+        let dl = DeadlockTracker::new(topo, &port_info);
         NetSim {
             topo: topo.clone(),
             cfg,
@@ -328,7 +350,13 @@ impl NetSim {
             horizon: SimTime::MAX,
             route_updates: Vec::new(),
             watch_keys: None,
-            used_prios: BTreeSet::new(),
+            used_prios: 0,
+            sample_keys: Vec::new(),
+            dl,
+            last_clean_scan: None,
+            scans_run: 0,
+            scans_skipped: 0,
+            cross_check_deadlock: false,
             deadlock: None,
             dcqcn_cfg: None,
             timely_cfg: None,
@@ -401,7 +429,7 @@ impl NetSim {
                 .unwrap_or(self.cfg.default_packet_size)
                 .get(),
         );
-        self.used_prios.insert(spec.priority.0);
+        self.used_prios |= 1 << spec.priority.0;
         self.hosts[spec.src.0 as usize]
             .as_mut()
             .expect("source is a host")
@@ -583,7 +611,13 @@ impl NetSim {
     /// Restrict occupancy sampling to the given ingress queues
     /// (default: every switch ingress × every priority in use).
     pub fn watch_only(&mut self, keys: impl IntoIterator<Item = IngressKey>) {
-        self.watch_keys = Some(keys.into_iter().collect());
+        let mut v: Vec<IngressKey> = keys.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        if self.started {
+            self.sample_keys = v.clone();
+        }
+        self.watch_keys = Some(v);
     }
 
     /// Enable DCQCN with the given parameters (required if any flow has
@@ -766,14 +800,37 @@ impl NetSim {
         // include them in the sampled set.
         if let Some(n) = self.cfg.hop_class_mode {
             for p in 0..n {
-                self.used_prios.insert(p);
+                self.used_prios |= 1 << p;
             }
         }
         if let Some(tc) = self.cfg.ttl_class_mode {
             for p in tc.base_class..tc.base_class + tc.classes {
-                self.used_prios.insert(p);
+                self.used_prios |= 1 << p;
             }
         }
+        // Freeze the sampled key set: rebuilding it per sample was a
+        // measurable cost on dense fabrics. Ascending (node, port, prio)
+        // order matches the old sorted-set iteration exactly.
+        self.sample_keys = match &self.watch_keys {
+            Some(v) => v.clone(),
+            None => {
+                let mut v = Vec::new();
+                for sw in self.switches.iter().flatten() {
+                    for (pi, _) in sw.ingress.iter().enumerate() {
+                        for prio in 0..Priority::COUNT as u8 {
+                            if self.used_prios & (1 << prio) != 0 {
+                                v.push(IngressKey {
+                                    node: sw.node,
+                                    port: PortNo(pi as u16),
+                                    priority: Priority(prio),
+                                });
+                            }
+                        }
+                    }
+                }
+                v
+            }
+        };
         if self.cfg.sample_interval.is_some() {
             self.sched(SimTime::ZERO, Ev::Sample);
         }
@@ -849,7 +906,7 @@ impl NetSim {
         // Final scan: catches deadlocks formed after the last periodic scan
         // (or with scanning disabled).
         if self.deadlock.is_none() {
-            if let Some(witness) = self.analyze_deadlock() {
+            if let Some(witness) = self.scan_deadlock() {
                 self.deadlock = Some((self.now(), witness));
             }
         }
@@ -941,6 +998,8 @@ impl NetSim {
             buffered,
             quiesced,
             events: self.events,
+            deadlock_scans_run: self.scans_run,
+            deadlock_scans_skipped: self.scans_skipped,
             stats: std::mem::take(&mut self.stats),
         }
     }
@@ -1811,6 +1870,7 @@ impl NetSim {
         let prio = qp.pkt.priority.index();
         let sw = self.switches[node.0 as usize].as_mut().expect("switch");
         sw.egress[egress.0 as usize].queues[prio].push(qp, arb);
+        self.dl.note_bytes_moved();
         self.try_tx(node, egress);
     }
 
@@ -1839,6 +1899,7 @@ impl NetSim {
                     .expect("eligible queue non-empty");
                 let size = qp.pkt.size;
                 eg.in_flight = Some(InFlight::Data(qp));
+                self.dl.note_bytes_moved();
                 size
             } else {
                 return;
@@ -1943,6 +2004,7 @@ impl NetSim {
         }
         if ing.pause_sent[prio.index()] && ing.count[prio.index()] < xon {
             ing.pause_sent[prio.index()] = false;
+            self.dl.note_pause(node, ingress, prio.index(), false);
             self.send_resume(node, ingress, prio);
         }
     }
@@ -1958,6 +2020,7 @@ impl NetSim {
             PauseMode::XonXoff => u16::MAX,
             PauseMode::Quanta { quanta } => quanta,
         };
+        self.dl.note_pause(node, port, prio.index(), true);
         let sw = self.switches[node.0 as usize].as_mut().expect("switch");
         sw.ingress[port.0 as usize].pause_sent[prio.index()] = true;
         sw.egress[port.0 as usize].ctrl.push_back(PfcFrame {
@@ -2128,26 +2191,11 @@ impl NetSim {
     fn on_sample(&mut self) {
         let now = self.now();
         let track_flows = self.cfg.track_per_flow_occupancy;
-        // Sample watched keys (or every switch ingress × used priority).
-        let keys: Vec<IngressKey> = match &self.watch_keys {
-            Some(set) => set.iter().copied().collect(),
-            None => {
-                let mut v = Vec::new();
-                for sw in self.switches.iter().flatten() {
-                    for (pi, _) in sw.ingress.iter().enumerate() {
-                        for &prio in &self.used_prios {
-                            v.push(IngressKey {
-                                node: sw.node,
-                                port: PortNo(pi as u16),
-                                priority: Priority(prio),
-                            });
-                        }
-                    }
-                }
-                v
-            }
-        };
-        for key in keys {
+        // Sample the precomputed key set (taken out so `self.stats` can be
+        // borrowed mutably in the loop, then put back — no per-sample
+        // allocation).
+        let keys = std::mem::take(&mut self.sample_keys);
+        for &key in &keys {
             let Some(sw) = self.switches[key.node.0 as usize].as_ref() else {
                 continue;
             };
@@ -2176,6 +2224,7 @@ impl NetSim {
                 }
             }
         }
+        self.sample_keys = keys;
         if let Some(iv) = self.cfg.sample_interval {
             let next = now + iv;
             if next <= self.horizon {
@@ -2184,10 +2233,49 @@ impl NetSim {
         }
     }
 
+    /// Run the incremental analyzer, optionally shadowed by the reference
+    /// implementation (see [`NetSim::debug_cross_check_deadlock`]).
+    fn scan_deadlock(&mut self) -> Option<Vec<PauseKey>> {
+        let verdict = self.analyze_deadlock();
+        if self.cross_check_deadlock {
+            let reference = self.analyze_deadlock_reference();
+            assert_eq!(
+                verdict,
+                reference,
+                "incremental and reference deadlock analyzers diverged at {}",
+                self.now()
+            );
+        }
+        verdict
+    }
+
+    /// Test hook: run the reference analyzer beside the incremental one at
+    /// every scan and panic on any verdict-or-witness divergence.
+    pub fn debug_cross_check_deadlock(&mut self, on: bool) {
+        self.cross_check_deadlock = on;
+    }
+
     fn on_deadlock_scan(&mut self) {
         if self.deadlock.is_none() {
-            if let Some(witness) = self.analyze_deadlock() {
-                self.deadlock = Some((self.now(), witness));
+            let epoch = self.dl.epoch();
+            if self.last_clean_scan == Some(epoch) {
+                // No pause flipped and no byte moved since the last clean
+                // scan: the verdict cannot have changed.
+                self.scans_skipped += 1;
+                if self.cross_check_deadlock {
+                    assert!(
+                        self.analyze_deadlock_reference().is_none(),
+                        "skip heuristic unsound at {}",
+                        self.now()
+                    );
+                }
+            } else {
+                self.scans_run += 1;
+                if let Some(witness) = self.scan_deadlock() {
+                    self.deadlock = Some((self.now(), witness));
+                } else {
+                    self.last_clean_scan = Some(epoch);
+                }
             }
         }
         if let Some(iv) = self.cfg.deadlock_scan_interval {
@@ -2203,7 +2291,7 @@ impl NetSim {
             .cfg
             .recovery
             .expect("RecoveryScan only fires when armed");
-        if let Some(witness) = self.analyze_deadlock() {
+        if let Some(witness) = self.scan_deadlock() {
             if self.deadlock.is_none() {
                 self.deadlock = Some((self.now(), witness.clone()));
             }
@@ -2274,6 +2362,7 @@ impl NetSim {
             }
             ing.shaper_q = keep;
         }
+        self.dl.note_bytes_moved();
         for pkt in victims {
             self.stats.drops_recovery += 1;
             self.fstat_mut(pkt.flow).dropped_recovery += 1;
@@ -2397,6 +2486,9 @@ impl NetSim {
             eg.paused = [TxPause::Open; Priority::COUNT];
         }
         let dropped = victims.len() as u64;
+        if dropped > 0 {
+            self.dl.note_bytes_moved();
+        }
         for qp in victims {
             self.drop_link_down(node, &qp.pkt);
             self.release_ingress(node, qp.ingress, &qp.pkt);
@@ -2417,6 +2509,7 @@ impl NetSim {
             }
         }
         for prio in silenced {
+            self.dl.note_pause(node, port, prio.index(), false);
             let key = PauseKey {
                 from: info.peer,
                 to: node,
@@ -2495,12 +2588,18 @@ impl NetSim {
         {
             let sw = self.switches[node.0 as usize].as_mut().expect("switch");
             sw.buffered = Bytes::ZERO;
-            for ing in sw.ingress.iter_mut() {
+            for (pi, ing) in sw.ingress.iter_mut().enumerate() {
                 ing.count = [Bytes::ZERO; Priority::COUNT];
-                ing.pause_sent = [false; Priority::COUNT];
+                for pr in 0..Priority::COUNT {
+                    if ing.pause_sent[pr] {
+                        ing.pause_sent[pr] = false;
+                        self.dl.note_pause(node, PortNo(pi as u16), pr, false);
+                    }
+                }
                 ing.per_flow.clear();
             }
         }
+        self.dl.note_bytes_moved();
         // Forget the forwarding state until the restore.
         let routes: Vec<(NodeId, Vec<PortNo>)> = self
             .tables

@@ -11,6 +11,13 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+/// Sentinel padding for dense per-port vectors that grow on demand.
+fn ensure_len<T: Default + Clone>(v: &mut Vec<T>, n: usize) {
+    if v.len() < n {
+        v.resize(n, T::default());
+    }
+}
+
 use pfcsim_simcore::time::SimTime;
 use pfcsim_simcore::units::Bytes;
 use pfcsim_topo::ids::{FlowId, NodeId, PortNo, Priority};
@@ -34,12 +41,24 @@ pub struct QPkt {
 /// deficit-round-robin (quantum = MTU), giving the per-hop per-ingress-port
 /// fairness of the paper's footnote 4. In FIFO mode a single arrival-order
 /// queue is used.
+///
+/// All per-ingress state (`subs`, `deficit`, `by_ingress`) is dense,
+/// indexed by ingress port number and grown on first use; switches have a
+/// handful of ports, so the vectors stay tiny and cache-resident. The
+/// `by_ingress` byte counters make [`EgressQueue::bytes_from_ingress`] —
+/// the inner loop of the deadlock analyzer — O(1) instead of a walk over
+/// every queued packet.
 #[derive(Debug, Default)]
 pub struct EgressQueue {
-    subs: BTreeMap<PortNo, VecDeque<QPkt>>,
+    /// Per-ingress-port subqueues (DRR mode), indexed by port number.
+    subs: Vec<VecDeque<QPkt>>,
     rr: VecDeque<PortNo>,
-    deficit: BTreeMap<PortNo, u64>,
+    /// Per-ingress-port DRR deficit, indexed by port number. Always zero
+    /// while the matching subqueue is empty.
+    deficit: Vec<u64>,
     fifo: VecDeque<QPkt>,
+    /// Queued bytes per ingress port (both modes), indexed by port number.
+    by_ingress: Vec<u64>,
     bytes: Bytes,
     len: usize,
 }
@@ -62,15 +81,19 @@ impl EgressQueue {
 
     /// Enqueue.
     pub fn push(&mut self, qp: QPkt, arb: Arbitration) {
+        let ing = qp.ingress.0 as usize;
         self.bytes += qp.pkt.size;
         self.len += 1;
+        ensure_len(&mut self.by_ingress, ing + 1);
+        self.by_ingress[ing] += qp.pkt.size.get();
         match arb {
             Arbitration::Fifo => self.fifo.push_back(qp),
             Arbitration::Drr => {
-                let sub = self.subs.entry(qp.ingress).or_default();
+                ensure_len(&mut self.subs, ing + 1);
+                ensure_len(&mut self.deficit, ing + 1);
+                let sub = &mut self.subs[ing];
                 if sub.is_empty() {
                     self.rr.push_back(qp.ingress);
-                    self.deficit.entry(qp.ingress).or_insert(0);
                 }
                 sub.push_back(qp);
             }
@@ -87,23 +110,24 @@ impl EgressQueue {
             Arbitration::Drr => {
                 debug_assert!(quantum > 0, "DRR quantum must be positive");
                 loop {
-                    let &front = self.rr.front().expect("non-empty queue has an active sub");
-                    let head_size = self.subs[&front]
+                    let front = self
+                        .rr
+                        .front()
+                        .expect("non-empty queue has an active sub")
+                        .0 as usize;
+                    let head_size = self.subs[front]
                         .front()
                         .expect("active sub is non-empty")
                         .pkt
                         .size
                         .get();
-                    let d = self
-                        .deficit
-                        .get_mut(&front)
-                        .expect("active sub has deficit");
+                    let d = &mut self.deficit[front];
                     if *d >= head_size {
                         *d -= head_size;
-                        let sub = self.subs.get_mut(&front).expect("sub exists");
+                        let sub = &mut self.subs[front];
                         let qp = sub.pop_front().expect("non-empty");
                         if sub.is_empty() {
-                            self.deficit.insert(front, 0);
+                            self.deficit[front] = 0;
                             self.rr.pop_front();
                         }
                         break qp;
@@ -116,39 +140,34 @@ impl EgressQueue {
         };
         self.bytes -= qp.pkt.size;
         self.len -= 1;
+        self.by_ingress[qp.ingress.0 as usize] -= qp.pkt.size.get();
         Some(qp)
     }
 
-    /// Bytes queued here that arrived via `ingress` (for deadlock analysis).
+    /// Bytes queued here that arrived via `ingress` (the deadlock
+    /// analyzer's inner loop): O(1) from the maintained counter.
     pub fn bytes_from_ingress(&self, ingress: PortNo) -> Bytes {
-        let drr: Bytes = self
-            .subs
-            .get(&ingress)
-            .map(|q| q.iter().map(|qp| qp.pkt.size).sum())
-            .unwrap_or(Bytes::ZERO);
-        let fifo: Bytes = self
-            .fifo
-            .iter()
-            .filter(|qp| qp.ingress == ingress)
-            .map(|qp| qp.pkt.size)
-            .sum();
-        drr + fifo
+        Bytes::new(
+            self.by_ingress
+                .get(ingress.0 as usize)
+                .copied()
+                .unwrap_or(0),
+        )
     }
 
     /// Iterate over all queued packets (order unspecified).
     pub fn iter(&self) -> impl Iterator<Item = &QPkt> {
-        self.subs.values().flatten().chain(self.fifo.iter())
+        self.subs.iter().flatten().chain(self.fifo.iter())
     }
 
     /// Remove and return every queued packet that arrived via `ingress`
     /// (used by reactive deadlock recovery to force-drain a frozen queue).
     pub fn drain_from_ingress(&mut self, ingress: PortNo) -> Vec<QPkt> {
         let mut out = Vec::new();
-        if let Some(sub) = self.subs.get_mut(&ingress) {
+        if let Some(sub) = self.subs.get_mut(ingress.0 as usize) {
             out.extend(sub.drain(..));
-            self.subs.remove(&ingress);
             self.rr.retain(|&p| p != ingress);
-            self.deficit.remove(&ingress);
+            self.deficit[ingress.0 as usize] = 0;
         }
         let mut keep = VecDeque::with_capacity(self.fifo.len());
         for qp in self.fifo.drain(..) {
@@ -162,6 +181,7 @@ impl EgressQueue {
         for qp in &out {
             self.bytes -= qp.pkt.size;
             self.len -= 1;
+            self.by_ingress[qp.ingress.0 as usize] -= qp.pkt.size.get();
         }
         out
     }
@@ -169,11 +189,11 @@ impl EgressQueue {
     /// Remove and return every queued packet (link failure / reboot
     /// clearing — nothing queued at a dead port can ever transmit).
     pub fn drain_all(&mut self) -> Vec<QPkt> {
-        let mut out: Vec<QPkt> = self.subs.values_mut().flat_map(|q| q.drain(..)).collect();
-        self.subs.clear();
+        let mut out: Vec<QPkt> = self.subs.iter_mut().flat_map(|q| q.drain(..)).collect();
         self.rr.clear();
-        self.deficit.clear();
+        self.deficit.fill(0);
         out.extend(self.fifo.drain(..));
+        self.by_ingress.fill(0);
         self.bytes = Bytes::ZERO;
         self.len = 0;
         out

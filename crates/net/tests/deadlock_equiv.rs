@@ -1,0 +1,182 @@
+//! Incremental-vs-reference deadlock detector equivalence.
+//!
+//! `NetSim::debug_cross_check_deadlock(true)` makes every scan — periodic,
+//! recovery-watchdog, and the end-of-run final scan — execute both the
+//! incremental worklist analyzer and the original round-based fixpoint,
+//! panicking on any verdict *or witness* divergence. These tests drive
+//! that hook over randomized topologies, traffic mixes, fault scripts,
+//! and PFC threshold modes, covering runs that stay clean, runs that
+//! deadlock and stop, and runs that drain through a deadlock to
+//! quiescence. The skip heuristic is cross-checked too: a skipped scan
+//! asserts the reference still reports no deadlock.
+
+use proptest::prelude::*;
+
+use pfcsim_net::config::SimConfig;
+use pfcsim_net::faults::FaultPlan;
+use pfcsim_net::flow::FlowSpec;
+use pfcsim_net::recovery::{RecoveryConfig, RecoveryStrategy};
+use pfcsim_net::sim::NetSim;
+use pfcsim_simcore::time::{SimDuration, SimTime};
+use pfcsim_simcore::units::BitRate;
+use pfcsim_topo::builders::{ring, square, two_switch_loop, Built, LinkSpec};
+use pfcsim_topo::routing::install_cycle_route;
+
+/// One generated fault as raw numbers, mapped onto whatever topology was
+/// drawn so every plan validates.
+type RawFault = (u8, u16, u8, u16);
+
+fn build_topo(sel: u8) -> Built {
+    match sel % 4 {
+        0 => two_switch_loop(LinkSpec::default()),
+        1 => square(LinkSpec::default()),
+        2 => ring(3, LinkSpec::default()),
+        _ => ring(5, LinkSpec::default()),
+    }
+}
+
+fn build_plan(b: &Built, raw: &[RawFault]) -> FaultPlan {
+    let s = &b.switches;
+    let h = &b.hosts;
+    let mut plan = FaultPlan::new();
+    for &(kind, t_us, which, p) in raw {
+        let at = SimTime::from_us(30 + t_us as u64 % 900);
+        let wi = which as usize;
+        // Ring links between consecutive switches, or a host uplink.
+        let (a, bb) = if wi.is_multiple_of(2) || s.len() < 2 {
+            (h[wi % h.len()], s[wi % s.len()])
+        } else {
+            (s[wi % s.len()], s[(wi + 1) % s.len()])
+        };
+        let sw = s[wi % s.len()];
+        plan = match kind % 6 {
+            0 => plan.link_down(at, a, bb),
+            1 => plan.link_up(at, a, bb),
+            2 => {
+                let down_for = SimDuration::from_us(1 + p as u64 % 40);
+                let period = down_for + SimDuration::from_us(1 + which as u64);
+                plan.link_flap(at, a, bb, down_for, period, 1 + (p % 2) as u32)
+            }
+            3 => plan.pause_loss(at, sw, (p % 101) as f64 / 100.0),
+            4 => plan.switch_reboot(at, sw, SimDuration::from_us(10 + p as u64 % 200)),
+            _ => plan.route_reconverge(
+                at,
+                SimDuration::from_us(1 + which as u64),
+                SimDuration::from_us(p as u64 % 300),
+            ),
+        };
+    }
+    plan
+}
+
+/// Build a sim with a cycle route over every switch (the paper's CBD
+/// pattern) plus some shortest-path cross traffic, cross-checking on.
+#[allow(clippy::too_many_arguments)]
+fn checked_run(
+    topo_sel: u8,
+    cyclic: bool,
+    alpha: bool,
+    scan_us: u64,
+    raw: &[RawFault],
+    seed: u64,
+    recovery: bool,
+    drain: bool,
+) {
+    let b = build_topo(topo_sel);
+    let mut tables = pfcsim_topo::routing::shortest_path_tables(&b.topo);
+    if cyclic {
+        install_cycle_route(
+            &b.topo,
+            &mut tables,
+            &b.switches,
+            b.hosts[1 % b.hosts.len()],
+        );
+    }
+    let mut cfg = SimConfig::default();
+    cfg.seed = seed;
+    cfg.deadlock_scan_interval = Some(SimDuration::from_us(scan_us));
+    if alpha {
+        cfg.pfc.dynamic_alpha = Some((1, 4));
+    }
+    if drain {
+        cfg.stop_on_deadlock = false;
+    }
+    let mut sim = NetSim::with_tables(&b.topo, cfg, tables);
+    sim.debug_cross_check_deadlock(true);
+    let n = b.hosts.len();
+    sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1 % n], BitRate::from_gbps(10)).with_ttl(16));
+    sim.add_flow(
+        FlowSpec::cbr(1, b.hosts[(n - 1) % n], b.hosts[0], BitRate::from_gbps(5))
+            .with_ttl(16)
+            .stopping_at(SimTime::from_ms(1)),
+    );
+    if recovery {
+        sim.enable_recovery(RecoveryConfig {
+            check_interval: SimDuration::from_us(200),
+            strategy: if seed.is_multiple_of(2) {
+                RecoveryStrategy::DrainWitness
+            } else {
+                RecoveryStrategy::DrainOneQueue
+            },
+        });
+    }
+    if !raw.is_empty() {
+        sim.set_fault_plan(build_plan(&b, raw)).expect("plan valid");
+    }
+    if drain {
+        sim.run_with_drain(SimTime::from_ms(2), SimTime::from_ms(4));
+    } else {
+        sim.run(SimTime::from_ms(3));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every scan over randomized topologies, cyclic/acyclic routing,
+    /// static/dynamic PFC thresholds, scan cadences, and fault scripts
+    /// must agree between the incremental and reference analyzers.
+    #[test]
+    fn analyzers_agree_on_random_runs(
+        topo_sel in 0u8..4,
+        cyclic in any::<bool>(),
+        alpha in any::<bool>(),
+        scan_us in 5u64..120,
+        raw in prop::collection::vec((0u8..12, 0u16..900, 0u8..8, 0u16..1000), 0..5),
+        seed in 0u64..1_000,
+        drain in any::<bool>(),
+    ) {
+        checked_run(topo_sel, cyclic, alpha, scan_us, &raw, seed, false, drain);
+    }
+
+    /// Recovery watchdog runs scan every tick regardless of the verdict and
+    /// force-drains witnesses — the highest-churn path for the tracker.
+    #[test]
+    fn analyzers_agree_under_recovery(
+        topo_sel in 0u8..4,
+        alpha in any::<bool>(),
+        scan_us in 5u64..120,
+        seed in 0u64..1_000,
+    ) {
+        checked_run(topo_sel, true, alpha, scan_us, &[], seed, true, false);
+    }
+}
+
+/// Deterministic smoke: the canonical two-switch loop deadlock, with the
+/// cross-check active from first scan through detection.
+#[test]
+fn cross_check_holds_through_a_real_deadlock() {
+    let b = two_switch_loop(LinkSpec::default());
+    let mut tables = pfcsim_topo::routing::shortest_path_tables(&b.topo);
+    install_cycle_route(
+        &b.topo,
+        &mut tables,
+        &[b.switches[0], b.switches[1]],
+        b.hosts[1],
+    );
+    let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+    sim.debug_cross_check_deadlock(true);
+    sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(10)).with_ttl(16));
+    let report = sim.run(SimTime::from_ms(50));
+    assert!(report.verdict.is_deadlock(), "loop traffic must deadlock");
+}

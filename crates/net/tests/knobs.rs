@@ -434,3 +434,80 @@ fn wrr_class_scheduling_prevents_low_class_starvation() {
         "WRR splits the egress: {hi_wrr} / {lo_wrr}"
     );
 }
+
+fn loop_deadlock_sim(cfg: SimConfig) -> (NetSim, SimTime) {
+    let b = two_switch_loop(LinkSpec::default());
+    let mut tables = pfcsim_topo::routing::shortest_path_tables(&b.topo);
+    pfcsim_topo::routing::install_cycle_route(
+        &b.topo,
+        &mut tables,
+        &[b.switches[0], b.switches[1]],
+        b.hosts[1],
+    );
+    let mut sim = NetSim::with_tables(&b.topo, cfg, tables);
+    sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(10)).with_ttl(16));
+    (sim, SimTime::from_ms(10))
+}
+
+#[test]
+fn scan_interval_none_detects_only_at_final_scan() {
+    // With periodic scanning disabled the deadlock still forms, but it can
+    // only be confirmed by the end-of-run scan: detection time equals the
+    // run's end, and no periodic scan ever ran.
+    let mut cfg = SimConfig::default();
+    cfg.deadlock_scan_interval = None;
+    let (mut sim, horizon) = loop_deadlock_sim(cfg);
+    let r = sim.run(horizon);
+    match r.verdict {
+        Verdict::Deadlock { detected_at, .. } => {
+            assert_eq!(detected_at, r.end_time, "final-scan detection only");
+        }
+        ref v => panic!("expected deadlock, got {v:?}"),
+    }
+    assert_eq!(r.deadlock_scans_run, 0, "no periodic scans were armed");
+    assert_eq!(r.deadlock_scans_skipped, 0);
+}
+
+#[test]
+fn scan_landing_exactly_at_horizon_still_fires() {
+    // Scans at t = 0 and t = horizon only. The horizon-edge event must be
+    // processed (the run loop pops events with t == horizon) and must not
+    // reschedule past the horizon.
+    let horizon = SimTime::from_ms(10);
+    let mut cfg = SimConfig::default();
+    cfg.deadlock_scan_interval = Some(SimDuration::from_ms(10));
+    let (mut sim, _) = loop_deadlock_sim(cfg);
+    let r = sim.run(horizon);
+    match r.verdict {
+        Verdict::Deadlock { detected_at, .. } => {
+            assert_eq!(
+                detected_at, horizon,
+                "the scan landing exactly at the horizon detects it"
+            );
+        }
+        ref v => panic!("expected deadlock, got {v:?}"),
+    }
+}
+
+#[test]
+fn epoch_heuristic_skips_redundant_scans() {
+    // A slow trickle (one packet every ~120 us) against a 5 us scan
+    // cadence: most scan ticks see no pause flip and no byte movement
+    // since the previous clean scan and must skip the analysis.
+    let (t, h0, _, sink) = incast_topo();
+    let mut cfg = SimConfig::default();
+    cfg.deadlock_scan_interval = Some(SimDuration::from_us(5));
+    let mut sim = NetSim::new(&t, cfg);
+    sim.add_flow(
+        FlowSpec::cbr(0, h0, sink, BitRate::from_mbps(100)).stopping_at(SimTime::from_ms(1)),
+    );
+    let r = sim.run(SimTime::from_ms(1));
+    assert!(!r.verdict.is_deadlock());
+    assert!(r.deadlock_scans_run > 0, "some scans must run");
+    assert!(
+        r.deadlock_scans_skipped > r.deadlock_scans_run,
+        "idle gaps dominate: {} skipped vs {} run",
+        r.deadlock_scans_skipped,
+        r.deadlock_scans_run
+    );
+}

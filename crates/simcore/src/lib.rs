@@ -26,6 +26,7 @@
 
 pub mod event;
 pub mod rng;
+pub mod scratch;
 pub mod series;
 pub mod time;
 pub mod units;

@@ -1,0 +1,111 @@
+//! Reusable scratch structures for hot-path analyses.
+//!
+//! Incremental algorithms that run thousands of times per simulated
+//! millisecond (the deadlock detector's worklist fixpoint, for example)
+//! must not allocate per invocation. The types here are built once at
+//! their final size and then cleared *sparsely* — cost proportional to
+//! what was touched, not to capacity.
+
+/// A fixed-capacity bitset over dense `usize` indices.
+///
+/// All operations are O(1) except [`DenseBitSet::iter_ones`], which is
+/// O(words). Cleared sparsely by re-clearing the bits that were set, so
+/// reuse across invocations costs only the touched bits.
+#[derive(Debug, Clone, Default)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBitSet {
+    /// A bitset able to hold indices `0..n`, all clear.
+    pub fn new(n: usize) -> Self {
+        DenseBitSet {
+            words: vec![0; n.div_ceil(64)],
+            len: n,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`. Returns true iff the bit was previously clear.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let was = self.words[w] & b == 0;
+        self.words[w] |= b;
+        was
+    }
+
+    /// Clear bit `i`. Returns true iff the bit was previously set.
+    #[inline]
+    pub fn clear(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let was = self.words[w] & b != 0;
+        self.words[w] &= !b;
+        was
+    }
+
+    /// Whether bit `i` is set.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Iterate set bits in ascending index order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    /// Clear every bit (O(words) — prefer sparse clears on hot paths).
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_get() {
+        let mut s = DenseBitSet::new(130);
+        assert!(s.set(0));
+        assert!(s.set(129));
+        assert!(!s.set(129), "second set reports already-set");
+        assert!(s.get(0) && s.get(129) && !s.get(64));
+        assert!(s.clear(129));
+        assert!(!s.clear(129), "second clear reports already-clear");
+        assert!(!s.get(129));
+    }
+
+    #[test]
+    fn iter_ones_is_ascending() {
+        let mut s = DenseBitSet::new(200);
+        for &i in &[5usize, 63, 64, 128, 199] {
+            s.set(i);
+        }
+        let got: Vec<usize> = s.iter_ones().collect();
+        assert_eq!(got, vec![5, 63, 64, 128, 199]);
+        s.clear_all();
+        assert_eq!(s.iter_ones().count(), 0);
+    }
+}
