@@ -8,7 +8,8 @@
 use criterion::{criterion_group, criterion_main};
 
 use pfcsim_experiments::enginebench::{
-    bench_deadlock_scan, bench_event_queue, bench_fat_tree_all_to_all, bench_line_forwarding,
+    bench_arena_reuse, bench_deadlock_scan, bench_event_queue, bench_fat_tree_all_to_all,
+    bench_line_forwarding,
 };
 
 criterion_group!(
@@ -16,6 +17,7 @@ criterion_group!(
     bench_event_queue,
     bench_line_forwarding,
     bench_fat_tree_all_to_all,
-    bench_deadlock_scan
+    bench_deadlock_scan,
+    bench_arena_reuse
 );
 criterion_main!(engine);

@@ -80,6 +80,7 @@ fn usage() -> ! {
 /// machine-readable baseline (default `BENCH_engine.json`).
 fn bench(quick: bool, out: &str) -> ! {
     use pfcsim_experiments::enginebench::run_engine_benches;
+    use pfcsim_simcore::event::Backend;
     use serde_json::{to_value, Value};
 
     fn obj(pairs: Vec<(&str, Value)>) -> Value {
@@ -89,7 +90,67 @@ fn bench(quick: bool, out: &str) -> ! {
         to_value(x).expect("to_value")
     }
 
+    // The previously committed baseline, if one exists, for per-workload
+    // deltas. When writing somewhere other than the tracked baseline
+    // (`--out /tmp/x.json`), deltas still compare against the committed
+    // file. Schema 2 predates the scheduler split, so `event_queue/
+    // wheel_*` and `heap_*` fall back to the unsplit workload name;
+    // anything still unmatched is reported as new rather than an error.
+    let baseline: Option<Value> = std::fs::read_to_string(out)
+        .or_else(|_| std::fs::read_to_string("BENCH_engine.json"))
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    let baseline_mean = |name: &str| -> Option<f64> {
+        let benches = baseline.as_ref()?.get("benches")?.as_array()?;
+        let lookup = |n: &str| {
+            benches
+                .iter()
+                .find(|b| b.get("name").and_then(Value::as_str) == Some(n))
+                .and_then(|b| b.get("mean_seconds"))
+                .and_then(Value::as_f64)
+        };
+        lookup(name).or_else(|| {
+            let rest = name
+                .strip_prefix("event_queue/wheel_")
+                .or_else(|| name.strip_prefix("event_queue/heap_"))?;
+            lookup(&format!("event_queue/{rest}"))
+        })
+    };
+
+    // Which event-queue backend the macro workloads ran under: the
+    // per-backend micro-benchmarks pin their own, everything else uses
+    // the ambient default (PFCSIM_SCHED or the wheel).
+    let default_backend = Backend::from_env().unwrap_or(Backend::Wheel);
+    let scheduler_of = |name: &str| -> &'static str {
+        if name.starts_with("event_queue/heap_") {
+            Backend::Heap.name()
+        } else if name.starts_with("event_queue/wheel_") {
+            Backend::Wheel.name()
+        } else {
+            default_backend.name()
+        }
+    };
+
     let results = run_engine_benches(quick);
+    println!(
+        "engine benchmarks (scheduler default: {}):",
+        default_backend.name()
+    );
+    for r in &results {
+        let delta = match baseline_mean(&r.name) {
+            Some(b) if b > 0.0 => {
+                format!("{:+.1}% vs baseline", (r.mean_seconds / b - 1.0) * 100.0)
+            }
+            _ => "no baseline (new workload)".to_string(),
+        };
+        println!(
+            "  {:<48} {:>9.3} ms/iter  [{}]  {}",
+            r.name,
+            r.mean_seconds * 1e3,
+            scheduler_of(&r.name),
+            delta
+        );
+    }
 
     // Wall-clock the full quick regeneration in-process, serial and at
     // the ambient thread count; the reports must match byte-for-byte
@@ -122,6 +183,7 @@ fn bench(quick: bool, out: &str) -> ! {
         .map(|r| {
             obj(vec![
                 ("name", val(&r.name)),
+                ("scheduler", val(scheduler_of(&r.name))),
                 ("mean_seconds", val(r.mean_seconds)),
                 ("iters", val(r.iters as u64)),
                 ("events_per_sec", val(r.elements_per_sec())),
@@ -129,8 +191,9 @@ fn bench(quick: bool, out: &str) -> ! {
         })
         .collect();
     let doc = obj(vec![
-        ("schema", val("pfcsim-bench/2")),
+        ("schema", val("pfcsim-bench/3")),
         ("quick", val(quick)),
+        ("scheduler_default", val(default_backend.name())),
         ("threads", val(threads as u64)),
         ("host_cpus", val(host_cpus as u64)),
         ("benches", Value::Array(benches)),

@@ -4,23 +4,29 @@
 //! The bodies live here (not in `benches/engine.rs`) so the `repro`
 //! binary can run the same workloads and write a machine-readable
 //! baseline (`BENCH_engine.json`) without a second copy of the
-//! scenarios. Three layers, one number each:
+//! scenarios. One number per layer:
 //!
-//! * `event_queue/schedule_pop_10k` — the scheduler alone;
+//! * `event_queue/{wheel,heap}_schedule_pop_10k` — the scheduler alone,
+//!   once per backend;
+//! * `event_queue/{wheel,heap}_pause_timer_churn_10k` — short-deadline
+//!   timers that are mostly cancelled before firing, the PFC pause-timer
+//!   access pattern;
 //! * `datapath/line2_saturated_1ms` — full per-packet pipeline on the
 //!   smallest topology that exercises PFC;
 //! * `fabric/fat_tree4_permutation_200us` — routing + arbitration on a
 //!   16-host fat-tree;
 //! * `detector/deadlock_scan_fat_tree4_incast_200us` — the deadlock
 //!   analyzer under heavy pause churn (100 ns scan cadence, no true
-//!   deadlock).
+//!   deadlock);
+//! * `sweep/square_arena_reuse_8` — eight Fig. 4 runs leasing one
+//!   `SimArenas`, the steady-state cost of a sweep iteration.
 
 use criterion::{black_box, take_results, BenchResult, Criterion, Throughput};
 
 use pfcsim_net::config::SimConfig;
 use pfcsim_net::flow::FlowSpec;
-use pfcsim_net::sim::NetSim;
-use pfcsim_simcore::event::EventQueue;
+use pfcsim_net::sim::{NetSim, SimArenas};
+use pfcsim_simcore::event::{Backend, EventId, EventQueue};
 use pfcsim_simcore::rng::SimRng;
 use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_topo::builders::{fat_tree, line, LinkSpec};
@@ -29,20 +35,49 @@ fn event_queue_bench(c: &mut Criterion, samples: usize) {
     let mut g = c.benchmark_group("event_queue");
     g.throughput(Throughput::Elements(10_000));
     g.sample_size(samples);
-    g.bench_function("schedule_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = SimRng::new(7);
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_ns(rng.gen_range(1_000_000)), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
-    });
+    for backend in [Backend::Wheel, Backend::Heap] {
+        g.bench_function(&format!("{}_schedule_pop_10k", backend.name()), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_backend(backend);
+                let mut rng = SimRng::new(7);
+                for i in 0..10_000u64 {
+                    q.schedule(SimTime::from_ns(rng.gen_range(1_000_000)), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    sum = sum.wrapping_add(v);
+                }
+                black_box(sum)
+            })
+        });
+        // Pause timers are scheduled a quantum ahead and usually cancelled
+        // when XON arrives first: short deadlines, high cancel ratio.
+        g.bench_function(&format!("{}_pause_timer_churn_10k", backend.name()), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_backend(backend);
+                let mut rng = SimRng::new(11);
+                let mut pending: Vec<EventId> = Vec::new();
+                let mut sum = 0u64;
+                for i in 0..10_000u64 {
+                    if i % 2 == 0 {
+                        if let Some((_, v)) = q.pop() {
+                            sum = sum.wrapping_add(v);
+                        }
+                    }
+                    let delta = SimDuration::from_ns(1 + rng.gen_range(65_536));
+                    pending.push(q.schedule(q.now() + delta, i));
+                    if pending.len() >= 8 {
+                        let ix = rng.gen_range(pending.len() as u64) as usize;
+                        q.cancel(pending.swap_remove(ix));
+                    }
+                }
+                while let Some((_, v)) = q.pop() {
+                    sum = sum.wrapping_add(v);
+                }
+                black_box(sum)
+            })
+        });
+    }
     g.finish();
 }
 
@@ -130,7 +165,40 @@ fn deadlock_scan_bench(c: &mut Criterion, samples: usize) {
     g.finish();
 }
 
-/// `cargo bench` entry point: scheduler micro-benchmark.
+fn arena_reuse_bench(c: &mut Criterion, samples: usize) {
+    // A miniature sweep: the same Fig. 4 scenario built and run 8 times
+    // against one leased `SimArenas`. After the first lap every lap
+    // should reuse capacity instead of allocating, which is the state
+    // `sweep::parallel_map_with` workers live in.
+    const RUNS: u64 = 8;
+    let horizon = SimTime::from_us(200);
+    let lap = |arenas: &mut SimArenas| {
+        let sc = crate::scenarios::square_scenario_in(
+            crate::scenarios::paper_config(),
+            true,
+            None,
+            arenas,
+        );
+        sc.run_in(horizon, arenas).events
+    };
+    let events = lap(&mut SimArenas::new()) * RUNS;
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(samples);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("square_arena_reuse_8", |b| {
+        b.iter(|| {
+            let mut arenas = SimArenas::new();
+            let mut total = 0u64;
+            for _ in 0..RUNS {
+                total = total.wrapping_add(lap(&mut arenas));
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+/// `cargo bench` entry point: scheduler micro-benchmarks (both backends).
 pub fn bench_event_queue(c: &mut Criterion) {
     event_queue_bench(c, 3);
 }
@@ -150,6 +218,11 @@ pub fn bench_deadlock_scan(c: &mut Criterion) {
     deadlock_scan_bench(c, 10);
 }
 
+/// `cargo bench` entry point: arena-reuse sweep lap.
+pub fn bench_arena_reuse(c: &mut Criterion) {
+    arena_reuse_bench(c, 10);
+}
+
 /// Run all engine benchmarks and return the recorded measurements
 /// (drains the criterion stub's registry first, so only this run's
 /// numbers are returned).
@@ -161,6 +234,7 @@ pub fn run_engine_benches(quick: bool) -> Vec<BenchResult> {
     line_forwarding_bench(&mut c, s_small.max(3));
     fat_tree_bench(&mut c, s_small);
     deadlock_scan_bench(&mut c, s_small);
+    arena_reuse_bench(&mut c, s_small);
     take_results()
 }
 
@@ -175,10 +249,14 @@ mod tests {
         assert_eq!(
             names,
             [
-                "event_queue/schedule_pop_10k",
+                "event_queue/wheel_schedule_pop_10k",
+                "event_queue/wheel_pause_timer_churn_10k",
+                "event_queue/heap_schedule_pop_10k",
+                "event_queue/heap_pause_timer_churn_10k",
                 "datapath/line2_saturated_1ms",
                 "fabric/fat_tree4_permutation_200us",
-                "detector/deadlock_scan_fat_tree4_incast_200us"
+                "detector/deadlock_scan_fat_tree4_incast_200us",
+                "sweep/square_arena_reuse_8"
             ]
         );
         for r in &results {

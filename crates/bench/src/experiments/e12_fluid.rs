@@ -12,8 +12,10 @@ use pfcsim_simcore::time::SimTime;
 use pfcsim_topo::builders::{square, LinkSpec};
 use pfcsim_topo::ids::FlowId;
 
+use pfcsim_net::sim::SimArenas;
+
 use super::Opts;
-use crate::scenarios::{paper_config, square_scenario};
+use crate::scenarios::{paper_config, square_scenario_in};
 use crate::table::{fmt, Report, Table};
 
 struct SideBySide {
@@ -25,7 +27,7 @@ struct SideBySide {
     packet_deadlock: bool,
 }
 
-fn compare(opts: &Opts, with_flow3: bool) -> SideBySide {
+fn compare(opts: &Opts, with_flow3: bool, arenas: &mut SimArenas) -> SideBySide {
     let b = square(LinkSpec::default());
     let (s, h) = (&b.switches, &b.hosts);
     let mut flows = vec![
@@ -52,8 +54,9 @@ fn compare(opts: &Opts, with_flow3: bool) -> SideBySide {
     let fluid = FluidNetwork::new(&b.topo, flows, FluidConfig::default()).run(steps);
 
     let horizon = opts.horizon_ms(10);
-    let mut sc = square_scenario(paper_config(), with_flow3, None);
-    let packet = sc.sim.run(horizon);
+    let sc = square_scenario_in(paper_config(), with_flow3, None, arenas);
+    let cycle = sc.cycle.clone();
+    let packet = sc.run_in(horizon, arenas);
 
     let fluid_thr = (1..=n)
         .map(|i| fluid.throughput[&FlowId(i as u32)] / 1e9)
@@ -67,7 +70,7 @@ fn compare(opts: &Opts, with_flow3: bool) -> SideBySide {
                 / 1e9
         })
         .collect();
-    let packet_fabric_pauses = sc.cycle.iter().any(|&(f, t)| {
+    let packet_fabric_pauses = cycle.iter().any(|&(f, t)| {
         packet
             .stats
             .pause_count(f, t, pfcsim_topo::ids::Priority::DEFAULT)
@@ -90,9 +93,11 @@ pub fn run(opts: &Opts) -> Report {
         "Flow-level (fluid) analysis vs packet-level simulation on Figs. 3-4",
     );
     let cases = [("Fig. 3 (2 flows)", false), ("Fig. 4 (3 flows)", true)];
-    for (label, s) in crate::sweep::parallel_map(&cases, |&(label, with_flow3)| {
-        (label, compare(opts, with_flow3))
-    }) {
+    for (label, s) in
+        crate::sweep::parallel_map_with(&cases, SimArenas::new, |arenas, &(label, with_flow3)| {
+            (label, compare(opts, with_flow3, arenas))
+        })
+    {
         let mut t = Table::new(
             format!("{label}: fluid vs packet"),
             &["metric", "fluid model", "packet simulator"],

@@ -21,9 +21,9 @@ use pfcsim_simcore::units::BitRate;
 
 use super::Opts;
 use crate::scenarios::{
-    paper_config, reconvergence_scenario, transient_loop, transient_loop_train,
+    paper_config, reconvergence_scenario_in, transient_loop_in, transient_loop_train_in,
 };
-use crate::sweep::parallel_map;
+use crate::sweep::parallel_map_with;
 use crate::table::{fmt, Report, Table};
 
 /// The detection instant, if the run deadlocked.
@@ -57,17 +57,18 @@ pub fn run(opts: &Opts) -> Report {
     );
     let mut fill_window_us = None;
     let windows = [25u64, 50, 100, 200, 400, 800, 1600];
-    for (window_us, at, del) in parallel_map(&windows, |&window_us| {
+    for (window_us, at, del) in parallel_map_with(&windows, SimArenas::new, |arenas, &window_us| {
         let mut cfg = paper_config();
         cfg.stop_on_deadlock = false; // let the repair fire; the wedge survives it
-        let mut sc = transient_loop(
+        let sc = transient_loop_in(
             cfg,
             BitRate::from_gbps(8),
             16,
             install,
             install + SimDuration::from_us(window_us),
+            arenas,
         );
-        let r = sc.sim.run(horizon);
+        let r = sc.run_in(horizon, arenas);
         (window_us, deadlock_at(&r), delivered(&r))
     }) {
         if at.is_some() && fill_window_us.is_none() {
@@ -110,18 +111,20 @@ pub fn run(opts: &Opts) -> Report {
         .iter()
         .flat_map(|&j| (0..flows).flat_map(move |f| (0..seeds).map(move |s| (j, f, s))))
         .collect();
-    let grid_wedged = parallel_map(&grid, |&(jitter_us, flow, seed)| {
-        let mut cfg = paper_config();
-        cfg.seed = seed;
-        cfg.stop_on_deadlock = false;
-        let mut sc = reconvergence_scenario(
-            cfg,
-            flow,
-            BitRate::from_gbps(30),
-            SimDuration::from_us(jitter_us),
-        );
-        sc.sim.run(horizon2).verdict.is_deadlock()
-    });
+    let grid_wedged =
+        parallel_map_with(&grid, SimArenas::new, |arenas, &(jitter_us, flow, seed)| {
+            let mut cfg = paper_config();
+            cfg.seed = seed;
+            cfg.stop_on_deadlock = false;
+            let sc = reconvergence_scenario_in(
+                cfg,
+                flow,
+                BitRate::from_gbps(30),
+                SimDuration::from_us(jitter_us),
+                arenas,
+            );
+            sc.run_in(horizon2, arenas).verdict.is_deadlock()
+        });
     let mut wedged_at_max_jitter = 0usize;
     for &jitter_us in &jitters {
         let jitter = SimDuration::from_us(jitter_us);
@@ -190,14 +193,14 @@ pub fn run(opts: &Opts) -> Report {
         ),
     ];
     let mut flap_outcomes = Vec::new();
-    for (name, r) in parallel_map(&variants, |(name, recovery)| {
+    for (name, r) in parallel_map_with(&variants, SimArenas::new, |arenas, (name, recovery)| {
         let mut cfg = paper_config();
         cfg.stop_on_deadlock = false;
-        let mut sc = transient_loop_train(cfg, BitRate::from_gbps(8), 16, &train);
+        let mut sc = transient_loop_train_in(cfg, BitRate::from_gbps(8), 16, &train, arenas);
         if let Some(rc) = *recovery {
             sc.sim.enable_recovery(rc);
         }
-        (*name, sc.sim.run(horizon3))
+        (*name, sc.run_in(horizon3, arenas))
     }) {
         t.row(vec![
             name.into(),

@@ -10,24 +10,34 @@ use pfcsim_core::boundary::BoundaryModel;
 use pfcsim_simcore::time::SimTime;
 use pfcsim_simcore::units::BitRate;
 
+use pfcsim_net::sim::SimArenas;
+
 use super::Opts;
-use crate::scenarios::{paper_config, routing_loop_n};
-use crate::sweep::parallel_map;
+use crate::scenarios::{paper_config, routing_loop_n_in};
+use crate::sweep::parallel_map_with;
 use crate::table::{fmt, Report, Table};
 
-fn deadlocks(rate: BitRate, ttl: u8, n: usize, horizon: SimTime) -> bool {
-    let mut sc = routing_loop_n(paper_config(), rate, ttl, n);
-    sc.sim.run(horizon).verdict.is_deadlock()
+fn deadlocks(rate: BitRate, ttl: u8, n: usize, horizon: SimTime, arenas: &mut SimArenas) -> bool {
+    let sc = routing_loop_n_in(paper_config(), rate, ttl, n, arenas);
+    sc.run_in(horizon, arenas).verdict.is_deadlock()
 }
 
 /// Bisect the measured threshold to `step` granularity in `[lo, hi]`,
 /// assuming monotone deadlock-in-rate (which Part A verifies).
-fn measure_threshold(ttl: u8, n: usize, horizon: SimTime, lo: u64, hi: u64, step: u64) -> u64 {
+fn measure_threshold(
+    ttl: u8,
+    n: usize,
+    horizon: SimTime,
+    lo: u64,
+    hi: u64,
+    step: u64,
+    arenas: &mut SimArenas,
+) -> u64 {
     let mut lo = lo; // known no-deadlock (mbps)
     let mut hi = hi; // known deadlock (mbps)
     while hi - lo > step {
         let mid = (lo + hi) / 2;
-        if deadlocks(BitRate::from_mbps(mid), ttl, n, horizon) {
+        if deadlocks(BitRate::from_mbps(mid), ttl, n, horizon, arenas) {
             hi = mid;
         } else {
             lo = mid;
@@ -51,15 +61,17 @@ pub fn run(opts: &Opts) -> Report {
         &["inject_gbps", "Eq.3 predicts", "simulated", "ttl_drops"],
     );
     let mut agree = true;
-    // The ten rate points are independent simulations: fan them out.
+    // The ten rate points are independent simulations: fan them out,
+    // each worker recycling one arena bundle across its points.
     let rates: Vec<u64> = (1..=10).collect();
-    let results: Vec<(u64, bool, bool, u64)> = parallel_map(&rates, |&g| {
-        let r = BitRate::from_gbps(g);
-        let predicted = model.predicts_deadlock(r);
-        let mut sc = routing_loop_n(paper_config(), r, 16, 2);
-        let res = sc.sim.run(horizon);
-        (g, predicted, res.verdict.is_deadlock(), res.stats.drops_ttl)
-    });
+    let results: Vec<(u64, bool, bool, u64)> =
+        parallel_map_with(&rates, SimArenas::new, |arenas, &g| {
+            let r = BitRate::from_gbps(g);
+            let predicted = model.predicts_deadlock(r);
+            let sc = routing_loop_n_in(paper_config(), r, 16, 2, arenas);
+            let res = sc.run_in(horizon, arenas);
+            (g, predicted, res.verdict.is_deadlock(), res.stats.drops_ttl)
+        });
     for (g, predicted, simulated, drops) in results {
         if simulated != predicted {
             agree = false;
@@ -88,13 +100,13 @@ pub fn run(opts: &Opts) -> Report {
         &["n", "TTL", "predicted_gbps", "measured_gbps", "rel_err_%"],
     );
     // Each combo's bisection is independent of the others: fan them out.
-    let rows = parallel_map(combos, |&(n, ttl)| {
+    let rows = parallel_map_with(combos, SimArenas::new, |arenas, &(n, ttl)| {
         let m = BoundaryModel::new(n as u32, BitRate::from_gbps(40), ttl as u32);
         let pred = m.deadlock_threshold();
         // Bracket: half predicted (safe) to 2.5x predicted (deadlocks).
         let lo = pred.bps() / 2_000_000;
         let hi = pred.bps() / 400_000;
-        let measured_mbps = measure_threshold(ttl, n, horizon, lo, hi, 250);
+        let measured_mbps = measure_threshold(ttl, n, horizon, lo, hi, 250, arenas);
         let measured = BitRate::from_mbps(measured_mbps);
         (n, ttl, pred, measured)
     });

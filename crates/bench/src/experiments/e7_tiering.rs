@@ -10,9 +10,11 @@ use pfcsim_core::sufficiency::blast_radius;
 use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_topo::graph::NodeKind;
 
+use pfcsim_net::sim::SimArenas;
+
 use super::Opts;
-use crate::scenarios::{paper_config, tiering_scenario};
-use crate::sweep::parallel_map;
+use crate::scenarios::{paper_config, tiering_scenario_in};
+use crate::sweep::parallel_map_with;
 use crate::table::{Report, Table};
 
 struct Outcome {
@@ -25,15 +27,16 @@ struct Outcome {
     fabric_paused_us: u64,
 }
 
-fn run_one(opts: &Opts, tiered: bool, seed: u64) -> Outcome {
+fn run_one(opts: &Opts, tiered: bool, seed: u64, arenas: &mut SimArenas) -> Outcome {
     let horizon = opts.horizon_ms(5);
     let fan = 6;
     let mut cfg = paper_config();
     cfg.seed = seed;
-    let mut sc = tiering_scenario(cfg, fan, tiered);
+    let mut sc = tiering_scenario_in(cfg, fan, tiered, arenas);
     let victim = sc.victim;
     let topo = sc.built.topo.clone();
     let result = sc.sim.run(horizon);
+    sc.sim.recycle(arenas);
     let mut fabric = 0usize;
     let mut host = 0usize;
     for (key, log) in &result.stats.pause {
@@ -88,7 +91,9 @@ pub fn run(opts: &Opts) -> Report {
         .iter()
         .flat_map(|&t| seeds.iter().map(move |&s| (t, s)))
         .collect();
-    let outcomes = parallel_map(&pairs, |&(tiered, seed)| run_one(opts, tiered, seed));
+    let outcomes = parallel_map_with(&pairs, SimArenas::new, |arenas, &(tiered, seed)| {
+        run_one(opts, tiered, seed, arenas)
+    });
     let avg = |tiered: bool| -> Outcome {
         let runs: Vec<&Outcome> = pairs
             .iter()

@@ -21,6 +21,17 @@ pub struct Scenario {
     pub cycle: Vec<(NodeId, NodeId)>,
 }
 
+impl Scenario {
+    /// Run to `horizon`, then hand the simulator's reusable storage back
+    /// to `arenas` — the sweep-worker idiom paired with the `_in` scenario
+    /// constructors.
+    pub fn run_in(mut self, horizon: SimTime, arenas: &mut SimArenas) -> RunReport {
+        let report = self.sim.run(horizon);
+        self.sim.recycle(arenas);
+        report
+    }
+}
+
 /// The canonical configuration described in the module docs.
 pub fn paper_config() -> SimConfig {
     SimConfig::default()
@@ -49,6 +60,17 @@ pub fn routing_loop(cfg: SimConfig, rate: BitRate, ttl: u8) -> Scenario {
 
 /// Case 1 generalized to an `n`-switch loop (for the Eq. 3 `n` sweep).
 pub fn routing_loop_n(cfg: SimConfig, rate: BitRate, ttl: u8, n: usize) -> Scenario {
+    routing_loop_n_in(cfg, rate, ttl, n, &mut SimArenas::new())
+}
+
+/// [`routing_loop_n`] leasing storage from `arenas`.
+pub fn routing_loop_n_in(
+    cfg: SimConfig,
+    rate: BitRate,
+    ttl: u8,
+    n: usize,
+    arenas: &mut SimArenas,
+) -> Scenario {
     let built = if n == 2 {
         two_switch_loop(LinkSpec::default())
     } else {
@@ -57,7 +79,7 @@ pub fn routing_loop_n(cfg: SimConfig, rate: BitRate, ttl: u8, n: usize) -> Scena
     let s = built.switches.clone();
     let mut tables = shortest_path_tables(&built.topo);
     install_cycle_route(&built.topo, &mut tables, &s, built.hosts[1]);
-    let mut sim = NetSim::with_tables(&built.topo, cfg, tables);
+    let mut sim = NetSim::with_tables_in(&built.topo, cfg, tables, arenas);
     sim.add_flow(FlowSpec::cbr(0, built.hosts[0], built.hosts[1], rate).with_ttl(ttl));
     let cycle = (0..s.len()).map(|i| (s[i], s[(i + 1) % s.len()])).collect();
     Scenario { built, sim, cycle }
@@ -82,8 +104,18 @@ pub fn square_flow3(built: &Built) -> FlowSpec {
 /// The Fig. 3/4/5 scenario family. `with_flow3` adds flow 3 (Fig. 4);
 /// `limiter` shapes switch B's host-facing ingress RX2 (Fig. 5).
 pub fn square_scenario(cfg: SimConfig, with_flow3: bool, limiter: Option<BitRate>) -> Scenario {
+    square_scenario_in(cfg, with_flow3, limiter, &mut SimArenas::new())
+}
+
+/// [`square_scenario`] leasing storage from `arenas`.
+pub fn square_scenario_in(
+    cfg: SimConfig,
+    with_flow3: bool,
+    limiter: Option<BitRate>,
+    arenas: &mut SimArenas,
+) -> Scenario {
     let built = square(LinkSpec::default());
-    let mut sim = NetSim::new(&built.topo, cfg);
+    let mut sim = NetSim::new_in(&built.topo, cfg, arenas);
     for f in square_flows(&built) {
         sim.add_flow(f);
     }
@@ -114,6 +146,17 @@ pub fn transient_loop_train(
     ttl: u8,
     windows: &[(SimTime, SimTime)],
 ) -> Scenario {
+    transient_loop_train_in(cfg, rate, ttl, windows, &mut SimArenas::new())
+}
+
+/// [`transient_loop_train`] leasing storage from `arenas`.
+pub fn transient_loop_train_in(
+    cfg: SimConfig,
+    rate: BitRate,
+    ttl: u8,
+    windows: &[(SimTime, SimTime)],
+    arenas: &mut SimArenas,
+) -> Scenario {
     let built = two_switch_loop(LinkSpec::default());
     let (s, h) = (built.switches.clone(), built.hosts.clone());
     let to_s0 = built
@@ -126,7 +169,7 @@ pub fn transient_loop_train(
         .port_towards(s[1], h[1])
         .expect("s1 host port")
         .port;
-    let mut sim = NetSim::new(&built.topo, cfg);
+    let mut sim = NetSim::new_in(&built.topo, cfg, arenas);
     sim.add_flow(FlowSpec::cbr(0, h[0], h[1], rate).with_ttl(ttl));
     // S0 already forwards h1-bound traffic to S1; pointing S1 back at S0
     // closes the loop, restoring the host port repairs it.
@@ -155,6 +198,18 @@ pub fn transient_loop(
     transient_loop_train(cfg, rate, ttl, &[(install_at, repair_at)])
 }
 
+/// [`transient_loop`] leasing storage from `arenas`.
+pub fn transient_loop_in(
+    cfg: SimConfig,
+    rate: BitRate,
+    ttl: u8,
+    install_at: SimTime,
+    repair_at: SimTime,
+    arenas: &mut SimArenas,
+) -> Scenario {
+    transient_loop_train_in(cfg, rate, ttl, &[(install_at, repair_at)], arenas)
+}
+
 /// Case 1 from a *real* failure (E14): the square fabric under ECMP
 /// shortest-path routing, one CBR flow h0→h3, the S0–S3 link cut at
 /// 100 µs, and a network-wide reconvergence in which each switch applies
@@ -166,9 +221,20 @@ pub fn reconvergence_scenario(
     rate: BitRate,
     jitter: SimDuration,
 ) -> Scenario {
+    reconvergence_scenario_in(cfg, flow, rate, jitter, &mut SimArenas::new())
+}
+
+/// [`reconvergence_scenario`] leasing storage from `arenas`.
+pub fn reconvergence_scenario_in(
+    cfg: SimConfig,
+    flow: u32,
+    rate: BitRate,
+    jitter: SimDuration,
+    arenas: &mut SimArenas,
+) -> Scenario {
     let built = square(LinkSpec::default());
     let (s, h) = (built.switches.clone(), built.hosts.clone());
-    let mut sim = NetSim::new(&built.topo, cfg);
+    let mut sim = NetSim::new_in(&built.topo, cfg, arenas);
     sim.add_flow(FlowSpec::cbr(flow, h[0], h[3], rate).with_ttl(16));
     sim.set_fault_plan(
         FaultPlan::new()
@@ -182,7 +248,12 @@ pub fn reconvergence_scenario(
 
 /// The DCQCN variant of Fig. 4 (E8): the same three flows but congestion-
 /// controlled, with ECN marking at switches.
-pub fn square_dcqcn(mut cfg: SimConfig, phantom: bool) -> Scenario {
+pub fn square_dcqcn(cfg: SimConfig, phantom: bool) -> Scenario {
+    square_dcqcn_in(cfg, phantom, &mut SimArenas::new())
+}
+
+/// [`square_dcqcn`] leasing storage from `arenas`.
+pub fn square_dcqcn_in(mut cfg: SimConfig, phantom: bool, arenas: &mut SimArenas) -> Scenario {
     let mut ecn = EcnConfig {
         kmin: Bytes::from_kb(5),
         kmax: Bytes::from_kb(40),
@@ -194,7 +265,7 @@ pub fn square_dcqcn(mut cfg: SimConfig, phantom: bool) -> Scenario {
     }
     cfg.ecn = Some(ecn);
     let built = square(LinkSpec::default());
-    let mut sim = NetSim::new(&built.topo, cfg);
+    let mut sim = NetSim::new_in(&built.topo, cfg, arenas);
     sim.set_dcqcn(DcqcnConfig::for_line_rate(BitRate::from_gbps(40)));
     for mut f in square_flows(&built) {
         f.demand = Demand::Dcqcn;
@@ -211,8 +282,13 @@ pub fn square_dcqcn(mut cfg: SimConfig, phantom: bool) -> Scenario {
 /// The TIMELY variant of Fig. 4 (E8): same flows, RTT-gradient congestion
 /// control, no switch (ECN) support required.
 pub fn square_timely(cfg: SimConfig) -> Scenario {
+    square_timely_in(cfg, &mut SimArenas::new())
+}
+
+/// [`square_timely`] leasing storage from `arenas`.
+pub fn square_timely_in(cfg: SimConfig, arenas: &mut SimArenas) -> Scenario {
     let built = square(LinkSpec::default());
-    let mut sim = NetSim::new(&built.topo, cfg);
+    let mut sim = NetSim::new_in(&built.topo, cfg, arenas);
     sim.set_timely(TimelyConfig::for_line_rate(BitRate::from_gbps(40)));
     for mut f in square_flows(&built) {
         f.demand = Demand::Timely;
@@ -240,10 +316,20 @@ pub struct TieringScenario {
 
 /// Build the incast+victim scenario; `tiered` applies the threshold plan.
 pub fn tiering_scenario(cfg: SimConfig, fan: usize, tiered: bool) -> TieringScenario {
+    tiering_scenario_in(cfg, fan, tiered, &mut SimArenas::new())
+}
+
+/// [`tiering_scenario`] leasing storage from `arenas`.
+pub fn tiering_scenario_in(
+    cfg: SimConfig,
+    fan: usize,
+    tiered: bool,
+    arenas: &mut SimArenas,
+) -> TieringScenario {
     use pfcsim_mitigation::tiering::{plan_tiered_thresholds, TieringPolicy};
     let hosts_per_leaf = fan.div_ceil(2).max(2);
     let built = leaf_spine(3, 2, hosts_per_leaf, LinkSpec::default());
-    let mut sim = NetSim::new(&built.topo, cfg);
+    let mut sim = NetSim::new_in(&built.topo, cfg, arenas);
     // Incast: `fan` *bursty* senders from leaves 0 and 1 target the first
     // host on leaf 2 — §4's tiering case is about absorbing bursts, so the
     // workload bursts (line-rate ON periods, 25% duty cycle).

@@ -45,21 +45,45 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_with(items, || (), |_, item| f(item))
+}
+
+/// [`parallel_map`] with per-worker scratch state: every worker thread
+/// calls `init()` once and threads the value through each item it
+/// processes.
+///
+/// This is the hook for allocation reuse across sweep points — pass
+/// `SimArenas::new` as `init` and build each point's simulator with
+/// `NetSim::new_in(..)` / recycle it back, and a worker's steady-state
+/// iterations stop allocating. The scratch value must not affect results
+/// (the determinism contract above still applies at any thread count, and
+/// the serial path funnels every item through a single scratch value).
+pub fn parallel_map_with<T, S, R, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let workers = worker_count(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        let mut scratch = init();
+        return items.iter().map(|item| f(&mut scratch, item)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&mut scratch, &items[i]);
+                    *slots[i].lock().expect("slot poisoned") = Some(r);
                 }
-                let r = f(&items[i]);
-                *slots[i].lock().expect("slot poisoned") = Some(r);
             });
         }
     });
@@ -94,6 +118,19 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn with_scratch_matches_plain_map() {
+        // Scratch is reused across items within a worker but must not
+        // leak into results.
+        let items: Vec<u64> = (0..50).collect();
+        let got = parallel_map_with(&items, Vec::<u64>::new, |scratch, &x| {
+            scratch.push(x); // arbitrary per-worker state
+            x * 7
+        });
+        let want: Vec<u64> = items.iter().map(|&x| x * 7).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -8,6 +8,11 @@ use pfcsim_simcore::units::Bytes;
 
 use crate::recovery::RecoveryConfig;
 
+/// Re-export of the simulation core's event-queue backend selector so
+/// callers can pin a scheduler via [`SimConfig::scheduler`] without
+/// depending on `pfcsim_simcore` directly.
+pub use pfcsim_simcore::event::Backend as SchedulerBackend;
+
 /// How a PAUSE is expressed on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PauseMode {
@@ -207,6 +212,14 @@ pub struct SimConfig {
     /// clears `stop_on_deadlock`, since the point of recovery is to keep
     /// running through detections.
     pub recovery: Option<RecoveryConfig>,
+    /// Event-queue backend. `None` (the default) defers to the
+    /// `PFCSIM_SCHED` environment variable and then to the hierarchical
+    /// timing wheel; set explicitly to pin a run to one scheduler
+    /// regardless of the environment. Both backends pop in exactly
+    /// `(time, seq)` order, so results are bit-identical either way —
+    /// the knob only trades scheduling cost (the wheel is O(1) for the
+    /// short-horizon timers that dominate PFC fabrics).
+    pub scheduler: Option<SchedulerBackend>,
 }
 
 /// Parameters of the per-hop TTL-band class remap.
@@ -258,6 +271,7 @@ impl Default for SimConfig {
             hop_class_mode: None,
             ttl_class_mode: None,
             recovery: None,
+            scheduler: None,
         }
     }
 }

@@ -54,7 +54,8 @@ pub const PRIORITY_COUNT: usize = 8;
 /// Common imports.
 pub mod prelude {
     pub use crate::config::{
-        Arbitration, ClassScheduling, EcnConfig, PauseMode, PfcConfig, SimConfig, TtlClassConfig,
+        Arbitration, ClassScheduling, EcnConfig, PauseMode, PfcConfig, SchedulerBackend, SimConfig,
+        TtlClassConfig,
     };
     pub use crate::dcqcn::{DcqcnConfig, DcqcnState};
     pub use crate::faults::{FaultAction, FaultEvent, FaultKind, FaultPlan, FaultRecord};
@@ -62,7 +63,7 @@ pub mod prelude {
     pub use crate::packet::{Frame, Packet, PfcFrame, PfcOp};
     pub use crate::recovery::{RecoveryConfig, RecoveryStrategy};
     pub use crate::shaper::TokenBucket;
-    pub use crate::sim::{NetSim, RunReport, Verdict};
+    pub use crate::sim::{NetSim, RunReport, SimArenas, Verdict};
     pub use crate::stats::{FlowStats, IngressKey, NetStats, PauseKey, PauseLog};
     pub use crate::timely::{TimelyConfig, TimelyState};
     pub use crate::trace::{by_packet, DropReason, TraceEvent};

@@ -18,10 +18,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use pfcsim_simcore::event::EventQueue;
+use pfcsim_simcore::event::{Backend, EventQueue};
 use pfcsim_simcore::rng::SimRng;
 use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_simcore::units::{BitRate, Bytes};
+use pfcsim_simcore::wheel::{tick_shift_for_quantum, DEFAULT_TICK_SHIFT};
 use pfcsim_topo::graph::{NodeKind, Topology};
 use pfcsim_topo::ids::{FlowId, LinkId, NodeId, PortNo, Priority};
 use pfcsim_topo::routing::{trace_path, ForwardingTables};
@@ -55,7 +56,10 @@ enum Ev {
     Arrive {
         node: NodeId,
         port: PortNo,
-        frame: Frame,
+        /// Index into the `NetSim::frames` slab. Carrying the payload by
+        /// value would make `Arrive` the fattest variant by far and bloat
+        /// every slot in the event arena (see the size assert below).
+        frame: u32,
     },
     TxDone {
         node: NodeId,
@@ -119,6 +123,12 @@ enum Ev {
     DeadlockScan,
     RecoveryScan,
 }
+
+// Every queue slot embeds an `Ev`, so the fattest variant sets the size of
+// the whole event arena. Two words covers every variant once `Arrive` goes
+// through the frame slab; a change that grows past this bound belongs in a
+// side table, not in the event.
+const _: () = assert!(std::mem::size_of::<Ev>() <= 16);
 
 fn is_meaningful(ev: &Ev) -> bool {
     !matches!(ev, Ev::Sample | Ev::DeadlockScan)
@@ -199,6 +209,75 @@ pub struct RunReport {
     pub stats: NetStats,
 }
 
+/// Reusable simulator storage: the event queue (slot arena plus wheel or
+/// heap index) and the flow/frame vectors that dominate per-construction
+/// allocation.
+///
+/// A sweep worker keeps one bundle, builds each point with
+/// [`NetSim::new_in`] / [`NetSim::with_tables_in`], and hands the storage
+/// back with [`NetSim::recycle`] when the run finishes. Clearing is O(live
+/// entries) and capacity is retained, so steady-state iterations stop
+/// allocating once the largest point in the sweep has been seen.
+/// `sweep::parallel_map_with` in the bench crate wires this up per worker
+/// thread automatically.
+#[derive(Default)]
+pub struct SimArenas {
+    queue: Option<EventQueue<Ev>>,
+    frames: Vec<Frame>,
+    frame_free: Vec<u32>,
+    flows: Vec<FlowSpec>,
+    rt: Vec<FlowRt>,
+    fstats: Vec<FlowStats>,
+    fstats_touched: Vec<bool>,
+    fmap: Vec<u32>,
+    pinned: Vec<Vec<u16>>,
+    traced: Vec<bool>,
+    sample_keys: Vec<IngressKey>,
+    switch_pfc: Vec<Option<PfcConfig>>,
+    host_in_flight: Vec<Option<Packet>>,
+    link_up: Vec<bool>,
+    pfc_loss: Vec<Option<f64>>,
+    pfc_delay: Vec<Option<SimDuration>>,
+}
+
+impl SimArenas {
+    /// A fresh, empty bundle. Capacity accrues as simulators are recycled
+    /// into it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hand out the cached event queue if it matches the requested
+    /// backend and (for the wheel) tick size; otherwise build a new one.
+    fn lease_queue(&mut self, backend: Backend, tick_shift: u32) -> EventQueue<Ev> {
+        match self.queue.take() {
+            Some(mut q)
+                if q.backend() == backend && q.tick_shift().is_none_or(|s| s == tick_shift) =>
+            {
+                q.reset();
+                q
+            }
+            _ => EventQueue::with_backend_and_tick_shift(backend, tick_shift),
+        }
+    }
+}
+
+/// Take a vector out of an arena slot, cleared but with capacity intact.
+fn take_cleared<T>(slot: &mut Vec<T>) -> Vec<T> {
+    let mut v = std::mem::take(slot);
+    v.clear();
+    v
+}
+
+/// Take a vector out of an arena slot and refill it to `n` copies of
+/// `fill`, reusing its allocation.
+fn refill<T: Clone>(slot: &mut Vec<T>, n: usize, fill: T) -> Vec<T> {
+    let mut v = std::mem::take(slot);
+    v.clear();
+    v.resize(n, fill);
+    v
+}
+
 /// The simulator. Build with [`NetSim::new`], add flows, then call a run
 /// method exactly once.
 pub struct NetSim {
@@ -227,6 +306,12 @@ pub struct NetSim {
     pinned: Vec<Vec<u16>>,
     /// NIC frame mid-serialization, indexed by node id.
     host_in_flight: Vec<Option<Packet>>,
+    /// Payloads of in-flight `Ev::Arrive` events, indexed by the event's
+    /// `frame` field. Slots recycle through `frame_free` when the arrival
+    /// is handled, so the slab's high-water mark is the peak number of
+    /// frames on the wire.
+    frames: Vec<Frame>,
+    frame_free: Vec<u32>,
     queue: EventQueue<Ev>,
     meaningful: u64,
     pub(crate) stats: NetStats,
@@ -287,8 +372,27 @@ impl NetSim {
         Self::with_tables(topo, cfg, tables)
     }
 
+    /// Like [`NetSim::new`], but leasing event-queue and flow storage from
+    /// `arenas` instead of allocating fresh (see [`SimArenas`]).
+    pub fn new_in(topo: &Topology, cfg: SimConfig, arenas: &mut SimArenas) -> Self {
+        let tables = pfcsim_topo::routing::shortest_path_tables(topo);
+        Self::with_tables_in(topo, cfg, tables, arenas)
+    }
+
     /// Create a simulator with explicit forwarding tables.
     pub fn with_tables(topo: &Topology, cfg: SimConfig, tables: ForwardingTables) -> Self {
+        Self::with_tables_in(topo, cfg, tables, &mut SimArenas::default())
+    }
+
+    /// Like [`NetSim::with_tables`], but leasing reusable storage from
+    /// `arenas` (see [`SimArenas`]). Pair with [`NetSim::recycle`] to run
+    /// many simulations without per-run allocation of the hot structures.
+    pub fn with_tables_in(
+        topo: &Topology,
+        cfg: SimConfig,
+        tables: ForwardingTables,
+        arenas: &mut SimArenas,
+    ) -> Self {
         cfg.validate().expect("invalid SimConfig");
         topo.validate().expect("invalid topology");
         let port_info: Vec<Vec<PortInfo>> = topo
@@ -326,6 +430,22 @@ impl NetSim {
         let quantum = cfg.default_packet_size.get();
         let n_nodes = topo.node_count();
         let dl = DeadlockTracker::new(topo, &port_info);
+        // Scheduler: an explicit config knob wins, then the PFCSIM_SCHED
+        // environment override, then the timing wheel. The wheel tick is
+        // sized from the fastest link's serialization time for a
+        // default-size packet — the natural spacing of the TxDone/Arrive
+        // events that dominate the queue.
+        let backend = cfg
+            .scheduler
+            .or_else(Backend::from_env)
+            .unwrap_or(Backend::Wheel);
+        let tick_shift = port_info
+            .iter()
+            .flatten()
+            .map(|p| p.rate.serialization_time(cfg.default_packet_size))
+            .min()
+            .map(tick_shift_for_quantum)
+            .unwrap_or(DEFAULT_TICK_SHIFT);
         NetSim {
             topo: topo.clone(),
             cfg,
@@ -333,15 +453,17 @@ impl NetSim {
             port_info,
             switches,
             hosts,
-            switch_pfc: vec![None; n_nodes],
-            flows: Vec::new(),
-            rt: Vec::new(),
-            fstats: Vec::new(),
-            fstats_touched: Vec::new(),
-            fmap: Vec::new(),
-            pinned: Vec::new(),
-            host_in_flight: vec![None; n_nodes],
-            queue: EventQueue::new(),
+            switch_pfc: refill(&mut arenas.switch_pfc, n_nodes, None),
+            flows: take_cleared(&mut arenas.flows),
+            rt: take_cleared(&mut arenas.rt),
+            fstats: take_cleared(&mut arenas.fstats),
+            fstats_touched: take_cleared(&mut arenas.fstats_touched),
+            fmap: take_cleared(&mut arenas.fmap),
+            pinned: take_cleared(&mut arenas.pinned),
+            host_in_flight: refill(&mut arenas.host_in_flight, n_nodes, None),
+            frames: take_cleared(&mut arenas.frames),
+            frame_free: take_cleared(&mut arenas.frame_free),
+            queue: arenas.lease_queue(backend, tick_shift),
             meaningful: 0,
             stats: NetStats::default(),
             rng: SimRng::new(seed),
@@ -351,7 +473,7 @@ impl NetSim {
             route_updates: Vec::new(),
             watch_keys: None,
             used_prios: 0,
-            sample_keys: Vec::new(),
+            sample_keys: take_cleared(&mut arenas.sample_keys),
             dl,
             last_clean_scan: None,
             scans_run: 0,
@@ -360,20 +482,75 @@ impl NetSim {
             deadlock: None,
             dcqcn_cfg: None,
             timely_cfg: None,
-            traced: Vec::new(),
+            traced: take_cleared(&mut arenas.traced),
             trace_cap: 1_000_000,
             events: 0,
             started: false,
             finished: false,
-            link_up: vec![true; topo.link_count()],
+            link_up: refill(&mut arenas.link_up, topo.link_count(), true),
             fault_plan: None,
             fault_events: Vec::new(),
             fault_rng: SimRng::new(seed ^ 0xFA17_5EED_0DD5_EED5),
-            pfc_loss: vec![None; n_nodes],
-            pfc_delay: vec![None; n_nodes],
+            pfc_loss: refill(&mut arenas.pfc_loss, n_nodes, None),
+            pfc_delay: refill(&mut arenas.pfc_delay, n_nodes, None),
             pause_headroom: Bytes::from_kb(20),
             reboots: BTreeMap::new(),
         }
+    }
+
+    /// Return this simulator's reusable storage to `arenas` so the next
+    /// [`NetSim::new_in`] / [`NetSim::with_tables_in`] construction can
+    /// lease it back. Everything handed over is cleared in O(live entries)
+    /// with capacity retained; the rest of the simulator drops normally.
+    pub fn recycle(mut self, arenas: &mut SimArenas) {
+        self.queue.reset();
+        arenas.queue = Some(self.queue);
+        self.frames.clear();
+        arenas.frames = self.frames;
+        self.frame_free.clear();
+        arenas.frame_free = self.frame_free;
+        self.flows.clear();
+        arenas.flows = self.flows;
+        self.rt.clear();
+        arenas.rt = self.rt;
+        self.fstats.clear();
+        arenas.fstats = self.fstats;
+        self.fstats_touched.clear();
+        arenas.fstats_touched = self.fstats_touched;
+        self.fmap.clear();
+        arenas.fmap = self.fmap;
+        self.pinned.clear();
+        arenas.pinned = self.pinned;
+        self.traced.clear();
+        arenas.traced = self.traced;
+        self.sample_keys.clear();
+        arenas.sample_keys = self.sample_keys;
+        arenas.switch_pfc = take_cleared(&mut self.switch_pfc);
+        arenas.host_in_flight = take_cleared(&mut self.host_in_flight);
+        arenas.link_up = take_cleared(&mut self.link_up);
+        arenas.pfc_loss = take_cleared(&mut self.pfc_loss);
+        arenas.pfc_delay = take_cleared(&mut self.pfc_delay);
+    }
+
+    /// Allocate a slot in the frame slab for an in-flight `Ev::Arrive`.
+    fn frame_alloc(&mut self, frame: Frame) -> u32 {
+        match self.frame_free.pop() {
+            Some(ix) => {
+                self.frames[ix as usize] = frame;
+                ix
+            }
+            None => {
+                self.frames.push(frame);
+                (self.frames.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Take a frame out of the slab, releasing its slot.
+    #[inline]
+    fn frame_take(&mut self, ix: u32) -> Frame {
+        self.frame_free.push(ix);
+        self.frames[ix as usize]
     }
 
     /// Current simulated time.
@@ -677,6 +854,7 @@ impl NetSim {
             .unwrap_or(&self.cfg.pfc)
     }
 
+    #[inline]
     pub(crate) fn xoff_of(&self, node: NodeId, port: PortNo) -> Bytes {
         let sw = self.switches[node.0 as usize].as_ref().expect("switch");
         let base = sw.ingress[port.0 as usize]
@@ -695,6 +873,7 @@ impl NetSim {
         }
     }
 
+    #[inline]
     pub(crate) fn xon_of(&self, node: NodeId, port: PortNo) -> Bytes {
         let sw = self.switches[node.0 as usize].as_ref().expect("switch");
         let pfc = self.pfc_of(node);
@@ -886,14 +1065,12 @@ impl NetSim {
                 quiesced = true;
                 break;
             }
-            let Some(t) = self.queue.peek_time() else {
-                quiesced = true;
+            let Some((_, ev)) = self.queue.pop_before(self.horizon) else {
+                // Beyond-horizon events stay queued; an empty queue is
+                // quiescence.
+                quiesced = self.queue.peek_time().is_none();
                 break;
             };
-            if t > self.horizon {
-                break;
-            }
-            let (_, ev) = self.queue.pop().expect("peeked event exists");
             if is_meaningful(&ev) {
                 self.meaningful -= 1;
             }
@@ -1017,7 +1194,10 @@ impl NetSim {
 
     fn handle(&mut self, ev: Ev) {
         match ev {
-            Ev::Arrive { node, port, frame } => self.on_arrive(node, port, frame),
+            Ev::Arrive { node, port, frame } => {
+                let frame = self.frame_take(frame);
+                self.on_arrive(node, port, frame)
+            }
             Ev::TxDone { node, port } => self.on_tx_done(node, port),
             Ev::HostTxDone { host } => self.on_host_tx_done(host),
             Ev::HostWake { host } => {
@@ -1334,12 +1514,13 @@ impl NetSim {
         };
         let info = self.port_info[host.0 as usize][0];
         if self.link_ok(host, PortNo(0)) {
+            let frame = self.frame_alloc(Frame::Data(pkt));
             self.sched(
                 self.now() + info.delay,
                 Ev::Arrive {
                     node: info.peer,
                     port: info.peer_port,
-                    frame: Frame::Data(pkt),
+                    frame,
                 },
             );
         } else {
@@ -1650,9 +1831,7 @@ impl NetSim {
             let ing = &mut sw.ingress[port.0 as usize];
             ing.count[prio.index()] += pkt.size;
             if track {
-                *ing.per_flow
-                    .entry((prio.0, pkt.flow))
-                    .or_insert(Bytes::ZERO) += pkt.size;
+                ing.per_flow.add(prio.0, pkt.flow, pkt.size);
             }
             pause_needed =
                 lossless && !ing.pause_sent[prio.index()] && ing.count[prio.index()] >= xoff;
@@ -1744,9 +1923,7 @@ impl NetSim {
                 let ing = &mut sw.ingress[ingress.0 as usize];
                 ing.count[copy.priority.index()] += copy.size;
                 if track {
-                    *ing.per_flow
-                        .entry((copy.priority.0, copy.flow))
-                        .or_insert(Bytes::ZERO) += copy.size;
+                    ing.per_flow.add(copy.priority.0, copy.flow, copy.size);
                 }
                 pause_needed = lossless
                     && !ing.pause_sent[copy.priority.index()]
@@ -1876,6 +2053,15 @@ impl NetSim {
 
     /// Start a transmission on (node, egress port) if possible.
     fn try_tx(&mut self, node: NodeId, port: PortNo) {
+        // A busy transmitter is the common case under saturation (every
+        // enqueue behind an in-flight frame lands here): check it before
+        // touching link state or port info.
+        {
+            let sw = self.switches[node.0 as usize].as_ref().expect("switch");
+            if sw.egress[port.0 as usize].busy() {
+                return;
+            }
+        }
         if !self.link_ok(node, port) {
             return; // dead transmitter; LinkUp revives it
         }
@@ -1886,9 +2072,6 @@ impl NetSim {
         let size = {
             let sw = self.switches[node.0 as usize].as_mut().expect("switch");
             let eg = &mut sw.egress[port.0 as usize];
-            if eg.busy() {
-                return;
-            }
             // Control frames jump the data queues.
             if let Some(f) = eg.ctrl.pop_front() {
                 eg.in_flight = Some(InFlight::Pfc(f));
@@ -1955,24 +2138,26 @@ impl NetSim {
                     }
                 } else {
                     let extra = self.pfc_delay[node.0 as usize].unwrap_or(SimDuration::ZERO);
+                    let frame = self.frame_alloc(Frame::Pfc(f));
                     self.sched(
                         self.now() + info.delay + extra,
                         Ev::Arrive {
                             node: info.peer,
                             port: info.peer_port,
-                            frame: Frame::Pfc(f),
+                            frame,
                         },
                     );
                 }
             }
             InFlight::Data(qp) => {
                 if up {
+                    let frame = self.frame_alloc(Frame::Data(qp.pkt));
                     self.sched(
                         self.now() + info.delay,
                         Ev::Arrive {
                             node: info.peer,
                             port: info.peer_port,
-                            frame: Frame::Data(qp.pkt),
+                            frame,
                         },
                     );
                 } else {
@@ -1996,11 +2181,7 @@ impl NetSim {
         let ing = &mut sw.ingress[ingress.0 as usize];
         ing.count[prio.index()] -= pkt.size;
         if track {
-            let e = ing
-                .per_flow
-                .get_mut(&(prio.0, pkt.flow))
-                .expect("tracked flow has bytes");
-            *e -= pkt.size;
+            ing.per_flow.sub(prio.0, pkt.flow, pkt.size);
         }
         if ing.pause_sent[prio.index()] && ing.count[prio.index()] < xon {
             ing.pause_sent[prio.index()] = false;
@@ -2209,13 +2390,12 @@ impl NetSim {
                 .or_default()
                 .push(now, count.get());
             if track_flows {
-                let flow_bytes: Vec<(FlowId, Bytes)> = ing
-                    .per_flow
-                    .iter()
-                    .filter(|((p, _), _)| *p == key.priority.0)
-                    .map(|((_, f), &b)| (*f, b))
-                    .collect();
-                for (f, b) in flow_bytes {
+                // `ing` borrows `self.switches`, `flow_occupancy` lives in
+                // `self.stats` — disjoint fields, so no temporary needed.
+                for (&(p, f), &b) in ing.per_flow.iter() {
+                    if p != key.priority.0 {
+                        continue;
+                    }
                     self.stats
                         .flow_occupancy
                         .entry((key, f))

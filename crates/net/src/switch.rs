@@ -9,7 +9,7 @@
 //! be paused." Packets are counted against their *arrival* port and
 //! released when they finish transmitting out of the switch.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Sentinel padding for dense per-port vectors that grow on demand.
 fn ensure_len<T: Default + Clone>(v: &mut Vec<T>, n: usize) {
@@ -132,9 +132,13 @@ impl EgressQueue {
                         }
                         break qp;
                     }
-                    // Grant a quantum and move to the next subqueue.
+                    // Grant a quantum and move to the next subqueue
+                    // (rotating a single-entry ring is the identity —
+                    // skip the call on the common one-feeder port).
                     *d += quantum;
-                    self.rr.rotate_left(1);
+                    if self.rr.len() > 1 {
+                        self.rr.rotate_left(1);
+                    }
                 }
             }
         };
@@ -320,13 +324,58 @@ pub struct Ingress {
     /// Per-port XON override.
     pub xon_override: Option<Bytes>,
     /// Per-flow byte tracking (only when enabled in config).
-    pub per_flow: BTreeMap<(u8, FlowId), Bytes>,
+    pub per_flow: FlowLedger,
 }
 
 impl Ingress {
     /// Total buffered bytes across priorities.
     pub fn total(&self) -> Bytes {
         self.count.iter().copied().sum()
+    }
+}
+
+/// Per-flow buffered-byte ledger, keyed by `(priority, flow)`. A sorted
+/// vec with the same key order as the `BTreeMap` it replaced: an ingress
+/// port sees a handful of flows, so the per-packet add/sub on the
+/// datapath wants contiguous probes, not tree nodes. Entries that drain
+/// to zero are kept (as the map kept them) so sampled occupancy series
+/// are unchanged.
+#[derive(Debug, Default)]
+pub struct FlowLedger {
+    entries: Vec<((u8, FlowId), Bytes)>,
+}
+
+impl FlowLedger {
+    #[inline]
+    fn pos(&self, key: (u8, FlowId)) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&key, |e| e.0)
+    }
+
+    /// Add `b` bytes to `(prio, flow)`, starting from zero if absent.
+    #[inline]
+    pub fn add(&mut self, prio: u8, flow: FlowId, b: Bytes) {
+        match self.pos((prio, flow)) {
+            Ok(i) => self.entries[i].1 += b,
+            Err(i) => self.entries.insert(i, ((prio, flow), b)),
+        }
+    }
+
+    /// Subtract `b` bytes from `(prio, flow)`. Panics if the flow was
+    /// never added — the ledger must balance.
+    #[inline]
+    pub fn sub(&mut self, prio: u8, flow: FlowId, b: Bytes) {
+        let i = self.pos((prio, flow)).expect("tracked flow has bytes");
+        self.entries[i].1 -= b;
+    }
+
+    /// Key-sorted iteration, `BTreeMap`-compatible item shape.
+    pub fn iter(&self) -> impl Iterator<Item = (&(u8, FlowId), &Bytes)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Drop every entry (capacity retained).
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 

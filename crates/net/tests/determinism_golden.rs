@@ -8,11 +8,11 @@
 //! say so in the commit message — a silent change here means the refactor
 //! altered event ordering or accounting.
 
-use pfcsim_net::config::SimConfig;
+use pfcsim_net::config::{SchedulerBackend, SimConfig};
 use pfcsim_net::faults::FaultPlan;
 use pfcsim_net::flow::FlowSpec;
 use pfcsim_net::recovery::RecoveryConfig;
-use pfcsim_net::sim::{NetSim, RunReport, Verdict};
+use pfcsim_net::sim::{NetSim, RunReport, SimArenas, Verdict};
 use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_simcore::units::BitRate;
 use pfcsim_topo::builders::{square, LinkSpec};
@@ -54,11 +54,19 @@ fn digest(r: &RunReport) -> u64 {
 /// jittered route reconvergence (transient loops), lossy PFC on one
 /// switch, a link flap, and the recovery watchdog armed.
 fn fault_laden_run() -> RunReport {
+    fault_laden_run_with(None, &mut SimArenas::new())
+}
+
+/// The same run with an explicit scheduler backend and leased arenas, so
+/// the digest can be pinned under every configuration that must be
+/// observationally identical.
+fn fault_laden_run_with(sched: Option<SchedulerBackend>, arenas: &mut SimArenas) -> RunReport {
     let b = square(LinkSpec::default());
     let mut cfg = SimConfig::default();
     cfg.seed = 42;
     cfg.stop_on_deadlock = false;
-    let mut sim = NetSim::new(&b.topo, cfg);
+    cfg.scheduler = sched;
+    let mut sim = NetSim::new_in(&b.topo, cfg, arenas);
     sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[2], BitRate::from_gbps(20)).with_ttl(16));
     sim.add_flow(FlowSpec::cbr(1, b.hosts[1], b.hosts[3], BitRate::from_gbps(20)).with_ttl(16));
     sim.add_flow(FlowSpec::poisson(
@@ -91,7 +99,9 @@ fn fault_laden_run() -> RunReport {
         );
     sim.set_fault_plan(plan).expect("valid plan");
     sim.enable_recovery(RecoveryConfig::default());
-    sim.run_with_drain(SimTime::from_ms(3), SimTime::from_ms(6))
+    let report = sim.run_with_drain(SimTime::from_ms(3), SimTime::from_ms(6));
+    sim.recycle(arenas);
+    report
 }
 
 /// Recorded from the pre-refactor engine (BinaryHeap event queue,
@@ -108,4 +118,36 @@ fn fault_laden_run_matches_golden_digest() {
         "RunReport digest changed: {d1:#018x} (golden {GOLDEN_DIGEST:#018x}) — \
          the engine's observable behaviour moved"
     );
+}
+
+/// The wheel and the heap must be observationally interchangeable: both
+/// pop in exact `(time, seq)` order, so both must hit the same golden
+/// digest on the fault-laden run.
+#[test]
+fn both_scheduler_backends_match_golden_digest() {
+    for sched in [SchedulerBackend::Wheel, SchedulerBackend::Heap] {
+        let d = digest(&fault_laden_run_with(Some(sched), &mut SimArenas::new()));
+        assert_eq!(
+            d, GOLDEN_DIGEST,
+            "digest diverged under {sched:?} backend: {d:#018x}"
+        );
+    }
+}
+
+/// Reusing a `SimArenas` bundle across runs must not perturb results:
+/// the second (capacity-reusing) run reproduces the golden digest, and
+/// the recycled event queue keeps its slot arena instead of reallocating.
+#[test]
+fn arena_reuse_is_observationally_invisible() {
+    let mut arenas = SimArenas::new();
+    let first = digest(&fault_laden_run_with(
+        Some(SchedulerBackend::Wheel),
+        &mut arenas,
+    ));
+    assert_eq!(first, GOLDEN_DIGEST);
+    let second = digest(&fault_laden_run_with(
+        Some(SchedulerBackend::Wheel),
+        &mut arenas,
+    ));
+    assert_eq!(second, GOLDEN_DIGEST, "leased-arena rerun diverged");
 }

@@ -5,14 +5,27 @@
 //! simulation a pure function of its inputs — there is no dependence on heap
 //! iteration order or hashing.
 //!
-//! The implementation is an indexed 4-ary min-heap over a slot arena.
+//! Two interchangeable backends share one generation-stamped slot arena,
+//! so handles and `cancel` semantics are identical and the pop order is
+//! bit-for-bit the same:
+//!
+//! * [`Backend::Wheel`] (default) — a hierarchical timing wheel
+//!   ([`crate::wheel`]): O(1) schedule/cancel and amortized-O(1) pop for
+//!   the short-horizon, high-churn traffic a packet simulation generates,
+//!   with the 4-ary heap retained as an overflow tier for far-future
+//!   events.
+//! * [`Backend::Heap`] — an indexed 4-ary min-heap over the arena:
+//!   O(log n) everything, no tuning parameters; the executable reference
+//!   model for the wheel's property tests.
+//!
 //! Every scheduled event owns a slot; the handle returned by
 //! [`EventQueue::schedule`] packs the slot index with a generation stamp,
-//! so cancellation is an O(log n) heap removal with a constant-time
-//! staleness check — no hashing, no lazily-buried tombstones, and the
-//! backing storage never holds more than the live event count.
+//! so cancellation is eager with a constant-time staleness check — no
+//! hashing, no lazily-buried tombstones, and the backing storage never
+//! holds more than the live event count.
 
 use crate::time::SimTime;
+use crate::wheel::{WheelState, DEFAULT_TICK_SHIFT};
 
 /// Handle to a scheduled event, usable for cancellation.
 ///
@@ -37,30 +50,78 @@ impl EventId {
     }
 }
 
-/// Sentinel for "not in the heap".
-const NO_POS: u32 = u32::MAX;
-
-struct Slot<E> {
-    time: SimTime,
-    seq: u64,
-    /// Bumped every time the slot is vacated; stale handles never match.
-    gen: u32,
-    /// Index into `heap`, or `NO_POS` when the slot is free.
-    pos: u32,
-    payload: Option<E>,
+/// Which index structure an [`EventQueue`] uses. Pop order is identical;
+/// only the complexity profile differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Backend {
+    /// Hierarchical timing wheel with a heap overflow tier (the default).
+    Wheel,
+    /// Indexed 4-ary min-heap (the reference implementation).
+    Heap,
 }
 
-/// A future-event list with deterministic tie-breaking, O(log n)
-/// schedule/pop, and O(log n) eager cancellation via generation-stamped
-/// handles.
+impl Backend {
+    /// Read the `PFCSIM_SCHED` override (`wheel` or `heap`,
+    /// case-insensitive). Unset or unrecognized values yield `None`.
+    pub fn from_env() -> Option<Backend> {
+        match std::env::var("PFCSIM_SCHED")
+            .ok()?
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "wheel" => Some(Backend::Wheel),
+            "heap" => Some(Backend::Heap),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (used in bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Wheel => "wheel",
+            Backend::Heap => "heap",
+        }
+    }
+}
+
+/// Sentinel for "not queued".
+pub(crate) const NO_POS: u32 = u32::MAX;
+
+pub(crate) struct Slot<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    /// Bumped every time the slot is vacated; stale handles never match.
+    pub(crate) gen: u32,
+    /// Where the event lives: `NO_POS` when free; for the heap backend a
+    /// heap index; for the wheel a bucket id, or `OVF_BIT | heap index`
+    /// in the overflow tier.
+    pub(crate) pos: u32,
+    /// Intrusive wheel-bucket links (unused by the heap backend).
+    pub(crate) prev: u32,
+    pub(crate) next: u32,
+    pub(crate) payload: Option<E>,
+}
+
+/// A future-event list with deterministic tie-breaking, eager O(log n)
+/// (heap) / O(1) (wheel) cancellation via generation-stamped handles, and
+/// capacity that survives [`EventQueue::reset`] for reuse across runs.
 pub struct EventQueue<E> {
     slots: Vec<Slot<E>>,
     /// Vacant slot indices, reused LIFO.
     free: Vec<u32>,
-    /// 4-ary min-heap of slot indices, ordered by the slots' `(time, seq)`.
-    heap: Vec<u32>,
     next_seq: u64,
     now: SimTime,
+    core: Core,
+}
+
+// The wheel's fixed-size slot index (~6 KiB of inline arrays) dwarfs the
+// heap variant, but one queue exists per simulation and the wheel is the
+// default backend — boxing it would put a pointer chase back on the
+// hottest path that the inline arrays exist to avoid.
+#[allow(clippy::large_enum_variant)]
+enum Core {
+    Heap(HeapCore),
+    Wheel(WheelState),
 }
 
 impl<E> Default for EventQueue<E> {
@@ -74,14 +135,40 @@ impl<E> Default for EventQueue<E> {
 const ARITY: usize = 4;
 
 impl<E> EventQueue<E> {
-    /// An empty queue at t = 0.
+    /// An empty queue at t = 0 on the default backend: the `PFCSIM_SCHED`
+    /// environment override if set, otherwise the timing wheel.
     pub fn new() -> Self {
+        Self::with_backend(Backend::from_env().unwrap_or(Backend::Wheel))
+    }
+
+    /// An empty queue on an explicit backend (wheel ticks default to
+    /// [`DEFAULT_TICK_SHIFT`] ≈ 1 ns).
+    pub fn with_backend(backend: Backend) -> Self {
+        Self::with_backend_and_tick_shift(backend, DEFAULT_TICK_SHIFT)
+    }
+
+    /// An empty queue on an explicit backend with an explicit wheel tick
+    /// granularity (`2^tick_shift` picoseconds per tick; ignored by the
+    /// heap backend). See [`crate::wheel::tick_shift_for_quantum`].
+    pub fn with_backend_and_tick_shift(backend: Backend, tick_shift: u32) -> Self {
+        let core = match backend {
+            Backend::Heap => Core::Heap(HeapCore { heap: Vec::new() }),
+            Backend::Wheel => Core::Wheel(WheelState::new(tick_shift)),
+        };
         EventQueue {
             slots: Vec::new(),
             free: Vec::new(),
-            heap: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            core,
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> Backend {
+        match self.core {
+            Core::Heap(_) => Backend::Heap,
+            Core::Wheel(_) => Backend::Wheel,
         }
     }
 
@@ -95,19 +182,23 @@ impl<E> EventQueue<E> {
     /// Number of live (not-yet-cancelled) scheduled events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.core {
+            Core::Heap(h) => h.heap.len(),
+            Core::Wheel(w) => w.len(),
+        }
     }
 
     /// True iff no live events remain.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedule `payload` at absolute time `at`.
     ///
     /// # Panics
     /// Panics if `at` is earlier than the current time (causality violation).
+    #[inline]
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
         assert!(
             at >= self.now,
@@ -117,15 +208,13 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let pos = self.heap.len() as u32;
-        let idx = match self.free.pop() {
+        let (idx, gen) = match self.free.pop() {
             Some(idx) => {
                 let s = &mut self.slots[idx as usize];
                 s.time = at;
                 s.seq = seq;
-                s.pos = pos;
                 s.payload = Some(payload);
-                idx
+                (idx, s.gen)
             }
             None => {
                 let idx = self.slots.len() as u32;
@@ -133,15 +222,19 @@ impl<E> EventQueue<E> {
                     time: at,
                     seq,
                     gen: 0,
-                    pos,
+                    pos: NO_POS,
+                    prev: NO_POS,
+                    next: NO_POS,
                     payload: Some(payload),
                 });
-                idx
+                (idx, 0)
             }
         };
-        self.heap.push(idx);
-        self.sift_up(pos as usize);
-        EventId::new(idx, self.slots[idx as usize].gen)
+        match &mut self.core {
+            Core::Heap(h) => h.insert(&mut self.slots, idx),
+            Core::Wheel(w) => w.insert(&mut self.slots, idx),
+        }
+        EventId::new(idx, gen)
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
@@ -152,8 +245,13 @@ impl<E> EventQueue<E> {
         let idx = id.slot();
         match self.slots.get(idx as usize) {
             Some(s) if s.gen == id.gen() && s.pos != NO_POS => {
-                let pos = s.pos as usize;
-                self.remove_at(pos);
+                match &mut self.core {
+                    Core::Heap(h) => {
+                        let pos = s.pos as usize;
+                        h.remove_at(&mut self.slots, pos);
+                    }
+                    Core::Wheel(w) => w.remove(&mut self.slots, idx),
+                }
                 self.release(idx);
                 true
             }
@@ -164,26 +262,112 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next live event, if any.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.first().map(|&i| self.slots[i as usize].time)
+        match &self.core {
+            Core::Heap(h) => h.heap.first().map(|&i| self.slots[i as usize].time),
+            Core::Wheel(w) => w.find_min(&self.slots).map(|i| self.slots[i as usize].time),
+        }
     }
 
     /// Pop the next live event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let &root = self.heap.first()?;
-        self.remove_at(0);
-        let s = &mut self.slots[root as usize];
+        let idx = match &mut self.core {
+            Core::Heap(h) => {
+                let &root = h.heap.first()?;
+                h.remove_at(&mut self.slots, 0);
+                root
+            }
+            Core::Wheel(w) => w.pop_min(&mut self.slots)?,
+        };
+        Some(self.take(idx))
+    }
+
+    /// Pop the next live event only if its timestamp is `<= limit`.
+    /// Equivalent to `peek_time` followed by a conditional `pop`, but a
+    /// single min-search — the hot path of a horizon-bounded run loop.
+    /// Returns `None` both on an empty queue and on a next event beyond
+    /// `limit`; disambiguate with [`peek_time`](Self::peek_time).
+    #[inline]
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        let idx = match &mut self.core {
+            Core::Heap(h) => {
+                let &root = h.heap.first()?;
+                if self.slots[root as usize].time > limit {
+                    return None;
+                }
+                h.remove_at(&mut self.slots, 0);
+                root
+            }
+            Core::Wheel(w) => w.pop_min_before(&mut self.slots, limit)?,
+        };
+        Some(self.take(idx))
+    }
+
+    /// Detach popped arena slot `idx`: advance `now`, release the slot,
+    /// hand back `(time, payload)`.
+    #[inline]
+    fn take(&mut self, idx: u32) -> (SimTime, E) {
+        let s = &mut self.slots[idx as usize];
         let time = s.time;
         let payload = s.payload.take().expect("live entry has payload");
         self.now = time;
-        self.release(root);
-        Some((time, payload))
+        self.release(idx);
+        (time, payload)
     }
 
-    /// Drop every pending event (used when tearing a simulation down early).
+    /// Drop every pending event (used when tearing a simulation down
+    /// early). `now` and the sequence counter are preserved; all backing
+    /// capacity is retained.
     pub fn clear(&mut self) {
-        while let Some(idx) = self.heap.pop() {
-            self.slots[idx as usize].payload = None;
-            self.release(idx);
+        for idx in 0..self.slots.len() as u32 {
+            if self.slots[idx as usize].pos != NO_POS {
+                self.slots[idx as usize].payload = None;
+                self.release(idx);
+            }
+        }
+        match &mut self.core {
+            Core::Heap(h) => h.heap.clear(),
+            Core::Wheel(w) => w.clear_index(),
+        }
+    }
+
+    /// Rewind to a fresh queue at t = 0 while keeping every allocation:
+    /// the slot arena, free list, heap and wheel storage all retain their
+    /// capacity, so a run replayed on a reset queue performs no new slot
+    /// allocations. Outstanding handles stay stale (generations are not
+    /// rewound).
+    pub fn reset(&mut self) {
+        self.clear();
+        self.now = SimTime::ZERO;
+        self.next_seq = 0;
+        if let Core::Wheel(w) = &mut self.core {
+            w.reset_cursor();
+        }
+    }
+
+    /// Size of the backing slot arena (live + free slots). A reused queue
+    /// whose peak concurrency fits the arena schedules with zero new slot
+    /// allocations; tests assert on this.
+    #[doc(hidden)]
+    pub fn arena_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events currently parked in the wheel's overflow tier (0 on the
+    /// heap backend). Introspection for tests and benches.
+    #[doc(hidden)]
+    pub fn overflow_len(&self) -> usize {
+        match &self.core {
+            Core::Heap(_) => 0,
+            Core::Wheel(w) => w.overflow_len(),
+        }
+    }
+
+    /// The wheel's tick granularity as a power-of-two picosecond shift
+    /// (`None` on the heap backend).
+    pub fn tick_shift(&self) -> Option<u32> {
+        match &self.core {
+            Core::Heap(_) => None,
+            Core::Wheel(w) => Some(w.tick_shift()),
         }
     }
 
@@ -195,37 +379,52 @@ impl<E> EventQueue<E> {
         s.gen = s.gen.wrapping_add(1);
         self.free.push(idx);
     }
+}
+
+/// The indexed 4-ary min-heap over the slot arena: the reference backend.
+struct HeapCore {
+    /// Heap of slot indices, ordered by the slots' `(time, seq)`.
+    heap: Vec<u32>,
+}
+
+impl HeapCore {
+    fn insert<E>(&mut self, slots: &mut [Slot<E>], idx: u32) {
+        let pos = self.heap.len();
+        slots[idx as usize].pos = pos as u32;
+        self.heap.push(idx);
+        self.sift_up(slots, pos);
+    }
 
     /// `(time, seq)` min-order between two slot indices.
     #[inline]
-    fn before(&self, a: u32, b: u32) -> bool {
-        let (sa, sb) = (&self.slots[a as usize], &self.slots[b as usize]);
+    fn before<E>(slots: &[Slot<E>], a: u32, b: u32) -> bool {
+        let (sa, sb) = (&slots[a as usize], &slots[b as usize]);
         (sa.time, sa.seq) < (sb.time, sb.seq)
     }
 
     /// Remove the heap entry at `pos`, preserving the heap invariant.
-    fn remove_at(&mut self, pos: usize) {
+    fn remove_at<E>(&mut self, slots: &mut [Slot<E>], pos: usize) {
         let last = self.heap.len() - 1;
         self.heap.swap(pos, last);
         let removed = self.heap.pop().expect("remove_at on empty heap");
-        self.slots[removed as usize].pos = NO_POS;
+        slots[removed as usize].pos = NO_POS;
         if pos < self.heap.len() {
-            self.slots[self.heap[pos] as usize].pos = pos as u32;
+            slots[self.heap[pos] as usize].pos = pos as u32;
             // The filler came from the heap's tail but an arbitrary
             // subtree; it may need to move either way. If sift_down moved
             // a former descendant up into `pos`, that element already
             // satisfies the parent bound, so the follow-up sift_up is a
             // single no-op comparison.
-            self.sift_down(pos);
-            self.sift_up(pos);
+            self.sift_down(slots, pos);
+            self.sift_up(slots, pos);
         }
     }
 
-    fn sift_up(&mut self, mut pos: usize) {
+    fn sift_up<E>(&mut self, slots: &mut [Slot<E>], mut pos: usize) {
         while pos > 0 {
             let parent = (pos - 1) / ARITY;
-            if self.before(self.heap[pos], self.heap[parent]) {
-                self.swap_heap(pos, parent);
+            if Self::before(slots, self.heap[pos], self.heap[parent]) {
+                self.swap_heap(slots, pos, parent);
                 pos = parent;
             } else {
                 break;
@@ -233,7 +432,7 @@ impl<E> EventQueue<E> {
         }
     }
 
-    fn sift_down(&mut self, mut pos: usize) {
+    fn sift_down<E>(&mut self, slots: &mut [Slot<E>], mut pos: usize) {
         loop {
             let first_child = pos * ARITY + 1;
             if first_child >= self.heap.len() {
@@ -242,12 +441,12 @@ impl<E> EventQueue<E> {
             let mut best = first_child;
             let end = (first_child + ARITY).min(self.heap.len());
             for c in first_child + 1..end {
-                if self.before(self.heap[c], self.heap[best]) {
+                if Self::before(slots, self.heap[c], self.heap[best]) {
                     best = c;
                 }
             }
-            if self.before(self.heap[best], self.heap[pos]) {
-                self.swap_heap(pos, best);
+            if Self::before(slots, self.heap[best], self.heap[pos]) {
+                self.swap_heap(slots, pos, best);
                 pos = best;
             } else {
                 break;
@@ -256,10 +455,10 @@ impl<E> EventQueue<E> {
     }
 
     #[inline]
-    fn swap_heap(&mut self, a: usize, b: usize) {
+    fn swap_heap<E>(&mut self, slots: &mut [Slot<E>], a: usize, b: usize) {
         self.heap.swap(a, b);
-        self.slots[self.heap[a] as usize].pos = a as u32;
-        self.slots[self.heap[b] as usize].pos = b as u32;
+        slots[self.heap[a] as usize].pos = a as u32;
+        slots[self.heap[b] as usize].pos = b as u32;
     }
 }
 
@@ -268,37 +467,87 @@ mod tests {
     use super::*;
     use crate::time::SimDuration;
 
+    /// Run `f` against a fresh queue on each backend — every invariant
+    /// below must hold regardless of the index structure.
+    fn on_each_backend(f: impl Fn(EventQueue<&'static str>)) {
+        f(EventQueue::with_backend(Backend::Heap));
+        f(EventQueue::with_backend(Backend::Wheel));
+    }
+
+    fn on_each_backend_u64(f: impl Fn(EventQueue<u64>)) {
+        f(EventQueue::with_backend(Backend::Heap));
+        f(EventQueue::with_backend(Backend::Wheel));
+    }
+
+    /// `pop_before` must be observationally identical to peek-then-pop:
+    /// same events in the same order under a rising limit, refusals
+    /// leaving the queue intact.
+    #[test]
+    fn pop_before_matches_peek_then_pop() {
+        for backend in [Backend::Heap, Backend::Wheel] {
+            let mut fused = EventQueue::with_backend(backend);
+            let mut split = EventQueue::with_backend(backend);
+            let mut state = 0x2545_f491_4f6c_dd1du64;
+            let mut at = 0u64;
+            for i in 0..500u64 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                at += state % 50_000; // mixed deltas, frequent ties at 0
+                fused.schedule(SimTime::from_ps(at), i);
+                split.schedule(SimTime::from_ps(at), i);
+            }
+            let mut limit = SimTime::ZERO;
+            while split.peek_time().is_some() {
+                loop {
+                    let expect = match split.peek_time() {
+                        Some(t) if t <= limit => split.pop(),
+                        _ => None,
+                    };
+                    let got = fused.pop_before(limit);
+                    assert_eq!(got, expect, "{backend:?} diverged at limit {limit}");
+                    if got.is_none() {
+                        break;
+                    }
+                }
+                limit += SimDuration::from_ns(37);
+            }
+            assert_eq!(fused.pop_before(SimTime::MAX), None);
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_ns(30), "c");
-        q.schedule(SimTime::from_ns(10), "a");
-        q.schedule(SimTime::from_ns(20), "b");
-        assert_eq!(q.pop().unwrap(), (SimTime::from_ns(10), "a"));
-        assert_eq!(q.pop().unwrap(), (SimTime::from_ns(20), "b"));
-        assert_eq!(q.pop().unwrap(), (SimTime::from_ns(30), "c"));
-        assert!(q.pop().is_none());
+        on_each_backend(|mut q| {
+            q.schedule(SimTime::from_ns(30), "c");
+            q.schedule(SimTime::from_ns(10), "a");
+            q.schedule(SimTime::from_ns(20), "b");
+            assert_eq!(q.pop().unwrap(), (SimTime::from_ns(10), "a"));
+            assert_eq!(q.pop().unwrap(), (SimTime::from_ns(20), "b"));
+            assert_eq!(q.pop().unwrap(), (SimTime::from_ns(30), "c"));
+            assert!(q.pop().is_none());
+        });
     }
 
     #[test]
     fn same_time_fifo_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_ns(5);
-        for i in 0..100 {
-            q.schedule(t, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop().unwrap().1, i, "FIFO tie-break violated");
-        }
+        on_each_backend_u64(|mut q| {
+            let t = SimTime::from_ns(5);
+            for i in 0..100 {
+                q.schedule(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop().unwrap().1, i, "FIFO tie-break violated");
+            }
+        });
     }
 
     #[test]
     fn now_advances_with_pops() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_us(7), ());
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_us(7));
+        on_each_backend(|mut q| {
+            q.schedule(SimTime::from_us(7), "e");
+            assert_eq!(q.now(), SimTime::ZERO);
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_us(7));
+        });
     }
 
     #[test]
@@ -312,144 +561,298 @@ mod tests {
 
     #[test]
     fn cancellation_prevents_firing() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(SimTime::from_ns(1), "a");
-        let b = q.schedule(SimTime::from_ns(2), "b");
-        assert_eq!(q.len(), 2);
-        assert!(q.cancel(a));
-        assert!(!q.cancel(a), "double-cancel reports false");
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop().unwrap().1, "b");
-        assert!(!q.cancel(b) || q.is_empty());
-        assert!(q.pop().is_none());
+        on_each_backend(|mut q| {
+            let a = q.schedule(SimTime::from_ns(1), "a");
+            let b = q.schedule(SimTime::from_ns(2), "b");
+            assert_eq!(q.len(), 2);
+            assert!(q.cancel(a));
+            assert!(!q.cancel(a), "double-cancel reports false");
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop().unwrap().1, "b");
+            assert!(!q.cancel(b) || q.is_empty());
+            assert!(q.pop().is_none());
+        });
     }
 
     #[test]
     fn peek_time_skips_cancelled() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(SimTime::from_ns(1), "a");
-        q.schedule(SimTime::from_ns(9), "b");
-        q.cancel(a);
-        assert_eq!(q.peek_time(), Some(SimTime::from_ns(9)));
+        on_each_backend(|mut q| {
+            let a = q.schedule(SimTime::from_ns(1), "a");
+            q.schedule(SimTime::from_ns(9), "b");
+            q.cancel(a);
+            assert_eq!(q.peek_time(), Some(SimTime::from_ns(9)));
+        });
     }
 
     #[test]
     fn clear_empties_queue() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_ns(1), 1);
-        q.schedule(SimTime::from_ns(2), 2);
-        q.clear();
-        assert!(q.is_empty());
-        assert!(q.pop().is_none());
+        on_each_backend_u64(|mut q| {
+            q.schedule(SimTime::from_ns(1), 1);
+            q.schedule(SimTime::from_ns(2), 2);
+            q.clear();
+            assert!(q.is_empty());
+            assert!(q.pop().is_none());
+        });
     }
 
     #[test]
     fn interleaved_schedule_pop_preserves_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_ns(10), 10);
-        q.schedule(SimTime::from_ns(5), 5);
-        assert_eq!(q.pop().unwrap().1, 5);
-        // Schedule relative to now.
-        let now = q.now();
-        q.schedule(now + SimDuration::from_ns(2), 7);
-        assert_eq!(q.pop().unwrap().1, 7);
-        assert_eq!(q.pop().unwrap().1, 10);
+        on_each_backend_u64(|mut q| {
+            q.schedule(SimTime::from_ns(10), 10);
+            q.schedule(SimTime::from_ns(5), 5);
+            assert_eq!(q.pop().unwrap().1, 5);
+            // Schedule relative to now.
+            let now = q.now();
+            q.schedule(now + SimDuration::from_ns(2), 7);
+            assert_eq!(q.pop().unwrap().1, 7);
+            assert_eq!(q.pop().unwrap().1, 10);
+        });
     }
 
     #[test]
     fn stale_handle_rejected_after_slot_reuse() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(SimTime::from_ns(1), "a");
-        assert!(q.cancel(a));
-        // Reuses a's slot; the old handle must not be able to cancel it.
-        let b = q.schedule(SimTime::from_ns(2), "b");
-        assert!(!q.cancel(a));
-        assert_eq!(q.pop().unwrap().1, "b");
-        assert!(!q.cancel(b), "fired handle is stale");
+        on_each_backend(|mut q| {
+            let a = q.schedule(SimTime::from_ns(1), "a");
+            assert!(q.cancel(a));
+            // Reuses a's slot; the old handle must not be able to cancel it.
+            let b = q.schedule(SimTime::from_ns(2), "b");
+            assert!(!q.cancel(a));
+            assert_eq!(q.pop().unwrap().1, "b");
+            assert!(!q.cancel(b), "fired handle is stale");
+        });
     }
 
     #[test]
     fn stale_handle_rejected_after_clear() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(SimTime::from_ns(1), 1);
-        q.clear();
-        assert!(!q.cancel(a));
-        q.schedule(SimTime::from_ns(2), 2);
-        assert!(!q.cancel(a), "pre-clear handle must stay stale");
+        on_each_backend_u64(|mut q| {
+            let a = q.schedule(SimTime::from_ns(1), 1);
+            q.clear();
+            assert!(!q.cancel(a));
+            q.schedule(SimTime::from_ns(2), 2);
+            assert!(!q.cancel(a), "pre-clear handle must stay stale");
+        });
     }
 
     /// Regression for the cancelled-entry leak: with lazy cancellation the
-    /// backing heap retained tombstones until they surfaced, so a
+    /// backing index retained tombstones until they surfaced, so a
     /// schedule/cancel churn at a far-future timestamp grew storage without
-    /// bound. Eager removal keeps both the heap and the slot arena at the
+    /// bound. Eager removal keeps both the index and the slot arena at the
     /// live-event footprint.
     #[test]
     fn cancelled_entries_are_reclaimed_not_leaked() {
-        let mut q = EventQueue::new();
-        let keep = q.schedule(SimTime::from_ns(1_000_000), "keep");
-        for _ in 0..10_000 {
-            let id = q.schedule(SimTime::from_ns(999_999), "churn");
-            assert!(q.cancel(id));
+        on_each_backend(|mut q| {
+            let keep = q.schedule(SimTime::from_ns(1_000_000), "keep");
+            for _ in 0..10_000 {
+                let id = q.schedule(SimTime::from_ns(999_999), "churn");
+                assert!(q.cancel(id));
+            }
+            assert_eq!(q.len(), 1, "index retains cancelled tombstones");
+            assert!(
+                q.arena_len() <= 2,
+                "slot arena grew to {} despite churn reuse",
+                q.arena_len()
+            );
+            assert!(q.cancel(keep));
+            assert!(q.is_empty());
+        });
+    }
+
+    /// Reuse across runs: after `reset`, an identical workload must touch
+    /// only recycled slots — zero arena growth — and behave exactly like a
+    /// fresh queue.
+    #[test]
+    fn reset_reuses_arena_with_zero_new_slot_allocations() {
+        let run = |q: &mut EventQueue<u64>| -> Vec<(u64, u64)> {
+            let mut ids = Vec::new();
+            for i in 0..500u64 {
+                let t = SimTime::from_ns((i * 37) % 900 + 1);
+                ids.push(q.schedule(t, i));
+            }
+            for id in ids.iter().step_by(3) {
+                assert!(q.cancel(*id));
+            }
+            let mut out = Vec::new();
+            while let Some((t, v)) = q.pop() {
+                out.push((t.as_ns(), v));
+            }
+            out
+        };
+        for backend in [Backend::Heap, Backend::Wheel] {
+            let mut q = EventQueue::with_backend(backend);
+            let first = run(&mut q);
+            let arena_after_first = q.arena_len();
+            q.reset();
+            assert_eq!(q.now(), SimTime::ZERO);
+            assert!(q.is_empty());
+            let second = run(&mut q);
+            assert_eq!(first, second, "reset queue diverged from fresh run");
+            assert_eq!(
+                q.arena_len(),
+                arena_after_first,
+                "second run on a reset queue allocated new slots"
+            );
         }
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.heap.len(), 1, "heap retains cancelled tombstones");
-        assert!(
-            q.slots.len() <= 2,
-            "slot arena grew to {} despite churn reuse",
-            q.slots.len()
+    }
+
+    /// Wheel edge case: events scheduled exactly at the current tick (and
+    /// at the current time) fire immediately and in FIFO order.
+    #[test]
+    fn wheel_schedule_at_current_tick() {
+        let mut q: EventQueue<u64> = EventQueue::with_backend(Backend::Wheel);
+        q.schedule(SimTime::from_ns(100), 0);
+        assert_eq!(q.pop().unwrap().1, 0);
+        let now = q.now();
+        q.schedule(now, 1); // same ps as `now`
+        q.schedule(now + SimDuration::from_ps(1), 2); // same tick, later ps
+        q.schedule(now, 3); // FIFO with 1
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert!(q.pop().is_none());
+    }
+
+    /// Wheel edge case: cancelling the last event of a slot must clear the
+    /// occupancy bit, or peek/pop would spin on an empty bucket.
+    #[test]
+    fn wheel_cancel_last_event_in_slot() {
+        let mut q: EventQueue<u64> = EventQueue::with_backend(Backend::Wheel);
+        let lone = q.schedule(SimTime::from_ns(50), 1);
+        q.schedule(SimTime::from_us(3), 2); // different slot, different level
+        assert!(q.cancel(lone));
+        assert_eq!(q.peek_time(), Some(SimTime::from_us(3)));
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert!(q.pop().is_none());
+    }
+
+    /// Wheel edge case: far-future events start in the overflow tier and
+    /// migrate into the wheels as the cursor turns, without reordering.
+    #[test]
+    fn wheel_overflow_migration_preserves_order() {
+        let mut q: EventQueue<u64> = EventQueue::with_backend(Backend::Wheel);
+        // Horizon with the default 2^10 ps tick is 2^34 ps ≈ 17.2 ms.
+        let far: Vec<SimTime> = (0..50)
+            .map(|i| SimTime::from_us(21_000) + SimDuration::from_ns(i * 13))
+            .collect();
+        for (i, &t) in far.iter().enumerate() {
+            q.schedule(t, 1000 + i as u64);
+        }
+        assert!(q.overflow_len() > 0, "far events must start in overflow");
+        // Near events pop first; popping walks the cursor toward the
+        // overflow boundary and drags the far events into the wheels.
+        for i in 0..10u64 {
+            q.schedule(SimTime::from_ms(2 * (i + 1)), i);
+        }
+        let mut seen = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            seen.push(v);
+        }
+        let want: Vec<u64> = (0..10).chain(1000..1050).collect();
+        assert_eq!(
+            seen, want,
+            "migration across the overflow boundary reordered"
         );
-        assert!(q.cancel(keep));
+        assert_eq!(q.overflow_len(), 0);
+    }
+
+    /// Wheel edge case: an event exactly at the horizon boundary
+    /// (`2^24` ticks ahead) goes to overflow, one tick inside stays in the
+    /// wheels, and both pop in time order.
+    #[test]
+    fn wheel_horizon_boundary_events() {
+        let mut q: EventQueue<u64> = EventQueue::with_backend(Backend::Wheel);
+        let tick_ps = 1u64 << q.tick_shift().unwrap();
+        let horizon = SimTime::from_ps(tick_ps << 24);
+        q.schedule(horizon, 2);
+        q.schedule(SimTime::from_ps(horizon.as_ps() - tick_ps), 1);
+        q.schedule(SimTime::from_ps(horizon.as_ps() + tick_ps), 3);
+        assert_eq!(q.overflow_len(), 2, "boundary and beyond go to overflow");
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.pop().is_none());
+    }
+
+    /// `SimTime::MAX` is a legal "never" timestamp; it must park in the
+    /// overflow tier and still be cancellable.
+    #[test]
+    fn wheel_handles_sentinel_max_time() {
+        let mut q: EventQueue<u64> = EventQueue::with_backend(Backend::Wheel);
+        let never = q.schedule(SimTime::MAX, 99);
+        q.schedule(SimTime::from_ns(5), 1);
+        assert_eq!(q.overflow_len(), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert!(q.cancel(never));
         assert!(q.is_empty());
     }
 
+    #[test]
+    fn env_override_selects_backend() {
+        // Don't mutate the process environment (tests run in parallel);
+        // just check the explicit constructors and default.
+        assert_eq!(
+            EventQueue::<u64>::with_backend(Backend::Heap).backend(),
+            Backend::Heap
+        );
+        assert_eq!(
+            EventQueue::<u64>::with_backend(Backend::Wheel).backend(),
+            Backend::Wheel
+        );
+        if std::env::var("PFCSIM_SCHED").is_err() {
+            assert_eq!(EventQueue::<u64>::new().backend(), Backend::Wheel);
+        }
+    }
+
     /// Randomised (but seeded, self-contained) interleaving of
-    /// schedule/cancel/pop against a sorted-vec reference model.
+    /// schedule/cancel/pop against a sorted-vec reference model, on both
+    /// backends.
     #[test]
     fn interleaving_matches_reference_model() {
-        // xorshift64* — deterministic, no external deps.
-        let mut state = 0x9e3779b97f4a7c15u64;
-        let mut rng = move || {
-            state ^= state >> 12;
-            state ^= state << 25;
-            state ^= state >> 27;
-            state.wrapping_mul(0x2545f4914f6cdd1d)
-        };
-        let mut q = EventQueue::new();
-        let mut live: Vec<(u64, u64, EventId)> = Vec::new(); // (time_ns, tag, id)
-        let mut popped: Vec<u64> = Vec::new();
-        let mut expected: Vec<u64> = Vec::new();
-        let mut tag = 0u64;
-        for _ in 0..5_000 {
-            match rng() % 10 {
-                0..=4 => {
-                    let t = q.now().as_ns() + rng() % 50;
-                    let id = q.schedule(SimTime::from_ns(t), tag);
-                    live.push((t, tag, id));
-                    tag += 1;
-                }
-                5..=6 if !live.is_empty() => {
-                    let victim = (rng() % live.len() as u64) as usize;
-                    let (_, _, id) = live.swap_remove(victim);
-                    assert!(q.cancel(id));
-                }
-                _ => {
-                    if let Some((t, v)) = q.pop() {
-                        popped.push(v);
-                        // Reference: earliest (time, tag) among live.
-                        let best = live
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, &(bt, btag, _))| (bt, btag))
-                            .map(|(i, _)| i)
-                            .expect("model had no live events");
-                        let (bt, btag, _) = live.swap_remove(best);
-                        assert_eq!((t.as_ns(), v), (bt, btag));
-                        expected.push(btag);
+        for backend in [Backend::Heap, Backend::Wheel] {
+            // xorshift64* — deterministic, no external deps.
+            let mut state = 0x9e3779b97f4a7c15u64;
+            let mut rng = move || {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                state.wrapping_mul(0x2545f4914f6cdd1d)
+            };
+            let mut q = EventQueue::with_backend(backend);
+            let mut live: Vec<(u64, u64, EventId)> = Vec::new(); // (time_ns, tag, id)
+            let mut popped: Vec<u64> = Vec::new();
+            let mut expected: Vec<u64> = Vec::new();
+            let mut tag = 0u64;
+            for _ in 0..5_000 {
+                match rng() % 10 {
+                    0..=4 => {
+                        let t = q.now().as_ns() + rng() % 50;
+                        let id = q.schedule(SimTime::from_ns(t), tag);
+                        live.push((t, tag, id));
+                        tag += 1;
+                    }
+                    5..=6 if !live.is_empty() => {
+                        let victim = (rng() % live.len() as u64) as usize;
+                        let (_, _, id) = live.swap_remove(victim);
+                        assert!(q.cancel(id));
+                    }
+                    _ => {
+                        if let Some((t, v)) = q.pop() {
+                            popped.push(v);
+                            // Reference: earliest (time, tag) among live.
+                            let best = live
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, &(bt, btag, _))| (bt, btag))
+                                .map(|(i, _)| i)
+                                .expect("model had no live events");
+                            let (bt, btag, _) = live.swap_remove(best);
+                            assert_eq!((t.as_ns(), v), (bt, btag));
+                            expected.push(btag);
+                        }
                     }
                 }
             }
+            assert_eq!(popped, expected);
+            assert_eq!(q.len(), live.len());
         }
-        assert_eq!(popped, expected);
-        assert_eq!(q.len(), live.len());
     }
 }

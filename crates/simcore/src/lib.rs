@@ -30,10 +30,11 @@ pub mod scratch;
 pub mod series;
 pub mod time;
 pub mod units;
+pub mod wheel;
 
 /// One-stop import for downstream crates.
 pub mod prelude {
-    pub use crate::event::{EventId, EventQueue};
+    pub use crate::event::{Backend, EventId, EventQueue};
     pub use crate::rng::SimRng;
     pub use crate::series::{EventLog, Histogram, IntervalLog, ThroughputMeter, TimeSeries};
     pub use crate::time::{SimDuration, SimTime};

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use pfcsim_simcore::event::EventQueue;
+use pfcsim_simcore::event::{Backend, EventQueue};
 use pfcsim_simcore::series::{Histogram, IntervalLog, TimeSeries};
 use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_simcore::units::{BitRate, Bytes};
@@ -203,6 +203,66 @@ proptest! {
             let want = model.pop();
             prop_assert_eq!(got, want);
             if want.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// The timing wheel against the 4-ary heap as the executable model:
+    /// identical random schedule/cancel/pop interleavings must produce
+    /// exactly the same `(time, seq)` pop order (FIFO within a tick),
+    /// the same cancel return values, the same peeked times and the same
+    /// live counts. Time deltas span sub-tick spacing, every wheel level
+    /// and the overflow horizon (2^34 ps at the default tick), so slot
+    /// collisions, cascades and overflow migration are all exercised.
+    #[test]
+    fn wheel_matches_heap_model(
+        ops in prop::collection::vec((0u64..10, 0u64..64, 0u32..37), 0..400),
+    ) {
+        let mut wheel = EventQueue::with_backend(Backend::Wheel);
+        let mut heap = EventQueue::with_backend(Backend::Heap);
+        // Parallel handle vectors; indices stay aligned because both
+        // queues see the identical operation sequence.
+        let mut live: Vec<(pfcsim_simcore::event::EventId, pfcsim_simcore::event::EventId)> =
+            Vec::new();
+        let mut tag = 0u64;
+        for &(op, mantissa, shift) in &ops {
+            match op {
+                0..=4 => {
+                    // Delta = mantissa << shift: dense at small scales,
+                    // sparse out past the overflow horizon.
+                    let at = wheel.now() + pfcsim_simcore::time::SimDuration::from_ps(
+                        mantissa << (shift % 37),
+                    );
+                    let wid = wheel.schedule(at, tag);
+                    let hid = heap.schedule(at, tag);
+                    live.push((wid, hid));
+                    tag += 1;
+                }
+                5..=6 => {
+                    if !live.is_empty() {
+                        let victim = (mantissa as usize) % live.len();
+                        let (wid, hid) = live.swap_remove(victim);
+                        prop_assert_eq!(wheel.cancel(wid), heap.cancel(hid));
+                    }
+                }
+                _ => {
+                    prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                    let got = wheel.pop();
+                    let want = heap.pop();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        // Drain both to the end: identical tails.
+        loop {
+            let got = wheel.pop();
+            let want = heap.pop();
+            let done = want.is_none();
+            prop_assert_eq!(got, want);
+            if done {
                 break;
             }
         }

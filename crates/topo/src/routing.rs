@@ -14,43 +14,58 @@ use crate::graph::{NodeKind, Topology};
 use crate::ids::{FlowId, NodeId, PortNo};
 
 /// Per-node, per-destination next-hop port sets (ECMP when > 1).
+///
+/// Stored dense — `tables[node][dst]` is the port list, empty meaning
+/// unroutable — so the per-packet `next_hops` lookup on the forwarding
+/// path is two array indexes rather than a tree walk. Node-id spaces are
+/// small (a fat-tree k=8 is ~200 nodes), so the quadratic table is a few
+/// hundred KB at worst while updates stay O(1).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ForwardingTables {
-    tables: Vec<BTreeMap<NodeId, Vec<PortNo>>>,
+    tables: Vec<Vec<Vec<PortNo>>>,
 }
 
 impl ForwardingTables {
     /// Empty tables sized for `topo`.
     pub fn empty(topo: &Topology) -> Self {
         ForwardingTables {
-            tables: vec![BTreeMap::new(); topo.node_count()],
+            tables: vec![vec![Vec::new(); topo.node_count()]; topo.node_count()],
         }
     }
 
     /// Next-hop ports at `node` toward destination host `dst` (empty slice
     /// if unroutable).
     pub fn next_hops(&self, node: NodeId, dst: NodeId) -> &[PortNo] {
-        self.tables[node.0 as usize]
-            .get(&dst)
+        self.tables
+            .get(node.0 as usize)
+            .and_then(|t| t.get(dst.0 as usize))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
 
     /// Install/overwrite the route for `dst` at `node`.
     pub fn set(&mut self, node: NodeId, dst: NodeId, ports: Vec<PortNo>) {
-        self.tables[node.0 as usize].insert(dst, ports);
+        let row = &mut self.tables[node.0 as usize];
+        if row.len() <= dst.0 as usize {
+            row.resize(dst.0 as usize + 1, Vec::new());
+        }
+        row[dst.0 as usize] = ports;
     }
 
     /// Remove the route for `dst` at `node` (black-hole).
     pub fn remove(&mut self, node: NodeId, dst: NodeId) {
-        self.tables[node.0 as usize].remove(&dst);
+        if let Some(p) = self.tables[node.0 as usize].get_mut(dst.0 as usize) {
+            p.clear();
+        }
     }
 
-    /// All (dst, ports) entries at `node`.
+    /// All (dst, ports) entries at `node`, in ascending destination order.
     pub fn entries(&self, node: NodeId) -> impl Iterator<Item = (NodeId, &[PortNo])> + '_ {
         self.tables[node.0 as usize]
             .iter()
-            .map(|(d, p)| (*d, p.as_slice()))
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(d, p)| (NodeId(d as u32), p.as_slice()))
     }
 
     /// Deterministic ECMP pick for a flow at a node.
