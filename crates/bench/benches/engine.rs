@@ -9,13 +9,14 @@ use criterion::{criterion_group, criterion_main};
 
 use pfcsim_experiments::enginebench::{
     bench_arena_reuse, bench_deadlock_scan, bench_event_queue, bench_fat_tree_all_to_all,
-    bench_line_forwarding,
+    bench_line_forwarding, bench_telemetry_off,
 };
 
 criterion_group!(
     engine,
     bench_event_queue,
     bench_line_forwarding,
+    bench_telemetry_off,
     bench_fat_tree_all_to_all,
     bench_deadlock_scan,
     bench_arena_reuse

@@ -1,7 +1,7 @@
 //! Profiling driver: the datapath/line2 bench body in a loop.
 use pfcsim_net::config::SimConfig;
 use pfcsim_net::flow::FlowSpec;
-use pfcsim_net::sim::NetSim;
+use pfcsim_net::sim::SimBuilder;
 use pfcsim_simcore::time::SimTime;
 use pfcsim_topo::builders::{line, LinkSpec};
 
@@ -13,7 +13,9 @@ fn main() {
     let built = line(2, LinkSpec::default());
     let mut total = 0u64;
     for _ in 0..iters {
-        let mut sim = NetSim::new(&built.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&built.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(FlowSpec::infinite(0, built.hosts[0], built.hosts[1]));
         sim.add_flow(FlowSpec::infinite(1, built.hosts[1], built.hosts[0]));
         total += sim.run(SimTime::from_ms(1)).events;

@@ -4,6 +4,8 @@
 //! repro all [--quick] [--json DIR]
 //! repro fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations
 //! repro bench [--quick] [--out PATH]   # engine baselines -> BENCH_engine.json
+//! repro metrics [--quick] [--out PATH] # sampled telemetry -> pfcsim-metrics/1 JSON
+//! repro trace [--quick] [--out PATH]   # per-packet trace  -> pfcsim-trace/1 JSONL
 //! ```
 
 use std::io::Write;
@@ -69,10 +71,69 @@ fn verify(topo_name: &str, routing: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <all|fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations|recovery|fluid|flooding|faults|verify|bench> \
+        "usage: repro <all|fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations|recovery|fluid|flooding|faults|verify|bench|metrics|trace> \
          [--quick] [--json DIR] [--csv DIR] [--out PATH]"
     );
     std::process::exit(2);
+}
+
+/// `repro metrics [--quick] --out PATH` — run the canonical instrumented
+/// scenario, write the versioned `pfcsim-metrics/1` document, then read
+/// the file back and render the tables from the *parsed* JSON.
+fn metrics(quick: bool, out: &str) -> ! {
+    use pfcsim_experiments::telemetrydoc;
+    use pfcsim_net::telemetry::TelemetryConfig;
+
+    let run = telemetrydoc::instrumented_square(quick, TelemetryConfig::on());
+    let telemetry = run.telemetry.expect("telemetry was enabled");
+    let doc = telemetrydoc::metrics_doc(quick, &telemetry);
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&doc).expect("json") + "\n",
+    )
+    .expect("write metrics document");
+
+    // Render strictly from the round-tripped file, never the live report.
+    let text = std::fs::read_to_string(out).expect("read metrics document back");
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("parse metrics document");
+    match telemetrydoc::metrics_report_from_json(&parsed) {
+        Ok(report) => println!("{}", report.render()),
+        Err(e) => {
+            eprintln!("error: written metrics document does not validate: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("wrote {out}");
+    std::process::exit(0);
+}
+
+/// `repro trace [--quick] --out PATH` — stream the canonical scenario's
+/// per-packet trace as JSON Lines, parse the file back, and summarize.
+fn trace(quick: bool, out: &str) -> ! {
+    use pfcsim_experiments::telemetrydoc;
+    use pfcsim_net::telemetry::{parse_jsonl_trace, TelemetryConfig, TraceSinkKind};
+
+    let mut telem = TelemetryConfig::on();
+    telem.sink = TraceSinkKind::Jsonl {
+        path: out.to_string(),
+    };
+    let run = telemetrydoc::instrumented_square(quick, telem);
+    let telemetry = run.telemetry.expect("telemetry was enabled");
+
+    let text = std::fs::read_to_string(out).expect("read trace stream back");
+    let events = match parse_jsonl_trace(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: written trace stream does not parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{}",
+        telemetrydoc::trace_report(out, &events, telemetry.trace_recorded).render()
+    );
+    println!("wrote {out}");
+    std::process::exit(0);
 }
 
 /// `repro bench [--quick] [--out PATH]` — run the engine micro-benchmarks
@@ -278,6 +339,23 @@ fn main() {
             .map(String::as_str)
             .unwrap_or("BENCH_engine.json");
         bench(quick, out);
+    }
+    if cmd == "metrics" || cmd == "trace" {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or(if cmd == "metrics" {
+                "metrics.json"
+            } else {
+                "trace.jsonl"
+            });
+        if cmd == "metrics" {
+            metrics(quick, out);
+        } else {
+            trace(quick, out);
+        }
     }
     let json_dir = args
         .iter()

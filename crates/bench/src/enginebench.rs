@@ -13,6 +13,9 @@
 //!   access pattern;
 //! * `datapath/line2_saturated_1ms` — full per-packet pipeline on the
 //!   smallest topology that exercises PFC;
+//! * `telemetry/line2_off_1ms` — the same line with telemetry explicitly
+//!   disabled: the instrumentation-off overhead guard (must stay within
+//!   ≤2% of the datapath number);
 //! * `fabric/fat_tree4_permutation_200us` — routing + arbitration on a
 //!   16-host fat-tree;
 //! * `detector/deadlock_scan_fat_tree4_incast_200us` — the deadlock
@@ -25,7 +28,8 @@ use criterion::{black_box, take_results, BenchResult, Criterion, Throughput};
 
 use pfcsim_net::config::SimConfig;
 use pfcsim_net::flow::FlowSpec;
-use pfcsim_net::sim::{NetSim, SimArenas};
+use pfcsim_net::sim::{SimArenas, SimBuilder};
+use pfcsim_net::telemetry::TelemetryConfig;
 use pfcsim_simcore::event::{Backend, EventId, EventQueue};
 use pfcsim_simcore::rng::SimRng;
 use pfcsim_simcore::time::{SimDuration, SimTime};
@@ -88,7 +92,9 @@ fn line_forwarding_bench(c: &mut Criterion, samples: usize) {
     g.sample_size(samples);
     // Pre-measure the event count once so the group can report events/sec.
     let events = {
-        let mut sim = NetSim::new(&built.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&built.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(FlowSpec::infinite(0, built.hosts[0], built.hosts[1]));
         sim.add_flow(FlowSpec::infinite(1, built.hosts[1], built.hosts[0]));
         sim.run(SimTime::from_ms(1)).events
@@ -96,7 +102,9 @@ fn line_forwarding_bench(c: &mut Criterion, samples: usize) {
     g.throughput(Throughput::Elements(events));
     g.bench_function("line2_saturated_1ms", |b| {
         b.iter(|| {
-            let mut sim = NetSim::new(&built.topo, SimConfig::default());
+            let mut sim = SimBuilder::new(&built.topo)
+                .config(SimConfig::default())
+                .build();
             sim.add_flow(FlowSpec::infinite(0, built.hosts[0], built.hosts[1]));
             sim.add_flow(FlowSpec::infinite(1, built.hosts[1], built.hosts[0]));
             let r = sim.run(SimTime::from_ms(1));
@@ -106,13 +114,40 @@ fn line_forwarding_bench(c: &mut Criterion, samples: usize) {
     g.finish();
 }
 
+fn telemetry_off_bench(c: &mut Criterion, samples: usize) {
+    // The same saturated line as `datapath/line2_saturated_1ms`, built
+    // through the builder with telemetry explicitly disabled. The layer's
+    // whole hot-path cost when off is one null-check per traced event, so
+    // this workload must stay within noise (≤2%) of the plain datapath
+    // number — the instrumentation-off overhead guard.
+    let built = line(2, LinkSpec::default());
+    let run_once = || {
+        let mut sim = SimBuilder::new(&built.topo)
+            .config(SimConfig::default())
+            .telemetry(TelemetryConfig::default()) // enabled: false
+            .build();
+        sim.add_flow(FlowSpec::infinite(0, built.hosts[0], built.hosts[1]));
+        sim.add_flow(FlowSpec::infinite(1, built.hosts[1], built.hosts[0]));
+        sim.run(SimTime::from_ms(1)).events
+    };
+    let events = run_once();
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(samples);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("line2_off_1ms", |b| b.iter(|| black_box(run_once())));
+    g.finish();
+}
+
 fn fat_tree_bench(c: &mut Criterion, samples: usize) {
     let built = fat_tree(4, LinkSpec::default());
     let run_once = || {
         let tables = pfcsim_topo::routing::up_down_tables(&built.topo);
         let mut cfg = SimConfig::default();
         cfg.sample_interval = None; // measure datapath, not sampling
-        let mut sim = NetSim::with_tables(&built.topo, cfg, tables);
+        let mut sim = SimBuilder::new(&built.topo)
+            .config(cfg)
+            .tables(tables)
+            .build();
         let n = built.hosts.len();
         for i in 0..n {
             sim.add_flow(FlowSpec::infinite(
@@ -146,7 +181,10 @@ fn deadlock_scan_bench(c: &mut Criterion, samples: usize) {
         let mut cfg = SimConfig::default();
         cfg.sample_interval = None; // measure the detector, not sampling
         cfg.deadlock_scan_interval = Some(SimDuration::from_ns(100));
-        let mut sim = NetSim::with_tables(&built.topo, cfg, tables);
+        let mut sim = SimBuilder::new(&built.topo)
+            .config(cfg)
+            .tables(tables)
+            .build();
         let n = built.hosts.len();
         for i in 1..n {
             sim.add_flow(FlowSpec::infinite(i as u32, built.hosts[i], built.hosts[0]));
@@ -208,6 +246,11 @@ pub fn bench_line_forwarding(c: &mut Criterion) {
     line_forwarding_bench(c, 10);
 }
 
+/// `cargo bench` entry point: instrumentation-off overhead guard.
+pub fn bench_telemetry_off(c: &mut Criterion) {
+    telemetry_off_bench(c, 10);
+}
+
 /// `cargo bench` entry point: fat-tree fabric.
 pub fn bench_fat_tree_all_to_all(c: &mut Criterion) {
     fat_tree_bench(c, 10);
@@ -232,6 +275,7 @@ pub fn run_engine_benches(quick: bool) -> Vec<BenchResult> {
     let mut c = Criterion::default();
     event_queue_bench(&mut c, s_big);
     line_forwarding_bench(&mut c, s_small.max(3));
+    telemetry_off_bench(&mut c, s_small.max(3));
     fat_tree_bench(&mut c, s_small);
     deadlock_scan_bench(&mut c, s_small);
     arena_reuse_bench(&mut c, s_small);
@@ -254,6 +298,7 @@ mod tests {
                 "event_queue/heap_schedule_pop_10k",
                 "event_queue/heap_pause_timer_churn_10k",
                 "datapath/line2_saturated_1ms",
+                "telemetry/line2_off_1ms",
                 "fabric/fat_tree4_permutation_200us",
                 "detector/deadlock_scan_fat_tree4_incast_200us",
                 "sweep/square_arena_reuse_8"

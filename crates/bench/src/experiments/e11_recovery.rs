@@ -31,7 +31,7 @@ fn run_variant(
     cfg.stop_on_deadlock = false;
     let mut sc = square_scenario_in(cfg, true, limiter, arenas);
     if let Some(rc) = recovery {
-        sc.sim.enable_recovery(rc);
+        sc.sim.try_enable_recovery(rc).expect("enable_recovery");
     }
     let r = sc.run_in(horizon, arenas);
     Outcome {

@@ -21,7 +21,10 @@ fn run_storm(opts: &Opts, flood: bool) -> RunReport {
     let mut cfg = SimConfig::default();
     cfg.flood_on_miss = flood;
     cfg.stop_on_deadlock = false;
-    let mut sim = NetSim::with_tables(&built.topo, cfg, tables);
+    let mut sim = SimBuilder::new(&built.topo)
+        .config(cfg)
+        .tables(tables)
+        .build();
     let victim_dst = built.hosts[2];
     sim.add_flow(FlowSpec::infinite(1, built.hosts[0], victim_dst).with_ttl(6));
     sim.add_flow(FlowSpec::infinite(2, built.hosts[3], built.hosts[1]).with_ttl(6));

@@ -18,6 +18,7 @@
 use pfcsim_net::prelude::*;
 use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_simcore::units::BitRate;
+use pfcsim_topo::ids::FlowId;
 
 use super::Opts;
 use crate::scenarios::{
@@ -53,24 +54,40 @@ pub fn run(opts: &Opts) -> Report {
     let install = SimTime::from_us(100);
     let mut t = Table::new(
         "transient routing loop: install→repair window vs deadlock (8 Gbps, TTL 16)",
-        &["window_us", "deadlocked", "detected_at", "delivered_pkts"],
+        &[
+            "window_us",
+            "deadlocked",
+            "detected_at",
+            "delivered_pkts",
+            "goodput_gbps",
+        ],
     );
     let mut fill_window_us = None;
     let windows = [25u64, 50, 100, 200, 400, 800, 1600];
-    for (window_us, at, del) in parallel_map_with(&windows, SimArenas::new, |arenas, &window_us| {
-        let mut cfg = paper_config();
-        cfg.stop_on_deadlock = false; // let the repair fire; the wedge survives it
-        let sc = transient_loop_in(
-            cfg,
-            BitRate::from_gbps(8),
-            16,
-            install,
-            install + SimDuration::from_us(window_us),
-            arenas,
-        );
-        let r = sc.run_in(horizon, arenas);
-        (window_us, deadlock_at(&r), delivered(&r))
-    }) {
+    // Telemetry probes ride along (trace discarded): the flow's sampled
+    // goodput series collapses toward zero exactly when the wedge hardens.
+    for (window_us, at, del, goodput) in
+        parallel_map_with(&windows, SimArenas::new, |arenas, &window_us| {
+            let mut cfg = paper_config();
+            cfg.stop_on_deadlock = false; // let the repair fire; the wedge survives it
+            cfg.telemetry = TelemetryConfig::sampling_only();
+            let sc = transient_loop_in(
+                cfg,
+                BitRate::from_gbps(8),
+                16,
+                install,
+                install + SimDuration::from_us(window_us),
+                arenas,
+            );
+            let r = sc.run_in(horizon, arenas);
+            let goodput = r
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.mean_goodput_bps(FlowId(0)))
+                .unwrap_or(0.0);
+            (window_us, deadlock_at(&r), delivered(&r), goodput)
+        })
+    {
         if at.is_some() && fill_window_us.is_none() {
             fill_window_us = Some(window_us);
         }
@@ -79,6 +96,7 @@ pub fn run(opts: &Opts) -> Report {
             fmt::yn(at.is_some()),
             at.map_or("—".into(), |d| d.to_string()),
             del.to_string(),
+            format!("{:.2}", goodput / 1e9),
         ]);
     }
     report.table(t);
@@ -198,7 +216,7 @@ pub fn run(opts: &Opts) -> Report {
         cfg.stop_on_deadlock = false;
         let mut sc = transient_loop_train_in(cfg, BitRate::from_gbps(8), 16, &train, arenas);
         if let Some(rc) = *recovery {
-            sc.sim.enable_recovery(rc);
+            sc.sim.try_enable_recovery(rc).expect("enable_recovery");
         }
         (*name, sc.run_in(horizon3, arenas))
     }) {

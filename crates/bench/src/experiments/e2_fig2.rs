@@ -11,6 +11,7 @@ use pfcsim_simcore::time::SimTime;
 use pfcsim_simcore::units::BitRate;
 
 use pfcsim_net::sim::SimArenas;
+use pfcsim_net::telemetry::TelemetryConfig;
 
 use super::Opts;
 use crate::scenarios::{paper_config, routing_loop_n_in};
@@ -58,21 +59,43 @@ pub fn run(opts: &Opts) -> Report {
     let model = BoundaryModel::new(2, BitRate::from_gbps(40), 16);
     let mut t = Table::new(
         "Part A: n=2, B=40 Gbps, TTL=16 (paper: deadlock iff r > 5 Gbps)",
-        &["inject_gbps", "Eq.3 predicts", "simulated", "ttl_drops"],
+        &[
+            "inject_gbps",
+            "Eq.3 predicts",
+            "simulated",
+            "ttl_drops",
+            "pause_ratio",
+        ],
     );
     let mut agree = true;
     // The ten rate points are independent simulations: fan them out,
-    // each worker recycling one arena bundle across its points.
+    // each worker recycling one arena bundle across its points. These
+    // runs carry the telemetry probes (trace discarded): the sampled
+    // pause ratio shows the loop's channels saturating as the injection
+    // rate crosses the Eq. 3 boundary.
     let rates: Vec<u64> = (1..=10).collect();
-    let results: Vec<(u64, bool, bool, u64)> =
+    let results: Vec<(u64, bool, bool, u64, f64)> =
         parallel_map_with(&rates, SimArenas::new, |arenas, &g| {
             let r = BitRate::from_gbps(g);
             let predicted = model.predicts_deadlock(r);
-            let sc = routing_loop_n_in(paper_config(), r, 16, 2, arenas);
+            let mut cfg = paper_config();
+            cfg.telemetry = TelemetryConfig::sampling_only();
+            let sc = routing_loop_n_in(cfg, r, 16, 2, arenas);
             let res = sc.run_in(horizon, arenas);
-            (g, predicted, res.verdict.is_deadlock(), res.stats.drops_ttl)
+            let pause_ratio = res
+                .telemetry
+                .as_ref()
+                .map(|t| t.mean_pause_ratio())
+                .unwrap_or(0.0);
+            (
+                g,
+                predicted,
+                res.verdict.is_deadlock(),
+                res.stats.drops_ttl,
+                pause_ratio,
+            )
         });
-    for (g, predicted, simulated, drops) in results {
+    for (g, predicted, simulated, drops, pause_ratio) in results {
         if simulated != predicted {
             agree = false;
         }
@@ -81,6 +104,7 @@ pub fn run(opts: &Opts) -> Report {
             fmt::yn(predicted),
             fmt::yn(simulated),
             drops.to_string(),
+            format!("{pause_ratio:.3}"),
         ]);
     }
     report.table(t);

@@ -11,6 +11,7 @@ use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_topo::graph::NodeKind;
 
 use pfcsim_net::sim::SimArenas;
+use pfcsim_net::telemetry::TelemetryConfig;
 
 use super::Opts;
 use crate::scenarios::{paper_config, tiering_scenario_in};
@@ -25,6 +26,8 @@ struct Outcome {
     blast_channels: usize,
     blast_fabric: usize,
     fabric_paused_us: u64,
+    mean_pause_ratio: f64,
+    peak_occupancy_kb: f64,
 }
 
 fn run_one(opts: &Opts, tiered: bool, seed: u64, arenas: &mut SimArenas) -> Outcome {
@@ -32,6 +35,9 @@ fn run_one(opts: &Opts, tiered: bool, seed: u64, arenas: &mut SimArenas) -> Outc
     let fan = 6;
     let mut cfg = paper_config();
     cfg.seed = seed;
+    // Probes only (trace discarded): the sampled pause ratio and peak
+    // ingress occupancy quantify how far the incast's backpressure leaks.
+    cfg.telemetry = TelemetryConfig::sampling_only();
     let mut sc = tiering_scenario_in(cfg, fan, tiered, arenas);
     let victim = sc.victim;
     let topo = sc.built.topo.clone();
@@ -67,6 +73,11 @@ fn run_one(opts: &Opts, tiered: bool, seed: u64, arenas: &mut SimArenas) -> Outc
         .filter(|(k, _)| topo.node(k.from).kind == NodeKind::Switch)
         .map(|(_, log)| log.intervals.total_duration(result.end_time))
         .fold(SimDuration::ZERO, |a, b| a + b);
+    let (mean_pause_ratio, peak_occupancy_kb) = result
+        .telemetry
+        .as_ref()
+        .map(|t| (t.mean_pause_ratio(), t.peak_occupancy() / 1024.0))
+        .unwrap_or((0.0, 0.0));
     Outcome {
         fabric_pauses: fabric,
         host_pauses: host,
@@ -75,6 +86,8 @@ fn run_one(opts: &Opts, tiered: bool, seed: u64, arenas: &mut SimArenas) -> Outc
         blast_channels: br.channels_paused,
         blast_fabric: br.fabric_channels_paused,
         fabric_paused_us: fabric_paused.as_us(),
+        mean_pause_ratio,
+        peak_occupancy_kb,
     }
 }
 
@@ -110,6 +123,8 @@ pub fn run(opts: &Opts) -> Report {
             blast_channels: runs.iter().map(|r| r.blast_channels).sum::<usize>() / n,
             blast_fabric: runs.iter().map(|r| r.blast_fabric).sum::<usize>() / n,
             fabric_paused_us: runs.iter().map(|r| r.fabric_paused_us).sum::<u64>() / n as u64,
+            mean_pause_ratio: runs.iter().map(|r| r.mean_pause_ratio).sum::<f64>() / n as f64,
+            peak_occupancy_kb: runs.iter().map(|r| r.peak_occupancy_kb).sum::<f64>() / n as f64,
         }
     };
     let flat = avg(false);
@@ -153,6 +168,18 @@ pub fn run(opts: &Opts) -> Report {
         flat.fabric_paused_us.to_string(),
         tiered.fabric_paused_us.to_string(),
         "much smaller".into(),
+    ]);
+    t.row(vec![
+        "mean pause ratio (telemetry)".into(),
+        format!("{:.4}", flat.mean_pause_ratio),
+        format!("{:.4}", tiered.mean_pause_ratio),
+        "smaller".into(),
+    ]);
+    t.row(vec![
+        "peak ingress occupancy (KB, telemetry)".into(),
+        format!("{:.0}", flat.peak_occupancy_kb),
+        format!("{:.0}", tiered.peak_occupancy_kb),
+        "spine absorbs the burst".into(),
     ]);
     report.table(t);
     report.note(

@@ -30,6 +30,7 @@ pub mod experiments;
 pub mod scenarios;
 pub mod sweep;
 pub mod table;
+pub mod telemetrydoc;
 
 pub use experiments::Opts;
 pub use table::{Report, Table};

@@ -54,7 +54,7 @@ where
 ///
 /// This is the hook for allocation reuse across sweep points — pass
 /// `SimArenas::new` as `init` and build each point's simulator with
-/// `NetSim::new_in(..)` / recycle it back, and a worker's steady-state
+/// `SimBuilder::build_in` / recycle it back, and a worker's steady-state
 /// iterations stop allocating. The scratch value must not affect results
 /// (the determinism contract above still applies at any thread count, and
 /// the serial path funnels every item through a single scratch value).

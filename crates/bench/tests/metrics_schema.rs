@@ -1,0 +1,93 @@
+//! Schema-stability test for the `repro metrics` document: the exact
+//! builder the CLI uses must keep emitting `pfcsim-metrics/1` with the
+//! fields downstream consumers parse.
+
+use pfcsim_experiments::telemetrydoc::{
+    instrumented_square, metrics_doc, metrics_report_from_json, METRICS_SCENARIO,
+};
+use pfcsim_net::telemetry::{TelemetryConfig, METRICS_SCHEMA};
+use serde_json::Value;
+
+fn build_doc() -> Value {
+    let run = instrumented_square(true, TelemetryConfig::sampling_only());
+    let telemetry = run.telemetry.expect("telemetry on");
+    metrics_doc(true, &telemetry)
+}
+
+#[test]
+fn metrics_document_keeps_its_schema() {
+    let doc = build_doc();
+    assert_eq!(METRICS_SCHEMA, "pfcsim-metrics/1");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some(METRICS_SCHEMA)
+    );
+    assert_eq!(
+        doc.get("scenario").and_then(Value::as_str),
+        Some(METRICS_SCENARIO)
+    );
+    // Top-level contract.
+    for key in [
+        "quick",
+        "sample_interval_us",
+        "samples_taken",
+        "trace_recorded",
+        "metrics",
+        "probes",
+    ] {
+        assert!(doc.get(key).is_some(), "document lost key {key:?}");
+    }
+    // Per-metric contract, on every entry.
+    let metrics = doc.get("metrics").and_then(Value::as_array).unwrap();
+    assert!(!metrics.is_empty());
+    for m in metrics {
+        for key in [
+            "name", "kind", "unit", "help", "samples", "pushed", "last", "mean", "max",
+        ] {
+            assert!(m.get(key).is_some(), "metric entry lost key {key:?}");
+        }
+        let kind = m.get("kind").and_then(Value::as_str).unwrap();
+        assert!(kind == "counter" || kind == "gauge", "bad kind {kind:?}");
+    }
+    // The registry's stable dotted names the README documents.
+    let names: Vec<&str> = metrics
+        .iter()
+        .filter_map(|m| m.get("name").and_then(Value::as_str))
+        .collect();
+    for expected in [
+        "datapath.packets_injected",
+        "datapath.packets_delivered",
+        "datapath.bytes_delivered",
+        "datapath.drops_total",
+        "pfc.pause_frames",
+        "pfc.resume_frames",
+        "pfc.channels_paused",
+        "deadlock.scans_run",
+        "scheduler.events_processed",
+    ] {
+        assert!(names.contains(&expected), "registry lost {expected}");
+    }
+    // Probe contract.
+    let probes = doc.get("probes").unwrap();
+    for key in [
+        "pause_channels",
+        "mean_pause_ratio",
+        "watched_ingresses",
+        "peak_occupancy_bytes",
+        "goodput",
+    ] {
+        assert!(probes.get(key).is_some(), "probes lost key {key:?}");
+    }
+}
+
+#[test]
+fn metrics_document_round_trips_through_text_and_renders() {
+    let doc = build_doc();
+    let text = serde_json::to_string_pretty(&doc).expect("serializes");
+    let parsed: Value = serde_json::from_str(&text).expect("parses back");
+    let report = metrics_report_from_json(&parsed).expect("renders from parsed JSON");
+    let rendered = report.render();
+    assert!(rendered.contains("engine metrics"));
+    assert!(rendered.contains("pfc.pause_frames"));
+    assert!(rendered.contains("mean pause ratio"));
+}

@@ -41,7 +41,8 @@ impl RatePlan {
     /// Install every directive on a simulator.
     pub fn apply(&self, sim: &mut NetSim) {
         for d in &self.directives {
-            sim.set_ingress_shaper(d.node, d.port, d.rate, d.burst);
+            sim.try_set_ingress_shaper(d.node, d.port, d.rate, d.burst)
+                .expect("set_ingress_shaper");
         }
     }
 
@@ -174,6 +175,7 @@ mod tests {
     #[test]
     fn plan_applies_to_simulator() {
         use pfcsim_net::config::SimConfig;
+        use pfcsim_net::sim::SimBuilder;
         let b = square(LinkSpec::default());
         let tables = shortest_path_tables(&b.topo);
         let (s, h) = (&b.switches, &b.hosts);
@@ -188,7 +190,9 @@ mod tests {
             BitRate::from_gbps(3),
             Bytes::from_kb(2),
         );
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         for f in &specs {
             sim.add_flow(f.clone());
         }

@@ -259,14 +259,17 @@ mod tests {
     #[test]
     fn repaired_fig4_does_not_deadlock_in_simulation() {
         use pfcsim_net::config::SimConfig;
-        use pfcsim_net::sim::NetSim;
+        use pfcsim_net::sim::SimBuilder;
         use pfcsim_simcore::time::SimTime;
         let b = square(LinkSpec::default());
         let tables = pfcsim_topo::routing::shortest_path_tables(&b.topo);
         let mut specs = fig4_specs(&b);
         let plan = plan_repair(&b.topo, &tables, &specs).expect("repairable");
         plan.apply(&mut specs);
-        let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .tables(tables)
+            .build();
         for f in specs {
             sim.add_flow(f);
         }

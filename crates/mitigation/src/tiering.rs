@@ -66,7 +66,8 @@ impl TieringPlan {
     /// Install on a simulator.
     pub fn apply(&self, sim: &mut NetSim) {
         for d in &self.directives {
-            sim.set_port_thresholds(d.node, d.port, d.xoff, d.xon);
+            sim.try_set_port_thresholds(d.node, d.port, d.xoff, d.xon)
+                .expect("set_port_thresholds");
         }
     }
 }
@@ -162,11 +163,12 @@ mod tests {
     #[test]
     fn plan_applies_to_simulator() {
         use pfcsim_net::config::SimConfig;
+        use pfcsim_net::sim::SimBuilder;
         let b = leaf_spine(2, 2, 1, LinkSpec::default());
         let mut cfg = SimConfig::default();
         // The plan's largest threshold must fit the shared buffer.
         cfg.switch_buffer = Bytes::from_mb(12);
-        let mut sim = NetSim::new(&b.topo, cfg);
+        let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
         plan_tiered_thresholds(&b.topo, &TieringPolicy::default()).apply(&mut sim);
     }
 }

@@ -7,6 +7,7 @@ use pfcsim_simcore::time::SimDuration;
 use pfcsim_simcore::units::Bytes;
 
 use crate::recovery::RecoveryConfig;
+use crate::telemetry::TelemetryConfig;
 
 /// Re-export of the simulation core's event-queue backend selector so
 /// callers can pin a scheduler via [`SimConfig::scheduler`] without
@@ -220,6 +221,11 @@ pub struct SimConfig {
     /// the knob only trades scheduling cost (the wheel is O(1) for the
     /// short-horizon timers that dominate PFC fabrics).
     pub scheduler: Option<SchedulerBackend>,
+    /// Unified instrumentation layer (see [`crate::telemetry`]): metric
+    /// sampling cadence, probe selection, trace filter and sink. Disabled
+    /// by default — an off-telemetry run schedules zero extra events and
+    /// is bit-identical to an uninstrumented engine.
+    pub telemetry: TelemetryConfig,
 }
 
 /// Parameters of the per-hop TTL-band class remap.
@@ -272,6 +278,7 @@ impl Default for SimConfig {
             ttl_class_mode: None,
             recovery: None,
             scheduler: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -308,6 +315,7 @@ impl SimConfig {
         if let Some(rc) = &self.recovery {
             rc.validate()?;
         }
+        self.telemetry.validate()?;
         Ok(())
     }
 }

@@ -562,7 +562,7 @@ impl NetSim {
 mod tests {
     use crate::config::SimConfig;
     use crate::flow::FlowSpec;
-    use crate::sim::NetSim;
+    use crate::sim::SimBuilder;
     use pfcsim_simcore::time::SimTime;
     use pfcsim_simcore::units::BitRate;
     use pfcsim_topo::builders::{line, two_switch_loop, LinkSpec};
@@ -571,7 +571,9 @@ mod tests {
     #[test]
     fn no_deadlock_reported_on_clean_network() {
         let b = line(3, LinkSpec::default());
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[2]));
         let report = sim.run(SimTime::from_us(500));
         assert!(!report.verdict.is_deadlock());
@@ -587,7 +589,10 @@ mod tests {
             &[b.switches[0], b.switches[1]],
             b.hosts[1],
         );
-        let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .tables(tables)
+            .build();
         sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(10)).with_ttl(16));
         let report = sim.run(SimTime::from_ms(50));
         match report.verdict {
@@ -619,7 +624,7 @@ mod tests {
         );
         let mut cfg = SimConfig::default();
         cfg.stop_on_deadlock = false; // let the drain play out
-        let mut sim = NetSim::with_tables(&b.topo, cfg, tables);
+        let mut sim = SimBuilder::new(&b.topo).config(cfg).tables(tables).build();
         sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(10)).with_ttl(16));
         let report = sim.run_with_drain(SimTime::from_ms(20), SimTime::from_ms(60));
         assert!(report.verdict.is_deadlock());

@@ -15,6 +15,7 @@
 //! * [`faults`] — scripted link failures, flaps, lossy PFC, reboots, and
 //!   route reconvergence with transient loops;
 //! * [`stats`] — pause logs, occupancy series, per-flow counters;
+//! * [`telemetry`] — metrics registry, ring-buffered probes, trace sinks;
 //! * [`config`] — PFC thresholds, pause modes, arbitration, ECN.
 //!
 //! ```
@@ -24,10 +25,14 @@
 //!
 //! // Two hosts, two switches, one infinite-demand flow.
 //! let built = line(2, LinkSpec::default());
-//! let mut sim = NetSim::new(&built.topo, SimConfig::default());
+//! let mut sim = SimBuilder::new(&built.topo)
+//!     .telemetry(TelemetryConfig::on())
+//!     .build();
 //! sim.add_flow(FlowSpec::infinite(0, built.hosts[0], built.hosts[1]));
 //! let report = sim.run(SimTime::from_us(100));
 //! assert!(!report.verdict.is_deadlock());
+//! let telemetry = report.telemetry.expect("telemetry was enabled");
+//! assert!(telemetry.samples_taken > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -45,6 +50,7 @@ pub mod shaper;
 pub mod sim;
 pub mod stats;
 pub mod switch;
+pub mod telemetry;
 pub mod timely;
 pub mod trace;
 
@@ -63,8 +69,13 @@ pub mod prelude {
     pub use crate::packet::{Frame, Packet, PfcFrame, PfcOp};
     pub use crate::recovery::{RecoveryConfig, RecoveryStrategy};
     pub use crate::shaper::TokenBucket;
-    pub use crate::sim::{NetSim, RunReport, SimArenas, Verdict};
+    pub use crate::sim::{NetSim, RunReport, SimArenas, SimBuilder, Verdict};
     pub use crate::stats::{FlowStats, IngressKey, NetStats, PauseKey, PauseLog};
+    pub use crate::telemetry::{
+        parse_jsonl_trace, JsonlSink, MemorySink, MetricDesc, MetricId, MetricKind, MetricRegistry,
+        NullSink, TelemetryConfig, TelemetryReport, TraceFilter, TraceSink, TraceSinkKind,
+        METRICS_SCHEMA, TELEMETRY_SCHEMA, TRACE_SCHEMA,
+    };
     pub use crate::timely::{TimelyConfig, TimelyState};
     pub use crate::trace::{by_packet, DropReason, TraceEvent};
 }

@@ -59,7 +59,7 @@ mod tests {
     use super::*;
     use crate::config::SimConfig;
     use crate::flow::FlowSpec;
-    use crate::sim::NetSim;
+    use crate::sim::{NetSim, SimBuilder};
     use pfcsim_simcore::time::SimTime;
     use pfcsim_simcore::units::BitRate;
     use pfcsim_topo::builders::{square, two_switch_loop, LinkSpec};
@@ -70,7 +70,7 @@ mod tests {
         let (s, h) = (&b.switches, &b.hosts);
         let mut cfg = SimConfig::default();
         cfg.stop_on_deadlock = false;
-        let mut sim = NetSim::new(&b.topo, cfg);
+        let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
         sim.add_flow(
             FlowSpec::infinite(1, h[0], h[3]).pinned(vec![h[0], s[0], s[1], s[2], s[3], h[3]]),
         );
@@ -79,7 +79,7 @@ mod tests {
         );
         sim.add_flow(FlowSpec::infinite(3, h[1], h[2]).pinned(vec![h[1], s[1], s[2], h[2]]));
         if let Some(rc) = recovery {
-            sim.enable_recovery(rc);
+            sim.try_enable_recovery(rc).expect("enable_recovery");
         }
         sim
     }
@@ -153,10 +153,14 @@ mod tests {
             &[b.switches[0], b.switches[1]],
             b.hosts[1],
         );
-        let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .tables(tables)
+            .build();
         // Below the Eq. 3 threshold: loop but no deadlock.
         sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(3)).with_ttl(16));
-        sim.enable_recovery(RecoveryConfig::default());
+        sim.try_enable_recovery(RecoveryConfig::default())
+            .expect("enable_recovery");
         let report = sim.run(SimTime::from_ms(10));
         assert_eq!(report.stats.recovery_actions, 0);
         assert_eq!(report.stats.drops_recovery, 0);

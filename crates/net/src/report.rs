@@ -124,14 +124,16 @@ impl fmt::Display for Summary<'_> {
 mod tests {
     use crate::config::SimConfig;
     use crate::flow::FlowSpec;
-    use crate::sim::NetSim;
+    use crate::sim::SimBuilder;
     use pfcsim_simcore::time::SimTime;
     use pfcsim_topo::builders::{line, LinkSpec};
 
     #[test]
     fn summary_renders_key_facts() {
         let b = line(2, LinkSpec::default());
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
         let report = sim.run(SimTime::from_us(100));
         let s = report.summary().to_string();
@@ -146,7 +148,9 @@ mod tests {
         use crate::faults::FaultPlan;
         use pfcsim_simcore::units::BitRate;
         let b = line(2, LinkSpec::default());
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(FlowSpec::cbr(
             0,
             b.hosts[0],
@@ -177,7 +181,10 @@ mod tests {
             &[b.switches[0], b.switches[1]],
             b.hosts[1],
         );
-        let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .tables(tables)
+            .build();
         sim.add_flow(
             FlowSpec::cbr(
                 0,

@@ -20,6 +20,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use pfcsim_simcore::event::{Backend, EventQueue};
 use pfcsim_simcore::rng::SimRng;
+use pfcsim_simcore::series::RingSeries;
 use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_simcore::units::{BitRate, Bytes};
 use pfcsim_simcore::wheel::{tick_shift_for_quantum, DEFAULT_TICK_SHIFT};
@@ -37,6 +38,7 @@ use crate::packet::{Frame, Packet, PfcFrame, PfcOp, PFC_FRAME_SIZE};
 use crate::recovery::{RecoveryConfig, RecoveryStrategy};
 use crate::stats::{FlowStats, IngressKey, NetStats, PauseKey};
 use crate::switch::{InFlight, Ingress, QPkt, Switch, TxPause};
+use crate::telemetry::{MetricId, TelemetryConfig, TelemetryReport, TelemetryState, TraceSink};
 use crate::timely::{TimelyConfig, TimelyState};
 use crate::trace::{DropReason, TraceEvent};
 
@@ -122,6 +124,10 @@ enum Ev {
     Sample,
     DeadlockScan,
     RecoveryScan,
+    /// Telemetry probe tick (see [`crate::telemetry`]); scheduled only
+    /// when `SimConfig::telemetry.enabled`, so an off-telemetry run's
+    /// event count is untouched.
+    TelemetrySample,
 }
 
 // Every queue slot embeds an `Ev`, so the fattest variant sets the size of
@@ -131,7 +137,7 @@ enum Ev {
 const _: () = assert!(std::mem::size_of::<Ev>() <= 16);
 
 fn is_meaningful(ev: &Ev) -> bool {
-    !matches!(ev, Ev::Sample | Ev::DeadlockScan)
+    !matches!(ev, Ev::Sample | Ev::DeadlockScan | Ev::TelemetrySample)
 }
 
 /// A timed forwarding-table mutation (transient loops, failures, repairs).
@@ -207,6 +213,9 @@ pub struct RunReport {
     pub deadlock_scans_skipped: u64,
     /// All measurements.
     pub stats: NetStats,
+    /// Sampled telemetry series (see [`crate::telemetry`]); `Some` iff
+    /// the run was built with `SimConfig::telemetry.enabled`.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Reusable simulator storage: the event queue (slot arena plus wheel or
@@ -214,8 +223,8 @@ pub struct RunReport {
 /// allocation.
 ///
 /// A sweep worker keeps one bundle, builds each point with
-/// [`NetSim::new_in`] / [`NetSim::with_tables_in`], and hands the storage
-/// back with [`NetSim::recycle`] when the run finishes. Clearing is O(live
+/// [`SimBuilder::build_in`], and hands the storage back with
+/// [`NetSim::recycle`] when the run finishes. Clearing is O(live
 /// entries) and capacity is retained, so steady-state iterations stop
 /// allocating once the largest point in the sweep has been seen.
 /// `sweep::parallel_map_with` in the bench crate wires this up per worker
@@ -278,7 +287,95 @@ fn refill<T: Clone>(slot: &mut Vec<T>, n: usize, fill: T) -> Vec<T> {
     v
 }
 
-/// The simulator. Build with [`NetSim::new`], add flows, then call a run
+/// Builds a [`NetSim`]: topology (required), then any of config,
+/// explicit forwarding tables, telemetry, a custom trace sink, and
+/// reusable [`SimArenas`] storage at build time.
+///
+/// ```ignore
+/// let sim = SimBuilder::new(&topo)
+///     .config(cfg)
+///     .telemetry(TelemetryConfig::on())
+///     .build();
+/// ```
+///
+/// This replaces the old `NetSim::new` / `new_in` / `with_tables` /
+/// `with_tables_in` constructor matrix (now thin deprecated wrappers).
+pub struct SimBuilder<'a> {
+    topo: &'a Topology,
+    cfg: SimConfig,
+    tables: Option<ForwardingTables>,
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl<'a> SimBuilder<'a> {
+    /// Start building a simulator over `topo` with the default config and
+    /// shortest-path forwarding tables.
+    pub fn new(topo: &'a Topology) -> Self {
+        SimBuilder {
+            topo,
+            cfg: SimConfig::default(),
+            tables: None,
+            sink: None,
+        }
+    }
+
+    /// Replace the whole simulation config.
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Set the telemetry layer's config (shorthand for mutating
+    /// `SimConfig::telemetry`).
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    /// Use explicit forwarding tables instead of shortest-path routing.
+    pub fn tables(mut self, tables: ForwardingTables) -> Self {
+        self.tables = Some(tables);
+        self
+    }
+
+    /// Route filtered trace events into a custom [`TraceSink`] instead of
+    /// the built-in one named by `TelemetryConfig::sink`. Implies nothing
+    /// about the rest of telemetry: the config's `enabled` flag still
+    /// gates everything.
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Build, reporting config/topology/sink problems as `Err`.
+    pub fn try_build(self) -> Result<NetSim, String> {
+        self.try_build_in(&mut SimArenas::default())
+    }
+
+    /// Build.
+    ///
+    /// # Panics
+    /// Panics on an invalid config or topology, or an unopenable sink.
+    pub fn build(self) -> NetSim {
+        self.try_build().expect("SimBuilder::build")
+    }
+
+    /// Like [`SimBuilder::try_build`], but leasing event-queue and flow
+    /// storage from `arenas` (see [`SimArenas`]).
+    pub fn try_build_in(self, arenas: &mut SimArenas) -> Result<NetSim, String> {
+        NetSim::construct(self.topo, self.cfg, self.tables, arenas, self.sink)
+    }
+
+    /// Like [`SimBuilder::build`], but leasing storage from `arenas`.
+    ///
+    /// # Panics
+    /// Panics on an invalid config or topology, or an unopenable sink.
+    pub fn build_in(self, arenas: &mut SimArenas) -> NetSim {
+        self.try_build_in(arenas).expect("SimBuilder::build_in")
+    }
+}
+
+/// The simulator. Build with [`SimBuilder`], add flows, then call a run
 /// method exactly once.
 pub struct NetSim {
     pub(crate) topo: Topology,
@@ -363,38 +460,64 @@ pub struct NetSim {
     pause_headroom: Bytes,
     /// Switches currently down, with the state their restore needs.
     reboots: BTreeMap<NodeId, RebootState>,
+    /// Live telemetry state (`None` = telemetry off). Boxed so the
+    /// disabled case costs the struct one word and the hot path one
+    /// null-check.
+    telem: Option<Box<TelemetryState>>,
 }
 
 impl NetSim {
     /// Create a simulator over `topo` with shortest-path tables.
+    #[deprecated(note = "use `SimBuilder::new(topo).config(cfg).build()`")]
     pub fn new(topo: &Topology, cfg: SimConfig) -> Self {
-        let tables = pfcsim_topo::routing::shortest_path_tables(topo);
-        Self::with_tables(topo, cfg, tables)
+        SimBuilder::new(topo).config(cfg).build()
     }
 
-    /// Like [`NetSim::new`], but leasing event-queue and flow storage from
+    /// Like `NetSim::new`, but leasing event-queue and flow storage from
     /// `arenas` instead of allocating fresh (see [`SimArenas`]).
+    #[deprecated(note = "use `SimBuilder::new(topo).config(cfg).build_in(arenas)`")]
     pub fn new_in(topo: &Topology, cfg: SimConfig, arenas: &mut SimArenas) -> Self {
-        let tables = pfcsim_topo::routing::shortest_path_tables(topo);
-        Self::with_tables_in(topo, cfg, tables, arenas)
+        SimBuilder::new(topo).config(cfg).build_in(arenas)
     }
 
     /// Create a simulator with explicit forwarding tables.
+    #[deprecated(note = "use `SimBuilder::new(topo).config(cfg).tables(tables).build()`")]
     pub fn with_tables(topo: &Topology, cfg: SimConfig, tables: ForwardingTables) -> Self {
-        Self::with_tables_in(topo, cfg, tables, &mut SimArenas::default())
+        SimBuilder::new(topo).config(cfg).tables(tables).build()
     }
 
-    /// Like [`NetSim::with_tables`], but leasing reusable storage from
+    /// Like `NetSim::with_tables`, but leasing reusable storage from
     /// `arenas` (see [`SimArenas`]). Pair with [`NetSim::recycle`] to run
     /// many simulations without per-run allocation of the hot structures.
+    #[deprecated(note = "use `SimBuilder::new(topo).config(cfg).tables(tables).build_in(arenas)`")]
     pub fn with_tables_in(
         topo: &Topology,
         cfg: SimConfig,
         tables: ForwardingTables,
         arenas: &mut SimArenas,
     ) -> Self {
-        cfg.validate().expect("invalid SimConfig");
-        topo.validate().expect("invalid topology");
+        SimBuilder::new(topo)
+            .config(cfg)
+            .tables(tables)
+            .build_in(arenas)
+    }
+
+    /// The one true constructor, reached through [`SimBuilder`].
+    fn construct(
+        topo: &Topology,
+        cfg: SimConfig,
+        tables: Option<ForwardingTables>,
+        arenas: &mut SimArenas,
+        sink: Option<Box<dyn TraceSink>>,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        topo.validate()?;
+        let tables = tables.unwrap_or_else(|| pfcsim_topo::routing::shortest_path_tables(topo));
+        let telem = if cfg.telemetry.enabled {
+            Some(Box::new(TelemetryState::new(cfg.telemetry.clone(), sink)?))
+        } else {
+            None
+        };
         let port_info: Vec<Vec<PortInfo>> = topo
             .nodes()
             .iter()
@@ -446,7 +569,7 @@ impl NetSim {
             .min()
             .map(tick_shift_for_quantum)
             .unwrap_or(DEFAULT_TICK_SHIFT);
-        NetSim {
+        Ok(NetSim {
             topo: topo.clone(),
             cfg,
             tables,
@@ -495,12 +618,12 @@ impl NetSim {
             pfc_delay: refill(&mut arenas.pfc_delay, n_nodes, None),
             pause_headroom: Bytes::from_kb(20),
             reboots: BTreeMap::new(),
-        }
+            telem,
+        })
     }
 
     /// Return this simulator's reusable storage to `arenas` so the next
-    /// [`NetSim::new_in`] / [`NetSim::with_tables_in`] construction can
-    /// lease it back. Everything handed over is cleared in O(live entries)
+    /// [`SimBuilder::build_in`] construction can lease it back. Everything handed over is cleared in O(live entries)
     /// with capacity retained; the rest of the simulator drops normally.
     pub fn recycle(mut self, arenas: &mut SimArenas) {
         self.queue.reset();
@@ -689,6 +812,7 @@ impl NetSim {
     }
 
     /// Panicking convenience for [`NetSim::try_set_switch_pfc`].
+    #[deprecated(note = "use `try_set_switch_pfc` and handle the `Result`")]
     pub fn set_switch_pfc(&mut self, node: NodeId, pfc: PfcConfig) {
         self.try_set_switch_pfc(node, pfc).expect("set_switch_pfc");
     }
@@ -714,6 +838,7 @@ impl NetSim {
     }
 
     /// Panicking convenience for [`NetSim::try_set_port_thresholds`].
+    #[deprecated(note = "use `try_set_port_thresholds` and handle the `Result`")]
     pub fn set_port_thresholds(&mut self, node: NodeId, port: PortNo, xoff: Bytes, xon: Bytes) {
         self.try_set_port_thresholds(node, port, xoff, xon)
             .expect("set_port_thresholds");
@@ -740,6 +865,7 @@ impl NetSim {
     }
 
     /// Panicking convenience for [`NetSim::try_set_ingress_shaper`].
+    #[deprecated(note = "use `try_set_ingress_shaper` and handle the `Result`")]
     pub fn set_ingress_shaper(&mut self, node: NodeId, port: PortNo, rate: BitRate, burst: Bytes) {
         self.try_set_ingress_shaper(node, port, rate, burst)
             .expect("set_ingress_shaper");
@@ -820,11 +946,14 @@ impl NetSim {
         self.trace_cap = cap;
     }
 
-    fn trace(&mut self, flow: FlowId, ev: TraceEvent) {
+    fn trace(&mut self, flow: FlowId, prio: Priority, ev: TraceEvent) {
         if self.traced.get(flow.0 as usize).copied().unwrap_or(false)
             && self.stats.trace.len() < self.trace_cap
         {
             self.stats.trace.push(ev);
+        }
+        if let Some(t) = self.telem.as_mut() {
+            t.trace(flow, prio, &ev);
         }
     }
 
@@ -837,11 +966,23 @@ impl NetSim {
     /// Arm the reactive deadlock-recovery watchdog (see
     /// [`crate::recovery`]). Implies `stop_on_deadlock = false`: the point
     /// is to keep running through detections and measure the damage.
-    pub fn enable_recovery(&mut self, rc: RecoveryConfig) {
-        assert!(!self.started, "arm recovery before running");
-        rc.validate().expect("invalid RecoveryConfig");
+    ///
+    /// Returns an error for an invalid recovery config or a simulator
+    /// that already started running.
+    pub fn try_enable_recovery(&mut self, rc: RecoveryConfig) -> Result<(), String> {
+        if self.started {
+            return Err("arm recovery before running".into());
+        }
+        rc.validate()?;
         self.cfg.stop_on_deadlock = false;
         self.cfg.recovery = Some(rc);
+        Ok(())
+    }
+
+    /// Panicking convenience for [`NetSim::try_enable_recovery`].
+    #[deprecated(note = "use `try_enable_recovery` and handle the `Result`")]
+    pub fn enable_recovery(&mut self, rc: RecoveryConfig) {
+        self.try_enable_recovery(rc).expect("enable_recovery");
     }
 
     // ------------------------------------------------------------------
@@ -1016,6 +1157,9 @@ impl NetSim {
         if self.cfg.deadlock_scan_interval.is_some() {
             self.sched(SimTime::ZERO, Ev::DeadlockScan);
         }
+        if self.telem.is_some() {
+            self.sched(SimTime::ZERO, Ev::TelemetrySample);
+        }
         if let Some(rc) = self.cfg.recovery {
             self.sched(SimTime::ZERO + rc.check_interval, Ev::RecoveryScan);
         }
@@ -1169,6 +1313,7 @@ impl NetSim {
             },
             None => Verdict::NoDeadlock,
         };
+        let telemetry = self.telem.take().map(|t| t.finalize());
         RunReport {
             verdict,
             end_time: self.now().min(self.horizon),
@@ -1178,6 +1323,7 @@ impl NetSim {
             deadlock_scans_run: self.scans_run,
             deadlock_scans_skipped: self.scans_skipped,
             stats: std::mem::take(&mut self.stats),
+            telemetry,
         }
     }
 
@@ -1229,6 +1375,7 @@ impl NetSim {
             Ev::Sample => self.on_sample(),
             Ev::DeadlockScan => self.on_deadlock_scan(),
             Ev::RecoveryScan => self.on_recovery_scan(),
+            Ev::TelemetrySample => self.on_telemetry_sample(),
         }
     }
 
@@ -1381,6 +1528,7 @@ impl NetSim {
         fs.injected_bytes += size;
         self.trace(
             spec.id,
+            spec.priority,
             TraceEvent::Injected {
                 t: self.queue.now(),
                 flow: spec.id,
@@ -1559,6 +1707,7 @@ impl NetSim {
             self.stats.misdelivered += 1;
             self.trace(
                 pkt.flow,
+                pkt.priority,
                 TraceEvent::Dropped {
                     t: now,
                     pkt: pkt.id,
@@ -1570,6 +1719,7 @@ impl NetSim {
         }
         self.trace(
             pkt.flow,
+            pkt.priority,
             TraceEvent::Delivered {
                 t: now,
                 pkt: pkt.id,
@@ -1760,6 +1910,7 @@ impl NetSim {
                 self.fstat_mut(pkt.flow).dropped_no_route += 1;
                 self.trace(
                     pkt.flow,
+                    pkt.priority,
                     TraceEvent::Dropped {
                         t: self.queue.now(),
                         pkt: pkt.id,
@@ -1789,6 +1940,7 @@ impl NetSim {
             self.fstat_mut(pkt.flow).dropped_overflow += 1;
             self.trace(
                 pkt.flow,
+                pkt.priority,
                 TraceEvent::Dropped {
                     t: self.queue.now(),
                     pkt: pkt.id,
@@ -1811,6 +1963,7 @@ impl NetSim {
             self.fstat_mut(pkt.flow).dropped_pause_loss += 1;
             self.trace(
                 pkt.flow,
+                pkt.priority,
                 TraceEvent::Dropped {
                     t: self.queue.now(),
                     pkt: pkt.id,
@@ -1841,6 +1994,7 @@ impl NetSim {
         }
         self.trace(
             pkt.flow,
+            pkt.priority,
             TraceEvent::Hop {
                 t: self.queue.now(),
                 pkt: pkt.id,
@@ -1942,6 +2096,7 @@ impl NetSim {
         self.fstat_mut(pkt.flow).dropped_ttl += 1;
         self.trace(
             pkt.flow,
+            pkt.priority,
             TraceEvent::Dropped {
                 t: self.queue.now(),
                 pkt: pkt.id,
@@ -2413,6 +2568,158 @@ impl NetSim {
         }
     }
 
+    fn on_telemetry_sample(&mut self) {
+        let now = self.now();
+        // Take the box out so the snapshot can read `&self` while
+        // writing the telemetry state — disjoint borrows, no clone.
+        let Some(mut t) = self.telem.take() else {
+            return;
+        };
+        self.telemetry_snapshot(&mut t, now);
+        t.report.samples_taken += 1;
+        t.last_sample_at = now;
+        let interval = t.cfg.sample_interval;
+        self.telem = Some(t);
+        let next = now + interval;
+        if next <= self.horizon {
+            self.sched(next, Ev::TelemetrySample);
+        }
+    }
+
+    /// One telemetry tick: snapshot every registered metric and run the
+    /// enabled keyed probes. Rate-style probes (pause ratio, goodput)
+    /// need a non-empty window, so they skip the tick at time zero.
+    fn telemetry_snapshot(&self, t: &mut TelemetryState, now: SimTime) {
+        let window = now - t.last_sample_at;
+        t.report
+            .registry
+            .record_all(now, |id| self.metric_value(id));
+        if t.cfg.pause_probe {
+            for (key, log) in &self.stats.pause {
+                // Pause ratio: fraction of the window this channel spent
+                // inside an XOFF span (an open span counts up to `now`).
+                let dur = log.intervals.total_duration(now);
+                let prev = t
+                    .last_pause_dur
+                    .insert(*key, dur)
+                    .unwrap_or(SimDuration::ZERO);
+                if !window.is_zero() {
+                    let ratio = (dur - prev).as_ps() as f64 / window.as_ps() as f64;
+                    t.report
+                        .pause_ratio
+                        .entry(*key)
+                        .or_insert_with(|| RingSeries::with_capacity(t.cfg.ring_capacity))
+                        .push(now, ratio);
+                }
+                // Resume latency: mean length of the XOFF→XON spans that
+                // closed since the previous tick. Only the last interval
+                // can still be open, so the closed prefix is stable.
+                let spans = log.intervals.intervals();
+                let closed = spans.len() - usize::from(log.intervals.is_open());
+                let prev_closed = t.last_closed.insert(*key, closed).unwrap_or(0);
+                if closed > prev_closed {
+                    let total = spans[prev_closed..closed]
+                        .iter()
+                        .map(|(s, e)| e.expect("closed span") - *s)
+                        .fold(SimDuration::ZERO, |a, d| a + d);
+                    let mean_us = total.as_ps() as f64 / (closed - prev_closed) as f64 / 1e6;
+                    t.report
+                        .resume_latency_us
+                        .entry(*key)
+                        .or_insert_with(|| RingSeries::with_capacity(t.cfg.ring_capacity))
+                        .push(now, mean_us);
+                }
+            }
+        }
+        if t.cfg.occupancy_probe {
+            for &key in &self.sample_keys {
+                let Some(sw) = self.switches[key.node.0 as usize].as_ref() else {
+                    continue;
+                };
+                let Some(ing) = sw.ingress.get(key.port.0 as usize) else {
+                    continue;
+                };
+                let count = ing.count[key.priority.index()];
+                let cap = t.cfg.ring_capacity;
+                t.report
+                    .occupancy
+                    .entry(key)
+                    .or_insert_with(|| RingSeries::with_capacity(cap))
+                    .push(now, count.get() as f64);
+                t.report
+                    .xoff_threshold
+                    .entry(key)
+                    .or_insert_with(|| RingSeries::with_capacity(cap))
+                    .push(now, self.xoff_of(key.node, key.port).get() as f64);
+                t.report
+                    .xon_threshold
+                    .entry(key)
+                    .or_insert_with(|| RingSeries::with_capacity(cap))
+                    .push(now, self.xon_of(key.node, key.port).get() as f64);
+            }
+        }
+        if t.cfg.goodput_probe && !window.is_zero() {
+            let secs = window.as_ps() as f64 * 1e-12;
+            t.last_flow_bytes.resize(self.flows.len(), 0);
+            for i in 0..self.flows.len() {
+                if !self.fstats_touched[i] {
+                    continue;
+                }
+                let bytes = self.fstats[i].delivered_bytes.get();
+                let delta = bytes - t.last_flow_bytes[i];
+                t.last_flow_bytes[i] = bytes;
+                let bps = delta as f64 * 8.0 / secs;
+                t.report
+                    .goodput_bps
+                    .entry(self.flows[i].id)
+                    .or_insert_with(|| RingSeries::with_capacity(t.cfg.ring_capacity))
+                    .push(now, bps);
+            }
+        }
+    }
+
+    /// Map a registered [`MetricId`] to its current engine value. All
+    /// sources are state the engine maintains anyway, so registering a
+    /// metric adds no per-event cost.
+    fn metric_value(&self, id: MetricId) -> f64 {
+        match id {
+            MetricId::PacketsInjected => {
+                self.fstats.iter().map(|f| f.injected_packets).sum::<u64>() as f64
+            }
+            MetricId::PacketsDelivered => {
+                self.fstats.iter().map(|f| f.delivered_packets).sum::<u64>() as f64
+            }
+            MetricId::BytesDelivered => self
+                .fstats
+                .iter()
+                .map(|f| f.delivered_bytes.get())
+                .sum::<u64>() as f64,
+            MetricId::DropsTotal => {
+                (self.stats.drops_ttl
+                    + self.stats.drops_no_route
+                    + self.stats.drops_overflow
+                    + self.stats.drops_recovery
+                    + self.stats.drops_link_down
+                    + self.stats.drops_pause_loss
+                    + self.stats.misdelivered) as f64
+            }
+            MetricId::PauseFrames => self.stats.pause_frames as f64,
+            MetricId::ResumeFrames => self.stats.resume_frames as f64,
+            MetricId::ChannelsPaused => self
+                .stats
+                .pause
+                .values()
+                .filter(|l| l.intervals.is_open())
+                .count() as f64,
+            MetricId::DeadlockScansRun => self.scans_run as f64,
+            MetricId::DeadlockScansSkipped => self.scans_skipped as f64,
+            MetricId::FaultsApplied => self.stats.faults.len() as f64,
+            MetricId::PauseFramesLost => self.stats.pause_frames_lost as f64,
+            MetricId::EventsProcessed => self.events as f64,
+            MetricId::EventsPending => self.meaningful as f64,
+        }
+    }
+
     /// Run the incremental analyzer, optionally shadowed by the reference
     /// implementation (see [`NetSim::debug_cross_check_deadlock`]).
     fn scan_deadlock(&mut self) -> Option<Vec<PauseKey>> {
@@ -2548,6 +2855,7 @@ impl NetSim {
             self.fstat_mut(pkt.flow).dropped_recovery += 1;
             self.trace(
                 pkt.flow,
+                pkt.priority,
                 TraceEvent::Dropped {
                     t: self.queue.now(),
                     pkt: pkt.id,
@@ -2587,6 +2895,7 @@ impl NetSim {
         self.fstat_mut(pkt.flow).dropped_link_down += 1;
         self.trace(
             pkt.flow,
+            pkt.priority,
             TraceEvent::Dropped {
                 t: self.queue.now(),
                 pkt: pkt.id,
@@ -2913,7 +3222,9 @@ mod tests {
     #[test]
     fn single_flow_delivers_at_line_rate() {
         let b = line(2, LinkSpec::default());
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
         let report = sim.run(SimTime::from_ms(1));
         assert!(!report.verdict.is_deadlock());
@@ -2931,7 +3242,9 @@ mod tests {
     #[test]
     fn cbr_flow_throughput_matches_rate() {
         let b = line(2, LinkSpec::default());
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(FlowSpec::cbr(
             0,
             b.hosts[0],
@@ -2962,7 +3275,7 @@ mod tests {
         t.connect(h0, s0, spec.rate, spec.delay);
         t.connect(h1, s0, spec.rate, spec.delay);
         t.connect(sink, s1, spec.rate, spec.delay);
-        let mut sim = NetSim::new(&t, SimConfig::default());
+        let mut sim = SimBuilder::new(&t).config(SimConfig::default()).build();
         sim.add_flow(FlowSpec::infinite(0, h0, sink));
         sim.add_flow(FlowSpec::infinite(1, h1, sink));
         let report = sim.run(SimTime::from_ms(1));
@@ -2983,7 +3296,9 @@ mod tests {
     #[test]
     fn conservation_of_packets() {
         let b = line(3, LinkSpec::default());
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(FlowSpec::cbr(
             0,
             b.hosts[0],
@@ -3021,7 +3336,10 @@ mod tests {
             &[b.switches[0], b.switches[1]],
             b.hosts[1],
         );
-        let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .tables(tables)
+            .build();
         // 1 Gbps is far below the 5 Gbps deadlock threshold: all packets
         // must die of TTL expiry, no deadlock.
         sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(1)).with_ttl(16));
@@ -3048,7 +3366,10 @@ mod tests {
             &[b.switches[0], b.switches[1]],
             b.hosts[1],
         );
-        let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .tables(tables)
+            .build();
         // 8 Gbps > n*B/TTL = 5 Gbps: the paper's Eq. 3 predicts deadlock.
         sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(8)).with_ttl(16));
         let report = sim.run(SimTime::from_ms(50));
@@ -3063,7 +3384,9 @@ mod tests {
     fn deterministic_replay() {
         let b = line(2, LinkSpec::default());
         let run = || {
-            let mut sim = NetSim::new(&b.topo, SimConfig::default());
+            let mut sim = SimBuilder::new(&b.topo)
+                .config(SimConfig::default())
+                .build();
             sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
             sim.add_flow(FlowSpec::infinite(1, b.hosts[1], b.hosts[0]));
             let r = sim.run(SimTime::from_us(300));
@@ -3080,7 +3403,9 @@ mod tests {
     #[should_panic(expected = "duplicate flow id")]
     fn duplicate_flow_rejected() {
         let b = line(2, LinkSpec::default());
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
         sim.add_flow(FlowSpec::infinite(0, b.hosts[1], b.hosts[0]));
     }
@@ -3089,7 +3414,9 @@ mod tests {
     fn pinned_path_is_honoured() {
         use pfcsim_topo::builders::square;
         let b = square(LinkSpec::default());
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         // Pin the LONG way round: h0 -> S0 -> S1 -> S2 -> h2 even though
         // S0 -> S3 -> S2 has equal length (shortest tables could pick it).
         sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[2]).pinned(vec![

@@ -87,7 +87,7 @@ pub struct FlowStats {
 
 /// Serialize ordered maps with non-string keys as `[key, value]` pairs,
 /// which every self-describing format (JSON included) accepts.
-mod map_as_pairs {
+pub(crate) mod map_as_pairs {
     use serde::value::Value;
     use serde::{de, Deserialize, Serialize};
     use std::collections::BTreeMap;

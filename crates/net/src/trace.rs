@@ -114,7 +114,7 @@ mod tests {
     use super::*;
     use crate::config::SimConfig;
     use crate::flow::FlowSpec;
-    use crate::sim::NetSim;
+    use crate::sim::SimBuilder;
     use pfcsim_simcore::units::BitRate;
     use pfcsim_topo::builders::{line, two_switch_loop, LinkSpec};
     use pfcsim_topo::routing::{install_cycle_route, shortest_path_tables};
@@ -122,7 +122,9 @@ mod tests {
     #[test]
     fn traced_packet_walks_the_line() {
         let b = line(3, LinkSpec::default());
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(FlowSpec::cbr(
             0,
             b.hosts[0],
@@ -164,7 +166,10 @@ mod tests {
             &[b.switches[0], b.switches[1]],
             b.hosts[1],
         );
-        let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .tables(tables)
+            .build();
         sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(1)).with_ttl(6));
         sim.trace_flows([FlowId(0)]);
         let report = sim.run(pfcsim_simcore::time::SimTime::from_us(100));
@@ -189,7 +194,9 @@ mod tests {
     #[test]
     fn untraced_flows_record_nothing() {
         let b = line(2, LinkSpec::default());
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
         let report = sim.run(pfcsim_simcore::time::SimTime::from_us(100));
         assert!(report.stats.trace.is_empty());
@@ -198,7 +205,9 @@ mod tests {
     #[test]
     fn trace_is_capped() {
         let b = line(2, LinkSpec::default());
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
         sim.trace_flows([FlowId(0)]);
         sim.set_trace_cap(100);

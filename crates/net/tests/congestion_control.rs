@@ -33,7 +33,7 @@ fn dcqcn_incast_converges_to_fair_share_with_few_pauses() {
         pmax: 0.2,
         phantom_drain_permille: None,
     });
-    let mut sim = NetSim::new(&t, cfg);
+    let mut sim = SimBuilder::new(&t).config(cfg).build();
     sim.set_dcqcn(DcqcnConfig::for_line_rate(BitRate::from_gbps(40)));
     for (i, &h) in hosts.iter().enumerate() {
         let mut f = FlowSpec::infinite(i as u32, h, sink);
@@ -74,7 +74,7 @@ fn dcqcn_incast_converges_to_fair_share_with_few_pauses() {
 fn timely_incast_converges_without_ecn() {
     let (t, hosts, sink) = incast_topo(4);
     // No ECN configured at all: TIMELY needs none.
-    let mut sim = NetSim::new(&t, SimConfig::default());
+    let mut sim = SimBuilder::new(&t).config(SimConfig::default()).build();
     sim.set_timely(TimelyConfig::for_line_rate(BitRate::from_gbps(40)));
     for (i, &h) in hosts.iter().enumerate() {
         sim.add_flow(FlowSpec::timely(i as u32, h, sink));
@@ -103,7 +103,7 @@ fn dcqcn_recovers_after_competitor_leaves() {
         pmax: 0.2,
         phantom_drain_permille: None,
     });
-    let mut sim = NetSim::new(&t, cfg);
+    let mut sim = SimBuilder::new(&t).config(cfg).build();
     sim.set_dcqcn(DcqcnConfig::for_line_rate(BitRate::from_gbps(40)));
     let mut f0 = FlowSpec::infinite(0, hosts[0], sink);
     f0.demand = Demand::Dcqcn;

@@ -16,7 +16,7 @@ use pfcsim_net::config::SimConfig;
 use pfcsim_net::faults::FaultPlan;
 use pfcsim_net::flow::FlowSpec;
 use pfcsim_net::recovery::{RecoveryConfig, RecoveryStrategy};
-use pfcsim_net::sim::NetSim;
+use pfcsim_net::sim::SimBuilder;
 use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_simcore::units::BitRate;
 use pfcsim_topo::builders::{ring, square, two_switch_loop, Built, LinkSpec};
@@ -101,7 +101,7 @@ fn checked_run(
     if drain {
         cfg.stop_on_deadlock = false;
     }
-    let mut sim = NetSim::with_tables(&b.topo, cfg, tables);
+    let mut sim = SimBuilder::new(&b.topo).config(cfg).tables(tables).build();
     sim.debug_cross_check_deadlock(true);
     let n = b.hosts.len();
     sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1 % n], BitRate::from_gbps(10)).with_ttl(16));
@@ -111,14 +111,15 @@ fn checked_run(
             .stopping_at(SimTime::from_ms(1)),
     );
     if recovery {
-        sim.enable_recovery(RecoveryConfig {
+        sim.try_enable_recovery(RecoveryConfig {
             check_interval: SimDuration::from_us(200),
             strategy: if seed.is_multiple_of(2) {
                 RecoveryStrategy::DrainWitness
             } else {
                 RecoveryStrategy::DrainOneQueue
             },
-        });
+        })
+        .expect("enable_recovery");
     }
     if !raw.is_empty() {
         sim.set_fault_plan(build_plan(&b, raw)).expect("plan valid");
@@ -174,7 +175,10 @@ fn cross_check_holds_through_a_real_deadlock() {
         &[b.switches[0], b.switches[1]],
         b.hosts[1],
     );
-    let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .tables(tables)
+        .build();
     sim.debug_cross_check_deadlock(true);
     sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(10)).with_ttl(16));
     let report = sim.run(SimTime::from_ms(50));

@@ -12,7 +12,7 @@ use pfcsim_net::config::{SchedulerBackend, SimConfig};
 use pfcsim_net::faults::FaultPlan;
 use pfcsim_net::flow::FlowSpec;
 use pfcsim_net::recovery::RecoveryConfig;
-use pfcsim_net::sim::{NetSim, RunReport, SimArenas, Verdict};
+use pfcsim_net::sim::{RunReport, SimArenas, SimBuilder, Verdict};
 use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_simcore::units::BitRate;
 use pfcsim_topo::builders::{square, LinkSpec};
@@ -66,7 +66,7 @@ fn fault_laden_run_with(sched: Option<SchedulerBackend>, arenas: &mut SimArenas)
     cfg.seed = 42;
     cfg.stop_on_deadlock = false;
     cfg.scheduler = sched;
-    let mut sim = NetSim::new_in(&b.topo, cfg, arenas);
+    let mut sim = SimBuilder::new(&b.topo).config(cfg).build_in(arenas);
     sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[2], BitRate::from_gbps(20)).with_ttl(16));
     sim.add_flow(FlowSpec::cbr(1, b.hosts[1], b.hosts[3], BitRate::from_gbps(20)).with_ttl(16));
     sim.add_flow(FlowSpec::poisson(
@@ -98,7 +98,8 @@ fn fault_laden_run_with(sched: Option<SchedulerBackend>, arenas: &mut SimArenas)
             SimDuration::ZERO,
         );
     sim.set_fault_plan(plan).expect("valid plan");
-    sim.enable_recovery(RecoveryConfig::default());
+    sim.try_enable_recovery(RecoveryConfig::default())
+        .expect("enable_recovery");
     let report = sim.run_with_drain(SimTime::from_ms(3), SimTime::from_ms(6));
     sim.recycle(arenas);
     report

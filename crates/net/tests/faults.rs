@@ -39,7 +39,7 @@ fn transient_loop_sim(t1: SimTime, t2: SimTime) -> NetSim {
     // Keep running through a detection so the repair still fires; the
     // claim under test is that the wedge survives it.
     cfg.stop_on_deadlock = false;
-    let mut sim = NetSim::new(&b.topo, cfg);
+    let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
     sim.add_flow(FlowSpec::cbr(0, h[0], h[1], BitRate::from_gbps(8)).with_ttl(16));
     // s0 already forwards h1-bound traffic to s1; pointing s1 back at s0
     // closes the loop, and restoring the host port repairs it.
@@ -104,7 +104,9 @@ fn transient_loop_shorter_than_fill_time_is_harmless() {
 fn link_failure_drops_are_attributed_and_conserved() {
     let b = line(2, LinkSpec::default());
     let (s, h) = (&b.switches, &b.hosts);
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     sim.add_flow(
         FlowSpec::cbr(0, h[0], h[1], BitRate::from_gbps(10)).stopping_at(SimTime::from_ms(1)),
     );
@@ -138,7 +140,9 @@ fn link_failure_drops_are_attributed_and_conserved() {
 fn link_flap_unrolls_into_cycles_and_conserves() {
     let b = line(2, LinkSpec::default());
     let (s, h) = (&b.switches, &b.hosts);
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     sim.add_flow(
         FlowSpec::cbr(0, h[0], h[1], BitRate::from_gbps(10)).stopping_at(SimTime::from_ms(2)),
     );
@@ -173,7 +177,9 @@ fn link_flap_unrolls_into_cycles_and_conserves() {
 fn switch_reboot_wipes_then_restores() {
     let b = line(3, LinkSpec::default());
     let (s, h) = (&b.switches, &b.hosts);
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     sim.add_flow(
         FlowSpec::cbr(0, h[0], h[2], BitRate::from_gbps(10)).stopping_at(SimTime::from_ms(1)),
     );
@@ -216,7 +222,7 @@ fn lost_pfc_breaks_losslessness_instead_of_deadlocking() {
     let (s, h) = (&b.switches, &b.hosts);
     let mut cfg = SimConfig::default();
     cfg.stop_on_deadlock = false;
-    let mut sim = NetSim::new(&b.topo, cfg);
+    let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
     sim.add_flow(
         FlowSpec::infinite(1, h[0], h[3]).pinned(vec![h[0], s[0], s[1], s[2], s[3], h[3]]),
     );
@@ -249,7 +255,9 @@ fn lost_pfc_breaks_losslessness_instead_of_deadlocking() {
 fn reconvergence_repairs_routing_after_link_failure() {
     let b = square(LinkSpec::default());
     let (s, h) = (&b.switches, &b.hosts);
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     sim.add_flow(
         FlowSpec::cbr(0, h[0], h[3], BitRate::from_gbps(10)).stopping_at(SimTime::from_ms(2)),
     );
@@ -310,7 +318,7 @@ fn laggy_reconvergence_forms_a_transient_loop_that_deadlocks() {
         for seed in 0..4u64 {
             let mut cfg = SimConfig::default();
             cfg.seed = seed;
-            let mut sim = NetSim::new(&b.topo, cfg);
+            let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
             sim.add_flow(FlowSpec::cbr(flow, h[0], h[3], BitRate::from_gbps(30)).with_ttl(16));
             sim.set_fault_plan(
                 FaultPlan::new()
@@ -338,7 +346,9 @@ fn laggy_reconvergence_forms_a_transient_loop_that_deadlocks() {
 #[test]
 fn fault_plan_rejects_invalid_targets() {
     let b = square(LinkSpec::default());
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     // s0 and s2 are opposite corners: not adjacent.
     let bad = FaultPlan::new().link_down(SimTime::ZERO, b.switches[0], b.switches[2]);
     assert!(sim.set_fault_plan(bad).is_err());
@@ -350,7 +360,9 @@ fn fault_plan_rejects_invalid_targets() {
 #[test]
 fn try_config_apis_report_errors_instead_of_panicking() {
     let b = line(2, LinkSpec::default());
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     // Hosts are not switches.
     assert!(sim
         .try_set_switch_pfc(b.hosts[0], PfcConfig::default())

@@ -18,7 +18,10 @@ fn run_storm(flood: bool) -> (RunReport, Built) {
     let mut cfg = SimConfig::default();
     cfg.flood_on_miss = flood;
     cfg.stop_on_deadlock = false;
-    let mut sim = NetSim::with_tables(&built.topo, cfg, tables);
+    let mut sim = SimBuilder::new(&built.topo)
+        .config(cfg)
+        .tables(tables)
+        .build();
     // Lossless traffic toward the soon-to-be-unlearned destination, plus
     // ordinary cross traffic. Short TTLs keep the storm bounded (RoCE
     // frames inside one fabric legitimately carry small TTLs).
@@ -77,7 +80,10 @@ fn flood_storm_decays_by_ttl_when_injection_stops() {
     let mut cfg = SimConfig::default();
     cfg.flood_on_miss = true;
     cfg.stop_on_deadlock = false;
-    let mut sim = NetSim::with_tables(&built.topo, cfg, tables);
+    let mut sim = SimBuilder::new(&built.topo)
+        .config(cfg)
+        .tables(tables)
+        .build();
     let victim_dst = built.hosts[2];
     // A slow flow with a tiny TTL: floods, but cannot fill 40 KB anywhere.
     sim.add_flow(FlowSpec::cbr(1, built.hosts[0], victim_dst, BitRate::from_mbps(500)).with_ttl(3));
@@ -102,7 +108,10 @@ fn recovery_plus_route_repair_heals_the_storm_deadlock() {
     let mut cfg = SimConfig::default();
     cfg.flood_on_miss = true;
     cfg.stop_on_deadlock = false;
-    let mut sim = NetSim::with_tables(&built.topo, cfg, tables.clone());
+    let mut sim = SimBuilder::new(&built.topo)
+        .config(cfg)
+        .tables(tables.clone())
+        .build();
     let victim_dst = built.hosts[2];
     sim.add_flow(FlowSpec::infinite(1, built.hosts[0], victim_dst).with_ttl(6));
     sim.add_flow(FlowSpec::infinite(2, built.hosts[3], built.hosts[1]).with_ttl(6));
@@ -116,7 +125,8 @@ fn recovery_plus_route_repair_heals_the_storm_deadlock() {
             sim.schedule_route_update(SimTime::from_ms(1), sw, victim_dst, ports);
         }
     }
-    sim.enable_recovery(RecoveryConfig::default());
+    sim.try_enable_recovery(RecoveryConfig::default())
+        .expect("enable_recovery");
     let report = sim.run(SimTime::from_ms(4));
     assert!(
         report.stats.recovery_actions > 0,

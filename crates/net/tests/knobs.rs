@@ -26,7 +26,7 @@ fn quanta_mode_incast_is_lossless_and_fair() {
     let (t, h0, h1, sink) = incast_topo();
     let mut cfg = SimConfig::default();
     cfg.pfc.mode = PauseMode::Quanta { quanta: 65535 };
-    let mut sim = NetSim::new(&t, cfg);
+    let mut sim = SimBuilder::new(&t).config(cfg).build();
     sim.add_flow(FlowSpec::infinite(0, h0, sink));
     sim.add_flow(FlowSpec::infinite(1, h1, sink));
     let report = sim.run(SimTime::from_ms(1));
@@ -51,7 +51,7 @@ fn quanta_pause_expires_without_resume_frame() {
     let (t, h0, h1, sink) = incast_topo();
     let mut cfg = SimConfig::default();
     cfg.pfc.mode = PauseMode::Quanta { quanta: 2048 };
-    let mut sim = NetSim::new(&t, cfg);
+    let mut sim = SimBuilder::new(&t).config(cfg).build();
     // A short finite burst congests, then everything drains.
     sim.add_flow(FlowSpec::infinite(0, h0, sink).stopping_at(SimTime::from_us(100)));
     sim.add_flow(FlowSpec::infinite(1, h1, sink).stopping_at(SimTime::from_us(100)));
@@ -90,7 +90,7 @@ fn priority_classes_are_isolated_by_pfc() {
     t.connect(sink, s1, spec.rate, spec.delay);
     t.connect(quiet, s1, spec.rate, spec.delay);
 
-    let mut sim = NetSim::new(&t, SimConfig::default());
+    let mut sim = SimBuilder::new(&t).config(SimConfig::default()).build();
     // Class 3: 2:1 incast to `sink` (saturates the fabric link and pauses
     // the sending hosts for class 3).
     sim.add_flow(FlowSpec::infinite(0, h0, sink).with_priority(Priority::new(3)));
@@ -127,7 +127,7 @@ fn lossy_class_tail_drops_instead_of_pausing() {
     let mut cfg = SimConfig::default();
     // Only class 3 is lossless; run the incast on class 6 (lossy).
     cfg.pfc.lossless_classes = 0b0000_1000;
-    let mut sim = NetSim::new(&t, cfg);
+    let mut sim = SimBuilder::new(&t).config(cfg).build();
     sim.add_flow(FlowSpec::infinite(0, h0, sink).with_priority(Priority::new(6)));
     sim.add_flow(FlowSpec::infinite(1, h1, sink).with_priority(Priority::new(6)));
     let report = sim.run(SimTime::from_ms(1));
@@ -142,7 +142,9 @@ fn lossy_class_tail_drops_instead_of_pausing() {
 #[test]
 fn timed_route_faults_black_hole_and_recover() {
     let b = line(2, LinkSpec::default());
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     sim.add_flow(FlowSpec::cbr(
         0,
         b.hosts[0],
@@ -183,7 +185,7 @@ fn disrespectful_hosts_break_losslessness() {
     cfg.host_respects_pfc = false;
     // A small switch buffer makes the failure visible quickly.
     cfg.switch_buffer = Bytes::from_kb(200);
-    let mut sim = NetSim::new(&t, cfg);
+    let mut sim = SimBuilder::new(&t).config(cfg).build();
     sim.add_flow(FlowSpec::infinite(0, h0, sink));
     sim.add_flow(FlowSpec::infinite(1, h1, sink));
     let report = sim.run(SimTime::from_ms(1));
@@ -196,7 +198,9 @@ fn disrespectful_hosts_break_losslessness() {
 #[test]
 fn empty_simulation_quiesces_immediately() {
     let b = line(2, LinkSpec::default());
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     let report = sim.run(SimTime::from_ms(1));
     assert!(report.quiesced);
     assert!(!report.verdict.is_deadlock());
@@ -206,7 +210,9 @@ fn empty_simulation_quiesces_immediately() {
 #[test]
 fn flow_start_stop_windows_respected() {
     let b = line(2, LinkSpec::default());
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     sim.add_flow(
         FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(10))
             .starting_at(SimTime::from_us(100))
@@ -232,7 +238,7 @@ fn pfc_overshoot_is_bounded_by_bandwidth_delay_headroom() {
     // data already on the wire. For 40 Gbps / 1 us links and 1000 B
     // packets: <= 40G/8 * (2*1us) + 2*MTU ≈ 12 KB of headroom.
     let (t, h0, h1, sink) = incast_topo();
-    let mut sim = NetSim::new(&t, SimConfig::default());
+    let mut sim = SimBuilder::new(&t).config(SimConfig::default()).build();
     sim.add_flow(FlowSpec::infinite(0, h0, sink));
     sim.add_flow(FlowSpec::infinite(1, h1, sink));
     let report = sim.run(SimTime::from_ms(2));
@@ -253,7 +259,9 @@ fn pfc_overshoot_is_bounded_by_bandwidth_delay_headroom() {
 #[test]
 fn watch_only_restricts_sampling() {
     let b = line(2, LinkSpec::default());
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
     let key = IngressKey {
         node: b.switches[1],
@@ -273,7 +281,9 @@ fn watch_only_restricts_sampling() {
 #[test]
 fn buffered_bytes_and_now_accessors() {
     let b = line(2, LinkSpec::default());
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     assert_eq!(sim.now(), SimTime::ZERO);
     assert_eq!(sim.buffered_bytes(), Bytes::ZERO);
     sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
@@ -284,7 +294,9 @@ fn buffered_bytes_and_now_accessors() {
 #[should_panic(expected = "run methods may be called once")]
 fn double_run_rejected() {
     let b = line(2, LinkSpec::default());
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
     let _ = sim.run(SimTime::from_us(10));
     let _ = sim.run(SimTime::from_us(20));
@@ -294,7 +306,9 @@ fn double_run_rejected() {
 #[should_panic(expected = "cannot add flows after the run started")]
 fn late_flow_addition_rejected() {
     let b = line(2, LinkSpec::default());
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[1]));
     let _ = sim.run(SimTime::from_us(10));
     sim.add_flow(FlowSpec::infinite(1, b.hosts[1], b.hosts[0]));
@@ -312,7 +326,7 @@ fn fig4_deadlock_is_threshold_scale_invariant_under_infinite_demand() {
         let mut cfg = SimConfig::default();
         cfg.pfc.xoff = Bytes::from_kb(kb);
         cfg.pfc.xon = Bytes::from_kb(kb / 2);
-        let mut sim = NetSim::new(&b.topo, cfg);
+        let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
         let (s, h) = (&b.switches, &b.hosts);
         sim.add_flow(
             FlowSpec::infinite(1, h[0], h[3]).pinned(vec![h[0], s[0], s[1], s[2], s[3], h[3]]),
@@ -344,7 +358,7 @@ fn dynamic_thresholds_absorb_finite_bursts_without_pausing() {
             cfg.pfc.xon = Bytes::from_mb(2);
             cfg.pfc.dynamic_alpha = Some((1, 4));
         }
-        let mut sim = NetSim::new(&t, cfg);
+        let mut sim = SimBuilder::new(&t).config(cfg).build();
         for (i, h) in [h0, h1].into_iter().enumerate() {
             let mut f = FlowSpec::cbr(i as u32, h, sink, BitRate::from_gbps(40));
             f.demand = Demand::CbrFinite {
@@ -377,7 +391,7 @@ fn dynamic_thresholds_clamp_down_as_buffer_fills() {
     cfg.pfc.xoff = Bytes::from_kb(100);
     cfg.pfc.xon = Bytes::from_kb(50);
     cfg.pfc.dynamic_alpha = Some((1, 4));
-    let mut sim = NetSim::new(&t, cfg);
+    let mut sim = SimBuilder::new(&t).config(cfg).build();
     sim.add_flow(FlowSpec::infinite(0, h0, sink));
     sim.add_flow(FlowSpec::infinite(1, h1, sink));
     let report = sim.run(SimTime::from_ms(1));
@@ -407,7 +421,7 @@ fn wrr_class_scheduling_prevents_low_class_starvation() {
         let _ = b;
         let mut cfg = SimConfig::default();
         cfg.class_scheduling = policy;
-        let mut sim = NetSim::new(&t, cfg);
+        let mut sim = SimBuilder::new(&t).config(cfg).build();
         sim.add_flow(FlowSpec::infinite(0, ha, sink).with_priority(Priority::new(6)));
         sim.add_flow(FlowSpec::infinite(1, hb, sink).with_priority(Priority::new(1)));
         let r = sim.run(SimTime::from_ms(1));
@@ -444,7 +458,7 @@ fn loop_deadlock_sim(cfg: SimConfig) -> (NetSim, SimTime) {
         &[b.switches[0], b.switches[1]],
         b.hosts[1],
     );
-    let mut sim = NetSim::with_tables(&b.topo, cfg, tables);
+    let mut sim = SimBuilder::new(&b.topo).config(cfg).tables(tables).build();
     sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(10)).with_ttl(16));
     (sim, SimTime::from_ms(10))
 }
@@ -497,7 +511,7 @@ fn epoch_heuristic_skips_redundant_scans() {
     let (t, h0, _, sink) = incast_topo();
     let mut cfg = SimConfig::default();
     cfg.deadlock_scan_interval = Some(SimDuration::from_us(5));
-    let mut sim = NetSim::new(&t, cfg);
+    let mut sim = SimBuilder::new(&t).config(cfg).build();
     sim.add_flow(
         FlowSpec::cbr(0, h0, sink, BitRate::from_mbps(100)).stopping_at(SimTime::from_ms(1)),
     );

@@ -34,7 +34,10 @@ fn loop_sim(rate: BitRate, ttl: u8) -> NetSim {
         &[b.switches[0], b.switches[1]],
         b.hosts[1],
     );
-    let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .tables(tables)
+        .build();
     sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], rate).with_ttl(ttl));
     sim
 }
@@ -75,7 +78,9 @@ fn case1_threshold_scales_with_ttl() {
 #[test]
 fn fig3_cbd_without_deadlock_and_the_paper_pause_pattern() {
     let b = square(LinkSpec::default());
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     for f in square_base_flows(&b) {
         sim.add_flow(f);
     }
@@ -108,7 +113,9 @@ fn fig3_cbd_without_deadlock_and_the_paper_pause_pattern() {
 #[test]
 fn fig4_extra_flow_turns_cbd_into_deadlock() {
     let b = square(LinkSpec::default());
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     for f in square_base_flows(&b) {
         sim.add_flow(f);
     }
@@ -136,7 +143,7 @@ fn fig4_deadlock_survives_flow_stop() {
     let b = square(LinkSpec::default());
     let mut cfg = SimConfig::default();
     cfg.stop_on_deadlock = false;
-    let mut sim = NetSim::new(&b.topo, cfg);
+    let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
     for f in square_base_flows(&b) {
         sim.add_flow(f);
     }
@@ -155,18 +162,21 @@ fn fig4_deadlock_survives_flow_stop() {
 fn fig5_rate_limit_crossover() {
     let run = |gbps: u64| {
         let b = square(LinkSpec::default());
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         for f in square_base_flows(&b) {
             sim.add_flow(f);
         }
         sim.add_flow(flow3(&b));
         let rx2 = b.topo.port_towards(b.switches[1], b.hosts[1]).unwrap().port;
-        sim.set_ingress_shaper(
+        sim.try_set_ingress_shaper(
             b.switches[1],
             rx2,
             BitRate::from_gbps(gbps),
             Bytes::from_kb(2),
-        );
+        )
+        .expect("set_ingress_shaper");
         let report = sim.run(SimTime::from_ms(10));
         (report.verdict.is_deadlock(), report.stats.pause_frames)
     };
@@ -201,7 +211,7 @@ fn ttl_classes_cannot_beat_aggregate_loop_oversaturation() {
         );
         let mut cfg = SimConfig::default();
         cfg.ttl_class_mode = ttl_classes;
-        let mut sim = NetSim::with_tables(&b.topo, cfg, tables);
+        let mut sim = SimBuilder::new(&b.topo).config(cfg).tables(tables).build();
         sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(8)).with_ttl(16));
         sim.run(SimTime::from_ms(30))
     };
@@ -234,7 +244,7 @@ fn ttl_classes_defuse_the_alignment_driven_fig4_deadlock() {
         base_class: 0,
         classes: 4,
     });
-    let mut sim = NetSim::new(&b.topo, cfg);
+    let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
     for f in square_base_flows(&b) {
         sim.add_flow(f);
     }
@@ -254,7 +264,7 @@ fn hop_class_ladder_prevents_fig4_deadlock() {
     let b = square(LinkSpec::default());
     let mut cfg = SimConfig::default();
     cfg.hop_class_mode = Some(4);
-    let mut sim = NetSim::new(&b.topo, cfg);
+    let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
     for f in square_base_flows(&b) {
         sim.add_flow(f);
     }
@@ -277,7 +287,9 @@ fn timely_delays_but_does_not_guarantee_deadlock_freedom() {
     let run_timely = |horizon: SimTime| {
         let b = square(LinkSpec::default());
         let (s, h) = (&b.switches, &b.hosts);
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         sim.set_timely(TimelyConfig::for_line_rate(BitRate::from_gbps(40)));
         let paths = [
             vec![h[0], s[0], s[1], s[2], s[3], h[3]],

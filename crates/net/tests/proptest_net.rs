@@ -179,7 +179,7 @@ proptest! {
 use pfcsim_net::config::SimConfig;
 use pfcsim_net::faults::FaultPlan;
 use pfcsim_net::flow::FlowSpec;
-use pfcsim_net::sim::{NetSim, RunReport};
+use pfcsim_net::sim::{RunReport, SimBuilder};
 use pfcsim_simcore::time::SimDuration;
 use pfcsim_topo::builders::{square, Built, LinkSpec};
 
@@ -228,7 +228,7 @@ fn faulted_run(b: &Built, raw: &[RawFault], seed: u64) -> RunReport {
     cfg.seed = seed;
     // Run through any deadlock to quiescence so conservation is exact.
     cfg.stop_on_deadlock = false;
-    let mut sim = NetSim::new(&b.topo, cfg);
+    let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
     sim.add_flow(
         FlowSpec::cbr(0, b.hosts[0], b.hosts[3], BitRate::from_gbps(10))
             .stopping_at(SimTime::from_ms(2)),

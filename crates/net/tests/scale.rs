@@ -13,7 +13,10 @@ fn permutation_sim(k: usize, sample: bool) -> NetSim {
         cfg.sample_interval = None;
         cfg.track_per_flow_occupancy = false;
     }
-    let mut sim = NetSim::with_tables(&built.topo, cfg, tables);
+    let mut sim = SimBuilder::new(&built.topo)
+        .config(cfg)
+        .tables(tables)
+        .build();
     let n = built.hosts.len();
     for i in 0..n {
         sim.add_flow(FlowSpec::infinite(

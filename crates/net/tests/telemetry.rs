@@ -1,0 +1,91 @@
+//! End-to-end telemetry tests: the JSONL trace sink round-trips through
+//! its parser against the in-memory sink, filters really narrow the
+//! stream, and disabled telemetry leaves the report empty.
+
+use pfcsim_net::prelude::*;
+use pfcsim_simcore::time::SimTime;
+use pfcsim_topo::builders::{line, LinkSpec};
+use pfcsim_topo::ids::FlowId;
+
+/// Run a 3-switch line with two flows under the given telemetry config.
+fn run_line(telemetry: TelemetryConfig) -> RunReport {
+    let built = line(3, LinkSpec::default());
+    let mut cfg = SimConfig::default();
+    cfg.telemetry = telemetry;
+    let mut sim = SimBuilder::new(&built.topo).config(cfg).build();
+    sim.add_flow(FlowSpec::infinite(0, built.hosts[0], built.hosts[2]));
+    sim.add_flow(FlowSpec::infinite(1, built.hosts[1], built.hosts[0]));
+    sim.run(SimTime::from_us(200))
+}
+
+#[test]
+fn jsonl_sink_round_trips_against_memory_sink() {
+    // Identical simulations; only the sink differs. The JSONL stream,
+    // parsed back from disk, must equal the in-memory capture.
+    let mem = run_line(TelemetryConfig::on());
+    let mem_t = mem.telemetry.expect("telemetry on");
+    assert!(
+        mem_t.trace_recorded > 0,
+        "scenario produced no trace events"
+    );
+    assert_eq!(mem_t.trace.len() as u64, mem_t.trace_recorded);
+
+    let path = format!("{}/trace_roundtrip.jsonl", env!("CARGO_TARGET_TMPDIR"));
+    let mut telem = TelemetryConfig::on();
+    telem.sink = TraceSinkKind::Jsonl { path: path.clone() };
+    let jsonl = run_line(telem);
+    let jsonl_t = jsonl.telemetry.expect("telemetry on");
+    assert_eq!(jsonl_t.trace_recorded, mem_t.trace_recorded);
+    assert!(
+        jsonl_t.trace.is_empty(),
+        "file sink retains nothing in-memory"
+    );
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(text.starts_with("{\"schema\":\"pfcsim-trace/1\"}"));
+    let parsed = parse_jsonl_trace(&text).expect("stream parses");
+    assert_eq!(parsed, mem_t.trace);
+}
+
+#[test]
+fn flow_filter_narrows_the_stream() {
+    let all = run_line(TelemetryConfig::on());
+    let all_t = all.telemetry.expect("telemetry on");
+
+    let mut telem = TelemetryConfig::on();
+    telem.filter = TraceFilter::flows([FlowId(1)]);
+    let one = run_line(telem);
+    let one_t = one.telemetry.expect("telemetry on");
+
+    assert!(one_t.trace_recorded > 0);
+    assert!(one_t.trace_recorded < all_t.trace_recorded);
+    // Every retained event belongs to flow 1: its injections say so.
+    for ev in &one_t.trace {
+        if let TraceEvent::Injected { flow, .. } = ev {
+            assert_eq!(*flow, FlowId(1));
+        }
+    }
+
+    // A mask admitting no 802.1p class records nothing.
+    let mut telem = TelemetryConfig::on();
+    telem.filter.priority_mask = 0;
+    let none = run_line(telem);
+    assert_eq!(none.telemetry.expect("telemetry on").trace_recorded, 0);
+}
+
+#[test]
+fn null_sink_counts_but_retains_nothing() {
+    let r = run_line(TelemetryConfig::sampling_only());
+    let t = r.telemetry.expect("telemetry on");
+    assert!(t.trace_recorded > 0);
+    assert!(t.trace.is_empty());
+    // Probes still sampled.
+    assert!(t.samples_taken > 0);
+    assert!(t.mean_goodput_bps(FlowId(0)).unwrap() > 0.0);
+}
+
+#[test]
+fn disabled_telemetry_reports_nothing() {
+    let r = run_line(TelemetryConfig::default());
+    assert!(r.telemetry.is_none());
+}

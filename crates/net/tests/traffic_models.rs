@@ -11,7 +11,9 @@ fn line2() -> Built {
 #[test]
 fn poisson_average_rate_converges() {
     let b = line2();
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     sim.add_flow(FlowSpec::poisson(
         0,
         b.hosts[0],
@@ -37,7 +39,9 @@ fn poisson_interarrivals_are_irregular() {
     // CBR at the same rate. Compare delivered-count variance via pause-free
     // queueing: the host backlog forms during bursts.
     let b = line2();
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     sim.add_flow(FlowSpec::poisson(
         0,
         b.hosts[0],
@@ -57,7 +61,9 @@ fn poisson_interarrivals_are_irregular() {
 #[test]
 fn on_off_average_rate_matches_duty_cycle() {
     let b = line2();
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     // Peak 40 Gbps, 50% duty cycle (100us on / 100us off) -> ~20 Gbps.
     sim.add_flow(FlowSpec::on_off(
         0,
@@ -85,7 +91,7 @@ fn bursty_sources_are_deterministic_given_seed() {
         let b = line2();
         let mut cfg = SimConfig::default();
         cfg.seed = seed;
-        let mut sim = NetSim::new(&b.topo, cfg);
+        let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
         sim.add_flow(FlowSpec::poisson(
             0,
             b.hosts[0],
@@ -128,7 +134,7 @@ fn bursty_cross_traffic_can_trigger_pfc_where_cbr_does_not() {
     t.connect(sink, s1, spec.rate, spec.delay);
 
     let run = |poisson: bool| {
-        let mut sim = NetSim::new(&t, SimConfig::default());
+        let mut sim = SimBuilder::new(&t).config(SimConfig::default()).build();
         for (i, h) in [h0, h1].into_iter().enumerate() {
             let f = if poisson {
                 FlowSpec::poisson(i as u32, h, sink, BitRate::from_mbps(19_900))

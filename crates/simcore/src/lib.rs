@@ -36,7 +36,9 @@ pub mod wheel;
 pub mod prelude {
     pub use crate::event::{Backend, EventId, EventQueue};
     pub use crate::rng::SimRng;
-    pub use crate::series::{EventLog, Histogram, IntervalLog, ThroughputMeter, TimeSeries};
+    pub use crate::series::{
+        EventLog, Histogram, IntervalLog, RingSeries, ThroughputMeter, TimeSeries,
+    };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::units::{BitRate, Bytes};
 }

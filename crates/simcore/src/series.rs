@@ -201,6 +201,92 @@ impl IntervalLog {
     }
 }
 
+/// A bounded `(time, value)` sample ring: keeps the most recent
+/// `capacity` samples and evicts the oldest ones as new samples arrive.
+///
+/// The telemetry layer records every probe into one of these, so a long
+/// run's memory stays bounded no matter how fine the sampling cadence:
+/// the ring always holds the trailing window, and [`RingSeries::pushed`]
+/// says how many samples were ever recorded (the difference was evicted).
+/// Values are `f64` because probes mix units (ratios, bytes, bits/s).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RingSeries {
+    capacity: usize,
+    samples: std::collections::VecDeque<(SimTime, f64)>,
+    pushed: u64,
+}
+
+impl RingSeries {
+    /// An empty ring holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSeries {
+            capacity,
+            samples: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+            pushed: 0,
+        }
+    }
+
+    /// Append a sample, evicting the oldest if the ring is full.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.samples.back() {
+            debug_assert!(t >= last, "samples must be pushed in time order");
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((t, v));
+        self.pushed += 1;
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True iff nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total samples ever pushed (≥ [`RingSeries::len`]; the difference
+    /// was evicted).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Most recent sample, if any.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.samples.back().copied()
+    }
+
+    /// Largest retained value (`0.0` for an empty ring).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Arithmetic mean of retained values (`0.0` for an empty ring).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
 /// A fixed-bucket histogram over u64 values (e.g. queue depths, latencies).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
@@ -389,6 +475,33 @@ mod tests {
     fn interval_close_without_open_panics() {
         let mut l = IntervalLog::new();
         l.close(SimTime::from_us(1));
+    }
+
+    #[test]
+    fn ring_series_evicts_oldest() {
+        let mut r = RingSeries::with_capacity(3);
+        for i in 1..=5u64 {
+            r.push(SimTime::from_us(i), i as f64);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.pushed(), 5);
+        let kept: Vec<f64> = r.iter().map(|(_, v)| v).collect();
+        assert_eq!(kept, vec![3.0, 4.0, 5.0]);
+        assert_eq!(r.last(), Some((SimTime::from_us(5), 5.0)));
+        assert!((r.mean() - 4.0).abs() < 1e-12);
+        assert!((r.max() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_series_round_trips_through_value() {
+        let mut r = RingSeries::with_capacity(8);
+        r.push(SimTime::from_us(1), 0.5);
+        r.push(SimTime::from_us(2), 1.5);
+        let v = r.to_value();
+        let back = RingSeries::from_value(&v).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.capacity(), 8);
+        assert_eq!(back.last(), Some((SimTime::from_us(2), 1.5)));
     }
 
     #[test]

@@ -21,7 +21,10 @@ fn run(with_loop_window: bool) -> RunReport {
 
     let mut cfg = SimConfig::default();
     cfg.stop_on_deadlock = false; // watch the whole timeline
-    let mut sim = NetSim::with_tables(&built.topo, cfg, tables);
+    let mut sim = SimBuilder::new(&built.topo)
+        .config(cfg)
+        .tables(tables)
+        .build();
 
     // Victim flow: host 0 (leaf 0) -> host 2 (leaf 1), line-rate RoCE-style
     // traffic with the IP-default TTL of 64.

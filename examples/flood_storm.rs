@@ -18,7 +18,10 @@ fn run(flood_on_miss: bool) -> RunReport {
     let mut cfg = SimConfig::default();
     cfg.flood_on_miss = flood_on_miss;
     cfg.stop_on_deadlock = false;
-    let mut sim = NetSim::with_tables(&built.topo, cfg, tables);
+    let mut sim = SimBuilder::new(&built.topo)
+        .config(cfg)
+        .tables(tables)
+        .build();
 
     let victim_dst = built.hosts[2];
     sim.add_flow(FlowSpec::infinite(1, built.hosts[0], victim_dst).with_ttl(6));

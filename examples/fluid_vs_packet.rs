@@ -48,7 +48,9 @@ fn main() {
         println!("deadlock={}", fluid.deadlock);
 
         // Packet-level reality.
-        let mut sim = NetSim::new(&b.topo, SimConfig::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
         sim.add_flow(
             FlowSpec::infinite(1, h[0], h[3]).pinned(vec![h[0], s[0], s[1], s[2], s[3], h[3]]),
         );

@@ -19,7 +19,7 @@ fn fig4_sim(mut cfg: SimConfig, limiter: Option<BitRate>, dcqcn: bool) -> NetSim
             phantom_drain_permille: None,
         });
     }
-    let mut sim = NetSim::new(&built.topo, cfg);
+    let mut sim = SimBuilder::new(&built.topo).config(cfg).build();
     if dcqcn {
         sim.set_dcqcn(DcqcnConfig::for_line_rate(BitRate::from_gbps(40)));
     }
@@ -38,7 +38,8 @@ fn fig4_sim(mut cfg: SimConfig, limiter: Option<BitRate>, dcqcn: bool) -> NetSim
     }
     if let Some(rate) = limiter {
         let rx2 = built.topo.port_towards(s[1], h[1]).expect("host link").port;
-        sim.set_ingress_shaper(s[1], rx2, rate, Bytes::from_kb(2));
+        sim.try_set_ingress_shaper(s[1], rx2, rate, Bytes::from_kb(2))
+            .expect("set_ingress_shaper");
     }
     sim
 }

@@ -18,7 +18,10 @@ fn main() {
     println!("routing verified deadlock-free (Dally–Seitz: BDG is acyclic)");
 
     // 3. A 3:1 incast onto host 0 plus a crossing flow.
-    let mut sim = NetSim::with_tables(&built.topo, SimConfig::default(), tables);
+    let mut sim = SimBuilder::new(&built.topo)
+        .config(SimConfig::default())
+        .tables(tables)
+        .build();
     for (i, &src) in built.hosts[1..].iter().enumerate() {
         sim.add_flow(FlowSpec::infinite(i as u32 + 1, src, built.hosts[0]));
     }

@@ -20,7 +20,10 @@ fn run_point(rate_gbps: u64, ttl: u8) -> (bool, bool, u64) {
     );
     let model = BoundaryModel::new(2, BitRate::from_gbps(40), ttl as u32);
     let rate = BitRate::from_gbps(rate_gbps);
-    let mut sim = NetSim::with_tables(&built.topo, SimConfig::default(), tables);
+    let mut sim = SimBuilder::new(&built.topo)
+        .config(SimConfig::default())
+        .tables(tables)
+        .build();
     sim.add_flow(FlowSpec::cbr(0, built.hosts[0], built.hosts[1], rate).with_ttl(ttl));
     let report = sim.run(SimTime::from_ms(25));
     (
@@ -40,7 +43,10 @@ fn narrate_one_packet() {
         &[built.switches[0], built.switches[1]],
         built.hosts[1],
     );
-    let mut sim = NetSim::with_tables(&built.topo, SimConfig::default(), tables);
+    let mut sim = SimBuilder::new(&built.topo)
+        .config(SimConfig::default())
+        .tables(tables)
+        .build();
     sim.add_flow(
         FlowSpec::cbr(0, built.hosts[0], built.hosts[1], BitRate::from_gbps(1)).with_ttl(8),
     );

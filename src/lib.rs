@@ -30,6 +30,35 @@
 //! let threshold = BoundaryModel::new(2, BitRate::from_gbps(40), 16).deadlock_threshold();
 //! assert_eq!(threshold, BitRate::from_gbps(5));
 //! ```
+//!
+//! ## Instrumented simulation
+//!
+//! Build a topology, configure a simulator through [`SimBuilder`]
+//! (`net::sim::SimBuilder`), run it, and read the sampled telemetry back
+//! off the report:
+//!
+//! ```
+//! use pfcsim::prelude::*;
+//!
+//! let built = line(2, LinkSpec::default());
+//! let mut sim = SimBuilder::new(&built.topo)
+//!     .config(SimConfig::default())
+//!     .telemetry(TelemetryConfig::on())
+//!     .build();
+//! sim.add_flow(FlowSpec::infinite(0, built.hosts[0], built.hosts[1]));
+//! let report = sim.run(SimTime::from_us(200));
+//!
+//! let telemetry = report.telemetry.expect("telemetry was enabled");
+//! assert_eq!(telemetry.schema, TELEMETRY_SCHEMA);
+//! assert!(telemetry.samples_taken > 0);
+//! // Engine-wide metrics are registered under stable dotted names...
+//! let delivered = telemetry.registry.series("datapath.packets_delivered").unwrap();
+//! assert!(delivered.last().unwrap().1 > 0.0);
+//! // ...and keyed probes ride along (per-flow goodput, in bits/s).
+//! assert!(telemetry.mean_goodput_bps(FlowId(0)).unwrap() > 0.0);
+//! ```
+//!
+//! [`SimBuilder`]: net::sim::SimBuilder
 
 pub use pfcsim_core as analysis;
 pub use pfcsim_mitigation as mitigation;

@@ -8,7 +8,7 @@ fn fig4_report() -> String {
     let (s, h) = (&b.switches, &b.hosts);
     let mut cfg = SimConfig::default();
     cfg.stop_on_deadlock = false;
-    let mut sim = NetSim::new(&b.topo, cfg);
+    let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
     sim.add_flow(
         FlowSpec::infinite(1, h[0], h[3]).pinned(vec![h[0], s[0], s[1], s[2], s[3], h[3]]),
     );
@@ -39,7 +39,7 @@ fn stochastic_scenarios_reproduce_given_seed() {
         let b = leaf_spine(2, 2, 2, LinkSpec::default());
         let mut cfg = SimConfig::default();
         cfg.seed = seed;
-        let mut sim = NetSim::new(&b.topo, cfg);
+        let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
         // Poisson + on-off + ECN coin flips: every stochastic path at once.
         cfg_ecn(&mut sim);
         sim.add_flow(FlowSpec::poisson(

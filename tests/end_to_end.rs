@@ -19,7 +19,10 @@ fn run_case(
 ) -> Case {
     let g = BufferDependencyGraph::from_specs(&built.topo, &tables, &specs);
     let cbd = g.has_cbd();
-    let mut sim = NetSim::with_tables(&built.topo, SimConfig::default(), tables);
+    let mut sim = SimBuilder::new(&built.topo)
+        .config(SimConfig::default())
+        .tables(tables)
+        .build();
     for f in specs {
         sim.add_flow(f);
     }
@@ -131,7 +134,10 @@ fn boundary_model_and_simulator_agree_on_nontrivial_grid() {
             &[b.switches[0], b.switches[1]],
             b.hosts[1],
         );
-        let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .tables(tables)
+            .build();
         sim.add_flow(
             FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(gbps)).with_ttl(ttl),
         );
@@ -161,7 +167,10 @@ fn deadlock_witness_is_a_real_cbd_cycle() {
         .into_iter()
         .map(|q| (q.node, q.port))
         .collect();
-    let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .tables(tables)
+        .build();
     for f in specs {
         sim.add_flow(f);
     }
@@ -202,7 +211,10 @@ fn mitigation_planners_defuse_fig4_end_to_end() {
         Bytes::from_kb(2),
     );
     assert!(!plan.is_empty());
-    let mut sim = NetSim::with_tables(&b.topo, SimConfig::default(), tables);
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .tables(tables)
+        .build();
     for f in specs {
         sim.add_flow(f);
     }
@@ -234,7 +246,9 @@ fn lash_layers_defuse_fig4_in_simulation() {
         FlowSpec::infinite(3, h[1], h[2]).pinned(paths[2].1.clone()),
     ];
     assignment.apply(&mut specs);
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     for f in specs {
         sim.add_flow(f);
     }
@@ -245,7 +259,9 @@ fn lash_layers_defuse_fig4_in_simulation() {
     );
     // Without the layering, the same paths deadlock (guarded elsewhere,
     // re-checked here for the contrast).
-    let mut sim = NetSim::new(&b.topo, SimConfig::default());
+    let mut sim = SimBuilder::new(&b.topo)
+        .config(SimConfig::default())
+        .build();
     for (i, (_, p)) in paths.iter().enumerate() {
         sim.add_flow(FlowSpec::infinite(i as u32 + 1, p[0], *p.last().unwrap()).pinned(p.clone()));
     }

@@ -101,7 +101,7 @@ proptest! {
         let mut cfg = SimConfig::default();
         cfg.sample_interval = None; // speed
         cfg.stop_on_deadlock = false;
-        let mut sim = NetSim::with_tables(&b.topo, cfg, tables);
+        let mut sim = SimBuilder::new(&b.topo).config(cfg).tables(tables).build();
         for f in &specs {
             sim.add_flow(f.clone());
         }
