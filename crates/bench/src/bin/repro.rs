@@ -6,6 +6,10 @@
 //! repro bench [--quick] [--out PATH]   # engine baselines -> BENCH_engine.json
 //! repro metrics [--quick] [--out PATH] # sampled telemetry -> pfcsim-metrics/1 JSON
 //! repro trace [--quick] [--out PATH]   # per-packet trace  -> pfcsim-trace/1 JSONL
+//! repro golden [--sched wheel|heap] [--checkpoint PATH [--pause-at-us N | --checkpoint-every-us N]]
+//!                                      # golden run; optional crash-safe checkpoints (SIGTERM-aware)
+//! repro resume PATH                    # continue a checkpointed run to completion
+//! repro chaos                          # self-test: injected panics, hangs, corrupt checkpoints
 //! ```
 
 use std::io::Write;
@@ -71,9 +75,410 @@ fn verify(topo_name: &str, routing: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <all|fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations|recovery|fluid|flooding|faults|verify|bench|metrics|trace> \
+        "usage: repro <all|fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations|recovery|fluid|flooding|faults|verify|bench|metrics|trace|golden|resume|chaos> \
          [--quick] [--json DIR] [--csv DIR] [--out PATH]"
     );
+    std::process::exit(2);
+}
+
+/// `--flag VALUE` extraction.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// SIGTERM → checkpoint-and-exit request (Unix). The handler only stores
+/// to an atomic; the cadence loop in `repro golden --checkpoint` polls it
+/// between slices, writes a final checkpoint, and exits 143.
+#[cfg(unix)]
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_sig: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod term_signal {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+/// Print the run's digest against the pinned golden value and exit:
+/// 0 on parity, 1 on divergence.
+fn finish_golden(report: &pfcsim_net::sim::RunReport) -> ! {
+    use pfcsim_net::golden::{digest, GOLDEN_DIGEST};
+    let d = digest(report);
+    println!(
+        "verdict: {}; events: {}; end: {}",
+        if report.verdict.is_deadlock() {
+            "deadlock"
+        } else {
+            "no-deadlock"
+        },
+        report.events,
+        report.end_time,
+    );
+    println!("golden digest: {d:#018x} (expected {GOLDEN_DIGEST:#018x})");
+    if d == GOLDEN_DIGEST {
+        println!("digest parity: OK");
+        std::process::exit(0);
+    }
+    eprintln!("error: golden digest mismatch — the run's observable behaviour diverged");
+    std::process::exit(1);
+}
+
+/// `repro golden` — run the fault-laden golden scenario, optionally
+/// writing crash-safe checkpoints.
+///
+/// * `--checkpoint PATH --pause-at-us N`: advance to the pause point,
+///   write one checkpoint, and exit 0 with the run unfinished (continue
+///   with `repro resume PATH`). This is the CI digest-parity smoke.
+/// * `--checkpoint PATH [--checkpoint-every-us N]`: run to completion in
+///   slices (default 500 µs of simulated time), overwriting PATH after
+///   each slice. On SIGTERM the current slice finishes, a final
+///   checkpoint is written, and the process exits 143.
+fn golden_cmd(args: &[String]) -> ! {
+    use pfcsim_net::config::SchedulerBackend;
+    use pfcsim_net::golden::{self, DRAIN_UNTIL, STOP_AT};
+    use pfcsim_net::sim::SimArenas;
+    use pfcsim_simcore::time::{SimDuration, SimTime};
+
+    let sched = match flag_value(args, "--sched") {
+        None => None,
+        Some("wheel") => Some(SchedulerBackend::Wheel),
+        Some("heap") => Some(SchedulerBackend::Heap),
+        Some(other) => {
+            eprintln!("unknown scheduler '{other}' (wheel|heap)");
+            std::process::exit(2);
+        }
+    };
+    let parse_us = |name: &str| -> Option<u64> {
+        flag_value(args, name).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{name} wants a microsecond count, got '{v}'");
+                std::process::exit(2);
+            })
+        })
+    };
+    let ckpt_path = flag_value(args, "--checkpoint");
+    let pause_us = parse_us("--pause-at-us");
+    let every_us = parse_us("--checkpoint-every-us");
+
+    let mut arenas = SimArenas::new();
+    let Some(path) = ckpt_path else {
+        let report = golden::run_with(sched, &mut arenas);
+        finish_golden(&report);
+    };
+    let save = |sim: &mut pfcsim_net::sim::NetSim, path: &str| match sim
+        .checkpoint()
+        .and_then(|c| c.save(path).map(|()| c.sim_time()))
+    {
+        Ok(t) => println!("checkpoint written: {path} (t={t})"),
+        Err(e) => {
+            eprintln!("error: cannot checkpoint: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    term_signal::install();
+    let mut sim = golden::build_sim(sched, &mut arenas);
+    sim.schedule_flow_stops(STOP_AT);
+    let report = if let Some(us) = pause_us {
+        // One-shot: pause, checkpoint, leave the run unfinished.
+        let pause = SimTime::from_us(us).min(DRAIN_UNTIL);
+        match sim.advance_until(pause, DRAIN_UNTIL) {
+            None => {
+                save(&mut sim, path);
+                println!(
+                    "paused at {pause} with work remaining; continue with: repro resume {path}"
+                );
+                std::process::exit(0);
+            }
+            Some(report) => report, // ended before the pause point
+        }
+    } else {
+        // Cadence mode: checkpoint after every slice, honour SIGTERM
+        // between slices.
+        let every = SimDuration::from_us(every_us.unwrap_or(500).max(1));
+        loop {
+            let next = (sim.now() + every).min(DRAIN_UNTIL);
+            match sim.advance_until(next, DRAIN_UNTIL) {
+                None => {
+                    save(&mut sim, path);
+                    if term_signal::requested() {
+                        eprintln!(
+                            "SIGTERM: final checkpoint at {path}; continue with: repro resume {path}"
+                        );
+                        std::process::exit(143);
+                    }
+                }
+                Some(report) => break report,
+            }
+        }
+    };
+    finish_golden(&report)
+}
+
+/// `repro resume PATH` — load a checkpoint, continue the run to its
+/// horizon, and report. Corrupt or mismatched checkpoints exit 1 with a
+/// typed error. When the checkpoint belongs to the golden scenario, the
+/// final digest is verified against the pinned golden value.
+fn resume_cmd(path: &str) -> ! {
+    use pfcsim_net::checkpoint::{config_digest, Checkpoint};
+    use pfcsim_net::config::SchedulerBackend;
+    use pfcsim_net::golden::{self, digest};
+    use pfcsim_net::sim::{NetSim, SimArenas};
+
+    let ckpt = match Checkpoint::load(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot resume from {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "checkpoint: t={}, seed={}, config digest {:#018x}",
+        ckpt.sim_time(),
+        ckpt.seed(),
+        ckpt.config_digest(),
+    );
+    // Is this one of the golden scenario's configurations (any scheduler
+    // pinning)? If so the resumed digest is verifiable.
+    let is_golden = [
+        None,
+        Some(SchedulerBackend::Wheel),
+        Some(SchedulerBackend::Heap),
+    ]
+    .iter()
+    .any(|&s| {
+        config_digest(golden::build_sim(s, &mut SimArenas::new()).config()) == ckpt.config_digest()
+    });
+    let mut sim = match NetSim::resume(ckpt) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot resume from {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = sim.resume_run();
+    if is_golden {
+        finish_golden(&report);
+    }
+    println!(
+        "resumed to {}; events: {}; digest {:#018x}",
+        report.end_time,
+        report.events,
+        digest(&report)
+    );
+    std::process::exit(0);
+}
+
+/// `repro chaos` — the supervised harness's self-test. Injects the
+/// failure modes the robustness layer exists for — worker panics, hung
+/// workers, truncated / bit-flipped / config-mismatched checkpoint
+/// files — and verifies each one surfaces as a typed, salvageable error:
+/// never a process abort, never a silently-wrong resume.
+///
+/// Exit code 1 means every injection was handled as designed (non-zero
+/// because failures *were* injected and salvaged — a supervised sweep
+/// with failed points must not report success). Exit code 2 means the
+/// harness itself mishandled an injection.
+fn chaos() -> ! {
+    use pfcsim_experiments::supervise::{supervised_map, FailureKind, SupervisorConfig};
+    use pfcsim_net::checkpoint::{Checkpoint, CheckpointError};
+    use pfcsim_net::golden::{self, DRAIN_UNTIL, GOLDEN_DIGEST, STOP_AT};
+    use pfcsim_net::sim::{NetSim, SimArenas};
+    use pfcsim_simcore::time::SimTime;
+    use std::time::Duration;
+
+    // Injected panics are expected; keep their default-hook backtraces
+    // out of the self-test transcript.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let expected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("chaos:"));
+        if !expected {
+            default_hook(info);
+        }
+    }));
+
+    let mut mishandled = 0u32;
+    let mut check = |name: &str, ok: bool, detail: &str| {
+        println!("  [{}] {name}: {detail}", if ok { "PASS" } else { "FAIL" });
+        if !ok {
+            mishandled += 1;
+        }
+    };
+    // Deterministic stand-in for a sweep point's simulation work.
+    fn busywork(x: u64) -> u64 {
+        let mut h = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for _ in 0..1000 {
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        }
+        h
+    }
+
+    println!("chaos self-test: supervised sweep");
+    // 1. A poisoned point panics on every attempt: nine of ten results
+    //    must be salvaged alongside one typed failure record.
+    let cfg = SupervisorConfig {
+        max_attempts: 2,
+        backoff: Duration::from_millis(5),
+        task_timeout: None,
+    };
+    let out = supervised_map((0..10u64).collect(), &cfg, |&x| {
+        if x == 7 {
+            panic!("chaos: injected panic at point {x}");
+        }
+        busywork(x)
+    });
+    let salvage_ok = out.completed() == 9
+        && out.failures.len() == 1
+        && out.failures[0].index == 7
+        && out.failures[0].attempts == 2
+        && matches!(&out.failures[0].kind, FailureKind::Panicked(m) if m.contains("injected panic"));
+    let detail = format!(
+        "salvaged {}/10 points; failure record: {}",
+        out.completed(),
+        out.failures
+            .first()
+            .map(ToString::to_string)
+            .unwrap_or_else(|| "<missing>".into()),
+    );
+    check("worker panic", salvage_ok, &detail);
+
+    // 2. A hung worker: the watchdog must time the task out and abandon
+    //    the thread instead of stalling the sweep.
+    let cfg = SupervisorConfig {
+        max_attempts: 1,
+        backoff: Duration::from_millis(5),
+        task_timeout: Some(Duration::from_millis(150)),
+    };
+    let out = supervised_map((0..6u64).collect(), &cfg, |&x| {
+        if x == 3 {
+            std::thread::sleep(Duration::from_secs(600)); // "hung" worker
+        }
+        busywork(x)
+    });
+    let hang_ok = out.completed() == 5
+        && out.failures.len() == 1
+        && out.failures[0].index == 3
+        && matches!(out.failures[0].kind, FailureKind::TimedOut(_));
+    let detail = format!(
+        "salvaged {}/6 points; failure record: {}",
+        out.completed(),
+        out.failures
+            .first()
+            .map(ToString::to_string)
+            .unwrap_or_else(|| "<missing>".into()),
+    );
+    check("hung worker", hang_ok, &detail);
+
+    println!("chaos self-test: checkpoint integrity");
+    let base = std::env::temp_dir().join(format!("pfcsim-chaos-{}.ckpt", std::process::id()));
+    let mut arenas = SimArenas::new();
+    let mut sim = golden::build_sim(None, &mut arenas);
+    sim.schedule_flow_stops(STOP_AT);
+    assert!(
+        sim.advance_until(SimTime::from_ms(1), DRAIN_UNTIL)
+            .is_none(),
+        "golden run must pause mid-flight"
+    );
+    let ckpt = sim.checkpoint().expect("golden run is checkpointable");
+    ckpt.save(&base).expect("write chaos checkpoint");
+    let pristine = std::fs::read(&base).expect("read back");
+
+    // 3. Truncated file (a crash mid-write of a non-atomic copy).
+    let r = Checkpoint::from_bytes(&pristine[..pristine.len() / 3]);
+    let detail = match &r {
+        Err(e) => format!("rejected: {e}"),
+        Ok(_) => "ACCEPTED truncated bytes".into(),
+    };
+    check("truncated checkpoint", r.is_err(), &detail);
+
+    // 4. A flipped bit in the payload must fail the checksum.
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    let r = Checkpoint::from_bytes(&flipped);
+    let detail = match &r {
+        Err(e) => format!("rejected: {e}"),
+        Ok(_) => "ACCEPTED corrupted bytes".into(),
+    };
+    check(
+        "bit-flipped checkpoint",
+        matches!(r, Err(CheckpointError::Corrupt(_))),
+        &detail,
+    );
+
+    // 5. A checkpoint must refuse to resume against a different live
+    //    config, naming both digests.
+    let mut other_cfg = sim.config().clone();
+    other_cfg.seed ^= 1;
+    let r = ckpt.verify_config(&other_cfg);
+    let detail = match &r {
+        Err(e) => format!("rejected: {e}"),
+        Ok(()) => "ACCEPTED mismatched config".into(),
+    };
+    check(
+        "config-digest mismatch",
+        matches!(r, Err(CheckpointError::ConfigDigestMismatch { .. })),
+        &detail,
+    );
+
+    // 6. Positive control: the pristine file must load, resume, and land
+    //    on the exact golden digest — corruption detection would be
+    //    worthless if the intact path were broken too.
+    let resumed = Checkpoint::load(&base)
+        .map_err(|e| e.to_string())
+        .and_then(|c| NetSim::resume(c).map_err(|e| e.to_string()))
+        .map(|mut s| golden::digest(&s.resume_run()));
+    let detail = match &resumed {
+        Ok(d) => format!("resumed digest {d:#018x} (golden {GOLDEN_DIGEST:#018x})"),
+        Err(e) => format!("resume failed: {e}"),
+    };
+    check(
+        "pristine resume parity",
+        resumed == Ok(GOLDEN_DIGEST),
+        &detail,
+    );
+    std::fs::remove_file(&base).ok();
+
+    println!();
+    if mishandled == 0 {
+        println!(
+            "chaos self-test: all injections handled; exiting non-zero because \
+             failures were (by design) injected and salvaged"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("chaos self-test: {mishandled} injection(s) MISHANDLED");
     std::process::exit(2);
 }
 
@@ -329,6 +734,21 @@ fn main() {
         let topo = args.get(1).map(String::as_str).unwrap_or("fat-tree4");
         let routing = args.get(2).map(String::as_str).unwrap_or("updown");
         verify(topo, routing);
+    }
+    if cmd == "golden" {
+        golden_cmd(&args[1..]);
+    }
+    if cmd == "resume" {
+        match args.get(1) {
+            Some(path) => resume_cmd(path),
+            None => {
+                eprintln!("usage: repro resume <checkpoint-path>");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cmd == "chaos" {
+        chaos();
     }
     let quick = args.iter().any(|a| a == "--quick");
     if cmd == "bench" {

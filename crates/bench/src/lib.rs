@@ -28,6 +28,7 @@ pub mod dump;
 pub mod enginebench;
 pub mod experiments;
 pub mod scenarios;
+pub mod supervise;
 pub mod sweep;
 pub mod table;
 pub mod telemetrydoc;

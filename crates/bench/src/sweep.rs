@@ -17,19 +17,33 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Worker count: `PFCSIM_THREADS` if set (clamped to at least 1),
-/// otherwise the machine's available parallelism, never more than the
-/// number of work items.
-fn worker_count(items: usize) -> usize {
-    let requested = std::env::var("PFCSIM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
+/// Worker count: `PFCSIM_THREADS` if set and valid, otherwise the
+/// machine's available parallelism, never more than the number of work
+/// items.
+///
+/// A *set but invalid* `PFCSIM_THREADS` (`0`, empty, unparsable) falls
+/// back to **1 worker** with a one-time stderr warning, not to the
+/// machine's core count: a malformed override in a CI environment must
+/// degrade to the deterministic serial path, never silently fan out.
+pub(crate) fn worker_count(items: usize) -> usize {
+    let requested = match std::env::var("PFCSIM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: PFCSIM_THREADS={v:?} is not a positive integer; \
+                         falling back to 1 worker"
+                    );
+                });
+                1
+            }
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
     requested.min(items).max(1)
 }
 
@@ -38,7 +52,11 @@ fn worker_count(items: usize) -> usize {
 ///
 /// Work is distributed dynamically (an atomic cursor, not static chunks),
 /// so a sweep whose expensive points cluster at one end still balances.
-/// Panics in `f` propagate to the caller once all workers stop.
+/// Workers are panic-isolated: a panic in `f` no longer tears down
+/// sibling workers mid-task — every other point still completes, and the
+/// aggregated failure is re-raised to the caller afterwards. Sweeps that
+/// want the salvaged partial results instead of a panic use
+/// [`crate::supervise::supervised_map`].
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -72,6 +90,8 @@ where
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    // (item index, panic message) for every task whose closure panicked.
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -81,12 +101,31 @@ where
                     if i >= items.len() {
                         break;
                     }
-                    let r = f(&mut scratch, &items[i]);
-                    *slots[i].lock().expect("slot poisoned") = Some(r);
+                    match crate::supervise::run_isolated(|| f(&mut scratch, &items[i])) {
+                        Ok(r) => *slots[i].lock().expect("slot poisoned") = Some(r),
+                        Err(msg) => {
+                            panics.lock().expect("panic log poisoned").push((i, msg));
+                            // The closure may have left the per-worker
+                            // scratch half-mutated; rebuild it before the
+                            // next task.
+                            scratch = init();
+                        }
+                    }
                 }
             });
         }
     });
+    let mut panics = panics.into_inner().expect("panic log poisoned");
+    if !panics.is_empty() {
+        panics.sort_by_key(|&(i, _)| i);
+        let (first_index, first_msg) = &panics[0];
+        panic!(
+            "{} of {} sweep point(s) panicked (first: item {first_index}: {first_msg}); \
+             the remaining points completed — use supervise::supervised_map to salvage them",
+            panics.len(),
+            items.len(),
+        );
+    }
     slots
         .into_iter()
         .map(|s| {
@@ -131,6 +170,42 @@ mod tests {
         });
         let want: Vec<u64> = items.iter().map(|&x| x * 7).collect();
         assert_eq!(got, want);
+    }
+
+    /// Env-var handling and panic isolation share one test so the
+    /// `PFCSIM_THREADS` mutations cannot race each other; sibling tests
+    /// that *read* the var mid-mutation only ever see a value that
+    /// changes their worker count, never their results.
+    #[test]
+    fn thread_override_hardening_and_panic_isolation() {
+        // Invalid overrides (zero, garbage, empty) degrade to 1 worker.
+        for bad in ["0", "not-a-number", "", "  "] {
+            std::env::set_var("PFCSIM_THREADS", bad);
+            assert_eq!(worker_count(8), 1, "PFCSIM_THREADS={bad:?}");
+        }
+        std::env::set_var("PFCSIM_THREADS", "3");
+        assert_eq!(worker_count(8), 3);
+        assert_eq!(worker_count(2), 2, "never more workers than items");
+
+        // With >1 workers, a panicking point lets every sibling finish,
+        // then re-raises an aggregate panic naming the poisoned item.
+        std::env::set_var("PFCSIM_THREADS", "4");
+        let items: Vec<u64> = (0..10).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, |&x| {
+                if x == 7 {
+                    panic!("poisoned point");
+                }
+                x
+            })
+        })
+        .expect_err("aggregate panic expected");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("1 of 10") && msg.contains("item 7"),
+            "aggregate panic must name the failure: {msg}"
+        );
+        std::env::remove_var("PFCSIM_THREADS");
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! Crash-safe checkpoint/resume for a running simulation.
+//!
+//! A [`Checkpoint`] is a complete, versioned image of a [`NetSim`]
+//! mid-run: the event queue's live entries, every switch/host/flow
+//! runtime structure, per-ingress PFC accounting, the deadlock tracker's
+//! pause state and epoch, accumulated statistics, telemetry state, and
+//! both RNG streams. Restoring it with [`NetSim::resume`] and continuing
+//! with [`NetSim::resume_run`](crate::sim::NetSim::resume_run) produces a
+//! final [`RunReport`](crate::sim::RunReport) *bit-identical* to the
+//! uninterrupted run — the property the `determinism_golden` test pins
+//! against the golden digest.
+//!
+//! ## On-disk format
+//!
+//! `pfcsim-checkpoint/1` frames (see [`pfcsim_simcore::snap`]): a magic
+//! string, the config digest, a length-prefixed binary value tree, and an
+//! FNV-1a-64 checksum over everything before it. Every load validates the
+//! checksum *and* re-derives the config digest from the embedded
+//! `SimConfig`; a truncated, bit-flipped, or foreign file is a typed
+//! [`CheckpointError`], never a panic or a silently wrong resume.
+//! [`Checkpoint::save`] writes to a temp file and renames it into place,
+//! so a crash mid-write leaves the previous checkpoint intact.
+//!
+//! ## Typical round trip
+//!
+//! ```ignore
+//! // Producer: pause mid-run, snapshot, keep going (or exit).
+//! if sim.advance_until(pause_at, horizon).is_none() {
+//!     sim.checkpoint()?.save(path)?;
+//! }
+//! // Consumer (same or different process):
+//! let ckpt = Checkpoint::load(path)?;
+//! let mut sim = NetSim::resume(ckpt)?;
+//! let report = sim.resume_run();
+//! ```
+
+use pfcsim_simcore::event::Backend;
+use pfcsim_simcore::rng::SimRng;
+use pfcsim_simcore::snap::{self, SnapError};
+use pfcsim_simcore::time::SimTime;
+use pfcsim_simcore::units::Bytes;
+use pfcsim_topo::graph::Topology;
+use pfcsim_topo::ids::NodeId;
+use pfcsim_topo::routing::ForwardingTables;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::config::{PfcConfig, SimConfig};
+use crate::dcqcn::DcqcnConfig;
+use crate::faults::FaultKind;
+use crate::flow::FlowSpec;
+use crate::host::{FlowRt, Host};
+use crate::packet::{Frame, Packet};
+use crate::sim::{Ev, NetSim, RebootState, RouteUpdate};
+use crate::stats::{FlowStats, IngressKey, NetStats, PauseKey};
+use crate::switch::Switch;
+use crate::telemetry::TelemetrySnapshot;
+use crate::timely::TimelyConfig;
+
+/// Digest of a full [`SimConfig`]: FNV-1a-64 over its canonical binary
+/// value encoding. Recorded in every
+/// [`RunReport`](crate::sim::RunReport) and in every checkpoint frame
+/// header; a resume refuses a checkpoint whose digest does not match the
+/// live configuration.
+pub fn config_digest(cfg: &SimConfig) -> u64 {
+    snap::value_digest(&serde::Serialize::to_value(cfg))
+}
+
+/// Why a checkpoint could not be produced, written, read, or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure reading or writing the checkpoint.
+    Io(std::io::Error),
+    /// The bytes are not a valid `pfcsim-checkpoint/1` frame: foreign
+    /// magic, truncation, checksum mismatch, or a malformed payload.
+    Corrupt(SnapError),
+    /// The frame decoded but its contents don't match the checkpoint
+    /// schema (e.g. a hand-edited or version-skewed file).
+    Decode(String),
+    /// The checkpoint was produced under a different configuration than
+    /// the one it is being resumed against.
+    ConfigDigestMismatch {
+        /// Digest stored in the checkpoint frame header.
+        checkpoint: u64,
+        /// Digest of the configuration the caller is resuming against.
+        live: u64,
+    },
+    /// This simulator state cannot be checkpointed (for example, a
+    /// custom builder-supplied trace sink with no serializable state).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Corrupt(e) => write!(f, "corrupt checkpoint: {e}"),
+            CheckpointError::Decode(msg) => write!(f, "checkpoint schema mismatch: {msg}"),
+            CheckpointError::ConfigDigestMismatch { checkpoint, live } => write!(
+                f,
+                "checkpoint config digest {checkpoint:#018x} does not match \
+                 live config digest {live:#018x}; refusing to resume"
+            ),
+            CheckpointError::Unsupported(msg) => write!(f, "cannot checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<SnapError> for CheckpointError {
+    fn from(e: SnapError) -> Self {
+        CheckpointError::Corrupt(e)
+    }
+}
+
+/// Image of the event queue: enough to rebuild pop-for-pop identical
+/// behaviour on a fresh queue of the same backend.
+#[derive(Debug, Serialize, Deserialize)]
+pub(crate) struct QueueSnapshot {
+    /// The backend the run was using — pinned explicitly so a resume in
+    /// an environment with a different `PFCSIM_SCHED` cannot silently
+    /// switch index structures mid-run.
+    pub(crate) backend: Backend,
+    /// Wheel tick shift (`None` for the heap).
+    pub(crate) tick_shift: Option<u32>,
+    pub(crate) now: SimTime,
+    pub(crate) next_seq: u64,
+    /// Live entries as `(time, seq, payload)`, ascending.
+    pub(crate) entries: Vec<(SimTime, u64, Ev)>,
+}
+
+/// A complete mid-run image of a [`NetSim`]. Produce with
+/// [`NetSim::checkpoint`], persist with [`Checkpoint::save`], and turn
+/// back into a running simulator with [`NetSim::resume`].
+///
+/// The image is self-contained: it embeds the topology, configuration,
+/// and forwarding tables, so resuming needs nothing but the file.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    // --- identity: everything the sim was built from ---
+    pub(crate) topo: Topology,
+    pub(crate) cfg: SimConfig,
+    pub(crate) tables: ForwardingTables,
+    pub(crate) dcqcn_cfg: Option<DcqcnConfig>,
+    pub(crate) timely_cfg: Option<TimelyConfig>,
+    // --- scheduler ---
+    pub(crate) queue: QueueSnapshot,
+    pub(crate) meaningful: u64,
+    pub(crate) horizon: SimTime,
+    pub(crate) events: u64,
+    // --- network state ---
+    pub(crate) switches: Vec<Option<Switch>>,
+    pub(crate) hosts: Vec<Option<Host>>,
+    pub(crate) switch_pfc: Vec<Option<PfcConfig>>,
+    pub(crate) host_in_flight: Vec<Option<Packet>>,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) frame_free: Vec<u32>,
+    pub(crate) link_up: Vec<bool>,
+    // --- flows ---
+    pub(crate) flows: Vec<FlowSpec>,
+    pub(crate) rt: Vec<FlowRt>,
+    pub(crate) fstats: Vec<FlowStats>,
+    pub(crate) fstats_touched: Vec<bool>,
+    pub(crate) fmap: Vec<u32>,
+    pub(crate) pinned: Vec<Vec<u16>>,
+    pub(crate) traced: Vec<bool>,
+    pub(crate) next_pkt_id: u64,
+    // --- randomness ---
+    pub(crate) rng: SimRng,
+    pub(crate) fault_rng: SimRng,
+    // --- detector ---
+    pub(crate) dl_paused: Vec<u32>,
+    pub(crate) dl_epoch: u64,
+    pub(crate) last_clean_scan: Option<u64>,
+    pub(crate) scans_run: u64,
+    pub(crate) scans_skipped: u64,
+    pub(crate) deadlock: Option<(SimTime, Vec<PauseKey>)>,
+    // --- faults ---
+    pub(crate) fault_events: Vec<(SimTime, FaultKind)>,
+    pub(crate) route_updates: Vec<RouteUpdate>,
+    pub(crate) pfc_loss: Vec<Option<f64>>,
+    pub(crate) pfc_delay: Vec<Option<pfcsim_simcore::time::SimDuration>>,
+    pub(crate) pause_headroom: Bytes,
+    pub(crate) reboots: BTreeMap<NodeId, RebootState>,
+    // --- sampling & telemetry ---
+    pub(crate) stats: NetStats,
+    pub(crate) watch_keys: Option<Vec<IngressKey>>,
+    pub(crate) used_prios: u8,
+    pub(crate) sample_keys: Vec<IngressKey>,
+    pub(crate) telemetry: Option<TelemetrySnapshot>,
+    pub(crate) trace_cap: u64,
+}
+
+impl Checkpoint {
+    /// Simulated time the checkpoint was taken at.
+    pub fn sim_time(&self) -> SimTime {
+        self.queue.now
+    }
+
+    /// The run's final horizon (resume continues to it).
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// The configured seed.
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    /// Digest of the embedded configuration — the value written into the
+    /// frame header by [`Checkpoint::to_bytes`].
+    pub fn config_digest(&self) -> u64 {
+        config_digest(&self.cfg)
+    }
+
+    /// Refuse to pair this checkpoint with a configuration other than
+    /// the one it was produced under. The error names both digests.
+    pub fn verify_config(&self, live: &SimConfig) -> Result<(), CheckpointError> {
+        let ours = self.config_digest();
+        let theirs = config_digest(live);
+        if ours == theirs {
+            Ok(())
+        } else {
+            Err(CheckpointError::ConfigDigestMismatch {
+                checkpoint: ours,
+                live: theirs,
+            })
+        }
+    }
+
+    /// Encode as a `pfcsim-checkpoint/1` frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        snap::encode_frame(self.config_digest(), &serde::Serialize::to_value(self))
+    }
+
+    /// Decode a frame, validating magic, checksum, and the header/payload
+    /// config-digest agreement.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let (header_digest, value) = snap::decode_frame(bytes)?;
+        let ckpt: Checkpoint = serde::Deserialize::from_value(&value)
+            .map_err(|e| CheckpointError::Decode(e.to_string()))?;
+        let embedded = ckpt.config_digest();
+        if embedded != header_digest {
+            // The checksum passed, so the frame is internally consistent
+            // — this means the header was written for a different config
+            // than the payload carries (a spliced or hand-edited file).
+            return Err(CheckpointError::ConfigDigestMismatch {
+                checkpoint: header_digest,
+                live: embedded,
+            });
+        }
+        Ok(ckpt)
+    }
+
+    /// Write atomically: serialize to `<path>.tmp`, fsync, then rename
+    /// over `path`. A crash mid-write leaves any previous checkpoint at
+    /// `path` intact.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CheckpointError> {
+        use std::io::Write;
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let bytes = self.to_bytes();
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and validate a checkpoint file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+impl NetSim {
+    /// Restore a checkpoint into a runnable simulator. Continue with
+    /// [`NetSim::resume_run`](crate::sim::NetSim::resume_run); the
+    /// resulting report is bit-identical to the uninterrupted run's.
+    pub fn resume(ckpt: Checkpoint) -> Result<NetSim, CheckpointError> {
+        NetSim::restore_from(ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn config_digest_is_stable_and_config_sensitive() {
+        let a = SimConfig::default();
+        let mut b = SimConfig::default();
+        assert_eq!(config_digest(&a), config_digest(&b));
+        b.seed = a.seed.wrapping_add(1);
+        assert_ne!(config_digest(&a), config_digest(&b));
+    }
+
+    #[test]
+    fn load_rejects_garbage_and_truncation() {
+        assert!(matches!(
+            Checkpoint::from_bytes(b"not a checkpoint at all"),
+            Err(CheckpointError::Corrupt(SnapError::BadMagic))
+        ));
+        assert!(matches!(
+            Checkpoint::from_bytes(&snap::MAGIC[..7]),
+            Err(CheckpointError::Corrupt(SnapError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn error_display_names_both_digests() {
+        let e = CheckpointError::ConfigDigestMismatch {
+            checkpoint: 0xABCD,
+            live: 0x1234,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("0x000000000000abcd"), "{msg}");
+        assert!(msg.contains("0x0000000000001234"), "{msg}");
+    }
+}

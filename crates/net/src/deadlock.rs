@@ -200,6 +200,25 @@ impl DeadlockTracker {
     pub(crate) fn epoch(&self) -> u64 {
         self.epoch
     }
+
+    /// Snapshot the dynamic state for a checkpoint: the ascending chan
+    /// indices currently paused. Static arrays are rebuilt from the
+    /// topology on restore, so they are not captured.
+    pub(crate) fn paused_channels(&self) -> Vec<u32> {
+        self.paused.iter_ones().map(|c| c as u32).collect()
+    }
+
+    /// Restore the dynamic state captured by
+    /// [`DeadlockTracker::paused_channels`] onto a freshly built tracker.
+    pub(crate) fn restore_paused(&mut self, channels: &[u32], epoch: u64) {
+        debug_assert_eq!(self.paused_count, 0, "restore onto a fresh tracker");
+        for &c in channels {
+            if self.paused.set(c as usize) {
+                self.paused_count += 1;
+            }
+        }
+        self.epoch = epoch;
+    }
 }
 
 impl NetSim {

@@ -8,6 +8,8 @@
 
 use std::collections::VecDeque;
 
+use serde::{Deserialize, Serialize};
+
 use pfcsim_simcore::time::SimTime;
 use pfcsim_simcore::units::Bytes;
 use pfcsim_topo::ids::{FlowId, NodeId, Priority};
@@ -16,7 +18,7 @@ use crate::packet::Packet;
 use crate::switch::TxPause;
 
 /// Host/NIC state.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Host {
     /// This host's node id.
     pub node: NodeId,
@@ -59,7 +61,7 @@ impl Host {
 }
 
 /// Per-flow runtime state held by the simulator.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FlowRt {
     /// Flow has started and not stopped.
     pub active: bool,

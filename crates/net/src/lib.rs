@@ -16,6 +16,8 @@
 //!   route reconvergence with transient loops;
 //! * [`stats`] — pause logs, occupancy series, per-flow counters;
 //! * [`telemetry`] — metrics registry, ring-buffered probes, trace sinks;
+//! * [`checkpoint`] — crash-safe snapshot/resume of a mid-flight run;
+//! * [`golden`] — the fault-laden golden scenario and its pinned digest;
 //! * [`config`] — PFC thresholds, pause modes, arbitration, ECN.
 //!
 //! ```
@@ -37,11 +39,13 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod dcqcn;
 pub mod deadlock;
 pub mod faults;
 pub mod flow;
+pub mod golden;
 pub mod host;
 pub mod packet;
 pub mod recovery;
@@ -59,6 +63,7 @@ pub const PRIORITY_COUNT: usize = 8;
 
 /// Common imports.
 pub mod prelude {
+    pub use crate::checkpoint::{config_digest, Checkpoint, CheckpointError};
     pub use crate::config::{
         Arbitration, ClassScheduling, EcnConfig, PauseMode, PfcConfig, SchedulerBackend, SimConfig,
         TtlClassConfig,

@@ -18,6 +18,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use serde::{Deserialize, Serialize};
+
 use pfcsim_simcore::event::{Backend, EventQueue};
 use pfcsim_simcore::rng::SimRng;
 use pfcsim_simcore::series::RingSeries;
@@ -28,6 +30,7 @@ use pfcsim_topo::graph::{NodeKind, Topology};
 use pfcsim_topo::ids::{FlowId, LinkId, NodeId, PortNo, Priority};
 use pfcsim_topo::routing::{trace_path, ForwardingTables};
 
+use crate::checkpoint::{Checkpoint, CheckpointError, QueueSnapshot};
 use crate::config::{PauseMode, PfcConfig, SimConfig};
 use crate::dcqcn::{DcqcnConfig, DcqcnState};
 use crate::deadlock::DeadlockTracker;
@@ -53,8 +56,8 @@ pub(crate) struct PortInfo {
 }
 
 /// Simulator events.
-#[derive(Debug, Clone)]
-enum Ev {
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum Ev {
     Arrive {
         node: NodeId,
         port: PortNo,
@@ -141,8 +144,8 @@ fn is_meaningful(ev: &Ev) -> bool {
 }
 
 /// A timed forwarding-table mutation (transient loops, failures, repairs).
-#[derive(Debug, Clone)]
-struct RouteUpdate {
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct RouteUpdate {
     at: SimTime,
     node: NodeId,
     dst: NodeId,
@@ -150,8 +153,8 @@ struct RouteUpdate {
 }
 
 /// State saved across a [`FaultKind::SwitchReboot`] for the restore.
-#[derive(Debug, Clone)]
-struct RebootState {
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct RebootState {
     /// Links this reboot took down (restored together).
     links: Vec<LinkId>,
     /// The wiped forwarding-table rows.
@@ -170,6 +173,19 @@ struct SpecLite {
     demand: Demand,
     packet_size: Option<Bytes>,
     ttl: u8,
+}
+
+/// Why [`NetSim::step_until`] stopped popping events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepOutcome {
+    /// The step limit was reached with work still queued.
+    LimitReached,
+    /// The queue quiesced: nothing can ever change again.
+    Quiesced,
+    /// The configured `max_events` budget ran out.
+    MaxEvents,
+    /// `stop_on_deadlock` fired.
+    DeadlockStop,
 }
 
 /// Outcome of a run.
@@ -216,6 +232,14 @@ pub struct RunReport {
     /// Sampled telemetry series (see [`crate::telemetry`]); `Some` iff
     /// the run was built with `SimConfig::telemetry.enabled`.
     pub telemetry: Option<TelemetryReport>,
+    /// The seed the run was configured with (`SimConfig::seed`) — recorded
+    /// so a report is reproducible from itself.
+    pub seed: u64,
+    /// Digest of the full `SimConfig` (see
+    /// [`crate::checkpoint::config_digest`]); pairs with `seed` to pin
+    /// the exact configuration a report came from, and is what a resume
+    /// checks a checkpoint against.
+    pub config_digest: u64,
 }
 
 /// Reusable simulator storage: the event queue (slot arena plus wheel or
@@ -681,6 +705,13 @@ impl NetSim {
         self.queue.now()
     }
 
+    /// The simulator's effective configuration (after builder defaults and
+    /// recovery/fault installation). Useful for pairing a live run against
+    /// a checkpoint via [`crate::checkpoint::Checkpoint::verify_config`].
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
     /// Register a flow.
     ///
     /// # Panics
@@ -1056,6 +1087,14 @@ impl NetSim {
     /// proven permanent deadlock.
     pub fn run_with_drain(&mut self, stop_at: SimTime, drain_until: SimTime) -> RunReport {
         assert!(stop_at <= drain_until, "drain must extend past stop");
+        self.schedule_flow_stops(stop_at);
+        self.run_inner(drain_until)
+    }
+
+    /// Schedule a force-stop of every registered flow at `stop_at` (the
+    /// first half of [`NetSim::run_with_drain`], split out so a
+    /// checkpointable run can pair it with [`NetSim::advance_until`]).
+    pub fn schedule_flow_stops(&mut self, stop_at: SimTime) {
         assert!(!self.started, "run methods may be called once");
         // A FlowStop at stop_at for every flow; stopping a flow twice is
         // harmless (the handler is idempotent).
@@ -1066,7 +1105,6 @@ impl NetSim {
         for id in ids {
             self.sched(stop_at, Ev::FlowStop { flow: id });
         }
-        self.run_inner(drain_until)
     }
 
     fn start(&mut self) {
@@ -1200,20 +1238,63 @@ impl NetSim {
             self.start();
         }
         assert!(!self.finished, "run methods may be called once");
-        let mut quiesced = false;
+        let outcome = self.step_until(horizon);
+        self.finalize(matches!(outcome, StepOutcome::Quiesced))
+    }
+
+    /// Run until `pause_at`, or a terminal condition, whichever comes
+    /// first — the checkpointable run protocol. `horizon` is the run's
+    /// *final* horizon: periodic events (sampling, deadlock scans,
+    /// recovery, telemetry) gate their rescheduling on it, so it must be
+    /// the eventual end time even while execution pauses earlier.
+    ///
+    /// Returns `None` if the run paused at `pause_at` with work remaining
+    /// (checkpoint, then continue with [`NetSim::resume_run`] — possibly
+    /// in a different process), or `Some(report)` if the run ended
+    /// (quiescence, `max_events`, a deadlock stop, or `pause_at ==
+    /// horizon`).
+    pub fn advance_until(&mut self, pause_at: SimTime, horizon: SimTime) -> Option<RunReport> {
+        assert!(pause_at <= horizon, "pause must not pass the horizon");
+        self.horizon = horizon;
+        if !self.started {
+            self.start();
+        }
+        assert!(!self.finished, "run methods may be called once");
+        match self.step_until(pause_at) {
+            StepOutcome::LimitReached if pause_at < horizon => None,
+            outcome => Some(self.finalize(matches!(outcome, StepOutcome::Quiesced))),
+        }
+    }
+
+    /// Continue a paused or checkpoint-restored run to its horizon and
+    /// produce the report. The resumed stream of events is bit-identical
+    /// to an uninterrupted run's (see the `checkpoint` module).
+    pub fn resume_run(&mut self) -> RunReport {
+        assert!(self.started, "resume_run continues a started run");
+        assert!(!self.finished, "run methods may be called once");
+        let horizon = self.horizon;
+        let outcome = self.step_until(horizon);
+        self.finalize(matches!(outcome, StepOutcome::Quiesced))
+    }
+
+    /// Pop-and-handle events up to `limit` (which may fall short of
+    /// `self.horizon` when pausing for a checkpoint).
+    fn step_until(&mut self, limit: SimTime) -> StepOutcome {
         loop {
             if self.cfg.max_events > 0 && self.events >= self.cfg.max_events {
-                break;
+                return StepOutcome::MaxEvents;
             }
             if self.meaningful == 0 {
-                quiesced = true;
-                break;
+                return StepOutcome::Quiesced;
             }
-            let Some((_, ev)) = self.queue.pop_before(self.horizon) else {
-                // Beyond-horizon events stay queued; an empty queue is
+            let Some((_, ev)) = self.queue.pop_before(limit) else {
+                // Beyond-limit events stay queued; an empty queue is
                 // quiescence.
-                quiesced = self.queue.peek_time().is_none();
-                break;
+                return if self.queue.peek_time().is_none() {
+                    StepOutcome::Quiesced
+                } else {
+                    StepOutcome::LimitReached
+                };
             };
             if is_meaningful(&ev) {
                 self.meaningful -= 1;
@@ -1221,9 +1302,14 @@ impl NetSim {
             self.events += 1;
             self.handle(ev);
             if self.cfg.stop_on_deadlock && self.deadlock.is_some() {
-                break;
+                return StepOutcome::DeadlockStop;
             }
         }
+    }
+
+    /// Close out the run and build the report (shared tail of every run
+    /// protocol).
+    fn finalize(&mut self, quiesced: bool) -> RunReport {
         // Final scan: catches deadlocks formed after the last periodic scan
         // (or with scanning disabled).
         if self.deadlock.is_none() {
@@ -1324,6 +1410,8 @@ impl NetSim {
             deadlock_scans_skipped: self.scans_skipped,
             stats: std::mem::take(&mut self.stats),
             telemetry,
+            seed: self.cfg.seed,
+            config_digest: crate::checkpoint::config_digest(&self.cfg),
         }
     }
 
@@ -1332,6 +1420,233 @@ impl NetSim {
             self.meaningful += 1;
         }
         self.queue.schedule(at, ev);
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / resume (see `crate::checkpoint` for the format)
+    // ------------------------------------------------------------------
+
+    /// Capture a complete mid-run image. Pair with
+    /// [`NetSim::advance_until`] to pause at a checkpoint cadence, and
+    /// [`NetSim::resume`] to restore; the resumed run's report is
+    /// bit-identical to the uninterrupted run's.
+    ///
+    /// Errors when the run has not started (nothing to capture), has
+    /// already finished, or uses a trace sink that cannot be
+    /// checkpointed (custom sink objects, writer-backed JSONL sinks).
+    pub fn checkpoint(&mut self) -> Result<Checkpoint, CheckpointError> {
+        if !self.started || self.finished {
+            return Err(CheckpointError::Unsupported(
+                "only a started, unfinished run can be checkpointed".into(),
+            ));
+        }
+        let telemetry = match self.telem.as_mut() {
+            Some(t) => Some(t.snapshot().map_err(CheckpointError::Unsupported)?),
+            None => None,
+        };
+        Ok(Checkpoint {
+            topo: self.topo.clone(),
+            cfg: self.cfg.clone(),
+            tables: self.tables.clone(),
+            dcqcn_cfg: self.dcqcn_cfg,
+            timely_cfg: self.timely_cfg,
+            queue: QueueSnapshot {
+                backend: self.queue.backend(),
+                tick_shift: self.queue.tick_shift(),
+                now: self.queue.now(),
+                next_seq: self.queue.next_seq(),
+                entries: self.queue.live_entries(),
+            },
+            meaningful: self.meaningful,
+            horizon: self.horizon,
+            events: self.events,
+            switches: self.switches.clone(),
+            hosts: self.hosts.clone(),
+            switch_pfc: self.switch_pfc.clone(),
+            host_in_flight: self.host_in_flight.clone(),
+            frames: self.frames.clone(),
+            frame_free: self.frame_free.clone(),
+            link_up: self.link_up.clone(),
+            flows: self.flows.clone(),
+            rt: self.rt.clone(),
+            fstats: self.fstats.clone(),
+            fstats_touched: self.fstats_touched.clone(),
+            fmap: self.fmap.clone(),
+            pinned: self.pinned.clone(),
+            traced: self.traced.clone(),
+            next_pkt_id: self.next_pkt_id,
+            rng: self.rng.clone(),
+            fault_rng: self.fault_rng.clone(),
+            dl_paused: self.dl.paused_channels(),
+            dl_epoch: self.dl.epoch(),
+            last_clean_scan: self.last_clean_scan,
+            scans_run: self.scans_run,
+            scans_skipped: self.scans_skipped,
+            deadlock: self.deadlock.clone(),
+            fault_events: self.fault_events.clone(),
+            route_updates: self.route_updates.clone(),
+            pfc_loss: self.pfc_loss.clone(),
+            pfc_delay: self.pfc_delay.clone(),
+            pause_headroom: self.pause_headroom,
+            reboots: self.reboots.clone(),
+            stats: self.stats.clone(),
+            watch_keys: self.watch_keys.clone(),
+            used_prios: self.used_prios,
+            sample_keys: self.sample_keys.clone(),
+            telemetry,
+            trace_cap: self.trace_cap as u64,
+        })
+    }
+
+    /// Rebuild a running simulator from a checkpoint image (the engine
+    /// behind [`NetSim::resume`]).
+    pub(crate) fn restore_from(ckpt: Checkpoint) -> Result<NetSim, CheckpointError> {
+        let Checkpoint {
+            topo,
+            cfg,
+            tables,
+            dcqcn_cfg,
+            timely_cfg,
+            queue,
+            meaningful,
+            horizon,
+            events,
+            switches,
+            hosts,
+            switch_pfc,
+            host_in_flight,
+            frames,
+            frame_free,
+            link_up,
+            flows,
+            rt,
+            fstats,
+            fstats_touched,
+            fmap,
+            pinned,
+            traced,
+            next_pkt_id,
+            rng,
+            fault_rng,
+            dl_paused,
+            dl_epoch,
+            last_clean_scan,
+            scans_run,
+            scans_skipped,
+            deadlock,
+            fault_events,
+            route_updates,
+            pfc_loss,
+            pfc_delay,
+            pause_headroom,
+            reboots,
+            stats,
+            watch_keys,
+            used_prios,
+            sample_keys,
+            telemetry,
+            trace_cap,
+        } = ckpt;
+        // Cheap structural sanity: a checksum-valid frame whose payload
+        // disagrees with its own embedded topology is version skew or
+        // tampering — reject it before any index can go out of bounds.
+        let n_nodes = topo.node_count();
+        if switches.len() != n_nodes || hosts.len() != n_nodes {
+            return Err(CheckpointError::Decode(format!(
+                "node tables sized {}/{} but topology has {n_nodes} nodes",
+                switches.len(),
+                hosts.len()
+            )));
+        }
+        if link_up.len() != topo.link_count() {
+            return Err(CheckpointError::Decode(format!(
+                "link table sized {} but topology has {} links",
+                link_up.len(),
+                topo.link_count()
+            )));
+        }
+        let n_flows = flows.len();
+        if rt.len() != n_flows || fstats.len() != n_flows || fstats_touched.len() != n_flows {
+            return Err(CheckpointError::Decode(
+                "flow runtime tables disagree with the flow arena".into(),
+            ));
+        }
+        // Build the static scaffolding (port info, deadlock-tracker
+        // topology arrays, forwarding) with telemetry disabled so no sink
+        // is instantiated — a fresh JSONL sink would truncate the file the
+        // pre-checkpoint run was appending to. The live telemetry state is
+        // restored from its snapshot below, reopening files in append
+        // mode.
+        let mut build_cfg = cfg.clone();
+        build_cfg.telemetry.enabled = false;
+        let mut arenas = SimArenas::default();
+        let mut sim = NetSim::construct(&topo, build_cfg, Some(tables), &mut arenas, None)
+            .map_err(CheckpointError::Decode)?;
+        sim.cfg = cfg;
+        // The scheduler: rebuild the exact backend/tick geometry the
+        // snapshot was taken under (the environment's PFCSIM_SCHED must
+        // not be able to switch index structures mid-run), then reinsert
+        // every live entry with its original (time, seq) key.
+        let QueueSnapshot {
+            backend,
+            tick_shift,
+            now,
+            next_seq,
+            entries,
+        } = queue;
+        let mut q = EventQueue::with_backend_and_tick_shift(
+            backend,
+            tick_shift.unwrap_or(DEFAULT_TICK_SHIFT),
+        );
+        q.restore_state(now, next_seq, entries);
+        sim.queue = q;
+        sim.meaningful = meaningful;
+        sim.horizon = horizon;
+        sim.events = events;
+        sim.switches = switches;
+        sim.hosts = hosts;
+        sim.switch_pfc = switch_pfc;
+        sim.host_in_flight = host_in_flight;
+        sim.frames = frames;
+        sim.frame_free = frame_free;
+        sim.link_up = link_up;
+        sim.flows = flows;
+        sim.rt = rt;
+        sim.fstats = fstats;
+        sim.fstats_touched = fstats_touched;
+        sim.fmap = fmap;
+        sim.pinned = pinned;
+        sim.traced = traced;
+        sim.next_pkt_id = next_pkt_id;
+        sim.rng = rng;
+        sim.fault_rng = fault_rng;
+        sim.dl.restore_paused(&dl_paused, dl_epoch);
+        sim.last_clean_scan = last_clean_scan;
+        sim.scans_run = scans_run;
+        sim.scans_skipped = scans_skipped;
+        sim.deadlock = deadlock;
+        sim.fault_events = fault_events;
+        sim.route_updates = route_updates;
+        sim.pfc_loss = pfc_loss;
+        sim.pfc_delay = pfc_delay;
+        sim.pause_headroom = pause_headroom;
+        sim.reboots = reboots;
+        sim.stats = stats;
+        sim.watch_keys = watch_keys;
+        sim.used_prios = used_prios;
+        sim.sample_keys = sample_keys;
+        sim.dcqcn_cfg = dcqcn_cfg;
+        sim.timely_cfg = timely_cfg;
+        sim.trace_cap = trace_cap as usize;
+        sim.telem = match telemetry {
+            Some(snap) => Some(Box::new(
+                TelemetryState::restore(sim.cfg.telemetry.clone(), snap)
+                    .map_err(CheckpointError::Unsupported)?,
+            )),
+            None => None,
+        };
+        sim.started = true;
+        Ok(sim)
     }
 
     // ------------------------------------------------------------------

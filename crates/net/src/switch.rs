@@ -11,6 +11,8 @@
 
 use std::collections::VecDeque;
 
+use serde::{Deserialize, Serialize};
+
 /// Sentinel padding for dense per-port vectors that grow on demand.
 fn ensure_len<T: Default + Clone>(v: &mut Vec<T>, n: usize) {
     if v.len() < n {
@@ -27,7 +29,7 @@ use crate::packet::{Packet, PfcFrame};
 use crate::shaper::TokenBucket;
 
 /// A buffered packet tagged with the ingress port it is accounted to.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QPkt {
     /// The packet.
     pub pkt: Packet,
@@ -48,7 +50,7 @@ pub struct QPkt {
 /// `by_ingress` byte counters make [`EgressQueue::bytes_from_ingress`] —
 /// the inner loop of the deadlock analyzer — O(1) instead of a walk over
 /// every queued packet.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EgressQueue {
     /// Per-ingress-port subqueues (DRR mode), indexed by port number.
     subs: Vec<VecDeque<QPkt>>,
@@ -206,7 +208,7 @@ impl EgressQueue {
 
 /// Pause state of a transmitter (egress, priority) as set by received PFC
 /// frames.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TxPause {
     /// Free to send.
     #[default]
@@ -229,7 +231,7 @@ impl TxPause {
 }
 
 /// What is currently on the wire out of an egress port.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum InFlight {
     /// A data packet, remembering its accounting ingress.
     Data(QPkt),
@@ -238,7 +240,7 @@ pub enum InFlight {
 }
 
 /// Egress side of one switch port.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Egress {
     /// Per-priority data queues.
     pub queues: Vec<EgressQueue>,
@@ -307,7 +309,7 @@ impl Egress {
 }
 
 /// Ingress side of one switch port: PFC accounting and optional shaping.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Ingress {
     /// Buffered bytes per priority attributed to this port.
     pub count: [Bytes; Priority::COUNT],
@@ -340,7 +342,7 @@ impl Ingress {
 /// datapath wants contiguous probes, not tree nodes. Entries that drain
 /// to zero are kept (as the map kept them) so sampled occupancy series
 /// are unchanged.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FlowLedger {
     entries: Vec<((u8, FlowId), Bytes)>,
 }
@@ -380,7 +382,7 @@ impl FlowLedger {
 }
 
 /// A switch: one ingress + egress record per port.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Switch {
     /// This switch's node id.
     pub node: NodeId,

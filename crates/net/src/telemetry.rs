@@ -390,6 +390,44 @@ pub trait TraceSink: Send {
     }
     /// Events recorded so far (post-filter, pre-cap).
     fn recorded(&self) -> u64;
+    /// Capture this sink's state for a checkpoint, if it supports being
+    /// checkpointed. The built-in sinks do; custom builder-supplied sinks
+    /// (and writer-backed [`JsonlSink`]s) return `None`, which makes
+    /// checkpointing a run that uses one a clean error instead of a
+    /// silently lossy resume.
+    fn snapshot(&self) -> Option<SinkSnapshot> {
+        None
+    }
+}
+
+/// Checkpointable state of a built-in [`TraceSink`] (see
+/// [`TraceSink::snapshot`] and the `checkpoint` module). A restored
+/// [`MemorySink`] carries its retained events verbatim; a restored
+/// [`JsonlSink`] reopens its file in append mode so the stream written
+/// before the checkpoint is extended, not truncated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SinkSnapshot {
+    /// A [`MemorySink`]: retained events, retention cap, recorded count.
+    Memory {
+        /// Events retained at snapshot time.
+        events: Vec<TraceEvent>,
+        /// Retention cap.
+        cap: u64,
+        /// Post-filter recorded count.
+        recorded: u64,
+    },
+    /// A path-backed [`JsonlSink`]; the file itself is the durable state.
+    Jsonl {
+        /// The sink's output path, reopened for append on restore.
+        path: String,
+        /// Post-filter recorded count.
+        recorded: u64,
+    },
+    /// A [`NullSink`]: only the count survives (by design).
+    Null {
+        /// Post-filter recorded count.
+        recorded: u64,
+    },
 }
 
 /// The classic behaviour: keep events in memory up to a cap (recording
@@ -415,6 +453,15 @@ impl MemorySink {
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
+
+    /// Rebuild a sink from a [`SinkSnapshot::Memory`] (checkpoint resume).
+    pub(crate) fn restore(events: Vec<TraceEvent>, cap: usize, recorded: u64) -> Self {
+        MemorySink {
+            events,
+            cap,
+            recorded,
+        }
+    }
 }
 
 impl TraceSink for MemorySink {
@@ -431,6 +478,14 @@ impl TraceSink for MemorySink {
 
     fn recorded(&self) -> u64 {
         self.recorded
+    }
+
+    fn snapshot(&self) -> Option<SinkSnapshot> {
+        Some(SinkSnapshot::Memory {
+            events: self.events.clone(),
+            cap: self.cap as u64,
+            recorded: self.recorded,
+        })
     }
 }
 
@@ -456,6 +511,12 @@ impl TraceSink for NullSink {
     fn recorded(&self) -> u64 {
         self.recorded
     }
+
+    fn snapshot(&self) -> Option<SinkSnapshot> {
+        Some(SinkSnapshot::Null {
+            recorded: self.recorded,
+        })
+    }
 }
 
 /// Streams events as JSON Lines: one header object carrying
@@ -468,6 +529,9 @@ pub struct JsonlSink {
     out: Box<dyn Write + Send>,
     recorded: u64,
     error: Option<String>,
+    /// Output path when file-backed (`None` for raw writers); gives the
+    /// sink an on-disk identity a checkpoint can reopen in append mode.
+    path: Option<String>,
 }
 
 impl std::fmt::Debug for JsonlSink {
@@ -483,7 +547,25 @@ impl JsonlSink {
     /// Create (truncate) `path` and write the schema header line.
     pub fn create(path: &str) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
-        Ok(Self::from_writer(Box::new(std::io::BufWriter::new(file))))
+        let mut sink = Self::from_writer(Box::new(std::io::BufWriter::new(file)));
+        sink.path = Some(path.to_string());
+        Ok(sink)
+    }
+
+    /// Reopen `path` in append mode *without* rewriting the schema header
+    /// — the stream written before a checkpoint is extended, not
+    /// truncated (checkpoint resume).
+    pub(crate) fn resume(path: &str, recorded: u64) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlSink {
+            out: Box::new(std::io::BufWriter::new(file)),
+            recorded,
+            error: None,
+            path: Some(path.to_string()),
+        })
     }
 
     /// Stream into an arbitrary writer (tests, pipes). Writes the schema
@@ -496,6 +578,7 @@ impl JsonlSink {
             out,
             recorded: 0,
             error,
+            path: None,
         }
     }
 
@@ -525,6 +608,15 @@ impl TraceSink for JsonlSink {
 
     fn recorded(&self) -> u64 {
         self.recorded
+    }
+
+    fn snapshot(&self) -> Option<SinkSnapshot> {
+        // Only file-backed sinks can be reopened on resume; raw writers
+        // have no on-disk identity to return to.
+        self.path.as_ref().map(|path| SinkSnapshot::Jsonl {
+            path: path.clone(),
+            recorded: self.recorded,
+        })
     }
 }
 
@@ -780,6 +872,67 @@ impl TelemetryState {
         self.report.trace = self.sink.take_events();
         self.report
     }
+
+    /// Capture everything a checkpoint needs to rebuild this state.
+    /// Errors when the sink cannot be checkpointed (custom sink objects
+    /// and writer-backed [`JsonlSink`]s).
+    pub(crate) fn snapshot(&mut self) -> Result<TelemetrySnapshot, String> {
+        // Flush first so a file sink's on-disk bytes are consistent with
+        // the recorded count the snapshot carries.
+        self.sink.flush();
+        let sink = self.sink.snapshot().ok_or_else(|| {
+            "this trace sink cannot be checkpointed: custom or writer-backed \
+             sinks have no state a resume could rebuild"
+                .to_string()
+        })?;
+        Ok(TelemetrySnapshot {
+            report: self.report.clone(),
+            sink,
+            last_pause_dur: self.last_pause_dur.clone(),
+            last_closed: self.last_closed.clone(),
+            last_flow_bytes: self.last_flow_bytes.clone(),
+            last_sample_at: self.last_sample_at,
+        })
+    }
+
+    /// Rebuild live state from a checkpoint snapshot. `cfg` comes from
+    /// the restored `SimConfig` (the snapshot does not duplicate it).
+    pub(crate) fn restore(cfg: TelemetryConfig, snap: TelemetrySnapshot) -> Result<Self, String> {
+        let sink: Box<dyn TraceSink> = match snap.sink {
+            SinkSnapshot::Memory {
+                events,
+                cap,
+                recorded,
+            } => Box::new(MemorySink::restore(events, cap as usize, recorded)),
+            SinkSnapshot::Null { recorded } => Box::new(NullSink { recorded }),
+            SinkSnapshot::Jsonl { path, recorded } => Box::new(
+                JsonlSink::resume(&path, recorded)
+                    .map_err(|e| format!("cannot reopen trace sink {path}: {e}"))?,
+            ),
+        };
+        Ok(TelemetryState {
+            cfg,
+            report: snap.report,
+            sink,
+            last_pause_dur: snap.last_pause_dur,
+            last_closed: snap.last_closed,
+            last_flow_bytes: snap.last_flow_bytes,
+            last_sample_at: snap.last_sample_at,
+        })
+    }
+}
+
+/// Serializable image of a [`TelemetryState`] inside a checkpoint: the
+/// report under construction, the sink's checkpointable state, and the
+/// sampler's delta trackers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct TelemetrySnapshot {
+    pub(crate) report: TelemetryReport,
+    pub(crate) sink: SinkSnapshot,
+    pub(crate) last_pause_dur: BTreeMap<PauseKey, SimDuration>,
+    pub(crate) last_closed: BTreeMap<PauseKey, usize>,
+    pub(crate) last_flow_bytes: Vec<u64>,
+    pub(crate) last_sample_at: SimTime,
 }
 
 #[cfg(test)]

@@ -1,118 +1,24 @@
 //! Golden-digest regression for the engine's core invariant: a fault-laden
 //! run must produce a bit-identical `RunReport` across refactors of the
-//! event queue and the datapath state layout.
+//! event queue and the datapath state layout — and, since the checkpoint
+//! subsystem landed, across a mid-run checkpoint/restore round trip.
 //!
-//! The digest below was recorded from the pre-arena (BTreeMap-keyed)
-//! simulator; the indexed-heap + arena engine must reproduce it exactly.
-//! If an *intentional* behaviour change moves the digest, re-record it and
-//! say so in the commit message — a silent change here means the refactor
-//! altered event ordering or accounting.
+//! The scenario and digest live in `pfcsim_net::golden` so the `repro`
+//! binary drives the same run. If an *intentional* behaviour change moves
+//! the digest, re-record it there and say so in the commit message — a
+//! silent change here means the refactor altered event ordering or
+//! accounting.
 
+use pfcsim_net::checkpoint::{Checkpoint, CheckpointError};
 use pfcsim_net::config::{SchedulerBackend, SimConfig};
-use pfcsim_net::faults::FaultPlan;
-use pfcsim_net::flow::FlowSpec;
-use pfcsim_net::recovery::RecoveryConfig;
-use pfcsim_net::sim::{RunReport, SimArenas, SimBuilder, Verdict};
-use pfcsim_simcore::time::{SimDuration, SimTime};
-use pfcsim_simcore::units::BitRate;
-use pfcsim_topo::builders::{square, LinkSpec};
-
-/// FNV-1a over the canonical serialized report.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
-
-/// Canonical string form of everything observable in a report. JSON of
-/// `NetStats` is deterministic (ordered maps throughout), so the digest is
-/// sensitive to every counter, series sample, pause interval and fault
-/// record.
-fn digest(r: &RunReport) -> u64 {
-    let verdict = match &r.verdict {
-        Verdict::NoDeadlock => "no-deadlock".to_string(),
-        Verdict::Deadlock {
-            detected_at,
-            witness,
-        } => format!("deadlock@{detected_at}:{witness:?}"),
-    };
-    let canon = format!(
-        "verdict={verdict};end={};buffered={};quiesced={};events={};stats={}",
-        r.end_time,
-        r.buffered,
-        r.quiesced,
-        r.events,
-        serde_json::to_string(&r.stats).expect("stats serialize"),
-    );
-    fnv1a(canon.as_bytes())
-}
-
-/// An E14-style run: CBR + Poisson traffic on the square, a link failure,
-/// jittered route reconvergence (transient loops), lossy PFC on one
-/// switch, a link flap, and the recovery watchdog armed.
-fn fault_laden_run() -> RunReport {
-    fault_laden_run_with(None, &mut SimArenas::new())
-}
-
-/// The same run with an explicit scheduler backend and leased arenas, so
-/// the digest can be pinned under every configuration that must be
-/// observationally identical.
-fn fault_laden_run_with(sched: Option<SchedulerBackend>, arenas: &mut SimArenas) -> RunReport {
-    let b = square(LinkSpec::default());
-    let mut cfg = SimConfig::default();
-    cfg.seed = 42;
-    cfg.stop_on_deadlock = false;
-    cfg.scheduler = sched;
-    let mut sim = SimBuilder::new(&b.topo).config(cfg).build_in(arenas);
-    sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[2], BitRate::from_gbps(20)).with_ttl(16));
-    sim.add_flow(FlowSpec::cbr(1, b.hosts[1], b.hosts[3], BitRate::from_gbps(20)).with_ttl(16));
-    sim.add_flow(FlowSpec::poisson(
-        2,
-        b.hosts[2],
-        b.hosts[0],
-        BitRate::from_gbps(5),
-    ));
-    let plan = FaultPlan::new()
-        .link_down(SimTime::from_us(100), b.switches[0], b.switches[3])
-        .route_reconverge(
-            SimTime::from_us(120),
-            SimDuration::from_us(30),
-            SimDuration::from_us(400),
-        )
-        .pause_loss(SimTime::from_us(50), b.switches[1], 0.2)
-        .link_flap(
-            SimTime::from_us(900),
-            b.switches[1],
-            b.switches[2],
-            SimDuration::from_us(80),
-            SimDuration::from_us(300),
-            2,
-        )
-        .link_up(SimTime::from_ms(2), b.switches[0], b.switches[3])
-        .route_reconverge(
-            SimTime::from_us(2100),
-            SimDuration::from_us(20),
-            SimDuration::ZERO,
-        );
-    sim.set_fault_plan(plan).expect("valid plan");
-    sim.try_enable_recovery(RecoveryConfig::default())
-        .expect("enable_recovery");
-    let report = sim.run_with_drain(SimTime::from_ms(3), SimTime::from_ms(6));
-    sim.recycle(arenas);
-    report
-}
-
-/// Recorded from the pre-refactor engine (BinaryHeap event queue,
-/// BTreeMap-keyed datapath). See module docs before touching.
-const GOLDEN_DIGEST: u64 = 0x6b4f3ae3d876a714;
+use pfcsim_net::golden::{self, DRAIN_UNTIL, GOLDEN_DIGEST, STOP_AT};
+use pfcsim_net::sim::{NetSim, SimArenas};
+use pfcsim_simcore::time::SimTime;
 
 #[test]
 fn fault_laden_run_matches_golden_digest() {
-    let d1 = digest(&fault_laden_run());
-    let d2 = digest(&fault_laden_run());
+    let d1 = golden::digest(&golden::run_with(None, &mut SimArenas::new()));
+    let d2 = golden::digest(&golden::run_with(None, &mut SimArenas::new()));
     assert_eq!(d1, d2, "run is not even self-deterministic");
     assert_eq!(
         d1, GOLDEN_DIGEST,
@@ -127,7 +33,7 @@ fn fault_laden_run_matches_golden_digest() {
 #[test]
 fn both_scheduler_backends_match_golden_digest() {
     for sched in [SchedulerBackend::Wheel, SchedulerBackend::Heap] {
-        let d = digest(&fault_laden_run_with(Some(sched), &mut SimArenas::new()));
+        let d = golden::digest(&golden::run_with(Some(sched), &mut SimArenas::new()));
         assert_eq!(
             d, GOLDEN_DIGEST,
             "digest diverged under {sched:?} backend: {d:#018x}"
@@ -141,14 +47,107 @@ fn both_scheduler_backends_match_golden_digest() {
 #[test]
 fn arena_reuse_is_observationally_invisible() {
     let mut arenas = SimArenas::new();
-    let first = digest(&fault_laden_run_with(
+    let first = golden::digest(&golden::run_with(
         Some(SchedulerBackend::Wheel),
         &mut arenas,
     ));
     assert_eq!(first, GOLDEN_DIGEST);
-    let second = digest(&fault_laden_run_with(
+    let second = golden::digest(&golden::run_with(
         Some(SchedulerBackend::Wheel),
         &mut arenas,
     ));
     assert_eq!(second, GOLDEN_DIGEST, "leased-arena rerun diverged");
+}
+
+/// The tentpole invariant: pausing the golden run mid-flight, serializing
+/// a checkpoint through the full binary frame (bytes, not just the
+/// in-memory struct), restoring into a *fresh* simulator, and resuming
+/// must land on the exact golden digest — under both scheduler backends,
+/// and regardless of which backend restores the snapshot.
+#[test]
+fn checkpoint_restore_round_trip_matches_golden_digest() {
+    for sched in [SchedulerBackend::Wheel, SchedulerBackend::Heap] {
+        let mut arenas = SimArenas::new();
+        let mut sim = golden::build_sim(Some(sched), &mut arenas);
+        sim.schedule_flow_stops(STOP_AT);
+        let paused = sim.advance_until(SimTime::from_ms(1), DRAIN_UNTIL);
+        assert!(
+            paused.is_none(),
+            "golden run should still be busy at the 1 ms pause point"
+        );
+        let bytes = sim.checkpoint().expect("checkpointable").to_bytes();
+        drop(sim);
+        let ckpt = Checkpoint::from_bytes(&bytes).expect("frame round-trips");
+        assert_eq!(ckpt.sim_time(), SimTime::from_ms(1));
+        let mut resumed = NetSim::resume(ckpt).expect("restorable");
+        let report = resumed.resume_run();
+        let d = golden::digest(&report);
+        assert_eq!(
+            d, GOLDEN_DIGEST,
+            "checkpoint/restore diverged under {sched:?}: {d:#018x}"
+        );
+        assert_eq!(report.seed, 42);
+    }
+}
+
+/// A checkpoint written under one configuration must refuse to pair with
+/// another, and the error must name both digests.
+#[test]
+fn resume_refuses_config_digest_mismatch() {
+    let mut arenas = SimArenas::new();
+    let mut sim = golden::build_sim(Some(SchedulerBackend::Wheel), &mut arenas);
+    sim.schedule_flow_stops(STOP_AT);
+    assert!(sim
+        .advance_until(SimTime::from_ms(1), DRAIN_UNTIL)
+        .is_none());
+    let ckpt = sim.checkpoint().expect("checkpointable");
+
+    let golden_cfg: SimConfig = sim.config().clone();
+    ckpt.verify_config(&golden_cfg).expect("same config passes");
+
+    let mut other = golden_cfg.clone();
+    other.seed = 43;
+    let err = ckpt.verify_config(&other).expect_err("must refuse");
+    match &err {
+        CheckpointError::ConfigDigestMismatch { checkpoint, live } => {
+            assert_ne!(checkpoint, live);
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&format!("{checkpoint:#018x}"))
+                    && msg.contains(&format!("{live:#018x}")),
+                "error must name both digests: {msg}"
+            );
+        }
+        other => panic!("wrong error: {other:?}"),
+    }
+}
+
+/// Any single corrupted byte in a checkpoint frame must surface as a
+/// typed error — never a panic, never a silently wrong resume.
+#[test]
+fn corrupted_checkpoint_bytes_are_rejected() {
+    let mut arenas = SimArenas::new();
+    let mut sim = golden::build_sim(Some(SchedulerBackend::Wheel), &mut arenas);
+    sim.schedule_flow_stops(STOP_AT);
+    assert!(sim
+        .advance_until(SimTime::from_ms(1), DRAIN_UNTIL)
+        .is_none());
+    let bytes = sim.checkpoint().expect("checkpointable").to_bytes();
+    // Flip one bit at a spread of offsets covering magic, header, payload
+    // and checksum.
+    for at in [0, 7, 20, 27, bytes.len() / 2, bytes.len() - 1] {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x10;
+        assert!(
+            Checkpoint::from_bytes(&bad).is_err(),
+            "bit flip at {at} went undetected"
+        );
+    }
+    // Truncation at every prefix of the header and a few payload points.
+    for len in (0..32).chain([bytes.len() / 2, bytes.len() - 1]) {
+        assert!(
+            Checkpoint::from_bytes(&bytes[..len]).is_err(),
+            "truncation to {len} bytes went undetected"
+        );
+    }
 }

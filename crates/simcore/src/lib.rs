@@ -28,6 +28,7 @@ pub mod event;
 pub mod rng;
 pub mod scratch;
 pub mod series;
+pub mod snap;
 pub mod time;
 pub mod units;
 pub mod wheel;

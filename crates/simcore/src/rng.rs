@@ -19,6 +19,14 @@ impl SimRng {
         SimRng { state: seed }
     }
 
+    /// The raw internal state. SplitMix64 advances by adding a constant
+    /// *before* mixing, so `SimRng::new(rng.state())` continues the exact
+    /// stream — which is what lets a checkpoint capture and resume every
+    /// RNG mid-run.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Derive an independent child stream, e.g. one per flow or per port.
     /// The child's stream is decorrelated from the parent's continuation.
     pub fn fork(&mut self, salt: u64) -> SimRng {
@@ -83,6 +91,22 @@ impl SimRng {
             let j = self.gen_range(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
+    }
+}
+
+/// Serializes as the bare state word; restoring continues the stream
+/// exactly (see [`SimRng::state`]).
+impl serde::Serialize for SimRng {
+    fn to_value(&self) -> serde::value::Value {
+        serde::Serialize::to_value(&self.state)
+    }
+}
+
+impl serde::Deserialize for SimRng {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        Ok(SimRng {
+            state: serde::Deserialize::from_value(v)?,
+        })
     }
 }
 
@@ -200,6 +224,27 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn state_capture_resumes_the_exact_stream() {
+        let mut a = SimRng::new(42);
+        for _ in 0..57 {
+            a.next_u64();
+        }
+        let mut resumed = SimRng::new(a.state());
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), resumed.next_u64());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_state() {
+        let mut a = SimRng::new(9);
+        a.next_u64();
+        let v = serde::Serialize::to_value(&a);
+        let mut b: SimRng = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! Versioned binary snapshot framing for crash-safe checkpoints.
+//!
+//! A checkpoint file is a `pfcsim-checkpoint/1` frame: a magic string, the
+//! configuration digest of the run that wrote it, a length-prefixed binary
+//! encoding of a [`Value`] tree (the serialized simulator state), and a
+//! trailing FNV-1a checksum over everything before it. The encoding is
+//! fully deterministic — integers are fixed-width little-endian, floats
+//! are written via [`f64::to_bits`] so restore is bit-exact — which is
+//! what lets a resumed run reproduce the exact digest of an uninterrupted
+//! one.
+//!
+//! Corruption never panics: truncation, a foreign magic, a flipped bit,
+//! or a malformed payload all surface as a typed [`SnapError`].
+
+use serde::value::{Number, Value};
+
+/// Magic prefix of every checkpoint frame (also its format version).
+pub const MAGIC: &[u8; 19] = b"pfcsim-checkpoint/1";
+
+/// Why a checkpoint frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The byte stream ended before the frame (or a value inside it) did.
+    Truncated,
+    /// The frame does not start with [`MAGIC`] — not a checkpoint, or a
+    /// different format version.
+    BadMagic,
+    /// The trailing FNV-1a checksum does not match the frame contents.
+    ChecksumMismatch {
+        /// Checksum stored in the frame.
+        stored: u64,
+        /// Checksum recomputed over the frame contents.
+        computed: u64,
+    },
+    /// The payload bytes are not a valid value encoding.
+    Malformed(String),
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::Truncated => write!(f, "checkpoint truncated"),
+            SnapError::BadMagic => write!(
+                f,
+                "not a {} frame",
+                std::str::from_utf8(MAGIC).expect("magic is ascii")
+            ),
+            SnapError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapError::Malformed(why) => write!(f, "malformed checkpoint payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// FNV-1a 64-bit hash (the workspace's standard content digest).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+// Value-encoding tag bytes.
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_POS_INT: u8 = 3;
+const TAG_NEG_INT: u8 = 4;
+const TAG_FLOAT: u8 = 5;
+const TAG_STRING: u8 = 6;
+const TAG_ARRAY: u8 = 7;
+const TAG_OBJECT: u8 = 8;
+
+/// Append the deterministic binary encoding of `v` to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Number(Number::PosInt(n)) => {
+            out.push(TAG_POS_INT);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::Number(Number::NegInt(n)) => {
+            out.push(TAG_NEG_INT);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::Number(Number::Float(x)) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(TAG_STRING);
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Object(pairs) => {
+            out.push(TAG_OBJECT);
+            out.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+            for (k, item) in pairs {
+                out.extend_from_slice(&(k.len() as u64).to_le_bytes());
+                out.extend_from_slice(k.as_bytes());
+                encode_value(item, out);
+            }
+        }
+    }
+}
+
+/// FNV-1a digest of `v`'s binary encoding — the workspace's canonical
+/// structural digest (used to fingerprint a run's configuration).
+pub fn value_digest(v: &Value) -> u64 {
+    let mut bytes = Vec::new();
+    encode_value(v, &mut bytes);
+    fnv1a(&bytes)
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], SnapError> {
+    let end = pos.checked_add(n).ok_or(SnapError::Truncated)?;
+    if end > buf.len() {
+        return Err(SnapError::Truncated);
+    }
+    let out = &buf[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+fn take_u64(buf: &[u8], pos: &mut usize) -> Result<u64, SnapError> {
+    let bytes = take(buf, pos, 8)?;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+fn take_len(buf: &[u8], pos: &mut usize) -> Result<usize, SnapError> {
+    let n = take_u64(buf, pos)?;
+    // A length can never exceed the bytes remaining (each element costs at
+    // least one byte), so an absurd prefix is corruption, not an OOM.
+    if n > (buf.len() - *pos) as u64 {
+        return Err(SnapError::Truncated);
+    }
+    Ok(n as usize)
+}
+
+fn take_string(buf: &[u8], pos: &mut usize) -> Result<String, SnapError> {
+    let n = take_len(buf, pos)?;
+    let bytes = take(buf, pos, n)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| SnapError::Malformed("non-UTF-8 string".into()))
+}
+
+/// Decode one value starting at `pos`, advancing it past the value.
+pub fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value, SnapError> {
+    let tag = take(buf, pos, 1)?[0];
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_POS_INT => Ok(Value::Number(Number::PosInt(take_u64(buf, pos)?))),
+        TAG_NEG_INT => Ok(Value::Number(Number::NegInt(take_u64(buf, pos)? as i64))),
+        TAG_FLOAT => Ok(Value::Number(Number::Float(f64::from_bits(take_u64(
+            buf, pos,
+        )?)))),
+        TAG_STRING => Ok(Value::String(take_string(buf, pos)?)),
+        TAG_ARRAY => {
+            let n = take_len(buf, pos)?;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(decode_value(buf, pos)?);
+            }
+            Ok(Value::Array(items))
+        }
+        TAG_OBJECT => {
+            let n = take_len(buf, pos)?;
+            let mut pairs = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let key = take_string(buf, pos)?;
+                let val = decode_value(buf, pos)?;
+                pairs.push((key, val));
+            }
+            Ok(Value::Object(pairs))
+        }
+        other => Err(SnapError::Malformed(format!("unknown value tag {other}"))),
+    }
+}
+
+/// Encode a complete checkpoint frame: magic, `config_digest`, the
+/// length-prefixed payload encoding, and a trailing FNV-1a checksum over
+/// everything before it.
+pub fn encode_frame(config_digest: u64, payload: &Value) -> Vec<u8> {
+    let mut body = Vec::new();
+    encode_value(payload, &mut body);
+    let mut out = Vec::with_capacity(MAGIC.len() + 24 + body.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&config_digest.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decode and fully validate a checkpoint frame, returning the stored
+/// config digest and the payload value. Every corruption mode maps to a
+/// typed [`SnapError`]; this function never panics on untrusted bytes.
+pub fn decode_frame(bytes: &[u8]) -> Result<(u64, Value), SnapError> {
+    if bytes.len() < MAGIC.len() {
+        // Too short to even say what it is — but if what's there doesn't
+        // match the magic prefix, "wrong format" is the better diagnosis.
+        if MAGIC.starts_with(bytes) {
+            return Err(SnapError::Truncated);
+        }
+        return Err(SnapError::BadMagic);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let mut pos = MAGIC.len();
+    let config_digest = take_u64(bytes, &mut pos)?;
+    let payload_len = take_u64(bytes, &mut pos)?;
+    let expected_total = (pos as u64)
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(8))
+        .ok_or(SnapError::Truncated)?;
+    if (bytes.len() as u64) < expected_total {
+        return Err(SnapError::Truncated);
+    }
+    if bytes.len() as u64 != expected_total {
+        return Err(SnapError::Malformed(format!(
+            "trailing garbage: frame says {expected_total} bytes, file has {}",
+            bytes.len()
+        )));
+    }
+    let checksum_at = bytes.len() - 8;
+    let stored = u64::from_le_bytes(bytes[checksum_at..].try_into().expect("8 bytes"));
+    let computed = fnv1a(&bytes[..checksum_at]);
+    if stored != computed {
+        return Err(SnapError::ChecksumMismatch { stored, computed });
+    }
+    let payload = decode_value(bytes, &mut pos)?;
+    if pos != checksum_at {
+        return Err(SnapError::Malformed(
+            "payload length disagrees with its encoding".into(),
+        ));
+    }
+    Ok((config_digest, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::Object(vec![
+            ("n".into(), Value::Number(Number::PosInt(u64::MAX))),
+            ("i".into(), Value::Number(Number::NegInt(-42))),
+            (
+                "f".into(),
+                Value::Number(Number::Float(0.1 + 0.2)), // non-representable sum
+            ),
+            ("s".into(), Value::String("paused ×2".into())),
+            ("b".into(), Value::Bool(true)),
+            ("z".into(), Value::Null),
+            (
+                "a".into(),
+                Value::Array(vec![
+                    Value::Number(Number::PosInt(1)),
+                    Value::Object(vec![("k".into(), Value::Bool(false))]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn value_round_trip_is_exact() {
+        let v = sample();
+        let mut bytes = Vec::new();
+        encode_value(&v, &mut bytes);
+        let mut pos = 0;
+        let back = decode_value(&bytes, &mut pos).unwrap();
+        assert_eq!(pos, bytes.len());
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn float_bits_survive() {
+        for x in [0.0, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300] {
+            let mut bytes = Vec::new();
+            encode_value(&Value::Number(Number::Float(x)), &mut bytes);
+            let mut pos = 0;
+            match decode_value(&bytes, &mut pos).unwrap() {
+                Value::Number(Number::Float(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let v = sample();
+        let frame = encode_frame(0xDEAD_BEEF, &v);
+        let (digest, back) = decode_frame(&frame).unwrap();
+        assert_eq!(digest, 0xDEAD_BEEF);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let frame = encode_frame(7, &sample());
+        for len in 0..frame.len() {
+            let err = decode_frame(&frame[..len]).unwrap_err();
+            assert!(
+                matches!(err, SnapError::Truncated | SnapError::BadMagic),
+                "prefix of {len} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let frame = encode_frame(7, &sample());
+        // Flip one bit in every byte position; none may decode cleanly.
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                decode_frame(&bad).is_err(),
+                "flip at byte {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_bytes_are_bad_magic_not_panic() {
+        assert_eq!(
+            decode_frame(b"not a checkpoint at all"),
+            Err(SnapError::BadMagic)
+        );
+        assert_eq!(decode_frame(b""), Err(SnapError::Truncated));
+        assert_eq!(decode_frame(b"pfcsim-chec"), Err(SnapError::Truncated));
+    }
+
+    #[test]
+    fn trailing_garbage_is_malformed() {
+        let mut frame = encode_frame(7, &sample());
+        frame.extend_from_slice(b"extra");
+        assert!(matches!(decode_frame(&frame), Err(SnapError::Malformed(_))));
+    }
+
+    #[test]
+    fn value_digest_is_stable_and_sensitive() {
+        let a = value_digest(&sample());
+        assert_eq!(a, value_digest(&sample()));
+        let mut other = sample();
+        if let Value::Object(pairs) = &mut other {
+            pairs[0].1 = Value::Number(Number::PosInt(1));
+        }
+        assert_ne!(a, value_digest(&other));
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_without_allocation() {
+        // TAG_ARRAY claiming u64::MAX elements.
+        let mut bytes = vec![TAG_ARRAY];
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut pos = 0;
+        assert_eq!(decode_value(&bytes, &mut pos), Err(SnapError::Truncated));
+    }
+}

@@ -498,6 +498,16 @@ impl WheelState {
         self.cur = 0;
     }
 
+    /// Park the cursor at an arbitrary tick on an *empty* index — the
+    /// checkpoint-restore path, which re-inserts a snapshot's events after
+    /// placing the cursor at the snapshot's current time. Every restored
+    /// event's tick is `>=` the restored cursor, so the level-placement
+    /// invariant holds exactly as in a live run.
+    pub(crate) fn set_cursor(&mut self, tick: u64) {
+        debug_assert_eq!(self.wheel_len + self.overflow.len(), 0);
+        self.cur = tick;
+    }
+
     // ---- overflow tier: 4-ary min-heap by (time, seq) ----------------
 
     #[inline]
