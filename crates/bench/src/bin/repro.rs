@@ -76,7 +76,7 @@ fn verify(topo_name: &str, routing: &str) -> ! {
 fn usage() -> ! {
     eprintln!(
         "usage: repro <all|fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations|recovery|fluid|flooding|faults|verify|bench|metrics|trace|golden|resume|chaos> \
-         [--quick] [--json DIR] [--csv DIR] [--out PATH]"
+         [--quick] [--json DIR] [--csv DIR] [--out PATH] [--gate]"
     );
     std::process::exit(2);
 }
@@ -541,10 +541,15 @@ fn trace(quick: bool, out: &str) -> ! {
     std::process::exit(0);
 }
 
-/// `repro bench [--quick] [--out PATH]` — run the engine micro-benchmarks
-/// plus a wall-clock measurement of `repro all --quick`, and write the
-/// machine-readable baseline (default `BENCH_engine.json`).
-fn bench(quick: bool, out: &str) -> ! {
+/// `repro bench [--quick] [--out PATH] [--gate]` — run the engine
+/// micro-benchmarks plus a wall-clock measurement of `repro all --quick`,
+/// and write the machine-readable baseline (default `BENCH_engine.json`).
+///
+/// With `--gate`, also compare each workload's events/sec against the
+/// committed baseline and exit non-zero if any regresses by more than
+/// [`GATE_REGRESSION_PCT`] percent. Workloads absent from the baseline
+/// are reported as new and do not gate.
+fn bench(quick: bool, out: &str, gate: bool) -> ! {
     use pfcsim_experiments::enginebench::run_engine_benches;
     use pfcsim_simcore::event::Backend;
     use serde_json::{to_value, Value};
@@ -566,13 +571,13 @@ fn bench(quick: bool, out: &str) -> ! {
         .or_else(|_| std::fs::read_to_string("BENCH_engine.json"))
         .ok()
         .and_then(|s| serde_json::from_str(&s).ok());
-    let baseline_mean = |name: &str| -> Option<f64> {
+    let baseline_field = |name: &str, field: &str| -> Option<f64> {
         let benches = baseline.as_ref()?.get("benches")?.as_array()?;
         let lookup = |n: &str| {
             benches
                 .iter()
                 .find(|b| b.get("name").and_then(Value::as_str) == Some(n))
-                .and_then(|b| b.get("mean_seconds"))
+                .and_then(|b| b.get(field))
                 .and_then(Value::as_f64)
         };
         lookup(name).or_else(|| {
@@ -582,6 +587,7 @@ fn bench(quick: bool, out: &str) -> ! {
             lookup(&format!("event_queue/{rest}"))
         })
     };
+    let baseline_mean = |name: &str| baseline_field(name, "mean_seconds");
 
     // Which event-queue backend the macro workloads ran under: the
     // per-backend micro-benchmarks pin their own, everything else uses
@@ -602,6 +608,9 @@ fn bench(quick: bool, out: &str) -> ! {
         "engine benchmarks (scheduler default: {}):",
         default_backend.name()
     );
+    // Workloads whose throughput regressed past the gate threshold,
+    // as (name, current events/sec, baseline events/sec).
+    let mut regressions: Vec<(String, f64, f64)> = Vec::new();
     for r in &results {
         let delta = match baseline_mean(&r.name) {
             Some(b) if b > 0.0 => {
@@ -616,6 +625,16 @@ fn bench(quick: bool, out: &str) -> ! {
             scheduler_of(&r.name),
             delta
         );
+        if gate {
+            if let (Some(base_eps), Some(eps)) = (
+                baseline_field(&r.name, "events_per_sec"),
+                r.elements_per_sec(),
+            ) {
+                if base_eps > 0.0 && eps < base_eps * (1.0 - GATE_REGRESSION_PCT / 100.0) {
+                    regressions.push((r.name.clone(), eps, base_eps));
+                }
+            }
+        }
     }
 
     // Wall-clock the full quick regeneration in-process, serial and at
@@ -651,13 +670,14 @@ fn bench(quick: bool, out: &str) -> ! {
                 ("name", val(&r.name)),
                 ("scheduler", val(scheduler_of(&r.name))),
                 ("mean_seconds", val(r.mean_seconds)),
+                ("stddev_seconds", val(r.stddev_seconds)),
                 ("iters", val(r.iters as u64)),
                 ("events_per_sec", val(r.elements_per_sec())),
             ])
         })
         .collect();
     let doc = obj(vec![
-        ("schema", val("pfcsim-bench/3")),
+        ("schema", val("pfcsim-bench/4")),
         ("quick", val(quick)),
         ("scheduler_default", val(default_backend.name())),
         ("threads", val(threads as u64)),
@@ -709,8 +729,45 @@ fn bench(quick: bool, out: &str) -> ! {
         eprintln!("error: serial and parallel reports diverge — sweep determinism is broken");
         std::process::exit(1);
     }
+    if gate {
+        if baseline.is_none() {
+            eprintln!(
+                "error: --gate requested but no baseline could be read \
+                 ({out} or BENCH_engine.json)"
+            );
+            std::process::exit(1);
+        }
+        if regressions.is_empty() {
+            println!(
+                "perf gate: PASS (no workload regressed more than {GATE_REGRESSION_PCT:.0}% \
+                 events/sec vs baseline)"
+            );
+        } else {
+            eprintln!(
+                "perf gate: FAIL — {} workload(s) regressed more than {GATE_REGRESSION_PCT:.0}% \
+                 events/sec vs baseline:",
+                regressions.len()
+            );
+            for (name, eps, base) in &regressions {
+                eprintln!(
+                    "  {:<48} {:>8.2}M ev/s vs baseline {:>8.2}M ev/s ({:+.1}%)",
+                    name,
+                    eps / 1e6,
+                    base / 1e6,
+                    (eps / base - 1.0) * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
     std::process::exit(0);
 }
+
+/// `repro bench --gate` fails when a workload's events/sec drops more than
+/// this percentage below the committed baseline. Generous enough to ride
+/// out scheduler noise on shared CI runners, tight enough to catch a real
+/// hot-path regression (which in this engine is rarely subtle).
+const GATE_REGRESSION_PCT: f64 = 15.0;
 
 /// Run `f` with `PFCSIM_THREADS` pinned to `n`, restoring it after.
 fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
@@ -758,7 +815,8 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .map(String::as_str)
             .unwrap_or("BENCH_engine.json");
-        bench(quick, out);
+        let gate = args.iter().any(|a| a == "--gate");
+        bench(quick, out, gate);
     }
     if cmd == "metrics" || cmd == "trace" {
         let out = args

@@ -8,9 +8,10 @@
 //!
 //! * `event_queue/{wheel,heap}_schedule_pop_10k` — the scheduler alone,
 //!   once per backend;
-//! * `event_queue/{wheel,heap}_pause_timer_churn_10k` — short-deadline
-//!   timers that are mostly cancelled before firing, the PFC pause-timer
-//!   access pattern;
+//! * `event_queue/{wheel,heap}_pause_timer_churn_10k` — per-channel
+//!   short-deadline timers refreshed in place (`reschedule`), with
+//!   occasional fires and cancels: the coalesced PFC pause-timer access
+//!   pattern of the datapath;
 //! * `datapath/line2_saturated_1ms` — full per-packet pipeline on the
 //!   smallest topology that exercises PFC;
 //! * `telemetry/line2_off_1ms` — the same line with telemetry explicitly
@@ -54,25 +55,36 @@ fn event_queue_bench(c: &mut Criterion, samples: usize) {
                 black_box(sum)
             })
         });
-        // Pause timers are scheduled a quantum ahead and usually cancelled
-        // when XON arrives first: short deadlines, high cancel ratio.
+        // The coalesced PFC pause-timer pattern: each channel keeps at
+        // most one pending expiry, and every pause refresh *reschedules*
+        // it in place (a possibly-dead handle replaced by a fresh
+        // schedule); timers occasionally fire (pop) or are cancelled on
+        // RESUME. Short deadlines, high refresh ratio.
         g.bench_function(&format!("{}_pause_timer_churn_10k", backend.name()), |b| {
             b.iter(|| {
+                const CHANNELS: usize = 64;
                 let mut q = EventQueue::with_backend(backend);
                 let mut rng = SimRng::new(11);
-                let mut pending: Vec<EventId> = Vec::new();
+                let mut slot: [Option<EventId>; CHANNELS] = [None; CHANNELS];
                 let mut sum = 0u64;
                 for i in 0..10_000u64 {
-                    if i % 2 == 0 {
+                    if i % 4 == 0 {
                         if let Some((_, v)) = q.pop() {
                             sum = sum.wrapping_add(v);
                         }
                     }
-                    let delta = SimDuration::from_ns(1 + rng.gen_range(65_536));
-                    pending.push(q.schedule(q.now() + delta, i));
-                    if pending.len() >= 8 {
-                        let ix = rng.gen_range(pending.len() as u64) as usize;
-                        q.cancel(pending.swap_remove(ix));
+                    let ch = rng.gen_range(CHANNELS as u64) as usize;
+                    let deadline = q.now() + SimDuration::from_ns(1 + rng.gen_range(65_536));
+                    match slot[ch] {
+                        Some(id) if q.reschedule(id, deadline) => {}
+                        _ => slot[ch] = Some(q.schedule(deadline, ch as u64)),
+                    }
+                    if i % 16 == 15 {
+                        // RESUME arrived first: cancel the channel's timer.
+                        let ch = rng.gen_range(CHANNELS as u64) as usize;
+                        if let Some(id) = slot[ch].take() {
+                            q.cancel(id);
+                        }
                     }
                 }
                 while let Some((_, v)) = q.pop() {
@@ -271,7 +283,10 @@ pub fn bench_arena_reuse(c: &mut Criterion) {
 /// numbers are returned).
 pub fn run_engine_benches(quick: bool) -> Vec<BenchResult> {
     let _ = take_results();
-    let (s_small, s_big) = if quick { (2, 2) } else { (5, 10) };
+    // Median-of-N with an untimed warm-up (see the criterion stub): odd
+    // sample counts make the median a single real measurement, and even
+    // the quick tier takes enough samples for a defensible stddev.
+    let (s_small, s_big) = if quick { (3, 5) } else { (7, 15) };
     let mut c = Criterion::default();
     event_queue_bench(&mut c, s_big);
     line_forwarding_bench(&mut c, s_small.max(3));

@@ -53,7 +53,7 @@ use crate::host::{FlowRt, Host};
 use crate::packet::{Frame, Packet};
 use crate::sim::{Ev, NetSim, RebootState, RouteUpdate};
 use crate::stats::{FlowStats, IngressKey, NetStats, PauseKey};
-use crate::switch::Switch;
+use crate::switch::{Switch, TxPause};
 use crate::telemetry::TelemetrySnapshot;
 use crate::timely::TimelyConfig;
 
@@ -158,6 +158,8 @@ pub struct Checkpoint {
     // --- network state ---
     pub(crate) switches: Vec<Option<Switch>>,
     pub(crate) hosts: Vec<Option<Host>>,
+    /// Dense per-channel transmitter pause state (see `NetSim::tx_pause`).
+    pub(crate) tx_pause: Vec<TxPause>,
     pub(crate) switch_pfc: Vec<Option<PfcConfig>>,
     pub(crate) host_in_flight: Vec<Option<Packet>>,
     pub(crate) frames: Vec<Frame>,

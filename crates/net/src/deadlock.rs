@@ -110,14 +110,14 @@ pub(crate) struct DeadlockTracker {
 }
 
 impl DeadlockTracker {
-    pub(crate) fn new(topo: &Topology, port_info: &[Vec<PortInfo>]) -> Self {
+    pub(crate) fn new(topo: &Topology, port_info: &[PortInfo], sim_port_base: &[u32]) -> Self {
         let n_nodes = topo.node_count();
         let mut port_base = Vec::with_capacity(n_nodes);
         let mut n_ports = Vec::with_capacity(n_nodes);
         let mut total = 0u32;
         for n in 0..n_nodes {
             port_base.push(total);
-            let p = port_info[n].len();
+            let p = (sim_port_base[n + 1] - sim_port_base[n]) as usize;
             n_ports.push(p as u16);
             total += p as u32;
         }
@@ -128,7 +128,8 @@ impl DeadlockTracker {
         let mut candidate = DenseBitSet::new(n_slots);
         for n in 0..n_nodes {
             let is_switch = topo.node(NodeId(n as u32)).kind == NodeKind::Switch;
-            for (p, info) in port_info[n].iter().enumerate() {
+            let ports = &port_info[sim_port_base[n] as usize..sim_port_base[n + 1] as usize];
+            for (p, info) in ports.iter().enumerate() {
                 let s = port_base[n] as usize + p;
                 slot_node[s] = n as u32;
                 slot_port[s] = p as u16;
@@ -449,7 +450,7 @@ impl NetSim {
     }
 
     fn peer_of(&self, node: NodeId, port: PortNo) -> NodeId {
-        self.port_info[node.0 as usize][port.0 as usize].peer
+        self.pinfo(node, port).peer
     }
 
     /// The highest XON this ingress could ever see while `stuck_at_node`
@@ -494,7 +495,7 @@ impl NetSim {
             if self.topo.node(epeer).kind != NodeKind::Switch {
                 continue;
             }
-            let epeer_port = self.port_info[ch.node.0 as usize][e].peer_port;
+            let epeer_port = self.pinfo(ch.node, PortNo(e as u16)).peer_port;
             let downstream = Chan {
                 node: epeer,
                 port: epeer_port,
@@ -524,7 +525,7 @@ impl NetSim {
                 }
                 let downstream = Chan {
                     node: epeer,
-                    port: self.port_info[ch.node.0 as usize][e].peer_port,
+                    port: self.pinfo(ch.node, PortNo(e as u16)).peer_port,
                     prio: ch.prio,
                 };
                 if let Some(&j) = index.get(&downstream) {

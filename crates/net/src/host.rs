@@ -12,10 +12,9 @@ use serde::{Deserialize, Serialize};
 
 use pfcsim_simcore::time::SimTime;
 use pfcsim_simcore::units::Bytes;
-use pfcsim_topo::ids::{FlowId, NodeId, Priority};
+use pfcsim_topo::ids::{FlowId, NodeId};
 
 use crate::packet::Packet;
-use crate::switch::TxPause;
 
 /// Host/NIC state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -26,8 +25,6 @@ pub struct Host {
     pub rr: VecDeque<FlowId>,
     /// NIC is serializing a frame.
     pub busy: bool,
-    /// Pause state per priority (set by PFC from the ToR).
-    pub paused: [TxPause; Priority::COUNT],
     /// A HostWake event is pending at this time (dedup).
     pub wake_at: Option<SimTime>,
     /// Bytes received (sink side).
@@ -41,7 +38,6 @@ impl Host {
             node,
             rr: VecDeque::new(),
             busy: false,
-            paused: [TxPause::Open; Priority::COUNT],
             wake_at: None,
             received: Bytes::ZERO,
         }

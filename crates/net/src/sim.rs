@@ -53,7 +53,18 @@ pub(crate) struct PortInfo {
     pub rate: BitRate,
     pub delay: SimDuration,
     pub link: LinkId,
+    /// `rate.serialization_time(cfg.default_packet_size)`, cached because
+    /// the u128 division behind `serialization_time` is a per-packet cost
+    /// on the datapath and almost every frame is default-sized.
+    pub ser_default: SimDuration,
 }
+
+/// Train capacity: completions beyond this take the regular queue
+/// path. Every busy port keeps at most one completion in flight, so on
+/// small fabrics the train holds everything; on wide ones the cap
+/// bounds the min-heap's sift depth — past a few dozen residents the
+/// sift costs more than the wheel insert it replaces.
+const TRAIN_CAP: usize = 16;
 
 /// Simulator events.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -405,7 +416,28 @@ pub struct NetSim {
     pub(crate) topo: Topology,
     pub(crate) cfg: SimConfig,
     pub(crate) tables: ForwardingTables,
-    pub(crate) port_info: Vec<Vec<PortInfo>>,
+    /// Flat struct-of-arrays port table: all ports of node `n` occupy the
+    /// contiguous range `port_base[n]..port_base[n + 1]`. One bounds check
+    /// and no nested-Vec pointer chase on the per-packet paths.
+    pub(crate) port_info: Vec<PortInfo>,
+    /// `port_base[n]` = global index of node `n`'s port 0; has
+    /// `n_nodes + 1` entries so `port_base[n + 1] - port_base[n]` is the
+    /// port count.
+    pub(crate) port_base: Vec<u32>,
+    /// Struct-of-arrays pause state: transmitter `(node, port, prio)` is
+    /// paused when `tx_pause[pid(node, port) * Priority::COUNT + prio]`
+    /// says so (set by PFC frames from the downstream receiver). Hosts
+    /// use port 0. Lives here rather than in `Egress`/`Host` so the
+    /// per-packet eligibility checks walk one dense array.
+    pub(crate) tx_pause: Vec<TxPause>,
+    /// Per-channel handle of the pending quanta `PauseExpire` timer,
+    /// parallel to `tx_pause`. A pause refresh *reschedules* this event
+    /// in place instead of piling a new timer per PFC frame onto the
+    /// queue. Entries may be stale (the event already fired or was
+    /// popped); `EventQueue::reschedule` rejects dead handles, so the
+    /// slot self-heals on the next refresh. Not checkpointed — rebuilt
+    /// from the restored queue's live `PauseExpire` entries.
+    pause_timer: Vec<Option<pfcsim_simcore::event::EventId>>,
     pub(crate) switches: Vec<Option<Switch>>,
     pub(crate) hosts: Vec<Option<Host>>,
     /// Per-switch PFC override, indexed by node id (`None` = global cfg).
@@ -435,6 +467,34 @@ pub struct NetSim {
     frame_free: Vec<u32>,
     queue: EventQueue<Ev>,
     meaningful: u64,
+    /// Serialization train: pending tx-completion events, parked
+    /// outside the main event queue in a small binary min-heap ordered
+    /// by `(time, seq)`. Each entry carries a sequence number reserved
+    /// at schedule time, so the queue and the train together partition
+    /// one totally ordered event stream; the step loop pops whichever
+    /// side holds the global minimum. Every busy port keeps roughly
+    /// one completion parked here, so the heap stays a few cache lines
+    /// wide and a park/run-inline pair costs a handful of compares —
+    /// instead of a wheel insert, min-search and unlink per
+    /// completion. The pop stream is bit-identical to the unbatched
+    /// engine by construction, and the train is flushed back into the
+    /// queue (under the reserved sequence numbers) on every step-loop
+    /// return, so truncation, checkpoint and the golden digest need no
+    /// special cases: the train is always empty between steps.
+    train: Vec<(SimTime, u64, Ev)>,
+    /// The deferred-pop hold: the queue's minimum, popped with the
+    /// clock and wheel cursor *not yet advanced*, while parked train
+    /// entries that precede it run inline. Scheduling during that
+    /// drain routes anything ordering before the held key into the
+    /// train ([`Self::sched`]), so the wheel never holds an event the
+    /// commit would jump past; a handler that needs a live queue
+    /// handle for an earlier event (a pause timer) demotes the hold
+    /// back into the queue instead. Always `None` between step-loop
+    /// iterations.
+    hold: Option<(SimTime, u64, Ev)>,
+    /// `PFCSIM_NO_TRAINS` kill switch (and A/B lever for the
+    /// batched-vs-unbatched equivalence tests).
+    trains_enabled: bool,
     pub(crate) stats: NetStats,
     rng: SimRng,
     next_pkt_id: u64,
@@ -542,25 +602,23 @@ impl NetSim {
         } else {
             None
         };
-        let port_info: Vec<Vec<PortInfo>> = topo
-            .nodes()
-            .iter()
-            .map(|n| {
-                topo.ports(n.id)
-                    .iter()
-                    .map(|p| {
-                        let l = topo.link(p.link);
-                        PortInfo {
-                            peer: p.peer,
-                            peer_port: p.peer_port,
-                            rate: l.rate,
-                            delay: l.delay,
-                            link: p.link,
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut port_info: Vec<PortInfo> = Vec::new();
+        let mut port_base: Vec<u32> = Vec::with_capacity(topo.node_count() + 1);
+        for n in topo.nodes() {
+            port_base.push(port_info.len() as u32);
+            for p in topo.ports(n.id) {
+                let l = topo.link(p.link);
+                port_info.push(PortInfo {
+                    peer: p.peer,
+                    peer_port: p.peer_port,
+                    rate: l.rate,
+                    delay: l.delay,
+                    link: p.link,
+                    ser_default: l.rate.serialization_time(cfg.default_packet_size),
+                });
+            }
+        }
+        port_base.push(port_info.len() as u32);
         let switches = topo
             .nodes()
             .iter()
@@ -576,7 +634,7 @@ impl NetSim {
         let seed = cfg.seed;
         let quantum = cfg.default_packet_size.get();
         let n_nodes = topo.node_count();
-        let dl = DeadlockTracker::new(topo, &port_info);
+        let dl = DeadlockTracker::new(topo, &port_info, &port_base);
         // Scheduler: an explicit config knob wins, then the PFCSIM_SCHED
         // environment override, then the timing wheel. The wheel tick is
         // sized from the fastest link's serialization time for a
@@ -588,8 +646,7 @@ impl NetSim {
             .unwrap_or(Backend::Wheel);
         let tick_shift = port_info
             .iter()
-            .flatten()
-            .map(|p| p.rate.serialization_time(cfg.default_packet_size))
+            .map(|p| p.ser_default)
             .min()
             .map(tick_shift_for_quantum)
             .unwrap_or(DEFAULT_TICK_SHIFT);
@@ -597,7 +654,10 @@ impl NetSim {
             topo: topo.clone(),
             cfg,
             tables,
+            tx_pause: vec![TxPause::Open; port_info.len() * Priority::COUNT],
+            pause_timer: vec![None; port_info.len() * Priority::COUNT],
             port_info,
+            port_base,
             switches,
             hosts,
             switch_pfc: refill(&mut arenas.switch_pfc, n_nodes, None),
@@ -612,6 +672,9 @@ impl NetSim {
             frame_free: take_cleared(&mut arenas.frame_free),
             queue: arenas.lease_queue(backend, tick_shift),
             meaningful: 0,
+            train: Vec::new(),
+            hold: None,
+            trains_enabled: std::env::var_os("PFCSIM_NO_TRAINS").is_none(),
             stats: NetStats::default(),
             rng: SimRng::new(seed),
             next_pkt_id: 0,
@@ -1282,29 +1345,108 @@ impl NetSim {
     fn step_until(&mut self, limit: SimTime) -> StepOutcome {
         loop {
             if self.cfg.max_events > 0 && self.events >= self.cfg.max_events {
+                self.truncate_batch();
                 return StepOutcome::MaxEvents;
             }
             if self.meaningful == 0 {
                 return StepOutcome::Quiesced;
             }
-            let Some((_, ev)) = self.queue.pop_before(limit) else {
-                // Beyond-limit events stay queued; an empty queue is
-                // quiescence.
+            // Pop the queue's minimum with the clock and wheel cursor
+            // deferred: parked train completions that precede it run
+            // inline first, each for a handful of heap compares
+            // instead of a queue insert + min-search + unlink. The pop
+            // stream stays bit-identical to the unbatched engine's —
+            // the queue and the train partition one totally ordered
+            // event stream, and every pop below takes the global
+            // minimum of the two.
+            let Some((key, ev)) = self.queue.pop_key_before_deferred(limit) else {
+                // Queue empty or beyond the limit. A parked completion
+                // at or before the limit is the global minimum: run
+                // one, then re-probe (its handler may queue earlier
+                // work). Parked entries beyond the limit truncate back
+                // into the queue and stay pending.
+                if let Some(&(at, _, _)) = self.train.first() {
+                    if at <= limit {
+                        let (at, _, tev) = self.train_pop().expect("train head exists");
+                        self.queue.advance_now(at);
+                        if self.step_one(tev) {
+                            return StepOutcome::DeadlockStop;
+                        }
+                        continue;
+                    }
+                    self.flush_train();
+                    return StepOutcome::LimitReached;
+                }
                 return if self.queue.peek_time().is_none() {
                     StepOutcome::Quiesced
                 } else {
                     StepOutcome::LimitReached
                 };
             };
-            if is_meaningful(&ev) {
-                self.meaningful -= 1;
+            // Fast path: nothing parked precedes the popped event —
+            // commit and dispatch without touching the hold slot.
+            if self
+                .train
+                .first()
+                .is_none_or(|&(at, seq, _)| (at, seq) >= key)
+            {
+                self.queue.commit_time(key.0);
+                if self.step_one(ev) {
+                    return StepOutcome::DeadlockStop;
+                }
+                continue;
             }
-            self.events += 1;
-            self.handle(ev);
-            if self.cfg.stop_on_deadlock && self.deadlock.is_some() {
-                return StepOutcome::DeadlockStop;
+            // Drain every parked completion that precedes the held
+            // event. `sched` routes anything scheduled before the held
+            // key into the train, so any concurrent PAUSE, fault,
+            // route write or sampling tick interleaves exactly as in
+            // the unbatched engine; a handler that must queue an
+            // earlier cancellable event (a pause timer) demotes the
+            // hold instead, ending the drain so the queue is re-probed.
+            self.hold = Some((key.0, key.1, ev));
+            loop {
+                let t_key = self.train.first().map(|&(at, seq, _)| (at, seq));
+                let h_key = self.hold.as_ref().map(|&(ht, hs, _)| (ht, hs));
+                let (Some(tk), Some(hk)) = (t_key, h_key) else {
+                    break;
+                };
+                if tk >= hk {
+                    break;
+                }
+                if self.cfg.max_events > 0 && self.events >= self.cfg.max_events {
+                    self.truncate_batch();
+                    return StepOutcome::MaxEvents;
+                }
+                let (at, _, tev) = self.train_pop().expect("train head exists");
+                self.queue.advance_now(at);
+                if self.step_one(tev) {
+                    return StepOutcome::DeadlockStop;
+                }
+            }
+            if let Some((ht, _, hev)) = self.hold.take() {
+                self.queue.commit_time(ht);
+                if self.step_one(hev) {
+                    return StepOutcome::DeadlockStop;
+                }
             }
         }
+    }
+
+    /// Count, dispatch, and deadlock-check one event. Returns `true`
+    /// if the step loop must stop (batch state already truncated back
+    /// into the queue).
+    #[inline]
+    fn step_one(&mut self, ev: Ev) -> bool {
+        if is_meaningful(&ev) {
+            self.meaningful -= 1;
+        }
+        self.events += 1;
+        self.handle(ev);
+        if self.cfg.stop_on_deadlock && self.deadlock.is_some() {
+            self.truncate_batch();
+            return true;
+        }
+        false
     }
 
     /// Close out the run and build the report (shared tail of every run
@@ -1419,7 +1561,125 @@ impl NetSim {
         if is_meaningful(&ev) {
             self.meaningful += 1;
         }
+        self.sched_queue_guarded(at, ev);
+    }
+
+    /// Schedule into the event queue — unless a deferred-pop hold is
+    /// active and the event orders before the held key, in which case
+    /// it parks in the train (ignoring [`TRAIN_CAP`]): it must run
+    /// before the held event, and the wheel must never receive an
+    /// entry the cursor commit would strand. An equal timestamp keeps
+    /// the queue path — its fresh sequence number orders it after the
+    /// held event.
+    #[inline]
+    fn sched_queue_guarded(&mut self, at: SimTime, ev: Ev) {
+        if let Some(&(ht, _, _)) = self.hold.as_ref() {
+            if at < ht {
+                let seq = self.queue.reserve_seq();
+                self.train_push(at, seq, ev);
+                return;
+            }
+        }
         self.queue.schedule(at, ev);
+    }
+
+    /// Schedule a serialization completion (`TxDone` / `HostTxDone`),
+    /// parking it in the train heap so the step loop can run it
+    /// inline. The sequence number is reserved here, so whether the
+    /// event is later handled inline or flushed into the queue, its pop
+    /// position — ties included — matches a plain [`Self::sched`] call
+    /// made right now.
+    #[inline]
+    fn sched_train(&mut self, at: SimTime, ev: Ev) {
+        debug_assert!(is_meaningful(&ev));
+        self.meaningful += 1;
+        if self.trains_enabled && self.train.len() < TRAIN_CAP {
+            let seq = self.queue.reserve_seq();
+            self.train_push(at, seq, ev);
+        } else {
+            self.sched_queue_guarded(at, ev);
+        }
+    }
+
+    /// Push onto the train min-heap (ordered by `(time, seq)`).
+    #[inline]
+    fn train_push(&mut self, at: SimTime, seq: u64, ev: Ev) {
+        let v = &mut self.train;
+        v.push((at, seq, ev));
+        let mut i = v.len() - 1;
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if (v[p].0, v[p].1) <= (v[i].0, v[i].1) {
+                break;
+            }
+            v.swap(i, p);
+            i = p;
+        }
+    }
+
+    /// Pop the train min-heap's `(time, seq)` minimum.
+    #[inline]
+    fn train_pop(&mut self) -> Option<(SimTime, u64, Ev)> {
+        let v = &mut self.train;
+        if v.is_empty() {
+            return None;
+        }
+        let min = v.swap_remove(0);
+        let n = v.len();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < n && (v[r].0, v[r].1) < (v[l].0, v[l].1) {
+                r
+            } else {
+                l
+            };
+            if (v[i].0, v[i].1) <= (v[c].0, v[c].1) {
+                break;
+            }
+            v.swap(i, c);
+            i = c;
+        }
+        Some(min)
+    }
+
+    /// Truncate the pending train: every parked completion re-enters
+    /// the event queue under its reserved sequence number. Must run
+    /// before any code that observes the queue as the complete set of
+    /// future events (checkpointing, finalize, early returns from the
+    /// step loop).
+    #[inline]
+    fn flush_train(&mut self) {
+        while let Some((at, seq, ev)) = self.train_pop() {
+            self.queue.schedule_at_seq(at, seq, ev);
+        }
+    }
+
+    /// Truncate *all* batching state — the deferred-pop hold and every
+    /// parked train completion — back into the event queue under exact
+    /// `(time, seq)` keys, restoring the queue as the complete set of
+    /// future events before an early step-loop return or a checkpoint.
+    fn truncate_batch(&mut self) {
+        if let Some((ht, hs, hev)) = self.hold.take() {
+            self.queue.schedule_at_seq(ht, hs, hev);
+        }
+        self.flush_train();
+    }
+
+    /// Test/ablation lever for the serialization-train fast path (also
+    /// reachable via the `PFCSIM_NO_TRAINS` environment variable).
+    /// Disabling mid-run truncates any parked completions into the
+    /// queue.
+    #[doc(hidden)]
+    pub fn set_trains_enabled(&mut self, on: bool) {
+        self.trains_enabled = on;
+        if !on {
+            self.flush_train();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1440,6 +1700,10 @@ impl NetSim {
                 "only a started, unfinished run can be checkpointed".into(),
             ));
         }
+        // The step loop truncates all batch state on every return, so
+        // this is a no-op between steps — kept as a guard so the queue
+        // snapshot below is always the complete set of future events.
+        self.truncate_batch();
         let telemetry = match self.telem.as_mut() {
             Some(t) => Some(t.snapshot().map_err(CheckpointError::Unsupported)?),
             None => None,
@@ -1462,6 +1726,7 @@ impl NetSim {
             events: self.events,
             switches: self.switches.clone(),
             hosts: self.hosts.clone(),
+            tx_pause: self.tx_pause.clone(),
             switch_pfc: self.switch_pfc.clone(),
             host_in_flight: self.host_in_flight.clone(),
             frames: self.frames.clone(),
@@ -1513,6 +1778,7 @@ impl NetSim {
             events,
             switches,
             hosts,
+            tx_pause,
             switch_pfc,
             host_in_flight,
             frames,
@@ -1605,6 +1871,24 @@ impl NetSim {
         sim.events = events;
         sim.switches = switches;
         sim.hosts = hosts;
+        if tx_pause.len() != sim.tx_pause.len() {
+            return Err(CheckpointError::Decode(format!(
+                "pause table sized {} but topology has {} channels",
+                tx_pause.len(),
+                sim.tx_pause.len()
+            )));
+        }
+        sim.tx_pause = tx_pause;
+        // Event handles do not survive serialization; re-key the quanta
+        // timer slots from the restored queue's live `PauseExpire`
+        // entries (coalescing keeps at most one pending per channel).
+        let mut timers = std::mem::take(&mut sim.pause_timer);
+        sim.queue.for_each_live(|id, _, ev| {
+            if let Ev::PauseExpire { node, port, prio } = *ev {
+                timers[sim.chan(node, port, prio as usize)] = Some(id);
+            }
+        });
+        sim.pause_timer = timers;
         sim.switch_pfc = switch_pfc;
         sim.host_in_flight = host_in_flight;
         sim.frames = frames;
@@ -1884,7 +2168,9 @@ impl NetSim {
             let fi = self.fidx(f);
             let spec = &self.flows[fi];
             let rt = &self.rt[fi];
-            if self.cfg.host_respects_pfc && h.paused[spec.priority.index()].is_paused(now) {
+            if self.cfg.host_respects_pfc
+                && self.tx_pause[self.chan(host, PortNo(0), spec.priority.index())].is_paused(now)
+            {
                 continue;
             }
             let ready = match spec.demand {
@@ -1963,19 +2249,19 @@ impl NetSim {
                 .pop_front()
                 .expect("ready tick-driven flow has backlog"),
         };
-        let info = self.port_info[host.0 as usize][0];
-        let ser = info.rate.serialization_time(pkt.size);
+        let info = self.pinfo(host, PortNo(0));
+        let ser = Self::ser_time(info, pkt.size, self.cfg.default_packet_size);
         let h = self.hosts[host.0 as usize].as_mut().expect("host");
         h.busy = true;
         self.host_in_flight[host.0 as usize] = Some(pkt);
-        self.sched(now + ser, Ev::HostTxDone { host });
+        self.sched_train(now + ser, Ev::HostTxDone { host });
     }
 
     fn on_host_tx_done(&mut self, host: NodeId) {
         let Some(pkt) = self.host_in_flight[host.0 as usize].take() else {
             return; // destroyed by a fault mid-serialization
         };
-        let info = self.port_info[host.0 as usize][0];
+        let info = *self.pinfo(host, PortNo(0));
         if self.link_ok(host, PortNo(0)) {
             let frame = self.frame_alloc(Frame::Data(pkt));
             self.sched(
@@ -2082,40 +2368,39 @@ impl NetSim {
         }
     }
 
-    fn host_pfc(&mut self, host: NodeId, f: PfcFrame) {
-        let now = self.now();
-        let info = self.port_info[host.0 as usize][0];
-        match f.op {
-            PfcOp::Pause { quanta } => {
-                let state = if quanta == u16::MAX {
-                    TxPause::UntilResume
-                } else {
-                    TxPause::Until(now + quanta_duration(quanta, info.rate))
-                };
-                let h = self.hosts[host.0 as usize].as_mut().expect("host");
-                h.paused[f.priority.index()] = state;
-                if let TxPause::Until(until) = state {
-                    self.sched(
-                        until,
-                        Ev::PauseExpire {
-                            node: host,
-                            port: PortNo(0),
-                            prio: f.priority.0,
-                        },
-                    );
-                }
-            }
-            PfcOp::Resume => {
-                let h = self.hosts[host.0 as usize].as_mut().expect("host");
-                h.paused[f.priority.index()] = TxPause::Open;
-                self.host_try_send(host);
+    /// Arm (or refresh) the quanta `PauseExpire` timer for channel
+    /// `(node, port, prio)`. A still-pending timer is *rescheduled in
+    /// place* — every pause refresh used to pile a fresh event onto the
+    /// queue and let the stale ones fire as no-ops; a paused channel now
+    /// carries exactly one pending timer. A dead handle (the event
+    /// already fired) is replaced by a fresh schedule.
+    fn arm_pause_timer(&mut self, node: NodeId, port: PortNo, prio: u8, until: SimTime) {
+        // A pause timer needs a live queue handle (for the in-place
+        // reschedule below), so it cannot park in the train. If it
+        // must fire before the held event of a deferred-pop drain,
+        // demote the hold back into the queue first — the step loop
+        // notices and re-probes, keeping pop order exact.
+        if let Some(&(ht, _, _)) = self.hold.as_ref() {
+            if until < ht {
+                let (ht, hs, hev) = self.hold.take().expect("hold just observed");
+                self.queue.schedule_at_seq(ht, hs, hev);
             }
         }
+        let c = self.chan(node, port, prio as usize);
+        if let Some(id) = self.pause_timer[c] {
+            if self.queue.reschedule(id, until) {
+                return;
+            }
+        }
+        let ev = Ev::PauseExpire { node, port, prio };
+        debug_assert!(is_meaningful(&ev));
+        self.meaningful += 1;
+        self.pause_timer[c] = Some(self.queue.schedule(until, ev));
     }
 
-    fn switch_pfc_rx(&mut self, node: NodeId, port: PortNo, f: PfcFrame) {
+    fn host_pfc(&mut self, host: NodeId, f: PfcFrame) {
         let now = self.now();
-        let rate = self.port_info[node.0 as usize][port.0 as usize].rate;
+        let rate = self.pinfo(host, PortNo(0)).rate;
         match f.op {
             PfcOp::Pause { quanta } => {
                 let state = if quanta == u16::MAX {
@@ -2123,22 +2408,39 @@ impl NetSim {
                 } else {
                     TxPause::Until(now + quanta_duration(quanta, rate))
                 };
-                let sw = self.switches[node.0 as usize].as_mut().expect("switch");
-                sw.egress[port.0 as usize].paused[f.priority.index()] = state;
+                let c = self.chan(host, PortNo(0), f.priority.index());
+                self.tx_pause[c] = state;
                 if let TxPause::Until(until) = state {
-                    self.sched(
-                        until,
-                        Ev::PauseExpire {
-                            node,
-                            port,
-                            prio: f.priority.0,
-                        },
-                    );
+                    self.arm_pause_timer(host, PortNo(0), f.priority.0, until);
                 }
             }
             PfcOp::Resume => {
-                let sw = self.switches[node.0 as usize].as_mut().expect("switch");
-                sw.egress[port.0 as usize].paused[f.priority.index()] = TxPause::Open;
+                let c = self.chan(host, PortNo(0), f.priority.index());
+                self.tx_pause[c] = TxPause::Open;
+                self.host_try_send(host);
+            }
+        }
+    }
+
+    fn switch_pfc_rx(&mut self, node: NodeId, port: PortNo, f: PfcFrame) {
+        let now = self.now();
+        let rate = self.pinfo(node, port).rate;
+        match f.op {
+            PfcOp::Pause { quanta } => {
+                let state = if quanta == u16::MAX {
+                    TxPause::UntilResume
+                } else {
+                    TxPause::Until(now + quanta_duration(quanta, rate))
+                };
+                let c = self.chan(node, port, f.priority.index());
+                self.tx_pause[c] = state;
+                if let TxPause::Until(until) = state {
+                    self.arm_pause_timer(node, port, f.priority.0, until);
+                }
+            }
+            PfcOp::Resume => {
+                let c = self.chan(node, port, f.priority.index());
+                self.tx_pause[c] = TxPause::Open;
                 self.try_tx(node, port);
             }
         }
@@ -2146,42 +2448,21 @@ impl NetSim {
 
     fn on_pause_expire(&mut self, node: NodeId, port: PortNo, prio: u8) {
         let now = self.now();
-        match self.topo.node(node).kind {
-            NodeKind::Host => {
-                let expired = {
-                    let h = self.hosts[node.0 as usize].as_mut().expect("host");
-                    if let TxPause::Until(t) = h.paused[prio as usize] {
-                        if now >= t {
-                            h.paused[prio as usize] = TxPause::Open;
-                            true
-                        } else {
-                            false
-                        }
-                    } else {
-                        false
-                    }
-                };
-                if expired {
-                    self.host_try_send(node);
-                }
+        let c = self.chan(node, port, prio as usize);
+        // The fired event is the slot's resident (or a pre-coalescing
+        // stale duplicate); either way the handle is dead now.
+        self.pause_timer[c] = None;
+        let expired = match self.tx_pause[c] {
+            TxPause::Until(t) if now >= t => {
+                self.tx_pause[c] = TxPause::Open;
+                true
             }
-            NodeKind::Switch => {
-                let expired = {
-                    let sw = self.switches[node.0 as usize].as_mut().expect("switch");
-                    if let TxPause::Until(t) = sw.egress[port.0 as usize].paused[prio as usize] {
-                        if now >= t {
-                            sw.egress[port.0 as usize].paused[prio as usize] = TxPause::Open;
-                            true
-                        } else {
-                            false
-                        }
-                    } else {
-                        false
-                    }
-                };
-                if expired {
-                    self.try_tx(node, port);
-                }
+            _ => false,
+        };
+        if expired {
+            match self.topo.node(node).kind {
+                NodeKind::Host => self.host_try_send(node),
+                NodeKind::Switch => self.try_tx(node, port),
             }
         }
     }
@@ -2363,7 +2644,8 @@ impl NetSim {
     /// like a normal packet (and may flood again downstream), so a
     /// sustained miss amplifies into a storm bounded only by TTL decay.
     fn flood(&mut self, node: NodeId, ingress: PortNo, pkt: Packet) {
-        let n_ports = self.port_info[node.0 as usize].len();
+        let n_ports =
+            (self.port_base[node.0 as usize + 1] - self.port_base[node.0 as usize]) as usize;
         let lossless = self.pfc_of(node).is_lossless(pkt.priority.0);
         for e in 0..n_ports {
             if e == ingress.0 as usize {
@@ -2486,7 +2768,7 @@ impl NetSim {
         let now = self.now();
         if let Some(ecn) = self.cfg.ecn {
             let prio = qp.pkt.priority.index();
-            let rate = self.port_info[node.0 as usize][egress.0 as usize].rate;
+            let rate = self.pinfo(node, egress).rate;
             let sw = self.switches[node.0 as usize].as_mut().expect("switch");
             let eg = &mut sw.egress[egress.0 as usize];
             let qlen = if let Some(permille) = ecn.phantom_drain_permille {
@@ -2536,17 +2818,19 @@ impl NetSim {
             return; // dead transmitter; LinkUp revives it
         }
         let now = self.now();
-        let info = self.port_info[node.0 as usize][port.0 as usize];
+        let info = *self.pinfo(node, port);
         let arb = self.cfg.arbitration;
         let quantum = self.quantum;
+        let pause_base = self.pid(node, port) * Priority::COUNT;
         let size = {
+            let paused = &self.tx_pause[pause_base..pause_base + Priority::COUNT];
             let sw = self.switches[node.0 as usize].as_mut().expect("switch");
             let eg = &mut sw.egress[port.0 as usize];
             // Control frames jump the data queues.
             if let Some(f) = eg.ctrl.pop_front() {
                 eg.in_flight = Some(InFlight::Pfc(f));
                 PFC_FRAME_SIZE
-            } else if let Some(p) = eg.pick_class(now, self.cfg.class_scheduling) {
+            } else if let Some(p) = eg.pick_class(now, self.cfg.class_scheduling, paused) {
                 let qp = eg.queues[p]
                     .pop(arb, quantum)
                     .expect("eligible queue non-empty");
@@ -2558,12 +2842,12 @@ impl NetSim {
                 return;
             }
         };
-        let ser = info.rate.serialization_time(size);
-        self.sched(now + ser, Ev::TxDone { node, port });
+        let ser = Self::ser_time(&info, size, self.cfg.default_packet_size);
+        self.sched_train(now + ser, Ev::TxDone { node, port });
     }
 
     fn on_tx_done(&mut self, node: NodeId, port: PortNo) {
-        let info = self.port_info[node.0 as usize][port.0 as usize];
+        let info = *self.pinfo(node, port);
         let in_flight = {
             let sw = self.switches[node.0 as usize].as_mut().expect("switch");
             match sw.egress[port.0 as usize].in_flight.take() {
@@ -2666,7 +2950,7 @@ impl NetSim {
         }
         let now = self.now();
         let mode = self.pause_mode_of(node);
-        let info = self.port_info[node.0 as usize][port.0 as usize];
+        let info = *self.pinfo(node, port);
         let quanta = match mode {
             PauseMode::XonXoff => u16::MAX,
             PauseMode::Quanta { quanta } => quanta,
@@ -2723,7 +3007,7 @@ impl NetSim {
 
     fn send_resume(&mut self, node: NodeId, port: PortNo, prio: Priority) {
         let now = self.now();
-        let info = self.port_info[node.0 as usize][port.0 as usize];
+        let info = *self.pinfo(node, port);
         if !self.link_ok(node, port) {
             // No frame can cross a dead link, but the channel is no
             // longer pausing anyone: close the span so the log stays
@@ -3190,8 +3474,46 @@ impl NetSim {
     // Fault injection
     // ------------------------------------------------------------------
 
+    /// Global index of `(node, port)` into the flat [`NetSim::port_info`].
+    #[inline(always)]
+    pub(crate) fn pid(&self, node: NodeId, port: PortNo) -> usize {
+        self.port_base[node.0 as usize] as usize + port.0 as usize
+    }
+
+    /// Link facts for `(node, port)`.
+    #[inline(always)]
+    pub(crate) fn pinfo(&self, node: NodeId, port: PortNo) -> &PortInfo {
+        &self.port_info[self.pid(node, port)]
+    }
+
+    /// Index of `(node, port, prio)` into the dense per-channel arrays
+    /// ([`NetSim::tx_pause`], `pause_timer`).
+    #[inline(always)]
+    fn chan(&self, node: NodeId, port: PortNo, prio: usize) -> usize {
+        self.pid(node, port) * Priority::COUNT + prio
+    }
+
+    /// Reopen every class of `(node, port)` — link-down / reboot paths.
+    /// Pending quanta timers are left to fire as no-ops (their handles
+    /// in `pause_timer` self-heal on the next refresh).
+    fn clear_pause_state(&mut self, node: NodeId, port: PortNo) {
+        let base = self.pid(node, port) * Priority::COUNT;
+        self.tx_pause[base..base + Priority::COUNT].fill(TxPause::Open);
+    }
+
+    /// Serialization time of a `size`-byte frame on `(node, port)` —
+    /// cached for the (overwhelmingly common) default packet size.
+    #[inline(always)]
+    fn ser_time(info: &PortInfo, size: Bytes, default_size: Bytes) -> SimDuration {
+        if size == default_size {
+            info.ser_default
+        } else {
+            info.rate.serialization_time(size)
+        }
+    }
+
     fn link_of(&self, node: NodeId, port: PortNo) -> LinkId {
-        self.port_info[node.0 as usize][port.0 as usize].link
+        self.pinfo(node, port).link
     }
 
     /// Whether the link behind (node, port) is currently up.
@@ -3274,9 +3596,7 @@ impl NetSim {
     fn take_down_endpoint(&mut self, node: NodeId, port: PortNo) -> u64 {
         if self.topo.node(node).kind == NodeKind::Host {
             // NIC pause state dies with the link.
-            if let Some(h) = self.hosts[node.0 as usize].as_mut() {
-                h.paused = [TxPause::Open; Priority::COUNT];
-            }
+            self.clear_pause_state(node, port);
             return 0;
         }
         let mut victims: Vec<QPkt> = Vec::new();
@@ -3287,8 +3607,8 @@ impl NetSim {
                 victims.extend(q.drain_all());
             }
             eg.ctrl.clear();
-            eg.paused = [TxPause::Open; Priority::COUNT];
         }
+        self.clear_pause_state(node, port);
         let dropped = victims.len() as u64;
         if dropped > 0 {
             self.dl.note_bytes_moved();
@@ -3299,7 +3619,7 @@ impl NetSim {
         }
         // Silence PFC issued *by* this endpoint: the dead channel pauses
         // no one any more, so its open spans close.
-        let info = self.port_info[node.0 as usize][port.0 as usize];
+        let info = *self.pinfo(node, port);
         let now = self.now();
         let mut silenced: Vec<Priority> = Vec::new();
         {

@@ -244,8 +244,6 @@ pub enum InFlight {
 pub struct Egress {
     /// Per-priority data queues.
     pub queues: Vec<EgressQueue>,
-    /// Pause state per priority (set by the downstream receiver).
-    pub paused: [TxPause; Priority::COUNT],
     /// Control frames waiting to go out (sent ahead of data).
     pub ctrl: VecDeque<PfcFrame>,
     /// Round-robin cursor for [`ClassScheduling::Wrr`].
@@ -262,7 +260,6 @@ impl Default for Egress {
             queues: (0..Priority::COUNT)
                 .map(|_| EgressQueue::default())
                 .collect(),
-            paused: [TxPause::Open; Priority::COUNT],
             ctrl: VecDeque::new(),
             wrr_cursor: 0,
             in_flight: None,
@@ -283,21 +280,28 @@ impl Egress {
     }
 
     /// Highest-priority non-empty, non-paused queue index at `now`.
-    pub fn next_eligible(&self, now: SimTime) -> Option<usize> {
+    /// `paused` is this port's `Priority::COUNT`-long slice of the
+    /// simulator's dense pause-state array (see `NetSim::tx_pause`).
+    pub fn next_eligible(&self, now: SimTime, paused: &[TxPause]) -> Option<usize> {
         (0..Priority::COUNT)
             .rev()
-            .find(|&p| !self.queues[p].is_empty() && !self.paused[p].is_paused(now))
+            .find(|&p| !self.queues[p].is_empty() && !paused[p].is_paused(now))
     }
 
     /// Pick the class to serve next under the configured inter-class
     /// policy, advancing the WRR cursor on a round-robin pick.
-    pub fn pick_class(&mut self, now: SimTime, policy: ClassScheduling) -> Option<usize> {
+    pub fn pick_class(
+        &mut self,
+        now: SimTime,
+        policy: ClassScheduling,
+        paused: &[TxPause],
+    ) -> Option<usize> {
         match policy {
-            ClassScheduling::Strict => self.next_eligible(now),
+            ClassScheduling::Strict => self.next_eligible(now, paused),
             ClassScheduling::Wrr => {
                 for k in 0..Priority::COUNT {
                     let c = (self.wrr_cursor as usize + k) % Priority::COUNT;
-                    if !self.queues[c].is_empty() && !self.paused[c].is_paused(now) {
+                    if !self.queues[c].is_empty() && !paused[c].is_paused(now) {
                         self.wrr_cursor = ((c + 1) % Priority::COUNT) as u8;
                         return Some(c);
                     }
@@ -539,11 +543,12 @@ mod tests {
         high.pkt.priority = Priority::new(5);
         e.queues[1].push(low, Arbitration::Drr);
         e.queues[5].push(high, Arbitration::Drr);
-        assert_eq!(e.next_eligible(now), Some(5));
-        e.paused[5] = TxPause::UntilResume;
-        assert_eq!(e.next_eligible(now), Some(1));
-        e.paused[1] = TxPause::UntilResume;
-        assert_eq!(e.next_eligible(now), None);
+        let mut paused = [TxPause::Open; Priority::COUNT];
+        assert_eq!(e.next_eligible(now, &paused), Some(5));
+        paused[5] = TxPause::UntilResume;
+        assert_eq!(e.next_eligible(now, &paused), Some(1));
+        paused[1] = TxPause::UntilResume;
+        assert_eq!(e.next_eligible(now, &paused), None);
         assert_eq!(e.queued_bytes(), Bytes::new(200));
     }
 

@@ -16,7 +16,7 @@ use pfcsim_net::golden;
 use pfcsim_net::recovery::RecoveryConfig;
 use pfcsim_net::sim::{NetSim, RunReport, SimBuilder, Verdict};
 use pfcsim_simcore::time::{SimDuration, SimTime};
-use pfcsim_topo::builders::{square, LinkSpec};
+use pfcsim_topo::builders::{line, square, LinkSpec};
 
 const HORIZON: SimTime = SimTime::from_ms(5);
 
@@ -101,5 +101,55 @@ fn checkpoint_mid_recovery_resumes_identical_timeline() {
             baseline.stats.recovery_actions
         );
         assert_eq!(report.stats.drops_recovery, baseline.stats.drops_recovery);
+    }
+}
+
+/// Checkpointing a run whose datapath is saturated — every busy port has
+/// a tx completion riding the serialization train between dispatches —
+/// must be safe and exact. The train protocol truncates the in-flight
+/// batch back into the event queue before snapshotting, so the frame
+/// never contains parked completions; this test pins that the truncation
+/// is lossless: the resumed run and the uninterrupted run (and the same
+/// scenario with batching disabled outright) all land on one digest.
+#[test]
+fn checkpoint_mid_train_resumes_identical_timeline() {
+    const HORIZON: SimTime = SimTime::from_us(800);
+    for sched in [SchedulerBackend::Wheel, SchedulerBackend::Heap] {
+        // Converging infinite flows keep every inter-switch port busy, so
+        // the train is hot at any pause point.
+        let mk_sched = || {
+            let b = line(3, LinkSpec::default());
+            let mut cfg = SimConfig::default();
+            cfg.scheduler = Some(sched);
+            let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
+            sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[2]));
+            sim.add_flow(FlowSpec::infinite(1, b.hosts[1], b.hosts[2]));
+            sim.add_flow(FlowSpec::infinite(2, b.hosts[2], b.hosts[0]));
+            sim
+        };
+        let baseline = golden::digest(&mk_sched().run(HORIZON));
+
+        let mut unbatched = mk_sched();
+        unbatched.set_trains_enabled(false);
+        assert_eq!(
+            golden::digest(&unbatched.run(HORIZON)),
+            baseline,
+            "saturated scenario must be train-invariant before the split test means anything"
+        );
+
+        let mut sim = mk_sched();
+        assert!(
+            sim.advance_until(SimTime::from_us(250), HORIZON).is_none(),
+            "saturated run must still be busy at the pause point"
+        );
+        let bytes = sim.checkpoint().expect("checkpointable").to_bytes();
+        drop(sim);
+        let ckpt = Checkpoint::from_bytes(&bytes).expect("frame round-trips");
+        let report = NetSim::resume(ckpt).expect("restorable").resume_run();
+        assert_eq!(
+            golden::digest(&report),
+            baseline,
+            "mid-train checkpoint diverged under {sched:?}"
+        );
     }
 }

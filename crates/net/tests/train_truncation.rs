@@ -1,0 +1,218 @@
+//! Serialization-train equivalence: batching tx completions in the
+//! in-core train must be observationally invisible. Every scenario here
+//! runs twice — trains enabled (the default) and disabled via
+//! [`NetSim::set_trains_enabled`], the same lever the `PFCSIM_NO_TRAINS`
+//! environment variable pulls — and the full `RunReport` digests must
+//! match bit for bit. The scenarios are chosen so trains are truncated
+//! mid-flight by every control-plane interleaving the engine supports:
+//! PFC pauses (both Xon/Xoff and quanta timers), link-down faults, route
+//! rewrites, and a deadlock stop.
+
+use proptest::prelude::*;
+
+use pfcsim_net::config::{PauseMode, SchedulerBackend, SimConfig};
+use pfcsim_net::faults::FaultPlan;
+use pfcsim_net::flow::FlowSpec;
+use pfcsim_net::golden::{self, DRAIN_UNTIL, GOLDEN_DIGEST, STOP_AT};
+use pfcsim_net::recovery::RecoveryConfig;
+use pfcsim_net::sim::{NetSim, SimArenas, SimBuilder};
+use pfcsim_simcore::time::SimTime;
+use pfcsim_simcore::units::BitRate;
+use pfcsim_topo::builders::{line, square, two_switch_loop, LinkSpec};
+
+/// Run the same scenario with trains on and off; both reports must hash
+/// identically (verdict, counters, series, pause intervals, fault log).
+fn assert_train_invariant(mk: impl Fn() -> NetSim, horizon: SimTime) {
+    let batched = golden::digest(&mk().run(horizon));
+    let mut unbatched = mk();
+    unbatched.set_trains_enabled(false);
+    let d = golden::digest(&unbatched.run(horizon));
+    assert_eq!(
+        batched, d,
+        "trains changed observable behaviour: {batched:#018x} vs {d:#018x}"
+    );
+}
+
+/// Convergecast on a 3-switch line: two infinite flows target the same
+/// host, so the last switch fills, PFC pauses propagate upstream, and
+/// pauses land mid-train on saturated ports.
+fn convergecast(cfg: SimConfig) -> NetSim {
+    let b = line(3, LinkSpec::default());
+    let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
+    sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[2]));
+    sim.add_flow(FlowSpec::infinite(1, b.hosts[1], b.hosts[2]));
+    sim.add_flow(FlowSpec::infinite(2, b.hosts[2], b.hosts[0]));
+    sim
+}
+
+#[test]
+fn pfc_pause_mid_train_is_invisible() {
+    assert_train_invariant(|| convergecast(SimConfig::default()), SimTime::from_us(500));
+}
+
+/// Quanta-mode pauses arm per-channel expiry timers through
+/// `arm_pause_timer`, the one call site that must *demote* a held event
+/// instead of parking (it needs a live queue handle for
+/// reschedule-in-place). Short quanta maximise timer churn.
+#[test]
+fn quanta_pause_timers_mid_train_are_invisible() {
+    for quanta in [512u16, 2048] {
+        let mut cfg = SimConfig::default();
+        cfg.pfc.mode = PauseMode::Quanta { quanta };
+        assert_train_invariant(|| convergecast(cfg.clone()), SimTime::from_us(500));
+    }
+}
+
+/// Route rewrites (the paper's transient-loop trigger) truncate a train
+/// between two completions of the same port: install a loop at 100 us,
+/// repair it at 300 us, all under 8 Gbps of traffic.
+#[test]
+fn route_write_mid_train_is_invisible() {
+    let mk = || {
+        let b = two_switch_loop(LinkSpec::default());
+        let (s, h) = (&b.switches, &b.hosts);
+        let to_s0 = b.topo.port_towards(s[1], s[0]).unwrap().port;
+        let to_h1 = b.topo.port_towards(s[1], h[1]).unwrap().port;
+        let mut cfg = SimConfig::default();
+        cfg.stop_on_deadlock = false;
+        let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
+        sim.add_flow(FlowSpec::cbr(0, h[0], h[1], BitRate::from_gbps(8)).with_ttl(16));
+        sim.set_fault_plan(
+            FaultPlan::new()
+                .route_set(SimTime::from_us(100), s[1], h[1], vec![to_s0])
+                .route_set(SimTime::from_us(300), s[1], h[1], vec![to_h1]),
+        )
+        .unwrap();
+        sim
+    };
+    assert_train_invariant(mk, SimTime::from_ms(1));
+}
+
+/// A link-down fault drops every in-flight frame on the wire and resets
+/// PFC state on both endpoints — including a parked tx completion whose
+/// port just died.
+#[test]
+fn link_down_mid_train_is_invisible() {
+    let mk = || {
+        let b = line(3, LinkSpec::default());
+        let mut sim = SimBuilder::new(&b.topo)
+            .config(SimConfig::default())
+            .build();
+        sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[2]));
+        sim.add_flow(FlowSpec::infinite(1, b.hosts[2], b.hosts[0]));
+        sim.set_fault_plan(
+            FaultPlan::new()
+                .link_down(SimTime::from_us(120), b.switches[1], b.switches[2])
+                .link_up(SimTime::from_us(280), b.switches[1], b.switches[2]),
+        )
+        .unwrap();
+        sim
+    };
+    assert_train_invariant(mk, SimTime::from_us(500));
+}
+
+/// The Fig. 4 cyclic-buffer-dependency deadlock with the recovery
+/// watchdog force-draining: the deadlock verdict, recovery actions and
+/// drop attribution must not depend on batching.
+#[test]
+fn deadlock_and_recovery_mid_train_are_invisible() {
+    let mk = || {
+        let b = square(LinkSpec::default());
+        let (s, h) = (&b.switches, &b.hosts);
+        let mut cfg = SimConfig::default();
+        cfg.stop_on_deadlock = false;
+        let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
+        sim.add_flow(
+            FlowSpec::infinite(1, h[0], h[3]).pinned(vec![h[0], s[0], s[1], s[2], s[3], h[3]]),
+        );
+        sim.add_flow(
+            FlowSpec::infinite(2, h[2], h[1]).pinned(vec![h[2], s[2], s[3], s[0], s[1], h[1]]),
+        );
+        sim.add_flow(FlowSpec::infinite(3, h[1], h[2]).pinned(vec![h[1], s[1], s[2], h[2]]));
+        sim.try_enable_recovery(RecoveryConfig::default()).unwrap();
+        sim
+    };
+    assert_train_invariant(mk, SimTime::from_ms(2));
+}
+
+/// The committed golden digest itself must be train-independent: the
+/// fault-laden golden scenario with batching disabled still lands on
+/// `GOLDEN_DIGEST`, under both scheduler backends.
+#[test]
+fn golden_digest_is_train_independent() {
+    for sched in [SchedulerBackend::Wheel, SchedulerBackend::Heap] {
+        let mut arenas = SimArenas::new();
+        let mut sim = golden::build_sim(Some(sched), &mut arenas);
+        sim.set_trains_enabled(false);
+        let d = golden::digest(&sim.run_with_drain(STOP_AT, DRAIN_UNTIL));
+        assert_eq!(
+            d, GOLDEN_DIGEST,
+            "unbatched golden run diverged under {sched:?}: {d:#018x}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Batched-vs-unbatched equivalence over randomized scenarios:
+    /// random seeds, rates, pause mode, an optional mid-run link
+    /// fault, and both scheduler backends. Any ordering bug in the
+    /// train's merge with the main queue shows up as a digest split.
+    #[test]
+    fn batched_equals_unbatched(
+        seed in 0u64..10_000,
+        rate_gbps in 1u64..12,
+        use_quanta in any::<bool>(),
+        quanta_raw in 256u16..8192,
+        use_fault in any::<bool>(),
+        fault_at_raw in 20u64..200,
+        wheel in any::<bool>(),
+        horizon_us in 100u64..400,
+    ) {
+        let quanta = use_quanta.then_some(quanta_raw);
+        let fault_at_us = use_fault.then_some(fault_at_raw);
+        let mk = || {
+            let b = line(3, LinkSpec::default());
+            let mut cfg = SimConfig::default();
+            cfg.seed = seed;
+            cfg.scheduler = Some(if wheel {
+                SchedulerBackend::Wheel
+            } else {
+                SchedulerBackend::Heap
+            });
+            if let Some(q) = quanta {
+                cfg.pfc.mode = PauseMode::Quanta { quanta: q };
+            }
+            let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
+            sim.add_flow(FlowSpec::infinite(0, b.hosts[0], b.hosts[2]));
+            sim.add_flow(FlowSpec::poisson(
+                1,
+                b.hosts[1],
+                b.hosts[2],
+                BitRate::from_gbps(rate_gbps),
+            ));
+            sim.add_flow(FlowSpec::cbr(
+                2,
+                b.hosts[2],
+                b.hosts[0],
+                BitRate::from_gbps(rate_gbps),
+            ));
+            if let Some(at) = fault_at_us {
+                sim.set_fault_plan(
+                    FaultPlan::new()
+                        .link_down(SimTime::from_us(at), b.switches[0], b.switches[1])
+                        .link_up(SimTime::from_us(at + 60), b.switches[0], b.switches[1]),
+                )
+                .unwrap();
+            }
+            sim
+        };
+        let horizon = SimTime::from_us(horizon_us);
+        let batched = golden::digest(&mk().run(horizon));
+        let mut unbatched = mk();
+        unbatched.set_trains_enabled(false);
+        let d = golden::digest(&unbatched.run(horizon));
+        prop_assert_eq!(batched, d, "digest split under randomized scenario");
+    }
+}

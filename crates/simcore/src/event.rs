@@ -237,6 +237,60 @@ impl<E> EventQueue<E> {
         EventId::new(idx, gen)
     }
 
+    /// Move a still-pending event to a new timestamp in place.
+    ///
+    /// Observationally identical to `cancel(id)` followed by
+    /// `schedule(at, payload)` — the entry is re-keyed with a fresh
+    /// sequence number, so it ties against other events exactly as a
+    /// newly scheduled one would — but the arena slot is reused without
+    /// a release/reacquire round trip and `id` stays valid for further
+    /// reschedules or a final `cancel`. On the wheel this is O(1)
+    /// bucket-to-bucket (unlink + relink); on the heap it re-sifts in
+    /// place. This is the PFC pause-timer pattern: one deadline slot
+    /// per port that each refresh pushes out instead of piling up a
+    /// cancelled-timer storm.
+    ///
+    /// Returns `false` (and does nothing) if the event already fired or
+    /// was cancelled.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time.
+    pub fn reschedule(&mut self, id: EventId, at: SimTime) -> bool {
+        assert!(
+            at >= self.now,
+            "causality violation: rescheduling at {at} but now is {now}",
+            at = at,
+            now = self.now
+        );
+        let idx = id.slot();
+        match self.slots.get(idx as usize) {
+            Some(s) if s.gen == id.gen() && s.pos != NO_POS => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                match &mut self.core {
+                    Core::Heap(h) => {
+                        let pos = s.pos as usize;
+                        let s = &mut self.slots[idx as usize];
+                        s.time = at;
+                        s.seq = seq;
+                        h.sift_down(&mut self.slots, pos);
+                        let pos = self.slots[idx as usize].pos as usize;
+                        h.sift_up(&mut self.slots, pos);
+                    }
+                    Core::Wheel(w) => {
+                        w.remove(&mut self.slots, idx);
+                        let s = &mut self.slots[idx as usize];
+                        s.time = at;
+                        s.seq = seq;
+                        w.insert(&mut self.slots, idx);
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (and is now guaranteed never to fire). Cancelling an
     /// event that already fired, or was already cancelled, returns `false`
@@ -266,6 +320,75 @@ impl<E> EventQueue<E> {
             Core::Heap(h) => h.heap.first().map(|&i| self.slots[i as usize].time),
             Core::Wheel(w) => w.find_min(&self.slots).map(|i| self.slots[i as usize].time),
         }
+    }
+
+    /// `(time, seq)` key of the next live event, if any — the exact pop
+    /// order key. Lets a caller holding a reserved-sequence entry (see
+    /// [`reserve_seq`](Self::reserve_seq)) decide whether that entry
+    /// would pop before everything queued, ties included.
+    #[inline]
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        let idx = match &self.core {
+            Core::Heap(h) => h.heap.first().copied(),
+            Core::Wheel(w) => w.find_min(&self.slots),
+        }?;
+        let s = &self.slots[idx as usize];
+        Some((s.time, s.seq))
+    }
+
+    /// Reserve the next sequence number without scheduling anything.
+    ///
+    /// The caller owns a phantom entry: pairing the returned number with
+    /// [`schedule_at_seq`](Self::schedule_at_seq) later inserts it
+    /// exactly as if it had been scheduled at reservation time, and
+    /// handling it inline (after [`advance_now`](Self::advance_now))
+    /// when [`peek_key`](Self::peek_key) proves it is globally next is
+    /// observationally identical to a schedule/pop round trip. This is
+    /// the primitive behind the net layer's serialization trains.
+    #[inline]
+    pub fn reserve_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Insert an entry under a previously reserved sequence number (no
+    /// counter bump). The entry pops exactly where a
+    /// [`schedule`](Self::schedule) call at reservation time would have
+    /// placed it.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time.
+    #[inline]
+    pub fn schedule_at_seq(&mut self, at: SimTime, seq: u64, payload: E) {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at} but now is {now}",
+            at = at,
+            now = self.now
+        );
+        self.insert_with_seq(at, seq, payload);
+    }
+
+    /// Advance the clock to `at` without popping — the inline-handling
+    /// half of the reserved-entry protocol. The caller asserts it is
+    /// processing an event at `at` that never entered the queue.
+    ///
+    /// # Panics
+    /// Panics if `at` would rewind the clock or jump past a queued event.
+    #[inline]
+    pub fn advance_now(&mut self, at: SimTime) {
+        debug_assert!(
+            self.peek_time().is_none_or(|t| at <= t),
+            "advance_now({at}) would jump past a queued event"
+        );
+        assert!(
+            at >= self.now,
+            "causality violation: advancing to {at} but now is {now}",
+            at = at,
+            now = self.now
+        );
+        self.now = at;
     }
 
     /// Pop the next live event, advancing `now` to its timestamp.
@@ -300,6 +423,62 @@ impl<E> EventQueue<E> {
             Core::Wheel(w) => w.pop_min_before(&mut self.slots, limit)?,
         };
         Some(self.take(idx))
+    }
+
+    /// Pop the next live event's full `(time, seq)` key and payload,
+    /// only if its timestamp is `<= limit`, *deferring the clock*:
+    /// `now` (and the wheel cursor) stay put until the caller commits
+    /// with [`commit_time`](Self::commit_time). Between the pop and
+    /// the commit the caller may run reserved-sequence entries that
+    /// order before the popped key, advancing `now` to each with
+    /// [`advance_now`](Self::advance_now) — the deferred-pop half of
+    /// the net layer's serialization-train protocol. The caller must
+    /// not insert anything that orders before the popped key in the
+    /// meantime (route such entries around the queue, or re-insert
+    /// the popped event with
+    /// [`schedule_at_seq`](Self::schedule_at_seq) first).
+    #[inline]
+    pub fn pop_key_before_deferred(&mut self, limit: SimTime) -> Option<((SimTime, u64), E)> {
+        let idx = match &mut self.core {
+            Core::Heap(h) => {
+                let &root = h.heap.first()?;
+                if self.slots[root as usize].time > limit {
+                    return None;
+                }
+                h.remove_at(&mut self.slots, 0);
+                root
+            }
+            Core::Wheel(w) => w.pop_min_before_deferred(&mut self.slots, limit)?,
+        };
+        let s = &mut self.slots[idx as usize];
+        let key = (s.time, s.seq);
+        let payload = s.payload.take().expect("live entry has payload");
+        self.release(idx);
+        Some((key, payload))
+    }
+
+    /// Commit the clock to `at` — the closing half of a deferred pop.
+    /// Equivalent to [`advance_now`](Self::advance_now) plus the wheel
+    /// cursor advance a regular pop would have performed.
+    ///
+    /// # Panics
+    /// Panics if `at` would rewind the clock.
+    #[inline]
+    pub fn commit_time(&mut self, at: SimTime) {
+        debug_assert!(
+            self.peek_time().is_none_or(|t| at <= t),
+            "commit_time({at}) would jump past a queued event"
+        );
+        assert!(
+            at >= self.now,
+            "causality violation: committing {at} but now is {now}",
+            at = at,
+            now = self.now
+        );
+        self.now = at;
+        if let Core::Wheel(w) = &mut self.core {
+            w.advance_cursor(at);
+        }
     }
 
     /// Detach popped arena slot `idx`: advance `now`, release the slot,
@@ -402,6 +581,19 @@ impl<E> EventQueue<E> {
             .collect();
         out.sort_by_key(|&(t, seq, _)| (t, seq));
         out
+    }
+
+    /// Visit every live entry as `(handle, time, payload)`, in arena
+    /// order. Checkpoint restore uses this to rebuild side tables that
+    /// key on event handles (which do not survive serialization —
+    /// [`restore_state`](Self::restore_state) assigns fresh slots).
+    pub fn for_each_live(&self, mut f: impl FnMut(EventId, SimTime, &E)) {
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.pos != NO_POS {
+                let p = s.payload.as_ref().expect("live entry has payload");
+                f(EventId::new(i as u32, s.gen), s.time, p);
+            }
+        }
     }
 
     /// Rebuild this queue from a [`live_entries`](Self::live_entries)
@@ -996,6 +1188,177 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// `reschedule` must be observationally identical to cancel +
+    /// schedule: same pop stream under a randomized workload of moves in
+    /// both directions (later *and* earlier deadlines), on both backends
+    /// and cross-checked between them.
+    #[test]
+    fn reschedule_matches_cancel_plus_schedule() {
+        // The cancel+schedule reference needs the payload back, which
+        // `cancel` does not return — so the workload carries the payload
+        // alongside the handle.
+        let run = |backend, use_reschedule: bool| -> Vec<(u64, u64)> {
+            let mut q: EventQueue<u64> = EventQueue::with_backend(backend);
+            let mut state = 0xdead_beef_cafe_f00du64;
+            let mut rng = move |m: u64| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) % m
+            };
+            let mut live: Vec<(EventId, u64)> = Vec::new();
+            let mut out = Vec::new();
+            for i in 0..4_000u64 {
+                match rng(10) {
+                    0..=3 => {
+                        let at = q.now() + SimDuration::from_ns(1 + rng(70_000));
+                        live.push((q.schedule(at, i), i));
+                    }
+                    4..=6 if !live.is_empty() => {
+                        let ix = rng(live.len() as u64) as usize;
+                        let at = q.now() + SimDuration::from_ns(1 + rng(70_000));
+                        let (id, payload) = live[ix];
+                        let moved = if use_reschedule {
+                            q.reschedule(id, at)
+                        } else if q.cancel(id) {
+                            live[ix].0 = q.schedule(at, payload);
+                            true
+                        } else {
+                            false
+                        };
+                        if !moved {
+                            live.swap_remove(ix);
+                        }
+                    }
+                    _ => {
+                        if let Some((t, v)) = q.pop() {
+                            out.push((t.as_ns(), v));
+                            let pos = live.iter().position(|&(_, p)| p == v).unwrap();
+                            live.swap_remove(pos);
+                        }
+                    }
+                }
+            }
+            while let Some((t, v)) = q.pop() {
+                out.push((t.as_ns(), v));
+            }
+            out
+        };
+        let reference = run(Backend::Heap, false);
+        for backend in [Backend::Heap, Backend::Wheel] {
+            assert_eq!(
+                run(backend, true),
+                reference,
+                "{backend:?} reschedule diverged from cancel+schedule"
+            );
+            assert_eq!(run(backend, false), reference);
+        }
+    }
+
+    /// A rescheduled handle must survive repeated moves (including into
+    /// the wheel overflow tier and back) and still cancel cleanly.
+    #[test]
+    fn reschedule_keeps_handle_valid() {
+        on_each_backend_u64(|mut q| {
+            let id = q.schedule(SimTime::from_ns(100), 7);
+            assert!(q.reschedule(id, SimTime::from_us(40_000))); // overflow range
+            assert!(q.reschedule(id, SimTime::from_ns(50))); // back near now
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop(), Some((SimTime::from_ns(50), 7)));
+            // Fired: the handle is dead for both verbs.
+            assert!(!q.reschedule(id, SimTime::from_ns(60)));
+            assert!(!q.cancel(id));
+        });
+    }
+
+    /// Rescheduling consumes a sequence number, so a moved event ties
+    /// *after* anything scheduled between the original schedule and the
+    /// move — exactly like cancel + schedule.
+    #[test]
+    fn reschedule_ties_like_a_fresh_schedule() {
+        on_each_backend_u64(|mut q| {
+            let t = SimTime::from_ns(500);
+            let id = q.schedule(t, 1);
+            q.schedule(t, 2);
+            assert!(q.reschedule(id, t)); // same instant, new seq
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+            assert_eq!(order, [2, 1]);
+        });
+    }
+
+    /// The reserved-sequence protocol (`reserve_seq` + `schedule_at_seq`
+    /// / inline handling with `advance_now`) must reproduce the exact
+    /// pop stream of plain scheduling: a parked entry that `peek_key`
+    /// proves globally next is handled inline; otherwise it is flushed
+    /// into the queue under its reserved number.
+    #[test]
+    fn reserved_seq_inline_matches_schedule_pop() {
+        for backend in [Backend::Heap, Backend::Wheel] {
+            let mut plain: EventQueue<u64> = EventQueue::with_backend(backend);
+            let mut train: EventQueue<u64> = EventQueue::with_backend(backend);
+            let mut state = 0x0123_4567_89ab_cdefu64;
+            let mut rng = move |m: u64| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) % m
+            };
+            let mut out_plain = Vec::new();
+            let mut out_train = Vec::new();
+            let mut parked: Option<(SimTime, u64, u64)> = None;
+            for i in 0..3_000u64 {
+                let deltas = [0, 1, 3, 40, 900, 20_000];
+                let at_off = deltas[rng(deltas.len() as u64) as usize];
+                match rng(3) {
+                    0 => {
+                        let at = plain.now() + SimDuration::from_ns(at_off);
+                        plain.schedule(at, i);
+                        // Train side: park it if the slot is free.
+                        let at = train.now() + SimDuration::from_ns(at_off);
+                        if parked.is_none() {
+                            parked = Some((at, train.reserve_seq(), i));
+                        } else {
+                            train.schedule(at, i);
+                        }
+                    }
+                    _ => {
+                        if let Some((t, v)) = plain.pop() {
+                            out_plain.push((t.as_ns(), v));
+                        }
+                        // Train side: the parked entry pops first iff its
+                        // (time, seq) beats the queue head.
+                        match parked.take() {
+                            Some((at, seq, v))
+                                if train.peek_key().is_none_or(|k| (at, seq) < k) =>
+                            {
+                                train.advance_now(at);
+                                out_train.push((at.as_ns(), v));
+                            }
+                            Some((at, seq, v)) => {
+                                train.schedule_at_seq(at, seq, v);
+                                if let Some((t, v)) = train.pop() {
+                                    out_train.push((t.as_ns(), v));
+                                }
+                            }
+                            None => {
+                                if let Some((t, v)) = train.pop() {
+                                    out_train.push((t.as_ns(), v));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((at, seq, v)) = parked.take() {
+                train.schedule_at_seq(at, seq, v);
+            }
+            while let Some((t, v)) = plain.pop() {
+                out_plain.push((t.as_ns(), v));
+            }
+            while let Some((t, v)) = train.pop() {
+                out_train.push((t.as_ns(), v));
+            }
+            assert_eq!(out_plain, out_train, "{backend:?} inline protocol diverged");
+            assert_eq!(plain.next_seq(), train.next_seq());
         }
     }
 

@@ -96,6 +96,12 @@ pub(crate) struct WheelState {
     occ: [[u64; SLOTS / 64]; LEVELS],
     /// Live events resident in the wheels (not counting overflow).
     wheel_len: usize,
+    /// Wheel residents at levels >= 1. Simulations whose whole working
+    /// set fits one level-0 rotation (every datapath steady state) keep
+    /// this at zero, letting `find_min`/`select_min` skip the
+    /// cursor-slot scans and cascade checks of the higher levels on
+    /// every single pop.
+    hi_len: usize,
     /// Far-future events as a 4-ary min-heap of arena indices ordered by
     /// `(time, seq)`.
     overflow: Vec<u32>,
@@ -110,6 +116,7 @@ impl WheelState {
             tail: [NIL; LEVELS * SLOTS],
             occ: [[0; SLOTS / 64]; LEVELS],
             wheel_len: 0,
+            hi_len: 0,
             overflow: Vec::new(),
         }
     }
@@ -212,6 +219,7 @@ impl WheelState {
                 slots[t as usize].next = idx;
             }
             self.tail[b] = idx;
+            self.hi_len += 1;
         }
         self.wheel_len += 1;
     }
@@ -234,6 +242,9 @@ impl WheelState {
         if self.head[b] == NIL {
             let (level, slot) = (b / SLOTS, b % SLOTS);
             self.occ[level][slot >> 6] &= !(1 << (slot & 63));
+        }
+        if b >= SLOTS {
+            self.hi_len -= 1;
         }
         self.wheel_len -= 1;
     }
@@ -325,13 +336,15 @@ impl WheelState {
         if let Some(&root) = self.overflow.first() {
             best = Some(root);
         }
-        for level in 1..LEVELS {
-            let slot = self.cursor_slot(level);
-            self.bucket_min(slots, level * SLOTS + slot, &mut best);
+        if self.hi_len > 0 {
+            for level in 1..LEVELS {
+                let slot = self.cursor_slot(level);
+                self.bucket_min(slots, level * SLOTS + slot, &mut best);
+            }
         }
         if let Some(slot) = self.first_occupied_from(0, self.cursor_slot(0)) {
             self.bucket_head_min(slots, slot, &mut best);
-        } else {
+        } else if self.hi_len > 0 {
             for level in 1..LEVELS {
                 let from = self.cursor_slot(level) + 1;
                 if from < SLOTS {
@@ -359,6 +372,7 @@ impl WheelState {
         while i != NIL {
             let next = slots[i as usize].next;
             self.wheel_len -= 1;
+            self.hi_len -= 1;
             let tick = self.tick_of(slots[i as usize].time);
             let (nl, ns) = Self::place(tick, self.cur).expect("cascaded event within horizon");
             debug_assert!(
@@ -379,10 +393,15 @@ impl WheelState {
         // 1. Cursor slots at levels >= 1 hold events whose true level has
         //    decayed; flush them down (high to low, so a level-2 flush
         //    can land in the level-1 cursor slot and still be flushed).
-        for level in (1..LEVELS).rev() {
-            let b = level * SLOTS + self.cursor_slot(level);
-            if self.head[b] != NIL {
-                self.cascade_bucket(slots, b);
+        //    With nothing resident above level 0 (`hi_len == 0`, the
+        //    datapath steady state) both the cascade checks and the
+        //    higher-level fallback scans are dead weight — skip them.
+        if self.hi_len > 0 {
+            for level in (1..LEVELS).rev() {
+                let b = level * SLOTS + self.cursor_slot(level);
+                if self.head[b] != NIL {
+                    self.cascade_bucket(slots, b);
+                }
             }
         }
         // 2. Wheel candidate: first occupied level-0 slot, else the first
@@ -392,7 +411,7 @@ impl WheelState {
         if let Some(slot) = self.first_occupied_from(0, self.cursor_slot(0)) {
             self.bucket_head_min(slots, slot, &mut best);
             from_bucket = Some(slot);
-        } else {
+        } else if self.hi_len > 0 {
             for level in 1..LEVELS {
                 if let Some(slot) = self.first_occupied_from(level, self.cursor_slot(level)) {
                     let b = level * SLOTS + slot;
@@ -446,6 +465,49 @@ impl WheelState {
         Some(idx)
     }
 
+    /// `pop_min_before`, but *deferring the cursor*: the winner is
+    /// detached and returned while the cursor stays put until the
+    /// caller commits it with [`advance_cursor`](Self::advance_cursor).
+    /// The batching layer pops the wheel's minimum this way, runs any
+    /// parked reserved-sequence entries that precede it (whose ticks
+    /// may fall between the old cursor and the winner's tick — legal
+    /// insert targets only while the cursor has not advanced), then
+    /// commits. Cursor-dependent cleanup (overflow migration, survivor
+    /// cascades) waits for the next regular pop; both are pure
+    /// placement maintenance and never affect pop order.
+    #[inline]
+    pub(crate) fn pop_min_before_deferred<E>(
+        &mut self,
+        slots: &mut [Slot<E>],
+        limit: SimTime,
+    ) -> Option<u32> {
+        let (idx, from_bucket) = self.select_min(slots)?;
+        if slots[idx as usize].time > limit {
+            return None;
+        }
+        match from_bucket {
+            None => {
+                let pos = slots[idx as usize].pos;
+                debug_assert!(pos & OVF_BIT != 0);
+                self.overflow_remove_at(slots, (pos & !OVF_BIT) as usize);
+            }
+            Some(_) => self.unlink(slots, idx),
+        }
+        Some(idx)
+    }
+
+    /// Commit the cursor to `t`'s tick — the deferred half of
+    /// [`pop_min_before_deferred`](Self::pop_min_before_deferred). The
+    /// caller guarantees every live event ticks at or after `t` (the
+    /// deferred winner was the minimum, and everything inserted since
+    /// that would precede it was routed around the wheel).
+    #[inline]
+    pub(crate) fn advance_cursor(&mut self, t: SimTime) {
+        let tick = self.tick_of(t);
+        debug_assert!(tick >= self.cur, "cursor commit moved backwards");
+        self.cur = tick;
+    }
+
     /// Step 4 of a pop: advance the cursor to winner `idx`'s tick and
     /// detach it from `from_bucket` (`None` = overflow tier).
     fn finish_pop<E>(&mut self, slots: &mut [Slot<E>], idx: u32, from_bucket: Option<usize>) {
@@ -489,6 +551,7 @@ impl WheelState {
         self.tail.fill(NIL);
         self.occ = [[0; SLOTS / 64]; LEVELS];
         self.wheel_len = 0;
+        self.hi_len = 0;
         self.overflow.clear();
     }
 

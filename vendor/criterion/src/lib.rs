@@ -1,10 +1,13 @@
 //! Offline stand-in for the `criterion` crate.
 //!
 //! Keeps the bench sources compiling and producing useful numbers without
-//! the real statistical machinery: each `Bencher::iter` body is timed
-//! with `std::time::Instant` over a fixed warm-up plus a few measured
-//! iterations, and a mean per-iteration time is printed. No outlier
-//! analysis, no plots, no saved baselines.
+//! the real statistical machinery: each `Bencher::iter` body runs once as
+//! an untimed warm-up, then `sample_size` individually timed samples; the
+//! reported per-iteration time is the *median* sample (robust against the
+//! one-off stalls of a shared host) and the sample standard deviation is
+//! recorded alongside so consumers (the `repro bench --gate` perf gate)
+//! can tell a real regression from noise. No outlier analysis, no plots,
+//! no saved baselines.
 //!
 //! Beyond the real crate's API, the stub records every measurement in a
 //! process-global registry so harnesses can emit machine-readable
@@ -12,7 +15,7 @@
 
 use std::hint::black_box as std_black_box;
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Re-export matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -33,8 +36,12 @@ pub enum Throughput {
 pub struct BenchResult {
     /// Full benchmark name (`group/function`).
     pub name: String,
-    /// Mean wall-clock seconds per iteration.
+    /// Median wall-clock seconds per iteration (the field keeps its
+    /// historical name; the median is what every consumer wants from a
+    /// noisy host).
     pub mean_seconds: f64,
+    /// Sample standard deviation of the per-iteration times, in seconds.
+    pub stddev_seconds: f64,
     /// Measured iteration count.
     pub iters: usize,
     /// Per-iteration work, if the group declared one.
@@ -120,18 +127,20 @@ impl BenchmarkGroup<'_> {
 /// Passed to the benchmark closure; call [`Bencher::iter`].
 pub struct Bencher {
     iters: usize,
-    elapsed: Duration,
+    samples: Vec<f64>,
 }
 
 impl Bencher {
-    /// Time `body`, running it once for warm-up and `iters` times measured.
+    /// Run `body` once untimed (warm-up), then `iters` individually
+    /// timed samples.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
         black_box(body());
-        let start = Instant::now();
+        self.samples.clear();
         for _ in 0..self.iters {
+            let start = Instant::now();
             black_box(body());
+            self.samples.push(start.elapsed().as_secs_f64());
         }
-        self.elapsed = start.elapsed();
     }
 }
 
@@ -143,13 +152,28 @@ fn run_one<F: FnMut(&mut Bencher)>(
 ) {
     let mut b = Bencher {
         iters,
-        elapsed: Duration::ZERO,
+        samples: Vec::with_capacity(iters),
     };
     f(&mut b);
-    let per_iter = b.elapsed.as_secs_f64() / iters.max(1) as f64;
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let per_iter = match sorted.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => sorted[n / 2],
+        n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0,
+    };
+    let stddev = if sorted.len() > 1 {
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let var =
+            sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (sorted.len() - 1) as f64;
+        var.sqrt()
+    } else {
+        0.0
+    };
     RESULTS.lock().expect("results registry").push(BenchResult {
         name: name.to_string(),
         mean_seconds: per_iter,
+        stddev_seconds: stddev,
         iters,
         throughput,
     });
@@ -162,7 +186,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
         }
         _ => String::new(),
     };
-    println!("bench {name}: {:.3} ms/iter{rate}", per_iter * 1e3);
+    println!(
+        "bench {name}: {:.3} ms/iter (±{:.3}){rate}",
+        per_iter * 1e3,
+        stddev * 1e3
+    );
 }
 
 /// Collect benchmark functions into a runnable group function.
