@@ -19,6 +19,10 @@
 //!   ≤2% of the datapath number);
 //! * `fabric/fat_tree4_permutation_200us` — routing + arbitration on a
 //!   16-host fat-tree;
+//! * `fabric/fat_tree8_torlocal_100us{,_p2,_p4}` — the identical
+//!   128-host k=8 fat-tree scenario serial and at 2/4 partitions:
+//!   directly comparable events/sec for the partitioned engine (on a
+//!   single-core host the `_pN` numbers measure split/merge overhead);
 //! * `detector/deadlock_scan_fat_tree4_incast_200us` — the deadlock
 //!   analyzer under heavy pause churn (100 ns scan cadence, no true
 //!   deadlock);
@@ -182,6 +186,61 @@ fn fat_tree_bench(c: &mut Criterion, samples: usize) {
     g.finish();
 }
 
+fn partitioned_fabric_bench(c: &mut Criterion, samples: usize) {
+    // The partitioned engine on the fabric it was built for: a k=8
+    // fat-tree (128 hosts, 80 switches) under ToR-local rotation traffic
+    // (each host sends to the next host on its own edge switch), so the
+    // auto-partitioner's cuts carry pause/route coordination but no
+    // steady-state data packets — the intended best case for windowed
+    // conservative sync. The serial, 2-partition, and 4-partition
+    // variants run the identical scenario; determinism makes their event
+    // counts (and full reports) equal, so the three numbers are directly
+    // comparable events/sec. On a single-core host the partitioned
+    // variants measure pure split/merge overhead, not speedup.
+    let built = fat_tree(8, LinkSpec::default());
+    let run_once = |parts: usize| {
+        let tables = pfcsim_topo::routing::up_down_tables(&built.topo);
+        let mut cfg = SimConfig::default();
+        cfg.sample_interval = None; // measure datapath, not sampling
+        let mut sim = SimBuilder::new(&built.topo)
+            .config(cfg)
+            .tables(tables)
+            .build();
+        sim.set_partitions(parts);
+        let n = built.hosts.len();
+        for i in 0..n {
+            // Rotate within each edge switch's 4-host group.
+            let dst = (i & !3) + (i + 1) % 4;
+            sim.add_flow(FlowSpec::infinite(
+                i as u32,
+                built.hosts[i],
+                built.hosts[dst],
+            ));
+        }
+        let r = sim.run(SimTime::from_us(100));
+        assert!(!r.verdict.is_deadlock());
+        r.events
+    };
+    let events = run_once(1);
+    let mut g = c.benchmark_group("fabric");
+    g.sample_size(samples);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("fat_tree8_torlocal_100us", |b| {
+        b.iter(|| black_box(run_once(1)))
+    });
+    for parts in [2usize, 4] {
+        assert_eq!(
+            run_once(parts),
+            events,
+            "partitioned run diverged at {parts} partitions"
+        );
+        g.bench_function(&format!("fat_tree8_torlocal_100us_p{parts}"), |b| {
+            b.iter(|| black_box(run_once(parts)))
+        });
+    }
+    g.finish();
+}
+
 fn deadlock_scan_bench(c: &mut Criterion, samples: usize) {
     // The detector's worst realistic case: a 15-to-1 incast on an
     // up/down-routed fat-tree keeps many switch-to-switch channels paused
@@ -268,6 +327,11 @@ pub fn bench_fat_tree_all_to_all(c: &mut Criterion) {
     fat_tree_bench(c, 10);
 }
 
+/// `cargo bench` entry point: partitioned fat-tree fabric.
+pub fn bench_partitioned_fabric(c: &mut Criterion) {
+    partitioned_fabric_bench(c, 10);
+}
+
 /// `cargo bench` entry point: deadlock detector under pause churn.
 pub fn bench_deadlock_scan(c: &mut Criterion) {
     deadlock_scan_bench(c, 10);
@@ -292,6 +356,7 @@ pub fn run_engine_benches(quick: bool) -> Vec<BenchResult> {
     line_forwarding_bench(&mut c, s_small.max(3));
     telemetry_off_bench(&mut c, s_small.max(3));
     fat_tree_bench(&mut c, s_small);
+    partitioned_fabric_bench(&mut c, s_small);
     deadlock_scan_bench(&mut c, s_small);
     arena_reuse_bench(&mut c, s_small);
     take_results()
@@ -315,6 +380,9 @@ mod tests {
                 "datapath/line2_saturated_1ms",
                 "telemetry/line2_off_1ms",
                 "fabric/fat_tree4_permutation_200us",
+                "fabric/fat_tree8_torlocal_100us",
+                "fabric/fat_tree8_torlocal_100us_p2",
+                "fabric/fat_tree8_torlocal_100us_p4",
                 "detector/deadlock_scan_fat_tree4_incast_200us",
                 "sweep/square_arena_reuse_8"
             ]

@@ -48,6 +48,7 @@ pub mod flow;
 pub mod golden;
 pub mod host;
 pub mod packet;
+pub mod partition;
 pub mod recovery;
 pub mod report;
 pub mod shaper;

@@ -150,7 +150,7 @@ pub(crate) enum Ev {
 // side table, not in the event.
 const _: () = assert!(std::mem::size_of::<Ev>() <= 16);
 
-fn is_meaningful(ev: &Ev) -> bool {
+pub(crate) fn is_meaningful(ev: &Ev) -> bool {
     !matches!(ev, Ev::Sample | Ev::DeadlockScan | Ev::TelemetrySample)
 }
 
@@ -188,7 +188,7 @@ struct SpecLite {
 
 /// Why [`NetSim::step_until`] stopped popping events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StepOutcome {
+pub(crate) enum StepOutcome {
     /// The step limit was reached with work still queued.
     LimitReached,
     /// The queue quiesced: nothing can ever change again.
@@ -437,36 +437,36 @@ pub struct NetSim {
     /// popped); `EventQueue::reschedule` rejects dead handles, so the
     /// slot self-heals on the next refresh. Not checkpointed — rebuilt
     /// from the restored queue's live `PauseExpire` entries.
-    pause_timer: Vec<Option<pfcsim_simcore::event::EventId>>,
+    pub(crate) pause_timer: Vec<Option<pfcsim_simcore::event::EventId>>,
     pub(crate) switches: Vec<Option<Switch>>,
     pub(crate) hosts: Vec<Option<Host>>,
     /// Per-switch PFC override, indexed by node id (`None` = global cfg).
     pub(crate) switch_pfc: Vec<Option<PfcConfig>>,
     /// Flow specs in registration order — the dense flow arena. Every
     /// hot-path lookup goes `FlowId` → [`NetSim::fmap`] → index here.
-    flows: Vec<FlowSpec>,
+    pub(crate) flows: Vec<FlowSpec>,
     /// Runtime flow state, parallel to `flows`.
-    rt: Vec<FlowRt>,
+    pub(crate) rt: Vec<FlowRt>,
     /// Hot-path per-flow counters, parallel to `flows`; folded into
     /// `stats.flows` when the run finishes (entries only for touched
     /// flows, matching the old `flow_mut` entry semantics).
-    fstats: Vec<FlowStats>,
-    fstats_touched: Vec<bool>,
+    pub(crate) fstats: Vec<FlowStats>,
+    pub(crate) fstats_touched: Vec<bool>,
     /// Raw `FlowId` value → dense index (`u32::MAX` = unregistered).
-    fmap: Vec<u32>,
+    pub(crate) fmap: Vec<u32>,
     /// Pinned egress ports: `pinned[dense_flow][node]` (`u16::MAX` =
     /// none); empty vec for table-routed flows.
-    pinned: Vec<Vec<u16>>,
+    pub(crate) pinned: Vec<Vec<u16>>,
     /// NIC frame mid-serialization, indexed by node id.
-    host_in_flight: Vec<Option<Packet>>,
+    pub(crate) host_in_flight: Vec<Option<Packet>>,
     /// Payloads of in-flight `Ev::Arrive` events, indexed by the event's
     /// `frame` field. Slots recycle through `frame_free` when the arrival
     /// is handled, so the slab's high-water mark is the peak number of
     /// frames on the wire.
-    frames: Vec<Frame>,
-    frame_free: Vec<u32>,
-    queue: EventQueue<Ev>,
-    meaningful: u64,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) frame_free: Vec<u32>,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) meaningful: u64,
     /// Serialization train: pending tx-completion events, parked
     /// outside the main event queue in a small binary min-heap ordered
     /// by `(time, seq)`. Each entry carries a sequence number reserved
@@ -481,7 +481,7 @@ pub struct NetSim {
     /// queue (under the reserved sequence numbers) on every step-loop
     /// return, so truncation, checkpoint and the golden digest need no
     /// special cases: the train is always empty between steps.
-    train: Vec<(SimTime, u64, Ev)>,
+    pub(crate) train: Vec<(SimTime, u64, Ev)>,
     /// The deferred-pop hold: the queue's minimum, popped with the
     /// clock and wheel cursor *not yet advanced*, while parked train
     /// entries that precede it run inline. Scheduling during that
@@ -491,14 +491,14 @@ pub struct NetSim {
     /// handle for an earlier event (a pause timer) demotes the hold
     /// back into the queue instead. Always `None` between step-loop
     /// iterations.
-    hold: Option<(SimTime, u64, Ev)>,
+    pub(crate) hold: Option<(SimTime, u64, Ev)>,
     /// `PFCSIM_NO_TRAINS` kill switch (and A/B lever for the
     /// batched-vs-unbatched equivalence tests).
-    trains_enabled: bool,
+    pub(crate) trains_enabled: bool,
     pub(crate) stats: NetStats,
-    rng: SimRng,
-    next_pkt_id: u64,
-    quantum: u64,
+    pub(crate) rng: SimRng,
+    pub(crate) next_pkt_id: u64,
+    pub(crate) quantum: u64,
     horizon: SimTime,
     route_updates: Vec<RouteUpdate>,
     /// Sampling restriction (sorted, deduped); `None` = sample everything.
@@ -519,35 +519,50 @@ pub struct NetSim {
     /// panic on divergence.
     cross_check_deadlock: bool,
     deadlock: Option<(SimTime, Vec<PauseKey>)>,
-    dcqcn_cfg: Option<DcqcnConfig>,
-    timely_cfg: Option<TimelyConfig>,
+    pub(crate) dcqcn_cfg: Option<DcqcnConfig>,
+    pub(crate) timely_cfg: Option<TimelyConfig>,
     /// Raw `FlowId` value → packet-lifecycle tracing enabled.
-    traced: Vec<bool>,
+    pub(crate) traced: Vec<bool>,
     trace_cap: usize,
-    events: u64,
-    started: bool,
+    pub(crate) events: u64,
+    pub(crate) started: bool,
     finished: bool,
     // --- fault injection ---
     /// Per-link up/down state, indexed by `LinkId`.
-    link_up: Vec<bool>,
+    pub(crate) link_up: Vec<bool>,
     fault_plan: Option<FaultPlan>,
     /// The plan expanded (flaps unrolled) and sorted; `Ev::Fault` indexes it.
-    fault_events: Vec<(SimTime, FaultKind)>,
+    pub(crate) fault_events: Vec<(SimTime, FaultKind)>,
     /// Fault randomness (pause-loss coins, reconvergence jitter): an
     /// independent stream so installing a plan never perturbs traffic RNG.
-    fault_rng: SimRng,
+    pub(crate) fault_rng: SimRng,
     /// Armed per-switch PFC loss probability, indexed by node id.
-    pfc_loss: Vec<Option<f64>>,
+    pub(crate) pfc_loss: Vec<Option<f64>>,
     /// Armed per-switch PFC delay, indexed by node id.
-    pfc_delay: Vec<Option<SimDuration>>,
+    pub(crate) pfc_delay: Vec<Option<SimDuration>>,
     /// Lossless headroom above XOFF under an armed pause fault.
-    pause_headroom: Bytes,
+    pub(crate) pause_headroom: Bytes,
     /// Switches currently down, with the state their restore needs.
     reboots: BTreeMap<NodeId, RebootState>,
     /// Live telemetry state (`None` = telemetry off). Boxed so the
     /// disabled case costs the struct one word and the hot path one
     /// null-check.
-    telem: Option<Box<TelemetryState>>,
+    pub(crate) telem: Option<Box<TelemetryState>>,
+    // --- partitioned execution (see `crate::partition`) ---
+    /// Packet-id stride: 1 on a serial simulator, the partition count on
+    /// a shard (shard `i` issues ids `base + i + k * P`), keeping ids
+    /// unique across concurrently-generating shards without coordination.
+    /// Packet ids are observationally invisible (they appear only in
+    /// packet-lifecycle traces, which force the serial path), so striding
+    /// never perturbs results.
+    pub(crate) pkt_id_step: u64,
+    /// Shard-side interception state (`Some` only while this simulator is
+    /// acting as a partition shard inside a window).
+    pub(crate) pmode: Option<Box<crate::partition::PMode>>,
+    /// Partitioned-execution control (`Some` on a driver simulator after
+    /// `set_partitions`): requested layout plus, once running, the live
+    /// shard runtime.
+    pub(crate) part: Option<Box<crate::partition::PartControl>>,
 }
 
 impl NetSim {
@@ -587,7 +602,7 @@ impl NetSim {
     }
 
     /// The one true constructor, reached through [`SimBuilder`].
-    fn construct(
+    pub(crate) fn construct(
         topo: &Topology,
         cfg: SimConfig,
         tables: Option<ForwardingTables>,
@@ -650,7 +665,7 @@ impl NetSim {
             .min()
             .map(tick_shift_for_quantum)
             .unwrap_or(DEFAULT_TICK_SHIFT);
-        Ok(NetSim {
+        let mut sim = NetSim {
             topo: topo.clone(),
             cfg,
             tables,
@@ -706,7 +721,16 @@ impl NetSim {
             pause_headroom: Bytes::from_kb(20),
             reboots: BTreeMap::new(),
             telem,
-        })
+            pkt_id_step: 1,
+            pmode: None,
+            part: None,
+        };
+        // Partitioned execution defaults to the environment; an explicit
+        // `set_partitions` call overrides either way.
+        if let Some(n) = Self::partitions_from_env() {
+            sim.set_partitions(n);
+        }
+        Ok(sim)
     }
 
     /// Return this simulator's reusable storage to `arenas` so the next
@@ -743,7 +767,7 @@ impl NetSim {
     }
 
     /// Allocate a slot in the frame slab for an in-flight `Ev::Arrive`.
-    fn frame_alloc(&mut self, frame: Frame) -> u32 {
+    pub(crate) fn frame_alloc(&mut self, frame: Frame) -> u32 {
         match self.frame_free.pop() {
             Some(ix) => {
                 self.frames[ix as usize] = frame;
@@ -758,7 +782,7 @@ impl NetSim {
 
     /// Take a frame out of the slab, releasing its slot.
     #[inline]
-    fn frame_take(&mut self, ix: u32) -> Frame {
+    pub(crate) fn frame_take(&mut self, ix: u32) -> Frame {
         self.frame_free.push(ix);
         self.frames[ix as usize]
     }
@@ -838,7 +862,7 @@ impl NetSim {
 
     /// Dense arena index of a registered flow.
     #[inline]
-    fn fidx(&self, f: FlowId) -> usize {
+    pub(crate) fn fidx(&self, f: FlowId) -> usize {
         self.fmap[f.0 as usize] as usize
     }
 
@@ -1301,7 +1325,7 @@ impl NetSim {
             self.start();
         }
         assert!(!self.finished, "run methods may be called once");
-        let outcome = self.step_until(horizon);
+        let outcome = self.drive(horizon);
         self.finalize(matches!(outcome, StepOutcome::Quiesced))
     }
 
@@ -1323,7 +1347,7 @@ impl NetSim {
             self.start();
         }
         assert!(!self.finished, "run methods may be called once");
-        match self.step_until(pause_at) {
+        match self.drive(pause_at) {
             StepOutcome::LimitReached if pause_at < horizon => None,
             outcome => Some(self.finalize(matches!(outcome, StepOutcome::Quiesced))),
         }
@@ -1336,13 +1360,13 @@ impl NetSim {
         assert!(self.started, "resume_run continues a started run");
         assert!(!self.finished, "run methods may be called once");
         let horizon = self.horizon;
-        let outcome = self.step_until(horizon);
+        let outcome = self.drive(horizon);
         self.finalize(matches!(outcome, StepOutcome::Quiesced))
     }
 
     /// Pop-and-handle events up to `limit` (which may fall short of
     /// `self.horizon` when pausing for a checkpoint).
-    fn step_until(&mut self, limit: SimTime) -> StepOutcome {
+    pub(crate) fn step_until(&mut self, limit: SimTime) -> StepOutcome {
         loop {
             if self.cfg.max_events > 0 && self.events >= self.cfg.max_events {
                 self.truncate_batch();
@@ -1391,6 +1415,7 @@ impl NetSim {
                 .is_none_or(|&(at, seq, _)| (at, seq) >= key)
             {
                 self.queue.commit_time(key.0);
+                self.pmode_begin(key);
                 if self.step_one(ev) {
                     return StepOutcome::DeadlockStop;
                 }
@@ -1573,6 +1598,13 @@ impl NetSim {
     /// held event.
     #[inline]
     fn sched_queue_guarded(&mut self, at: SimTime, ev: Ev) {
+        // Partition-shard interception: inside a window, every schedule
+        // routes through the provisional-key path (local events) or the
+        // cross-shard outbox (boundary `Arrive`s). See `crate::partition`.
+        if self.pmode.is_some() {
+            self.pmode_sched(at, ev);
+            return;
+        }
         if let Some(&(ht, _, _)) = self.hold.as_ref() {
             if at < ht {
                 let seq = self.queue.reserve_seq();
@@ -2005,12 +2037,12 @@ impl NetSim {
                 self.sched(self.now(), Ev::FlowTick { flow });
             }
             Demand::Poisson(_) => {
-                let child = self.rng.fork(0x50_1550 ^ flow.0 as u64);
+                let child = self.flow_fork(0x50_1550 ^ flow.0 as u64, i);
                 self.rt[i].rng = Some(child);
                 self.sched(self.now(), Ev::FlowTick { flow });
             }
             Demand::OnOff { mean_on, .. } => {
-                let mut child = self.rng.fork(0x0F0F ^ flow.0 as u64);
+                let mut child = self.flow_fork(0x0F0F ^ flow.0 as u64, i);
                 let first_on = exp_duration(&mut child, mean_on);
                 let rt = &mut self.rt[i];
                 rt.rng = Some(child);
@@ -2113,9 +2145,23 @@ impl NetSim {
         }
     }
 
+    /// Per-flow RNG fork at flow start. On a partition shard the child
+    /// was pre-forked from the driver's RNG at the split (in global
+    /// `(time, seq)` order of the pending `FlowStart`s), so the fork
+    /// order — and hence every child stream — is bit-identical to the
+    /// serial engine's.
+    fn flow_fork(&mut self, salt: u64, dense_idx: usize) -> SimRng {
+        if let Some(pm) = self.pmode.as_mut() {
+            return pm.prefork[dense_idx]
+                .take()
+                .expect("pre-forked RNG for starting flow");
+        }
+        self.rng.fork(salt)
+    }
+
     fn make_packet(&mut self, spec: SpecLite, size: Bytes) -> Packet {
         let id = self.next_pkt_id;
-        self.next_pkt_id += 1;
+        self.next_pkt_id += self.pkt_id_step;
         let i = self.fidx(spec.id);
         let rt = &mut self.rt[i];
         let seq = rt.next_seq;
@@ -2387,6 +2433,14 @@ impl NetSim {
             }
         }
         let c = self.chan(node, port, prio as usize);
+        // Partition-shard interception: `reschedule` draws a fresh
+        // sequence number, which inside a window must be a provisional
+        // key drawn in scheduling order — cancel + provisional insert
+        // reproduces exactly that. See `crate::partition`.
+        if self.pmode.is_some() {
+            self.pmode_arm_pause_timer(c, node, port, prio, until);
+            return;
+        }
         if let Some(id) = self.pause_timer[c] {
             if self.queue.reschedule(id, until) {
                 return;
@@ -2799,7 +2853,7 @@ impl NetSim {
         let prio = qp.pkt.priority.index();
         let sw = self.switches[node.0 as usize].as_mut().expect("switch");
         sw.egress[egress.0 as usize].queues[prio].push(qp, arb);
-        self.dl.note_bytes_moved();
+        self.dl_note_moved();
         self.try_tx(node, egress);
     }
 
@@ -2836,7 +2890,7 @@ impl NetSim {
                     .expect("eligible queue non-empty");
                 let size = qp.pkt.size;
                 eg.in_flight = Some(InFlight::Data(qp));
-                self.dl.note_bytes_moved();
+                self.dl_note_moved();
                 size
             } else {
                 return;
@@ -2939,7 +2993,7 @@ impl NetSim {
         }
         if ing.pause_sent[prio.index()] && ing.count[prio.index()] < xon {
             ing.pause_sent[prio.index()] = false;
-            self.dl.note_pause(node, ingress, prio.index(), false);
+            self.dl_note_pause(node, ingress, prio.index(), false);
             self.send_resume(node, ingress, prio);
         }
     }
@@ -2955,7 +3009,7 @@ impl NetSim {
             PauseMode::XonXoff => u16::MAX,
             PauseMode::Quanta { quanta } => quanta,
         };
-        self.dl.note_pause(node, port, prio.index(), true);
+        self.dl_note_pause(node, port, prio.index(), true);
         let sw = self.switches[node.0 as usize].as_mut().expect("switch");
         sw.ingress[port.0 as usize].pause_sent[prio.index()] = true;
         sw.egress[port.0 as usize].ctrl.push_back(PfcFrame {
@@ -3489,7 +3543,7 @@ impl NetSim {
     /// Index of `(node, port, prio)` into the dense per-channel arrays
     /// ([`NetSim::tx_pause`], `pause_timer`).
     #[inline(always)]
-    fn chan(&self, node: NodeId, port: PortNo, prio: usize) -> usize {
+    pub(crate) fn chan(&self, node: NodeId, port: PortNo, prio: usize) -> usize {
         self.pid(node, port) * Priority::COUNT + prio
     }
 

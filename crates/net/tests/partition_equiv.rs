@@ -1,0 +1,208 @@
+//! Partitioned-vs-serial execution equivalence over randomized runs.
+//!
+//! Partitioning (`NetSim::set_partitions`) must be observationally
+//! invisible: for any topology, traffic mix, fault script, and scan
+//! cadence, the full `RunReport` digest at 2 and 4 partitions must equal
+//! the serial reference — under both scheduler backends. These tests
+//! drive that invariant the same way `deadlock_equiv` drives the
+//! detector cross-check: randomized scenarios mapped onto whatever
+//! topology was drawn, including runs that pause heavily across the cut,
+//! deadlock and stop, recover, and drain to quiescence.
+
+use proptest::prelude::*;
+
+use pfcsim_net::config::{SchedulerBackend, SimConfig};
+use pfcsim_net::faults::FaultPlan;
+use pfcsim_net::flow::FlowSpec;
+use pfcsim_net::golden;
+use pfcsim_net::recovery::RecoveryConfig;
+use pfcsim_net::sim::SimBuilder;
+use pfcsim_simcore::time::{SimDuration, SimTime};
+use pfcsim_simcore::units::BitRate;
+use pfcsim_topo::builders::{fat_tree, ring, square, Built, LinkSpec};
+use pfcsim_topo::routing::install_cycle_route;
+
+/// One generated fault as raw numbers (kind, time, endpoint selector,
+/// parameter), mapped onto the drawn topology so every plan validates.
+type RawFault = (u8, u16, u8, u16);
+
+fn build_topo(sel: u8) -> Built {
+    match sel % 4 {
+        0 => square(LinkSpec::default()),
+        1 => ring(4, LinkSpec::default()),
+        2 => ring(6, LinkSpec::default()),
+        _ => fat_tree(4, LinkSpec::default()),
+    }
+}
+
+fn build_plan(b: &Built, raw: &[RawFault]) -> FaultPlan {
+    let s = &b.switches;
+    let h = &b.hosts;
+    let mut plan = FaultPlan::new();
+    for &(kind, t_us, which, p) in raw {
+        let at = SimTime::from_us(30 + t_us as u64 % 700);
+        let wi = which as usize;
+        let (a, bb) = if wi.is_multiple_of(2) {
+            (h[wi % h.len()], s[wi % s.len()])
+        } else {
+            (s[wi % s.len()], s[(wi + 1) % s.len()])
+        };
+        let sw = s[wi % s.len()];
+        plan = match kind % 5 {
+            0 => plan.link_down(at, a, bb),
+            1 => plan.link_up(at, a, bb),
+            2 => {
+                let down_for = SimDuration::from_us(1 + p as u64 % 40);
+                let period = down_for + SimDuration::from_us(1 + which as u64);
+                plan.link_flap(at, a, bb, down_for, period, 1 + (p % 2) as u32)
+            }
+            // PFC-loss consumers pin to one partition; several switches
+            // drawn here exercise multi-pin co-location.
+            3 => plan.pause_loss(at, sw, (p % 101) as f64 / 100.0),
+            _ => plan.route_reconverge(
+                at,
+                SimDuration::from_us(1 + which as u64),
+                SimDuration::from_us(p as u64 % 300),
+            ),
+        };
+    }
+    plan
+}
+
+/// Run one scenario at a given partition count and digest the report.
+#[allow(clippy::too_many_arguments)]
+fn run_digest(
+    topo_sel: u8,
+    cyclic: bool,
+    sched: SchedulerBackend,
+    scan_us: u64,
+    raw: &[RawFault],
+    seed: u64,
+    recovery: bool,
+    drain: bool,
+    parts: usize,
+) -> u64 {
+    let b = build_topo(topo_sel);
+    let mut tables = pfcsim_topo::routing::shortest_path_tables(&b.topo);
+    if cyclic && topo_sel % 4 != 3 {
+        // The paper's cyclic-buffer-dependency pattern: a deliberate
+        // route cycle over the ring/square switches (consecutive ones
+        // are adjacent there; a fat-tree's are not), so some runs pause
+        // hard and some deadlock — partitioned pause/deadlock behaviour
+        // must match exactly.
+        install_cycle_route(
+            &b.topo,
+            &mut tables,
+            &b.switches,
+            b.hosts[1 % b.hosts.len()],
+        );
+    }
+    let mut cfg = SimConfig::default();
+    cfg.seed = seed;
+    cfg.scheduler = Some(sched);
+    cfg.deadlock_scan_interval = Some(SimDuration::from_us(scan_us));
+    cfg.sample_interval = Some(SimDuration::from_us(25 + scan_us));
+    cfg.stop_on_deadlock = !drain;
+    let mut sim = SimBuilder::new(&b.topo).config(cfg).tables(tables).build();
+    sim.set_partitions(parts);
+    let n = b.hosts.len();
+    sim.add_flow(FlowSpec::cbr(0, b.hosts[0], b.hosts[1 % n], BitRate::from_gbps(10)).with_ttl(16));
+    sim.add_flow(
+        FlowSpec::cbr(1, b.hosts[(n - 1) % n], b.hosts[0], BitRate::from_gbps(5))
+            .with_ttl(16)
+            .stopping_at(SimTime::from_ms(1)),
+    );
+    sim.add_flow(FlowSpec::poisson(
+        2,
+        b.hosts[2 % n],
+        b.hosts[(n / 2) % n],
+        BitRate::from_gbps(3),
+    ));
+    sim.add_flow(
+        FlowSpec::on_off(
+            3,
+            b.hosts[(n - 2) % n],
+            b.hosts[3 % n],
+            BitRate::from_gbps(8),
+            SimDuration::from_us(40),
+            SimDuration::from_us(60),
+        )
+        .starting_at(SimTime::from_us(10 + seed % 50)),
+    );
+    if recovery {
+        sim.try_enable_recovery(RecoveryConfig::default())
+            .expect("enable_recovery");
+    }
+    if !raw.is_empty() {
+        sim.set_fault_plan(build_plan(&b, raw)).expect("plan valid");
+    }
+    let report = if drain {
+        sim.run_with_drain(SimTime::from_ms(1), SimTime::from_ms(2))
+    } else {
+        sim.run(SimTime::from_ms(2))
+    };
+    golden::digest(&report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Any randomized run digests identically at 1, 2, and 4 partitions.
+    #[test]
+    fn partitioned_runs_match_serial_reference(
+        topo_sel in 0u8..4,
+        cyclic in any::<bool>(),
+        heap in any::<bool>(),
+        scan_us in 20u64..120,
+        raw in prop::collection::vec((0u8..10, 0u16..700, 0u8..8, 0u16..1000), 0..4),
+        seed in 0u64..1_000,
+        recovery in any::<bool>(),
+        drain in any::<bool>(),
+    ) {
+        let sched = if heap { SchedulerBackend::Heap } else { SchedulerBackend::Wheel };
+        let reference = run_digest(
+            topo_sel, cyclic, sched, scan_us, &raw, seed, recovery, drain, 1,
+        );
+        for parts in [2usize, 4] {
+            let d = run_digest(
+                topo_sel, cyclic, sched, scan_us, &raw, seed, recovery, drain, parts,
+            );
+            prop_assert_eq!(
+                d, reference,
+                "digest diverged at {} partitions under {:?}", parts, sched
+            );
+        }
+    }
+}
+
+/// Deterministic smoke for the deadlock path: the ring cycle under
+/// stop-on-deadlock must detect at the identical instant (digests cover
+/// the detection time via the verdict string) at every partition count.
+#[test]
+fn deadlock_detection_is_partition_invariant() {
+    let reference = run_digest(
+        1,
+        true,
+        SchedulerBackend::Wheel,
+        25,
+        &[],
+        7,
+        false,
+        false,
+        1,
+    );
+    for parts in [2usize, 3, 4] {
+        let d = run_digest(
+            1,
+            true,
+            SchedulerBackend::Wheel,
+            25,
+            &[],
+            7,
+            false,
+            false,
+            parts,
+        );
+        assert_eq!(d, reference, "deadlock run diverged at {parts} partitions");
+    }
+}

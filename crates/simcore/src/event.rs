@@ -355,19 +355,21 @@ impl<E> EventQueue<E> {
     /// Insert an entry under a previously reserved sequence number (no
     /// counter bump). The entry pops exactly where a
     /// [`schedule`](Self::schedule) call at reservation time would have
-    /// placed it.
+    /// placed it. Returns a live handle, so side tables keyed on
+    /// [`EventId`] (pause timers) can track entries that re-enter the
+    /// queue through the reserved-sequence path.
     ///
     /// # Panics
     /// Panics if `at` is earlier than the current time.
     #[inline]
-    pub fn schedule_at_seq(&mut self, at: SimTime, seq: u64, payload: E) {
+    pub fn schedule_at_seq(&mut self, at: SimTime, seq: u64, payload: E) -> EventId {
         assert!(
             at >= self.now,
             "causality violation: scheduling at {at} but now is {now}",
             at = at,
             now = self.now
         );
-        self.insert_with_seq(at, seq, payload);
+        self.insert_with_seq(at, seq, payload)
     }
 
     /// Advance the clock to `at` without popping — the inline-handling
@@ -624,8 +626,8 @@ impl<E> EventQueue<E> {
     }
 
     /// [`schedule`](Self::schedule) with an explicit sequence number and
-    /// no counter bump — the restore path only.
-    fn insert_with_seq(&mut self, at: SimTime, seq: u64, payload: E) {
+    /// no counter bump — the restore and reserved-entry paths.
+    fn insert_with_seq(&mut self, at: SimTime, seq: u64, payload: E) -> EventId {
         let idx = match self.free.pop() {
             Some(idx) => {
                 let s = &mut self.slots[idx as usize];
@@ -652,6 +654,7 @@ impl<E> EventQueue<E> {
             Core::Heap(h) => h.insert(&mut self.slots, idx),
             Core::Wheel(w) => w.insert(&mut self.slots, idx),
         }
+        EventId::new(idx, self.slots[idx as usize].gen)
     }
 
     /// Mark `idx` vacant, invalidating outstanding handles to it.
@@ -1373,5 +1376,23 @@ mod tests {
             1,
             vec![(SimTime::from_us(1), 0, 7u64)],
         );
+    }
+
+    /// `schedule_at_seq` returns a live handle: cancellable, reschedulable,
+    /// and distinct from stale handles to the reused slot.
+    #[test]
+    fn schedule_at_seq_returns_live_handle() {
+        on_each_backend_u64(|mut q| {
+            let seq = q.reserve_seq();
+            let id = q.schedule_at_seq(SimTime::from_ns(5), seq, 5);
+            assert!(q.cancel(id));
+            assert!(!q.cancel(id), "handle must go stale after cancel");
+            // Slot reuse must not revive the old handle.
+            let seq2 = q.reserve_seq();
+            let id2 = q.schedule_at_seq(SimTime::from_ns(7), seq2, 7);
+            assert!(!q.cancel(id));
+            assert!(q.reschedule(id2, SimTime::from_ns(3)));
+            assert_eq!(q.pop(), Some((SimTime::from_ns(3), 7)));
+        });
     }
 }

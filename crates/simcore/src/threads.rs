@@ -1,0 +1,107 @@
+//! Process-wide compute-thread budget.
+//!
+//! Two layers of the workspace fan work out onto OS threads: sweep
+//! runners parallelize *across* simulations, and the partitioned engine
+//! parallelizes *inside* one simulation. Each is independently capped by
+//! `PFCSIM_THREADS`, but composed naively they multiply — a 16-thread
+//! sweep of 4-partition runs would put 64 runnable threads on a
+//! 16-core box. This module is the shared ledger both layers draw from:
+//! a caller that wants `n` *extra* worker threads asks [`try_acquire`]
+//! and spawns only what it was granted, so the process-wide runnable
+//! count never exceeds the budget no matter how the layers nest.
+//!
+//! The ledger tracks only *extra* threads. Every caller already owns the
+//! thread it runs on (the sweep's calling thread doubles as a worker,
+//! the partition driver steps a shard itself), so a grant of 0 degrades
+//! to inline execution, never to deadlock. Results must not depend on
+//! grants — both layers are deterministic at any worker count — so the
+//! ledger affects wall-clock only, never output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Extra worker threads currently granted and not yet released.
+static IN_USE: AtomicUsize = AtomicUsize::new(0);
+
+/// Total compute-thread budget: `PFCSIM_THREADS` if set and valid,
+/// otherwise the machine's available parallelism.
+///
+/// A *set but invalid* `PFCSIM_THREADS` (`0`, empty, unparsable) yields
+/// a budget of **1** with a one-time stderr warning: a malformed
+/// override must degrade to the deterministic serial path, never
+/// silently fan out. (Same hardening as the sweep runner's historical
+/// `worker_count`.)
+pub fn budget() -> usize {
+    match std::env::var("PFCSIM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: PFCSIM_THREADS={v:?} is not a positive integer; \
+                         falling back to 1 worker"
+                    );
+                });
+                1
+            }
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Try to reserve up to `want` extra worker threads; returns the number
+/// actually granted (possibly 0). Pair every grant with a
+/// [`release`] of the same amount.
+///
+/// The grant is `min(want, budget - 1 - in_use)`: one slot of the
+/// budget is permanently accounted to the caller's own thread, so a
+/// budget of `N` yields at most `N - 1` extras process-wide.
+pub fn try_acquire(want: usize) -> usize {
+    if want == 0 {
+        return 0;
+    }
+    let total = budget().saturating_sub(1);
+    let mut used = IN_USE.load(Ordering::Relaxed);
+    loop {
+        let avail = total.saturating_sub(used);
+        let grant = want.min(avail);
+        if grant == 0 {
+            return 0;
+        }
+        match IN_USE.compare_exchange_weak(used, used + grant, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return grant,
+            Err(actual) => used = actual,
+        }
+    }
+}
+
+/// Return `n` previously granted extra worker threads to the ledger.
+pub fn release(n: usize) {
+    if n > 0 {
+        let prev = IN_USE.fetch_sub(n, Ordering::Relaxed);
+        debug_assert!(prev >= n, "released more threads than acquired");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Acquire/release bookkeeping balances; grants never exceed the
+    /// request. (The absolute grant depends on the host's core count and
+    /// concurrent tests, so only the invariants are asserted.)
+    #[test]
+    fn grants_are_bounded_and_balance() {
+        assert_eq!(try_acquire(0), 0);
+        let got = try_acquire(3);
+        assert!(got <= 3);
+        // A second acquisition still fits the global budget.
+        let more = try_acquire(usize::MAX);
+        assert!(got + more < usize::MAX);
+        release(more);
+        release(got);
+    }
+}

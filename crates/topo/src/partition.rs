@@ -1,0 +1,280 @@
+//! Switch-group partitioning for parallel simulation.
+//!
+//! Splits a topology's switches into `parts` balanced, connectivity-aware
+//! groups — the logical processes of a partitioned simulation run. Hosts
+//! follow the switch their first port attaches to, so a host↔ToR link is
+//! never a cut link and the cut set stays on the switch fabric, where
+//! inter-switch propagation delays (the conservative-sync lookahead) are
+//! largest.
+//!
+//! The assignment is a deterministic min-cut-ish heuristic, not an exact
+//! min cut: parts grow by breadth-first search over the switch adjacency
+//! graph from deterministic seeds, preferring neighbors of the growing
+//! part so pods and racks stay together. Exactness of the simulation
+//! never depends on the cut quality — a bad partition only costs speed —
+//! and callers that know better (pod boundaries, custom fabrics) can
+//! bypass the heuristic entirely with an explicit
+//! per-switch assignment.
+
+use std::collections::VecDeque;
+
+use crate::graph::{NodeKind, Topology};
+use crate::ids::NodeId;
+
+/// A partition assignment: `part_of[node]` for every node id, with
+/// `u32::MAX` never present (every node is assigned).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Part index per node id (hosts included).
+    pub part_of: Vec<u32>,
+    /// Number of parts actually produced (≤ the requested count).
+    pub parts: u32,
+}
+
+impl Partition {
+    /// The trivial single-part assignment.
+    pub fn trivial(topo: &Topology) -> Self {
+        Partition {
+            part_of: vec![0; topo.node_count()],
+            parts: 1,
+        }
+    }
+
+    /// Build from an explicit per-*switch* assignment (`(switch, part)`
+    /// pairs); hosts follow their first-port switch. Parts must form a
+    /// contiguous `0..n` range over the listed values and every switch
+    /// must be listed, else an error describing the hole is returned.
+    pub fn explicit(topo: &Topology, assignment: &[(NodeId, u32)]) -> Result<Self, String> {
+        let mut part_of = vec![u32::MAX; topo.node_count()];
+        for &(node, part) in assignment {
+            if node.0 as usize >= topo.node_count() {
+                return Err(format!("assignment names unknown node {node:?}"));
+            }
+            if topo.node(node).kind != NodeKind::Switch {
+                return Err(format!("assignment names non-switch node {node:?}"));
+            }
+            part_of[node.0 as usize] = part;
+        }
+        let max_part = assignment.iter().map(|&(_, p)| p).max().unwrap_or(0);
+        for s in topo.switches() {
+            if part_of[s.0 as usize] == u32::MAX {
+                return Err(format!("switch {s:?} missing from explicit assignment"));
+            }
+        }
+        for p in 0..=max_part {
+            if !assignment.iter().any(|&(_, q)| q == p) {
+                return Err(format!("part {p} is empty; parts must be contiguous"));
+            }
+        }
+        let mut out = Partition {
+            part_of,
+            parts: max_part + 1,
+        };
+        attach_hosts(topo, &mut out.part_of);
+        Ok(out)
+    }
+}
+
+/// Assign every host the part of the switch its first port attaches to
+/// (single-homed hosts have exactly one; multi-homed hosts follow their
+/// first-listed uplink, a deterministic choice).
+fn attach_hosts(topo: &Topology, part_of: &mut [u32]) {
+    for h in topo.hosts() {
+        let part = topo
+            .ports(h)
+            .iter()
+            .map(|p| part_of[p.peer.0 as usize])
+            .find(|&p| p != u32::MAX)
+            .unwrap_or(0);
+        part_of[h.0 as usize] = part;
+    }
+}
+
+/// Partition the switches of `topo` into at most `parts` balanced groups.
+///
+/// `pins` lists switches that must all land in **part 0** (the
+/// partitioned engine runs its fault-randomness stream on part 0, so
+/// every switch that draws from it must live there). Pinned switches
+/// seed part 0's BFS; everything else grows breadth-first from the
+/// lowest-id unassigned switch, capped at `ceil(n_switches / parts)` per
+/// part. Deterministic: ties break on node id everywhere.
+///
+/// The result may have fewer parts than requested (more parts than
+/// switches, or growth swallowing later seeds); callers treat a
+/// single-part result as "run serial".
+pub fn partition_switches(topo: &Topology, parts: usize, pins: &[NodeId]) -> Partition {
+    let switches: Vec<NodeId> = topo.switches().collect();
+    let parts = parts.clamp(1, switches.len().max(1));
+    if parts <= 1 || switches.is_empty() {
+        return Partition::trivial(topo);
+    }
+    let cap = switches.len().div_ceil(parts);
+    let mut part_of = vec![u32::MAX; topo.node_count()];
+    let mut next_part: u32 = 0;
+
+    // Switch-to-switch adjacency walker; neighbor order is port order,
+    // which is attachment order — deterministic.
+    let neighbors = |n: NodeId| -> Vec<NodeId> {
+        topo.ports(n)
+            .iter()
+            .map(|p| p.peer)
+            .filter(|&m| topo.node(m).kind == NodeKind::Switch)
+            .collect()
+    };
+
+    // Part 0: seeded by every pin (deduped, id order), then BFS.
+    let mut seeds0: Vec<NodeId> = pins
+        .iter()
+        .copied()
+        .filter(|n| topo.node(*n).kind == NodeKind::Switch)
+        .collect();
+    seeds0.sort_unstable();
+    seeds0.dedup();
+    let grow = |seeds: &[NodeId], part: u32, part_of: &mut Vec<u32>| {
+        let mut size = 0usize;
+        let mut q: VecDeque<NodeId> = VecDeque::new();
+        for &s in seeds {
+            if part_of[s.0 as usize] == u32::MAX {
+                part_of[s.0 as usize] = part;
+                size += 1;
+                q.push_back(s);
+            }
+        }
+        // Pins may exceed the balance cap; part 0 absorbs them all —
+        // correctness requires co-location, balance is best-effort.
+        while let Some(n) = q.pop_front() {
+            if size >= cap && q.is_empty() {
+                break;
+            }
+            for m in neighbors(n) {
+                if size >= cap {
+                    break;
+                }
+                if part_of[m.0 as usize] == u32::MAX {
+                    part_of[m.0 as usize] = part;
+                    size += 1;
+                    q.push_back(m);
+                }
+            }
+        }
+    };
+    if !seeds0.is_empty() {
+        grow(&seeds0, 0, &mut part_of);
+        next_part = 1;
+    }
+    // Remaining parts grow from the lowest-id unassigned switch.
+    while next_part < parts as u32 {
+        let Some(&seed) = switches.iter().find(|s| part_of[s.0 as usize] == u32::MAX) else {
+            break;
+        };
+        grow(&[seed], next_part, &mut part_of);
+        next_part += 1;
+    }
+    // Leftovers (growth exhausted before `parts` seeds, or disconnected
+    // stragglers): join the part of the lowest-id assigned neighbor, or
+    // the smallest part if isolated.
+    let mut sizes = vec![0usize; next_part.max(1) as usize];
+    for s in &switches {
+        let p = part_of[s.0 as usize];
+        if p != u32::MAX {
+            sizes[p as usize] += 1;
+        }
+    }
+    for s in &switches {
+        if part_of[s.0 as usize] != u32::MAX {
+            continue;
+        }
+        let by_neighbor = neighbors(*s)
+            .into_iter()
+            .map(|m| part_of[m.0 as usize])
+            .find(|&p| p != u32::MAX);
+        let p = by_neighbor.unwrap_or_else(|| {
+            sizes
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &sz)| (sz, i))
+                .map(|(i, _)| i as u32)
+                .unwrap_or(0)
+        });
+        part_of[s.0 as usize] = p;
+        sizes[p as usize] += 1;
+    }
+    let produced = next_part.max(1);
+    let mut out = Partition {
+        part_of,
+        parts: produced,
+    };
+    attach_hosts(topo, &mut out.part_of);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{fat_tree, ring, LinkSpec};
+
+    #[test]
+    fn ring_splits_contiguously_and_hosts_follow() {
+        let b = ring(8, LinkSpec::default());
+        let p = partition_switches(&b.topo, 4, &[]);
+        assert_eq!(p.parts, 4);
+        // Every node assigned; hosts share their switch's part.
+        for h in &b.hosts {
+            let sw = b.topo.ports(*h)[0].peer;
+            assert_eq!(p.part_of[h.0 as usize], p.part_of[sw.0 as usize]);
+        }
+        // Balanced: 2 switches per part.
+        for part in 0..4u32 {
+            let n = b
+                .switches
+                .iter()
+                .filter(|s| p.part_of[s.0 as usize] == part)
+                .count();
+            assert_eq!(n, 2, "part {part} unbalanced");
+        }
+    }
+
+    #[test]
+    fn pins_land_in_part_zero() {
+        let b = ring(8, LinkSpec::default());
+        let pins = [b.switches[5], b.switches[6]];
+        let p = partition_switches(&b.topo, 4, &pins);
+        for pin in pins {
+            assert_eq!(p.part_of[pin.0 as usize], 0);
+        }
+    }
+
+    #[test]
+    fn requesting_more_parts_than_switches_clamps() {
+        let b = ring(3, LinkSpec::default());
+        let p = partition_switches(&b.topo, 16, &[]);
+        assert!(p.parts as usize <= 3);
+        assert!(p.parts >= 1);
+    }
+
+    #[test]
+    fn fat_tree_partition_is_deterministic_and_total() {
+        let b = fat_tree(4, LinkSpec::default());
+        let p1 = partition_switches(&b.topo, 4, &[]);
+        let p2 = partition_switches(&b.topo, 4, &[]);
+        assert_eq!(p1.part_of, p2.part_of);
+        assert!(p1.part_of.iter().all(|&x| x != u32::MAX));
+    }
+
+    #[test]
+    fn explicit_assignment_round_trips_and_rejects_holes() {
+        let b = ring(4, LinkSpec::default());
+        let full: Vec<_> = b
+            .switches
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, (i % 2) as u32))
+            .collect();
+        let p = Partition::explicit(&b.topo, &full).expect("total assignment");
+        assert_eq!(p.parts, 2);
+        let partial = &full[..3];
+        assert!(Partition::explicit(&b.topo, partial).is_err());
+        let gappy: Vec<_> = b.switches.iter().map(|&s| (s, 2u32)).collect();
+        assert!(Partition::explicit(&b.topo, &gappy).is_err());
+    }
+}
