@@ -23,6 +23,11 @@
 //!   128-host k=8 fat-tree scenario serial and at 2/4 partitions:
 //!   directly comparable events/sec for the partitioned engine (on a
 //!   single-core host the `_pN` numbers measure split/merge overhead);
+//! * `hybrid/fat_tree8_steady_1ms{,_fullpkt}` — the hybrid fluid/packet
+//!   backend on its intended steady-state workload (one intra-rack CBR
+//!   flow per k=8 edge switch) and its full-packet twin; both rows use
+//!   the same simulated-event total, so their events/sec ratio is the
+//!   hybrid speedup;
 //! * `detector/deadlock_scan_fat_tree4_incast_200us` — the deadlock
 //!   analyzer under heavy pause churn (100 ns scan cadence, no true
 //!   deadlock);
@@ -241,6 +246,73 @@ fn partitioned_fabric_bench(c: &mut Criterion, samples: usize) {
     g.finish();
 }
 
+fn hybrid_fabric_bench(c: &mut Criterion, samples: usize) {
+    // The hybrid fluid/packet backend on its intended workload: a k=8
+    // fat-tree carrying one bounded intra-rack CBR flow per edge switch
+    // (32 flows, each the sole user of its rack), so the classifier's
+    // switch-exclusivity test admits every flow and the whole run is
+    // closed-form except start/stop edges. The full-packet twin runs the
+    // identical scenario with the backend disabled. Both rows report
+    // *simulated* events/sec against the same event total (the drained
+    // runs satisfy `events + events_elided == full.events`), so the pair
+    // is directly comparable: the hybrid speedup is the ratio.
+    let built = fat_tree(8, LinkSpec::default());
+    let run_once = |hybrid: bool| {
+        let tables = pfcsim_topo::routing::up_down_tables(&built.topo);
+        let mut cfg = SimConfig::default();
+        cfg.sample_interval = None; // occupancy sampling gates hybrid
+        cfg.hybrid = Some(pfcsim_net::hybrid::HybridConfig {
+            enabled: hybrid,
+            ..Default::default()
+        });
+        let mut sim = SimBuilder::new(&built.topo)
+            .config(cfg)
+            .tables(tables)
+            .build();
+        let n = built.hosts.len();
+        for e in 0..n / 4 {
+            // Hosts 4e..4e+3 share edge switch e; pair the first two.
+            sim.add_flow(
+                FlowSpec::cbr(
+                    e as u32,
+                    built.hosts[4 * e],
+                    built.hosts[4 * e + 1],
+                    pfcsim_simcore::units::BitRate::from_gbps(10 + (e % 16) as u64),
+                )
+                .stopping_at(SimTime::from_us(900)),
+            );
+        }
+        let r = sim.run(SimTime::from_ms(1));
+        assert!(!r.verdict.is_deadlock());
+        assert!(r.quiesced, "steady-state run must drain by the horizon");
+        r
+    };
+    let full = run_once(false);
+    let hyb = run_once(true);
+    assert_eq!(
+        hyb.fluid_flows,
+        (built.hosts.len() / 4) as u64,
+        "every intra-rack pair must classify fluid"
+    );
+    assert_eq!(
+        hyb.events + hyb.events_elided,
+        full.events,
+        "a drained hybrid run accounts for every elided event"
+    );
+    let mut g = c.benchmark_group("hybrid");
+    g.sample_size(samples);
+    // Same element count for both rows: simulated events, not popped
+    // events — the hybrid row's wall clock shrinks, not its work done.
+    g.throughput(Throughput::Elements(full.events));
+    g.bench_function("fat_tree8_steady_1ms", |b| {
+        b.iter(|| black_box(run_once(true).events))
+    });
+    g.bench_function("fat_tree8_steady_1ms_fullpkt", |b| {
+        b.iter(|| black_box(run_once(false).events))
+    });
+    g.finish();
+}
+
 fn deadlock_scan_bench(c: &mut Criterion, samples: usize) {
     // The detector's worst realistic case: a 15-to-1 incast on an
     // up/down-routed fat-tree keeps many switch-to-switch channels paused
@@ -332,6 +404,12 @@ pub fn bench_partitioned_fabric(c: &mut Criterion) {
     partitioned_fabric_bench(c, 10);
 }
 
+/// `cargo bench` entry point: hybrid fluid/packet backend vs its
+/// full-packet twin.
+pub fn bench_hybrid_fabric(c: &mut Criterion) {
+    hybrid_fabric_bench(c, 10);
+}
+
 /// `cargo bench` entry point: deadlock detector under pause churn.
 pub fn bench_deadlock_scan(c: &mut Criterion) {
     deadlock_scan_bench(c, 10);
@@ -357,6 +435,7 @@ pub fn run_engine_benches(quick: bool) -> Vec<BenchResult> {
     telemetry_off_bench(&mut c, s_small.max(3));
     fat_tree_bench(&mut c, s_small);
     partitioned_fabric_bench(&mut c, s_small);
+    hybrid_fabric_bench(&mut c, s_small);
     deadlock_scan_bench(&mut c, s_small);
     arena_reuse_bench(&mut c, s_small);
     take_results()
@@ -383,6 +462,8 @@ mod tests {
                 "fabric/fat_tree8_torlocal_100us",
                 "fabric/fat_tree8_torlocal_100us_p2",
                 "fabric/fat_tree8_torlocal_100us_p4",
+                "hybrid/fat_tree8_steady_1ms",
+                "hybrid/fat_tree8_steady_1ms_fullpkt",
                 "detector/deadlock_scan_fat_tree4_incast_200us",
                 "sweep/square_arena_reuse_8"
             ]

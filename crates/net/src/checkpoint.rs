@@ -191,6 +191,11 @@ pub struct Checkpoint {
     pub(crate) pfc_delay: Vec<Option<pfcsim_simcore::time::SimDuration>>,
     pub(crate) pause_headroom: Bytes,
     pub(crate) reboots: BTreeMap<NodeId, RebootState>,
+    // --- hybrid fluid/packet backend ---
+    /// Region state of the hybrid backend (`None` when off or idle);
+    /// `default` so pre-hybrid frames still decode.
+    #[serde(default)]
+    pub(crate) hybrid: Option<Box<crate::hybrid::HybridState>>,
     // --- sampling & telemetry ---
     pub(crate) stats: NetStats,
     pub(crate) watch_keys: Option<Vec<IngressKey>>,

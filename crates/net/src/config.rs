@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use pfcsim_simcore::time::SimDuration;
 use pfcsim_simcore::units::Bytes;
 
+use crate::hybrid::HybridConfig;
 use crate::recovery::RecoveryConfig;
 use crate::telemetry::TelemetryConfig;
 
@@ -226,6 +227,13 @@ pub struct SimConfig {
     /// by default — an off-telemetry run schedules zero extra events and
     /// is bit-identical to an uninstrumented engine.
     pub telemetry: TelemetryConfig,
+    /// Hybrid fluid/packet co-simulation (see [`crate::hybrid`]): flows
+    /// provably clear of PFC thresholds, the deadlock watch set and the
+    /// fault script advance as analytic fluid rates instead of per-packet
+    /// events. `None` (the default) defers to the `PFCSIM_HYBRID`
+    /// environment variable and then to off; set explicitly to pin a run
+    /// regardless of the environment.
+    pub hybrid: Option<HybridConfig>,
 }
 
 /// Parameters of the per-hop TTL-band class remap.
@@ -279,6 +287,7 @@ impl Default for SimConfig {
             recovery: None,
             scheduler: None,
             telemetry: TelemetryConfig::default(),
+            hybrid: None,
         }
     }
 }
@@ -316,6 +325,9 @@ impl SimConfig {
             rc.validate()?;
         }
         self.telemetry.validate()?;
+        if let Some(h) = &self.hybrid {
+            h.validate()?;
+        }
         Ok(())
     }
 }

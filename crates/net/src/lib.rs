@@ -7,6 +7,8 @@
 //! * [`switch`] — shared-buffer switches with per-(ingress, priority) PFC
 //!   accounting, per-(egress, priority) queues, DRR/FIFO arbitration;
 //! * [`host`] — PFC-respecting NICs and traffic sources;
+//! * [`hybrid`] — the fluid/packet co-simulation backend eliding
+//!   uncongested constant-rate flows in closed form;
 //! * [`flow`] — infinite-demand / CBR / finite / DCQCN flows;
 //! * [`shaper`] — token-bucket ingress rate limiting (Case 3);
 //! * [`dcqcn`] — DCQCN congestion control with optional phantom queues;
@@ -47,6 +49,7 @@ pub mod faults;
 pub mod flow;
 pub mod golden;
 pub mod host;
+pub mod hybrid;
 pub mod packet;
 pub mod partition;
 pub mod recovery;
@@ -72,6 +75,7 @@ pub mod prelude {
     pub use crate::dcqcn::{DcqcnConfig, DcqcnState};
     pub use crate::faults::{FaultAction, FaultEvent, FaultKind, FaultPlan, FaultRecord};
     pub use crate::flow::{Demand, FlowSpec, RouteKind};
+    pub use crate::hybrid::HybridConfig;
     pub use crate::packet::{Frame, Packet, PfcFrame, PfcOp};
     pub use crate::recovery::{RecoveryConfig, RecoveryStrategy};
     pub use crate::shaper::TokenBucket;

@@ -66,6 +66,7 @@ use pfcsim_topo::partition::{partition_switches, Partition};
 use pfcsim_topo::prelude::{FlowId, NodeId, PortNo, Priority, Topology};
 
 use crate::flow::Demand;
+use crate::hybrid::OnceWarner;
 use crate::packet::Frame;
 use crate::sim::{is_meaningful, Ev, NetSim, SimArenas, StepOutcome};
 use crate::stats::NetStats;
@@ -328,12 +329,12 @@ impl NetSim {
             Ok(n) if n >= 2 => Some(n),
             Ok(_) => None,
             Err(_) => {
-                static WARNED: std::sync::Once = std::sync::Once::new();
-                WARNED.call_once(|| {
-                    eprintln!(
+                static WARNED: OnceWarner = OnceWarner::new();
+                WARNED.warn(|| {
+                    format!(
                         "warning: PFCSIM_PARTITIONS={v:?} is not a non-negative integer; \
                          running serial"
-                    );
+                    )
                 });
                 None
             }
@@ -362,9 +363,10 @@ impl NetSim {
     /// shard runtime.
     fn resolve_partitions(&mut self, layout: &Layout) -> Resolution {
         let gate = |reason: &str| {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            let msg = format!("warning: partitioned execution disabled ({reason}); running serial");
-            WARNED.call_once(|| eprintln!("{msg}"));
+            static WARNED: OnceWarner = OnceWarner::new();
+            WARNED.warn(|| {
+                format!("warning: partitioned execution disabled ({reason}); running serial")
+            });
             Resolution::Serial
         };
         if self.cfg.ecn.is_some() {
@@ -437,12 +439,12 @@ impl NetSim {
             .collect();
         let extra_threads = threads::try_acquire(parts - 1);
         if extra_threads < parts - 1 {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| {
-                eprintln!(
+            static WARNED: OnceWarner = OnceWarner::new();
+            WARNED.warn(|| {
+                format!(
                     "warning: thread budget grants {extra_threads} extra worker(s) for \
                      {parts} partitions; remaining shards step inline (results identical)"
-                );
+                )
             });
         }
         Resolution::Parallel(Box::new(PartRuntime {
@@ -512,8 +514,11 @@ impl NetSim {
         )));
         // Shards are driven directly through `step_until`; a
         // `PFCSIM_PARTITIONS` default picked up by `construct` must not
-        // nest.
+        // nest. Likewise the hybrid backend runs in the driver only
+        // (partitioned runs gate it anyway): shards stay full-packet.
         sh.part = None;
+        sh.hybrid = None;
+        sh.drain_stop = None;
         sh
     }
 

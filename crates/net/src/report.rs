@@ -43,6 +43,13 @@ impl fmt::Display for Summary<'_> {
             del += fs.delivered_packets;
         }
         writeln!(f, "packets: {inj} injected, {del} delivered")?;
+        if r.fluid_flows > 0 {
+            writeln!(
+                f,
+                "hybrid: {} fluid flows elided {} events ({} demotions, {} promotions)",
+                r.fluid_flows, r.events_elided, r.hybrid_demotions, r.hybrid_promotions
+            )?;
+        }
         writeln!(
             f,
             "pfc: {} PAUSE / {} RESUME frames on {} channels",
@@ -141,6 +148,36 @@ mod tests {
         assert!(s.contains("packets:"));
         assert!(s.contains("flow f0:"));
         assert!(!s.contains("recovery:"), "no recovery ran");
+    }
+
+    #[test]
+    fn summary_shows_hybrid_counters_only_when_live() {
+        use crate::hybrid::HybridConfig;
+        use pfcsim_simcore::units::BitRate;
+        let b = line(2, LinkSpec::default());
+        let mut cfg = SimConfig::default();
+        cfg.sample_interval = None; // occupancy sampling gates hybrid
+        cfg.hybrid = Some(HybridConfig {
+            enabled: true,
+            ..HybridConfig::default()
+        });
+        let mut sim = SimBuilder::new(&b.topo).config(cfg).build();
+        sim.add_flow(
+            FlowSpec::cbr(0, b.hosts[0], b.hosts[1], BitRate::from_gbps(8))
+                .stopping_at(SimTime::from_us(400)),
+        );
+        let report = sim.run(SimTime::from_ms(1));
+        assert!(report.fluid_flows > 0 && report.events_elided > 0);
+        let s = report.summary().to_string();
+        assert!(s.contains("hybrid: 1 fluid flows elided"), "{s}");
+        // A full-packet run must not mention the hybrid backend at all.
+        let b2 = line(2, LinkSpec::default());
+        let mut sim2 = SimBuilder::new(&b2.topo)
+            .config(SimConfig::default())
+            .build();
+        sim2.add_flow(FlowSpec::infinite(0, b2.hosts[0], b2.hosts[1]));
+        let s2 = sim2.run(SimTime::from_us(100)).summary().to_string();
+        assert!(!s2.contains("hybrid:"), "{s2}");
     }
 
     #[test]

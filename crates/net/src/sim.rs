@@ -233,6 +233,15 @@ pub struct RunReport {
     pub quiesced: bool,
     /// Number of events processed.
     pub events: u64,
+    /// Events the hybrid fluid/packet backend did not have to execute
+    /// (see [`crate::hybrid`]); zero when the backend is off or idle.
+    pub events_elided: u64,
+    /// Flows that ran fluid for any part of the run.
+    pub fluid_flows: u64,
+    /// Hybrid fluid→packet region transitions taken.
+    pub hybrid_demotions: u64,
+    /// Hybrid packet→fluid region transitions taken.
+    pub hybrid_promotions: u64,
     /// Periodic deadlock scans that actually ran the analyzer.
     pub deadlock_scans_run: u64,
     /// Periodic deadlock scans skipped by the epoch heuristic (nothing
@@ -499,7 +508,7 @@ pub struct NetSim {
     pub(crate) rng: SimRng,
     pub(crate) next_pkt_id: u64,
     pub(crate) quantum: u64,
-    horizon: SimTime,
+    pub(crate) horizon: SimTime,
     route_updates: Vec<RouteUpdate>,
     /// Sampling restriction (sorted, deduped); `None` = sample everything.
     watch_keys: Option<Vec<IngressKey>>,
@@ -518,7 +527,7 @@ pub struct NetSim {
     /// Debug: run the reference analyzer beside the incremental one and
     /// panic on divergence.
     cross_check_deadlock: bool,
-    deadlock: Option<(SimTime, Vec<PauseKey>)>,
+    pub(crate) deadlock: Option<(SimTime, Vec<PauseKey>)>,
     pub(crate) dcqcn_cfg: Option<DcqcnConfig>,
     pub(crate) timely_cfg: Option<TimelyConfig>,
     /// Raw `FlowId` value → packet-lifecycle tracing enabled.
@@ -563,6 +572,13 @@ pub struct NetSim {
     /// `set_partitions`): requested layout plus, once running, the live
     /// shard runtime.
     pub(crate) part: Option<Box<crate::partition::PartControl>>,
+    /// Hybrid fluid/packet region state (`Some` only when `start()`
+    /// classified at least one flow fluid; see [`crate::hybrid`]). Boxed
+    /// so the common all-packet case costs one word and one null check.
+    pub(crate) hybrid: Option<Box<crate::hybrid::HybridState>>,
+    /// Earliest force-stop from `run_with_drain`, recorded before
+    /// `start()` so hybrid classification can cap generation exactly.
+    pub(crate) drain_stop: Option<SimTime>,
 }
 
 impl NetSim {
@@ -724,6 +740,8 @@ impl NetSim {
             pkt_id_step: 1,
             pmode: None,
             part: None,
+            hybrid: None,
+            drain_stop: None,
         };
         // Partitioned execution defaults to the environment; an explicit
         // `set_partitions` call overrides either way.
@@ -877,7 +895,7 @@ impl NetSim {
 
     /// Pinned egress port of `f` at `node`, if the flow pins one.
     #[inline]
-    fn pinned_port(&self, f: FlowId, node: NodeId) -> Option<PortNo> {
+    pub(crate) fn pinned_port(&self, f: FlowId, node: NodeId) -> Option<PortNo> {
         match self.pinned[self.fidx(f)].get(node.0 as usize) {
             Some(&p) if p != u16::MAX => Some(PortNo(p)),
             _ => None,
@@ -1107,7 +1125,7 @@ impl NetSim {
     // Threshold helpers
     // ------------------------------------------------------------------
 
-    fn pfc_of(&self, node: NodeId) -> &PfcConfig {
+    pub(crate) fn pfc_of(&self, node: NodeId) -> &PfcConfig {
         self.switch_pfc[node.0 as usize]
             .as_ref()
             .unwrap_or(&self.cfg.pfc)
@@ -1192,6 +1210,10 @@ impl NetSim {
         for id in ids {
             self.sched(stop_at, Ev::FlowStop { flow: id });
         }
+        self.drain_stop = Some(match self.drain_stop {
+            Some(prev) => prev.min(stop_at),
+            None => stop_at,
+        });
     }
 
     fn start(&mut self) {
@@ -1317,6 +1339,15 @@ impl NetSim {
             }
             self.fault_events = evs;
         }
+        // Last: classify flows for the hybrid fluid/packet backend, now
+        // that stops, faults, and route updates are all on the books.
+        self.hybrid_classify();
+    }
+
+    /// Whether any mid-run forwarding-table updates are scheduled
+    /// (forces full-packet execution: fluid paths must stay frozen).
+    pub(crate) fn has_route_updates(&self) -> bool {
+        !self.route_updates.is_empty()
     }
 
     fn run_inner(&mut self, horizon: SimTime) -> RunReport {
@@ -1477,6 +1508,11 @@ impl NetSim {
     /// Close out the run and build the report (shared tail of every run
     /// protocol).
     fn finalize(&mut self, quiesced: bool) -> RunReport {
+        // Fluid flows fold against the boundary the *run* actually
+        // stopped at — computed before the final scan below so a
+        // deadlock first confirmed here (at the end instant) keeps
+        // horizon-inclusive boundary semantics.
+        let hybrid_folds = self.hybrid_compute_folds();
         // Final scan: catches deadlocks formed after the last periodic scan
         // (or with scanning disabled).
         if self.deadlock.is_none() {
@@ -1552,12 +1588,22 @@ impl NetSim {
             fs.stuck_packets = pkts;
             fs.stuck_bytes = bytes;
         }
-        let buffered: Bytes = self.switches.iter().flatten().map(|s| s.buffered).sum();
+        let mut buffered: Bytes = self.switches.iter().flatten().map(|s| s.buffered).sum();
         // Quiescence with buffered bytes is a deadlock even if the fixpoint
         // was inconclusive (it cannot be: nothing can move at quiescence).
         if self.deadlock.is_none() && quiesced && !buffered.is_zero() {
             self.deadlock = Some((self.now(), self.stats.permanently_paused()));
         }
+        // Fold the fluid flows' closed-form effects through: conservation
+        // counters add on top of the packet-side stuck-walk (which
+        // assigns), and the analytic in-flight tail joins the buffered
+        // total — after the quiescence rule above, which reasons about
+        // packet-side buffers only (a fluid tail is empty at quiescence).
+        let hybrid_totals = hybrid_folds.map(|(folds, totals)| {
+            self.hybrid_apply_folds(&folds);
+            buffered += totals.buffered;
+            totals
+        });
         self.finished = true;
         let verdict = match &self.deadlock {
             Some((at, witness)) => Verdict::Deadlock {
@@ -1573,6 +1619,10 @@ impl NetSim {
             buffered,
             quiesced,
             events: self.events,
+            events_elided: hybrid_totals.as_ref().map_or(0, |t| t.events_elided),
+            fluid_flows: hybrid_totals.as_ref().map_or(0, |t| t.fluid_flows),
+            hybrid_demotions: hybrid_totals.as_ref().map_or(0, |t| t.demotions),
+            hybrid_promotions: hybrid_totals.as_ref().map_or(0, |t| t.promotions),
             deadlock_scans_run: self.scans_run,
             deadlock_scans_skipped: self.scans_skipped,
             stats: std::mem::take(&mut self.stats),
@@ -1582,7 +1632,7 @@ impl NetSim {
         }
     }
 
-    fn sched(&mut self, at: SimTime, ev: Ev) {
+    pub(crate) fn sched(&mut self, at: SimTime, ev: Ev) {
         if is_meaningful(&ev) {
             self.meaningful += 1;
         }
@@ -1786,6 +1836,7 @@ impl NetSim {
             pfc_delay: self.pfc_delay.clone(),
             pause_headroom: self.pause_headroom,
             reboots: self.reboots.clone(),
+            hybrid: self.hybrid.clone(),
             stats: self.stats.clone(),
             watch_keys: self.watch_keys.clone(),
             used_prios: self.used_prios,
@@ -1838,6 +1889,7 @@ impl NetSim {
             pfc_delay,
             pause_headroom,
             reboots,
+            hybrid,
             stats,
             watch_keys,
             used_prios,
@@ -1947,6 +1999,7 @@ impl NetSim {
         sim.pfc_delay = pfc_delay;
         sim.pause_headroom = pause_headroom;
         sim.reboots = reboots;
+        sim.hybrid = hybrid;
         sim.stats = stats;
         sim.watch_keys = watch_keys;
         sim.used_prios = used_prios;
@@ -2034,7 +2087,11 @@ impl NetSim {
         }
         match spec.demand {
             Demand::Cbr(_) | Demand::CbrFinite { .. } => {
-                self.sched(self.now(), Ev::FlowTick { flow });
+                // Hybrid: a fluid flow's tick chain is never scheduled —
+                // its lattice is folded in closed form at finalize.
+                if !self.hybrid_elides_ticks(flow) {
+                    self.sched(self.now(), Ev::FlowTick { flow });
+                }
             }
             Demand::Poisson(_) => {
                 let child = self.flow_fork(0x50_1550 ^ flow.0 as u64, i);
@@ -2092,6 +2149,11 @@ impl NetSim {
                     return;
                 }
             }
+        }
+        // Hybrid intercept: swallow stray ticks of open fluid flows and
+        // promote a demoted flow whose hysteresis window has expired.
+        if self.hybrid.is_some() && self.hybrid_on_flow_tick(flow) {
+            return;
         }
         // On-off sources skip generation while OFF; the toggle re-arms the
         // tick chain.
@@ -2628,11 +2690,13 @@ impl NetSim {
         let xoff = self.xoff_of(node, port);
         let now = self.now();
         let pause_needed;
+        let occ_now;
         {
             let sw = self.switches[node.0 as usize].as_mut().expect("switch");
             sw.buffered += pkt.size;
             let ing = &mut sw.ingress[port.0 as usize];
             ing.count[prio.index()] += pkt.size;
+            occ_now = ing.count[prio.index()];
             if track {
                 ing.per_flow.add(prio.0, pkt.flow, pkt.size);
             }
@@ -2641,6 +2705,17 @@ impl NetSim {
         }
         if pause_needed {
             self.send_pause(node, port, prio);
+        }
+        // Hybrid demotion: a watched switch whose ingress crosses the
+        // demote fraction of XOFF sends its fluid flows back to the
+        // packet regime before PFC can engage (an actual pause demotes
+        // too, inside `send_pause`).
+        if let Some(h) = self.hybrid.as_deref() {
+            if h.watched.get(node.0 as usize).copied().unwrap_or(false)
+                && occ_now.get() as f64 >= h.cfg.demote_fraction * xoff.get() as f64
+            {
+                self.hybrid_demote_node(node);
+            }
         }
         self.trace(
             pkt.flow,
@@ -3001,6 +3076,11 @@ impl NetSim {
     fn send_pause(&mut self, node: NodeId, port: PortNo, prio: Priority) {
         if !self.link_ok(node, port) {
             return; // nothing to protect across a dead link
+        }
+        // A pausing switch enters the deadlock tracker's watch set:
+        // any fluid flow routed through it demotes to packets first.
+        if self.hybrid.is_some() {
+            self.hybrid_demote_node(node);
         }
         let now = self.now();
         let mode = self.pause_mode_of(node);
@@ -3606,6 +3686,27 @@ impl NetSim {
 
     fn on_fault(&mut self, idx: usize) {
         let kind = self.fault_events[idx].1.clone();
+        // A fault touching a watched switch is a demotion trigger: the
+        // fluid flows routed through it return to the packet regime
+        // before the fault's effects land. (Classification already
+        // refuses flows whose own path links are scripted; this covers
+        // node-scoped faults defensively.)
+        if self.hybrid.is_some() {
+            match &kind {
+                FaultKind::LinkDown { a, b } | FaultKind::LinkUp { a, b } => {
+                    let (a, b) = (*a, *b);
+                    self.hybrid_demote_node(a);
+                    self.hybrid_demote_node(b);
+                }
+                FaultKind::PauseLoss { node, .. }
+                | FaultKind::PauseDelay { node, .. }
+                | FaultKind::SwitchReboot { node, .. } => {
+                    let node = *node;
+                    self.hybrid_demote_node(node);
+                }
+                _ => {}
+            }
+        }
         match kind {
             FaultKind::LinkDown { a, b } => self.fault_link_down(a, b),
             FaultKind::LinkUp { a, b } => self.fault_link_up(a, b),

@@ -376,6 +376,18 @@ impl ThroughputMeter {
         self.last = Some(t);
     }
 
+    /// Fold a contiguous batch of deliveries spanning `[first, last]` and
+    /// totalling `bytes` into the meter in one step — the closed-form
+    /// equivalent of many in-order `record` calls. Min/max-merging the
+    /// window keeps the meter exact even when the batch precedes or
+    /// follows deliveries that were recorded individually.
+    pub fn record_span(&mut self, first: SimTime, last: SimTime, bytes: Bytes) {
+        debug_assert!(first <= last, "span must be ordered");
+        self.bytes += bytes;
+        self.first = Some(self.first.map_or(first, |f| f.min(first)));
+        self.last = Some(self.last.map_or(last, |l| l.max(last)));
+    }
+
     /// Total bytes delivered.
     pub fn total_bytes(&self) -> Bytes {
         self.bytes
