@@ -9,7 +9,8 @@ use criterion::{criterion_group, criterion_main};
 
 use pfcsim_experiments::enginebench::{
     bench_arena_reuse, bench_deadlock_scan, bench_event_queue, bench_fat_tree_all_to_all,
-    bench_hybrid_fabric, bench_line_forwarding, bench_partitioned_fabric, bench_telemetry_off,
+    bench_hybrid_fabric, bench_line_forwarding, bench_partitioned_fabric, bench_serve,
+    bench_telemetry_off,
 };
 
 criterion_group!(
@@ -21,6 +22,7 @@ criterion_group!(
     bench_partitioned_fabric,
     bench_hybrid_fabric,
     bench_deadlock_scan,
-    bench_arena_reuse
+    bench_arena_reuse,
+    bench_serve
 );
 criterion_main!(engine);

@@ -75,8 +75,8 @@ fn verify(topo_name: &str, routing: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <all|fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations|recovery|fluid|flooding|faults|verify|bench|metrics|trace|golden|resume|chaos> \
-         [--quick] [--json DIR] [--csv DIR] [--out PATH] [--gate] [--partitions N]"
+        "usage: repro <all|fig1|fig2|fig3|fig4|fig5|ttl|tiering|dcqcn|baselines|ablations|recovery|fluid|flooding|faults|verify|bench|metrics|trace|golden|resume|chaos|serve> \
+         [--quick] [--json DIR] [--csv DIR] [--out PATH] [--gate] [--partitions N] [--socket PATH] [--checkpoint PATH]"
     );
     std::process::exit(2);
 }
@@ -802,6 +802,163 @@ fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     r
 }
 
+/// `repro serve [--socket PATH] [--checkpoint PATH]` — the resident
+/// deadlock-sentinel service: JSONL requests on stdin (or a Unix
+/// socket), one JSONL response per request. SIGTERM drains gracefully:
+/// a final checkpoint is written (when `--checkpoint` is given and a
+/// live session exists) and the process exits 143.
+fn serve_cmd(args: &[String]) -> ! {
+    use pfcsim_net::serve::{ServeConfig, ServeSession};
+
+    term_signal::install();
+    let cfg = ServeConfig {
+        checkpoint_path: flag_value(args, "--checkpoint").map(str::to_string),
+    };
+    let mut serve = ServeSession::new(cfg);
+    let code = match flag_value(args, "--socket") {
+        Some(path) => serve_socket(path, &mut serve),
+        None => serve_stdin(&mut serve),
+    };
+    if code == 143 {
+        match serve.graceful_shutdown() {
+            Ok(Some(p)) => eprintln!("serve: SIGTERM — final checkpoint written to {p}"),
+            Ok(None) => eprintln!("serve: SIGTERM — nothing to checkpoint"),
+            Err(e) => eprintln!("serve: SIGTERM — final checkpoint failed: {e}"),
+        }
+    }
+    std::process::exit(code);
+}
+
+/// Stdin serving loop. A blocked `read_line` cannot observe SIGTERM, so
+/// a reader thread feeds lines through a channel the main loop polls
+/// with a timeout, checking the signal flag between requests.
+fn serve_stdin(serve: &mut pfcsim_net::serve::ServeSession) -> i32 {
+    use pfcsim_net::serve::Control;
+    use std::io::{BufRead, Write};
+    use std::sync::mpsc;
+
+    let (tx, rx) = mpsc::channel::<std::io::Result<String>>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            if tx.send(line).is_err() {
+                return;
+            }
+        }
+    });
+    let stdout = std::io::stdout();
+    loop {
+        match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+            Ok(Ok(line)) => {
+                let (resp, ctl) = serve.handle_line(&line);
+                if let Some(resp) = resp {
+                    let mut out = stdout.lock();
+                    if writeln!(out, "{resp}").and_then(|()| out.flush()).is_err() {
+                        return 1;
+                    }
+                }
+                if ctl == Control::Shutdown {
+                    return 0;
+                }
+            }
+            // Read error or EOF: the stream is done.
+            Ok(Err(_)) | Err(mpsc::RecvTimeoutError::Disconnected) => return 0,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if term_signal::requested() {
+                    return 143;
+                }
+            }
+        }
+    }
+}
+
+/// Unix-socket serving loop: one client at a time, session state
+/// persisting across connections; same SIGTERM drain as stdin mode.
+#[cfg(unix)]
+fn serve_socket(path: &str, serve: &mut pfcsim_net::serve::ServeSession) -> i32 {
+    use pfcsim_net::serve::Control;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixListener;
+    use std::sync::mpsc;
+
+    let _ = std::fs::remove_file(path);
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {path}: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("error: cannot poll {path}: {e}");
+        return 1;
+    }
+    eprintln!("serve: listening on {path}");
+    loop {
+        if term_signal::requested() {
+            return 143;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+            Err(e) => {
+                eprintln!("error: accept on {path}: {e}");
+                return 1;
+            }
+        };
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("error: socket clone: {e}");
+                continue;
+            }
+        };
+        let reader = BufReader::new(stream);
+        let (tx, rx) = mpsc::channel::<std::io::Result<String>>();
+        std::thread::spawn(move || {
+            for line in reader.lines() {
+                if tx.send(line).is_err() {
+                    return;
+                }
+            }
+        });
+        loop {
+            match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                Ok(Ok(line)) => {
+                    let (resp, ctl) = serve.handle_line(&line);
+                    if let Some(resp) = resp {
+                        if writeln!(writer, "{resp}")
+                            .and_then(|()| writer.flush())
+                            .is_err()
+                        {
+                            break; // client went away mid-response
+                        }
+                    }
+                    if ctl == Control::Shutdown {
+                        return 0;
+                    }
+                }
+                // Client disconnected; go back to accepting.
+                Ok(Err(_)) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if term_signal::requested() {
+                        return 143;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_path: &str, _serve: &mut pfcsim_net::serve::ServeSession) -> i32 {
+    eprintln!("error: --socket requires a Unix platform; use stdin mode");
+    2
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -841,6 +998,9 @@ fn main() {
     }
     if cmd == "chaos" {
         chaos();
+    }
+    if cmd == "serve" {
+        serve_cmd(&args[1..]);
     }
     let quick = args.iter().any(|a| a == "--quick");
     if cmd == "bench" {

@@ -32,7 +32,12 @@
 //!   analyzer under heavy pause churn (100 ns scan cadence, no true
 //!   deadlock);
 //! * `sweep/square_arena_reuse_8` — eight Fig. 4 runs leasing one
-//!   `SimArenas`, the steady-state cost of a sweep iteration.
+//!   `SimArenas`, the steady-state cost of a sweep iteration;
+//! * `serve/what_if_fat_tree4_window100us` — resident-session what-if
+//!   query latency (checkpoint → probe resume → 100 µs bounded run) on
+//!   the golden fat-tree, in queries/sec;
+//! * `serve/route_update_fat_tree4` — in-place route-update commit rate
+//!   on the same resident session, in updates/sec.
 
 use criterion::{black_box, take_results, BenchResult, Criterion, Throughput};
 
@@ -379,6 +384,81 @@ fn arena_reuse_bench(c: &mut Criterion, samples: usize) {
     g.finish();
 }
 
+fn serve_bench(c: &mut Criterion, samples: usize) {
+    use pfcsim_net::serve::{RoutePush, Session, SessionSpec, Update};
+
+    // A resident sentinel on the golden fat-tree: a neighbour
+    // permutation at 5 Gbps per host, advanced 50 µs so queues carry
+    // realistic state, answering a controller's pre-commit traffic.
+    let built = fat_tree(4, LinkSpec::default());
+    let open_session = || {
+        let n = built.hosts.len();
+        let flows = (0..n)
+            .map(|i| {
+                FlowSpec::cbr(
+                    i as u32,
+                    built.hosts[i],
+                    built.hosts[(i + 1) % n],
+                    pfcsim_simcore::units::BitRate::from_gbps(5),
+                )
+            })
+            .collect();
+        let mut spec = SessionSpec::new(built.topo.clone(), flows);
+        spec.horizon = SimTime::from_us(1_000_000);
+        let mut session = Session::open(spec).expect("serve bench session");
+        session
+            .apply(Update::AdvanceTo(SimTime::from_us(50)))
+            .expect("warm-up advance");
+        session
+    };
+    let push_for = |session: &Session| {
+        let node = *built.switches.last().expect("fat-tree has switches");
+        let dst = built.hosts[0];
+        let ports = session.tables().next_hops(node, dst).to_vec();
+        assert!(!ports.is_empty(), "core switch routes host 0");
+        RoutePush { node, dst, ports }
+    };
+
+    const QUERIES: u64 = 8;
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(samples);
+    g.throughput(Throughput::Elements(QUERIES));
+    g.bench_function("what_if_fat_tree4_window100us", |b| {
+        let mut session = open_session();
+        let push = push_for(&session);
+        let window = SimDuration::from_us(100);
+        b.iter(|| {
+            for _ in 0..QUERIES {
+                let doc = session
+                    .what_if(std::slice::from_ref(&push), window)
+                    .expect("what_if");
+                assert!(doc.resident_unchanged);
+                black_box(doc);
+            }
+        })
+    });
+    g.finish();
+
+    const UPDATES: u64 = 64;
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(samples);
+    g.throughput(Throughput::Elements(UPDATES));
+    g.bench_function("route_update_fat_tree4", |b| {
+        let mut session = open_session();
+        let push = push_for(&session);
+        b.iter(|| {
+            for _ in 0..UPDATES {
+                black_box(
+                    session
+                        .apply(Update::RouteUpdate(push.clone()))
+                        .expect("commit"),
+                );
+            }
+        })
+    });
+    g.finish();
+}
+
 /// `cargo bench` entry point: scheduler micro-benchmarks (both backends).
 pub fn bench_event_queue(c: &mut Criterion) {
     event_queue_bench(c, 3);
@@ -420,6 +500,11 @@ pub fn bench_arena_reuse(c: &mut Criterion) {
     arena_reuse_bench(c, 10);
 }
 
+/// `cargo bench` entry point: resident serve-session latency.
+pub fn bench_serve(c: &mut Criterion) {
+    serve_bench(c, 10);
+}
+
 /// Run all engine benchmarks and return the recorded measurements
 /// (drains the criterion stub's registry first, so only this run's
 /// numbers are returned).
@@ -438,6 +523,7 @@ pub fn run_engine_benches(quick: bool) -> Vec<BenchResult> {
     hybrid_fabric_bench(&mut c, s_small);
     deadlock_scan_bench(&mut c, s_small);
     arena_reuse_bench(&mut c, s_small);
+    serve_bench(&mut c, s_small);
     take_results()
 }
 
@@ -465,7 +551,9 @@ mod tests {
                 "hybrid/fat_tree8_steady_1ms",
                 "hybrid/fat_tree8_steady_1ms_fullpkt",
                 "detector/deadlock_scan_fat_tree4_incast_200us",
-                "sweep/square_arena_reuse_8"
+                "sweep/square_arena_reuse_8",
+                "serve/what_if_fat_tree4_window100us",
+                "serve/route_update_fat_tree4"
             ]
         );
         for r in &results {

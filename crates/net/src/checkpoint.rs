@@ -36,7 +36,7 @@
 
 use pfcsim_simcore::event::Backend;
 use pfcsim_simcore::rng::SimRng;
-use pfcsim_simcore::snap::{self, SnapError};
+use pfcsim_simcore::snap;
 use pfcsim_simcore::time::SimTime;
 use pfcsim_simcore::units::Bytes;
 use pfcsim_topo::graph::Topology;
@@ -67,58 +67,13 @@ pub fn config_digest(cfg: &SimConfig) -> u64 {
 }
 
 /// Why a checkpoint could not be produced, written, read, or restored.
-#[derive(Debug)]
-pub enum CheckpointError {
-    /// Filesystem failure reading or writing the checkpoint.
-    Io(std::io::Error),
-    /// The bytes are not a valid `pfcsim-checkpoint/1` frame: foreign
-    /// magic, truncation, checksum mismatch, or a malformed payload.
-    Corrupt(SnapError),
-    /// The frame decoded but its contents don't match the checkpoint
-    /// schema (e.g. a hand-edited or version-skewed file).
-    Decode(String),
-    /// The checkpoint was produced under a different configuration than
-    /// the one it is being resumed against.
-    ConfigDigestMismatch {
-        /// Digest stored in the checkpoint frame header.
-        checkpoint: u64,
-        /// Digest of the configuration the caller is resuming against.
-        live: u64,
-    },
-    /// This simulator state cannot be checkpointed (for example, a
-    /// custom builder-supplied trace sink with no serializable state).
-    Unsupported(String),
-}
-
-impl std::fmt::Display for CheckpointError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
-            CheckpointError::Corrupt(e) => write!(f, "corrupt checkpoint: {e}"),
-            CheckpointError::Decode(msg) => write!(f, "checkpoint schema mismatch: {msg}"),
-            CheckpointError::ConfigDigestMismatch { checkpoint, live } => write!(
-                f,
-                "checkpoint config digest {checkpoint:#018x} does not match \
-                 live config digest {live:#018x}; refusing to resume"
-            ),
-            CheckpointError::Unsupported(msg) => write!(f, "cannot checkpoint: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for CheckpointError {}
-
-impl From<std::io::Error> for CheckpointError {
-    fn from(e: std::io::Error) -> Self {
-        CheckpointError::Io(e)
-    }
-}
-
-impl From<SnapError> for CheckpointError {
-    fn from(e: SnapError) -> Self {
-        CheckpointError::Corrupt(e)
-    }
-}
+///
+/// Since the serve-API redesign this is an alias for the unified
+/// workspace [`Error`](pfcsim_simcore::error::Error); the variant names
+/// used by checkpoint code (`Io`, `Corrupt`, `Decode`,
+/// `ConfigDigestMismatch`, `Unsupported`) are unchanged, so existing
+/// matches keep compiling.
+pub type CheckpointError = pfcsim_simcore::error::Error;
 
 /// Image of the event queue: enough to rebuild pop-for-pop identical
 /// behaviour on a fresh queue of the same backend.
@@ -304,6 +259,7 @@ impl NetSim {
 mod tests {
     use super::*;
     use crate::config::SimConfig;
+    use pfcsim_simcore::snap::SnapError;
 
     #[test]
     fn config_digest_is_stable_and_config_sensitive() {

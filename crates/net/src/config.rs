@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use pfcsim_simcore::error::Error;
 use pfcsim_simcore::time::SimDuration;
 use pfcsim_simcore::units::Bytes;
 
@@ -80,12 +81,12 @@ impl PfcConfig {
     }
 
     /// Validate threshold ordering.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), Error> {
         if self.xon > self.xoff {
-            return Err(format!(
+            return Err(Error::Config(format!(
                 "xon ({}) must not exceed xoff ({})",
                 self.xon, self.xoff
-            ));
+            )));
         }
         if self.xoff.is_zero() {
             return Err("xoff must be positive".into());
@@ -254,7 +255,7 @@ impl TtlClassConfig {
     }
 
     /// Validate ranges.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), Error> {
         if self.width == 0 {
             return Err("TTL class width must be positive".into());
         }
@@ -294,7 +295,7 @@ impl Default for SimConfig {
 
 impl SimConfig {
     /// Validate cross-field constraints.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), Error> {
         self.pfc.validate()?;
         if self.default_packet_size.is_zero() {
             return Err("packet size must be positive".into());
@@ -312,7 +313,9 @@ impl SimConfig {
         }
         if let Some(n) = self.hop_class_mode {
             if n == 0 || n as usize > crate::PRIORITY_COUNT {
-                return Err(format!("hop_class_mode needs 1..=8 classes, got {n}"));
+                return Err(Error::Config(format!(
+                    "hop_class_mode needs 1..=8 classes, got {n}"
+                )));
             }
         }
         if let Some(tc) = &self.ttl_class_mode {

@@ -42,6 +42,7 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use pfcsim_simcore::error::Error;
 use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_simcore::units::Bytes;
 use pfcsim_topo::graph::{NodeKind, Topology};
@@ -235,7 +236,7 @@ impl FaultPlan {
     /// Check the plan against a topology: endpoints must be adjacent,
     /// probabilities in range, flap trains well-formed, fault targets of
     /// the right node kind.
-    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+    pub fn validate(&self, topo: &Topology) -> Result<(), Error> {
         let adjacent = |a: NodeId, b: NodeId| -> Result<(), String> {
             topo.port_towards(a, b)
                 .map(|_| ())
@@ -271,7 +272,9 @@ impl FaultPlan {
                 FaultKind::PauseLoss { node, probability } => {
                     is_switch(*node, "pause loss")?;
                     if !(0.0..=1.0).contains(probability) {
-                        return Err(format!("pause loss probability {probability} not in [0,1]"));
+                        return Err(Error::Config(format!(
+                            "pause loss probability {probability} not in [0,1]"
+                        )));
                     }
                 }
                 FaultKind::PauseDelay { node, .. } => is_switch(*node, "pause delay")?,
@@ -285,12 +288,15 @@ impl FaultPlan {
                 FaultKind::RouteSet { node, dst, ports } => {
                     is_switch(*node, "route set")?;
                     if dst.0 as usize >= topo.node_count() {
-                        return Err(format!("route set: {dst} is not a node"));
+                        return Err(Error::Config(format!("route set: {dst} is not a node")));
                     }
                     let n_ports = topo.ports(*node).len();
                     for p in ports {
                         if p.0 as usize >= n_ports {
-                            return Err(format!("route set: {node} has no port {}", p.0));
+                            return Err(Error::Config(format!(
+                                "route set: {node} has no port {}",
+                                p.0
+                            )));
                         }
                     }
                 }

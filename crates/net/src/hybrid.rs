@@ -78,13 +78,16 @@
 //!
 //! Gated configurations (telemetry, sampling, tracing, ECN, partitions,
 //! class remapping, route/reboot fault scripts) fall back to full-packet
-//! with a one-time warning through the same [`OnceWarner`] the
-//! partitioned executor uses for its serial fallback.
+//! with a one-time warning through the same keyed registry
+//! ([`crate::warn`]) the partitioned executor uses for its serial
+//! fallback, so a long-lived serve session toggling backends never
+//! re-emits per-subsystem duplicates.
 
 use serde::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use pfcsim_simcore::error::Error;
 use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_simcore::units::Bytes;
 use pfcsim_topo::graph::NodeKind;
@@ -93,35 +96,6 @@ use pfcsim_topo::ids::{FlowId, NodeId, PortNo};
 use crate::faults::FaultKind;
 use crate::flow::Demand;
 use crate::sim::{Ev, NetSim};
-
-// ---------------------------------------------------------------------
-// One-time warning (shared with `net::partition`'s serial fallback)
-// ---------------------------------------------------------------------
-
-/// A process-wide warn-once latch: the first call prints the rendered
-/// message to stderr, later calls are free no-ops. Replaces the ad-hoc
-/// `static Once` + `eprintln!` pattern that had grown one copy per
-/// fallback site in `net::partition`.
-pub(crate) struct OnceWarner {
-    once: std::sync::Once,
-}
-
-impl OnceWarner {
-    /// An unfired warner (usable in `static` position).
-    pub(crate) const fn new() -> Self {
-        OnceWarner {
-            once: std::sync::Once::new(),
-        }
-    }
-
-    /// Print `msg()` to stderr the first time only.
-    pub(crate) fn warn(&self, msg: impl FnOnce() -> String) {
-        self.once.call_once(|| eprintln!("{}", msg()));
-    }
-}
-
-static HYBRID_FALLBACK_WARN: OnceWarner = OnceWarner::new();
-static HYBRID_ENV_WARN: OnceWarner = OnceWarner::new();
 
 // ---------------------------------------------------------------------
 // Configuration
@@ -161,18 +135,18 @@ impl Default for HybridConfig {
 
 impl HybridConfig {
     /// Validate ranges (fractions in `(0, 1]`, positive hysteresis).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), Error> {
         if !(self.demote_fraction > 0.0 && self.demote_fraction <= 1.0) {
-            return Err(format!(
+            return Err(Error::Config(format!(
                 "hybrid.demote_fraction must be in (0, 1], got {}",
                 self.demote_fraction
-            ));
+            )));
         }
         if !(self.capacity_margin > 0.0 && self.capacity_margin <= 1.0) {
-            return Err(format!(
+            return Err(Error::Config(format!(
                 "hybrid.capacity_margin must be in (0, 1], got {}",
                 self.capacity_margin
-            ));
+            )));
         }
         if self.promote_after.is_zero() {
             return Err("hybrid.promote_after must be positive".into());
@@ -190,7 +164,7 @@ pub(crate) fn hybrid_from_env() -> Option<HybridConfig> {
         "on" | "1" | "true" => Some(HybridConfig::default()),
         "off" | "0" | "false" | "" => None,
         _ => {
-            HYBRID_ENV_WARN.warn(|| {
+            crate::warn::warn_once("env:PFCSIM_HYBRID", || {
                 format!("pfcsim: ignoring unrecognized PFCSIM_HYBRID={v:?} (expected on/off)")
             });
             None
@@ -885,7 +859,7 @@ impl NetSim {
             return;
         };
         if let Some(reason) = self.hybrid_gate_reason() {
-            HYBRID_FALLBACK_WARN.warn(|| {
+            crate::warn::warn_once(&format!("gate:{reason}"), || {
                 format!(
                     "pfcsim: hybrid fluid/packet backend unavailable for this run \
                      ({reason}); running full-packet"

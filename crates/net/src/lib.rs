@@ -19,6 +19,8 @@
 //! * [`stats`] — pause logs, occupancy series, per-flow counters;
 //! * [`telemetry`] — metrics registry, ring-buffered probes, trace sinks;
 //! * [`checkpoint`] — crash-safe snapshot/resume of a mid-flight run;
+//! * [`serve`] — resident deadlock-sentinel sessions behind a versioned
+//!   JSONL protocol (route vetting, bounded what-if probes);
 //! * [`golden`] — the fault-laden golden scenario and its pinned digest;
 //! * [`config`] — PFC thresholds, pause modes, arbitration, ECN.
 //!
@@ -54,6 +56,7 @@ pub mod packet;
 pub mod partition;
 pub mod recovery;
 pub mod report;
+pub mod serve;
 pub mod shaper;
 pub mod sim;
 pub mod stats;
@@ -61,6 +64,7 @@ pub mod switch;
 pub mod telemetry;
 pub mod timely;
 pub mod trace;
+pub(crate) mod warn;
 
 /// Number of 802.1p priority classes.
 pub const PRIORITY_COUNT: usize = 8;
@@ -78,6 +82,11 @@ pub mod prelude {
     pub use crate::hybrid::HybridConfig;
     pub use crate::packet::{Frame, Packet, PfcFrame, PfcOp};
     pub use crate::recovery::{RecoveryConfig, RecoveryStrategy};
+    pub use crate::serve::{
+        static_cbd, Answer, Applied, CbdDoc, CbdHop, Control, Query, RoutePush, ServeConfig,
+        ServeSession, Session, SessionSpec, StatusDoc, ThresholdDoc, Update, VerdictDoc, WhatIfDoc,
+        SERVE_SCHEMA,
+    };
     pub use crate::shaper::TokenBucket;
     pub use crate::sim::{NetSim, RunReport, SimArenas, SimBuilder, Verdict};
     pub use crate::stats::{FlowStats, IngressKey, NetStats, PauseKey, PauseLog};

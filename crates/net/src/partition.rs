@@ -66,7 +66,6 @@ use pfcsim_topo::partition::{partition_switches, Partition};
 use pfcsim_topo::prelude::{FlowId, NodeId, PortNo, Priority, Topology};
 
 use crate::flow::Demand;
-use crate::hybrid::OnceWarner;
 use crate::packet::Frame;
 use crate::sim::{is_meaningful, Ev, NetSim, SimArenas, StepOutcome};
 use crate::stats::NetStats;
@@ -296,7 +295,7 @@ impl NetSim {
     /// assignment (`(switch, part)` pairs; hosts follow their first-port
     /// switch) instead of the built-in min-cut-ish heuristic. Errors on
     /// unknown or non-switch nodes, unlisted switches, or empty parts.
-    pub fn set_partition_map(&mut self, assignment: &[(NodeId, u32)]) -> Result<(), String> {
+    pub fn set_partition_map(&mut self, assignment: &[(NodeId, u32)]) -> Result<(), Error> {
         let p = Partition::explicit(&self.topo, assignment)?;
         if p.parts <= 1 {
             self.part = None;
@@ -329,8 +328,7 @@ impl NetSim {
             Ok(n) if n >= 2 => Some(n),
             Ok(_) => None,
             Err(_) => {
-                static WARNED: OnceWarner = OnceWarner::new();
-                WARNED.warn(|| {
+                crate::warn::warn_once("env:PFCSIM_PARTITIONS", || {
                     format!(
                         "warning: PFCSIM_PARTITIONS={v:?} is not a non-negative integer; \
                          running serial"
@@ -363,8 +361,7 @@ impl NetSim {
     /// shard runtime.
     fn resolve_partitions(&mut self, layout: &Layout) -> Resolution {
         let gate = |reason: &str| {
-            static WARNED: OnceWarner = OnceWarner::new();
-            WARNED.warn(|| {
+            crate::warn::warn_once(&format!("gate:{reason}"), || {
                 format!("warning: partitioned execution disabled ({reason}); running serial")
             });
             Resolution::Serial
@@ -439,8 +436,7 @@ impl NetSim {
             .collect();
         let extra_threads = threads::try_acquire(parts - 1);
         if extra_threads < parts - 1 {
-            static WARNED: OnceWarner = OnceWarner::new();
-            WARNED.warn(|| {
+            crate::warn::warn_once("threads:partition-budget", || {
                 format!(
                     "warning: thread budget grants {extra_threads} extra worker(s) for \
                      {parts} partitions; remaining shards step inline (results identical)"

@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use pfcsim_simcore::error::Error;
 use pfcsim_simcore::time::SimDuration;
 
 /// What the watchdog does when it confirms a deadlock.
@@ -46,7 +47,7 @@ impl Default for RecoveryConfig {
 impl RecoveryConfig {
     /// Validate parameters: a zero check interval would schedule the
     /// watchdog at the current instant forever.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), Error> {
         if self.check_interval.is_zero() {
             return Err("recovery check_interval must be positive".into());
         }

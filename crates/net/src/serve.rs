@@ -1,0 +1,1871 @@
+//! # Resident deadlock-sentinel sessions (`pfcsim serve`)
+//!
+//! A [`Session`] is a long-running simulator instance that a routing
+//! controller keeps open next to a live fabric: it owns a resident
+//! [`NetSim`] plus the declarative state that produced it (topology,
+//! forwarding tables, traffic matrix, fault log), accepts incremental
+//! mutations (route updates, link up/down, flow add/remove), and answers
+//! *pre-commit* questions — "would this route push deadlock the fabric?"
+//! — without disturbing the resident state.
+//!
+//! Three verdict layers, cheapest first (the paper's §3–§4 pipeline):
+//!
+//! 1. **Static CBD** ([`static_cbd`]): walk every active flow's path,
+//!    build the (switch, ingress-port) buffer-dependency graph, and look
+//!    for a cycle. No cycle ⇒ no PFC deadlock, full stop.
+//! 2. **Boundary threshold** (Eq. 3): for a found cycle, the minimum
+//!    aggregate injection rate that can sustain a deadlock is
+//!    `r_d = n·B/TTL` — below it, paused queues always drain before the
+//!    pause frontier wraps the loop.
+//! 3. **Bounded what-if simulation** ([`Session::what_if`]): checkpoint
+//!    the resident run, resume the checkpoint into a throwaway probe,
+//!    apply the candidate pushes, and advance the probe a bounded window.
+//!    The probe's verdict is exact (packet-level); the resident is
+//!    untouched, and the session *proves* it by comparing checkpoint
+//!    digests before and after.
+//!
+//! ## The canonical-state invariant
+//!
+//! The resident simulator is always byte-identical to a fresh batch run
+//! of the session's declarative state: build the base sim, pre-schedule
+//! *baked* route entries and the fault log, then replay *unbaked* route
+//! entries at their commit times and advance to `now`. This is exactly
+//! what [`Session::oracle_what_if`] does, and the checkpoint module's
+//! pause-invariance guarantee (pausing and resuming is bit-identical to
+//! running uninterrupted) makes the resident and the oracle agree to the
+//! byte — the property the `serve_protocol` proptests pin.
+//!
+//! Structural mutations (flow add/remove, link up/down) cannot be
+//! applied to a mid-flight packet simulation, so they *bake* the route
+//! log and rebuild the resident by replay. A rebuild re-derives the
+//! canonical state from scratch; it **defines** the session's new
+//! canonical state, and the oracle mirrors the same construction.
+//!
+//! ## Wire protocol
+//!
+//! [`ServeSession`] wraps a [`Session`] in a versioned JSONL protocol
+//! (schema [`SERVE_SCHEMA`]): one request object per line in, one
+//! response object per line out. See the README "Serving" section for
+//! the schema; `repro serve` exposes it over stdin or a Unix socket.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+use pfcsim_simcore::error::Error;
+use pfcsim_simcore::snap;
+use pfcsim_simcore::time::{SimDuration, SimTime};
+use pfcsim_simcore::units::BitRate;
+use pfcsim_topo::graph::{NodeKind, Topology};
+use pfcsim_topo::ids::{FlowId, NodeId, PortNo};
+use pfcsim_topo::routing::{shortest_path_tables, trace_path, ForwardingTables};
+
+use crate::checkpoint::Checkpoint;
+use crate::config::SimConfig;
+use crate::faults::FaultPlan;
+use crate::flow::{FlowSpec, RouteKind};
+use crate::sim::{NetSim, RunReport, SimBuilder, Verdict};
+use crate::stats::PauseKey;
+
+/// Protocol identifier carried in every request/response line.
+pub const SERVE_SCHEMA: &str = "pfcsim-serve/1";
+
+/// Default what-if probe window when a request does not specify one.
+pub const DEFAULT_WHAT_IF_WINDOW: SimDuration = SimDuration::from_us(2_000);
+
+/// Default session horizon (sim time) when a spec does not specify one.
+pub const DEFAULT_HORIZON: SimTime = SimTime::from_us(60_000_000);
+
+// ---------------------------------------------------------------------------
+// Typed response documents
+// ---------------------------------------------------------------------------
+
+/// A deadlock verdict in document form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictDoc {
+    /// Whether a permanent deadlock was confirmed.
+    pub deadlock: bool,
+    /// When the fixpoint first confirmed it.
+    pub detected_at: Option<SimTime>,
+    /// The witness: a cyclic core of permanently-paused channels.
+    pub witness: Vec<PauseKey>,
+}
+
+impl VerdictDoc {
+    /// Convert a run verdict.
+    pub fn from_verdict(v: &Verdict) -> Self {
+        match v {
+            Verdict::NoDeadlock => VerdictDoc {
+                deadlock: false,
+                detected_at: None,
+                witness: Vec::new(),
+            },
+            Verdict::Deadlock {
+                detected_at,
+                witness,
+            } => VerdictDoc {
+                deadlock: true,
+                detected_at: Some(*detected_at),
+                witness: witness.clone(),
+            },
+        }
+    }
+
+    /// Render as a protocol document value.
+    pub fn to_value(&self) -> Value {
+        obj(vec![
+            ("deadlock", Value::Bool(self.deadlock)),
+            (
+                "detected_at_us",
+                match self.detected_at {
+                    Some(t) => uval(t.as_us()),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "witness",
+                Value::Array(
+                    self.witness
+                        .iter()
+                        .map(|k| {
+                            obj(vec![
+                                ("from", uval(u64::from(k.from.0))),
+                                ("to", uval(u64::from(k.to.0))),
+                                ("priority", uval(u64::from(k.priority.0))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One hop of a static buffer-dependency cycle: a switch ingress port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CbdHop {
+    /// The switch.
+    pub node: NodeId,
+    /// The ingress port whose buffer the dependency runs through.
+    pub port: PortNo,
+}
+
+/// The boundary-state deadlock-rate threshold for a cycle (paper Eq. 3):
+/// `r_d = n · B / TTL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdDoc {
+    /// Distinct switches on the loop (`n`).
+    pub loop_switches: usize,
+    /// Minimum TTL among flows feeding the loop.
+    pub min_ttl: u8,
+    /// Minimum link bandwidth on the loop (`B`, conservative).
+    pub bandwidth: BitRate,
+    /// The threshold rate `r_d`.
+    pub threshold: BitRate,
+}
+
+impl ThresholdDoc {
+    /// Render as a protocol document value.
+    pub fn to_value(&self) -> Value {
+        obj(vec![
+            ("loop_switches", uval(self.loop_switches as u64)),
+            ("min_ttl", uval(u64::from(self.min_ttl))),
+            ("bandwidth_bps", uval(self.bandwidth.bps())),
+            ("threshold_bps", uval(self.threshold.bps())),
+        ])
+    }
+}
+
+/// Result of the static cyclic-buffer-dependency analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CbdDoc {
+    /// Whether the active flows' paths form a cyclic buffer dependency.
+    pub cbd: bool,
+    /// A witness cycle of switch ingress ports (empty when `!cbd`).
+    pub cycle: Vec<CbdHop>,
+    /// Eq. 3 threshold for the witness cycle (`None` when `!cbd` or the
+    /// loop's minimum TTL is zero).
+    pub threshold: Option<ThresholdDoc>,
+}
+
+impl CbdDoc {
+    /// Render as a protocol document value.
+    pub fn to_value(&self) -> Value {
+        obj(vec![
+            ("cbd", Value::Bool(self.cbd)),
+            (
+                "cycle",
+                Value::Array(
+                    self.cycle
+                        .iter()
+                        .map(|h| {
+                            obj(vec![
+                                ("node", uval(u64::from(h.node.0))),
+                                ("port", uval(u64::from(h.port.0))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "threshold",
+                match &self.threshold {
+                    Some(t) => t.to_value(),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Result of a bounded what-if probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfDoc {
+    /// The probe's deadlock verdict.
+    pub verdict: VerdictDoc,
+    /// How far the probe advanced (commit time + window, capped at the
+    /// session horizon).
+    pub probed_until: SimTime,
+    /// Events the probe processed (probe cost, not resident cost).
+    pub probe_events: u64,
+    /// FNV-1a digest of the resident checkpoint before the probe.
+    pub state_digest_before: u64,
+    /// Same digest taken after the probe returned.
+    pub state_digest_after: u64,
+    /// Proof the probe left the resident untouched (`before == after`).
+    pub resident_unchanged: bool,
+    /// Static CBD analysis of the *post-push* forwarding tables.
+    pub cbd: CbdDoc,
+}
+
+impl WhatIfDoc {
+    /// Render as a protocol document value.
+    pub fn to_value(&self) -> Value {
+        obj(vec![
+            ("verdict", self.verdict.to_value()),
+            ("probed_until_us", uval(self.probed_until.as_us())),
+            ("probe_events", uval(self.probe_events)),
+            ("state_digest_before", uval(self.state_digest_before)),
+            ("state_digest_after", uval(self.state_digest_after)),
+            ("resident_unchanged", Value::Bool(self.resident_unchanged)),
+            ("cbd", self.cbd.to_value()),
+        ])
+    }
+}
+
+/// A session status snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusDoc {
+    /// Mutation counter (increments on every successful state change).
+    pub version: u64,
+    /// Resident simulation clock.
+    pub now: SimTime,
+    /// Flows in the session traffic matrix (including stopped ones).
+    pub flow_count: usize,
+    /// Events the resident simulation has processed.
+    pub events: u64,
+    /// Whether the resident run ended (quiesced or reached the horizon).
+    pub finished: bool,
+    /// The confirmed deadlock, if any (a confirmed deadlock is permanent).
+    pub verdict: Option<VerdictDoc>,
+    /// Checkpoint digest of the resident state (`None` once finished —
+    /// a finished run cannot be checkpointed).
+    pub state_digest: Option<u64>,
+}
+
+impl StatusDoc {
+    /// Render as a protocol document value.
+    pub fn to_value(&self) -> Value {
+        obj(vec![
+            ("version", uval(self.version)),
+            ("now_us", uval(self.now.as_us())),
+            ("flow_count", uval(self.flow_count as u64)),
+            ("events", uval(self.events)),
+            ("finished", Value::Bool(self.finished)),
+            (
+                "verdict",
+                match &self.verdict {
+                    Some(v) => v.to_value(),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "state_digest",
+                match self.state_digest {
+                    Some(d) => uval(d),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Acknowledgement of a committed mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Applied {
+    /// Session version after the mutation.
+    pub version: u64,
+    /// Resident clock after the mutation.
+    pub now: SimTime,
+    /// Whether the mutation finished the resident run (e.g. an advance
+    /// that reached the horizon, or a rebuild that quiesced).
+    pub finished: bool,
+}
+
+impl Applied {
+    /// Render as a protocol document value.
+    pub fn to_value(&self) -> Value {
+        obj(vec![
+            ("version", uval(self.version)),
+            ("now_us", uval(self.now.as_us())),
+            ("finished", Value::Bool(self.finished)),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session facade types
+// ---------------------------------------------------------------------------
+
+/// A candidate forwarding-table entry: `node`'s next hops toward `dst`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutePush {
+    /// Switch whose table changes.
+    pub node: NodeId,
+    /// Destination the entry routes.
+    pub dst: NodeId,
+    /// Replacement next-hop port set (ECMP-selected per flow).
+    pub ports: Vec<PortNo>,
+}
+
+/// A state mutation accepted by [`Session::apply`].
+#[derive(Debug, Clone)]
+pub enum Update {
+    /// Commit a forwarding-table change at the current sim time.
+    RouteUpdate(RoutePush),
+    /// Fail a link at the current sim time (structural: rebuilds).
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+    },
+    /// Repair a link at the current sim time (structural: rebuilds).
+    LinkUp {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+    },
+    /// Add a flow to the traffic matrix (structural: rebuilds). A start
+    /// time in the past is clamped to the current sim time.
+    FlowAdd(FlowSpec),
+    /// Stop a flow now (structural: rebuilds). A flow that has not
+    /// started yet is dropped from the matrix entirely.
+    FlowRemove(FlowId),
+    /// Advance the resident simulation to an absolute sim time.
+    AdvanceTo(SimTime),
+}
+
+/// A read-only question answered by [`Session::query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Version, clock, digest, confirmed verdict.
+    Status,
+    /// Static cyclic-buffer-dependency analysis of the current tables.
+    Cbd,
+    /// Bounded what-if probe of candidate route pushes.
+    WhatIf {
+        /// Candidate pushes, applied together at the current sim time.
+        updates: Vec<RoutePush>,
+        /// Probe duration past the current sim time.
+        window: SimDuration,
+    },
+}
+
+/// Answer to a [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// Answer to [`Query::Status`].
+    Status(StatusDoc),
+    /// Answer to [`Query::Cbd`].
+    Cbd(CbdDoc),
+    /// Answer to [`Query::WhatIf`].
+    WhatIf(WhatIfDoc),
+}
+
+/// Everything needed to open a [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The fabric.
+    pub topo: Topology,
+    /// Simulator configuration. `stop_on_deadlock` is forced off: a
+    /// resident sentinel must stay queryable after confirming a deadlock.
+    pub config: SimConfig,
+    /// Initial traffic matrix.
+    pub flows: Vec<FlowSpec>,
+    /// Initial forwarding tables (`None` ⇒ shortest-path).
+    pub tables: Option<ForwardingTables>,
+    /// Final sim-time horizon of the resident run.
+    pub horizon: SimTime,
+}
+
+impl SessionSpec {
+    /// A spec with default config, shortest-path tables, and the default
+    /// horizon.
+    pub fn new(topo: Topology, flows: Vec<FlowSpec>) -> Self {
+        SessionSpec {
+            topo,
+            config: SimConfig::default(),
+            flows,
+            tables: None,
+            horizon: DEFAULT_HORIZON,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// A committed route-log entry. `baked` entries are pre-scheduled when
+/// the session rebuilds; unbaked entries replay at their commit times
+/// (mirroring the in-place schedule the live resident performed).
+#[derive(Debug, Clone)]
+struct RouteEntry {
+    at: SimTime,
+    node: NodeId,
+    dst: NodeId,
+    ports: Vec<PortNo>,
+    baked: bool,
+}
+
+/// A committed link up/down entry (always replayed via the fault plan).
+#[derive(Debug, Clone, Copy)]
+struct LinkEntry {
+    at: SimTime,
+    up: bool,
+    a: NodeId,
+    b: NodeId,
+}
+
+/// A resident deadlock-sentinel session. See the [module docs](self).
+pub struct Session {
+    topo: Topology,
+    cfg: SimConfig,
+    base_tables: ForwardingTables,
+    /// Declarative view of the tables including every committed push.
+    cur_tables: ForwardingTables,
+    flows: Vec<FlowSpec>,
+    route_log: Vec<RouteEntry>,
+    link_log: Vec<LinkEntry>,
+    horizon: SimTime,
+    version: u64,
+    sim: NetSim,
+    finished: Option<RunReport>,
+}
+
+/// Build the canonical simulation for the given declarative state and
+/// drive it to `upto`: base sim + flows + fault plan + pre-scheduled
+/// baked route entries, primed to t = 0, then unbaked route entries
+/// replayed at their commit times. This is the single construction both
+/// the resident (on open/rebuild) and the batch oracle use — their
+/// agreement is the serve protocol's correctness argument.
+#[allow(clippy::too_many_arguments)]
+fn build_and_replay(
+    topo: &Topology,
+    cfg: &SimConfig,
+    base: &ForwardingTables,
+    flows: &[FlowSpec],
+    links: &[LinkEntry],
+    routes: &[RouteEntry],
+    horizon: SimTime,
+    upto: SimTime,
+) -> Result<(NetSim, Option<RunReport>), Error> {
+    let mut sim = SimBuilder::new(topo)
+        .config(cfg.clone())
+        .tables(base.clone())
+        .try_build()?;
+    for f in flows {
+        sim.try_add_flow(f.clone())?;
+    }
+    if !links.is_empty() {
+        let plan = links.iter().fold(FaultPlan::new(), |p, l| {
+            if l.up {
+                p.link_up(l.at, l.a, l.b)
+            } else {
+                p.link_down(l.at, l.a, l.b)
+            }
+        });
+        sim.set_fault_plan(plan)?;
+    }
+    for r in routes.iter().filter(|r| r.baked) {
+        sim.schedule_route_update(r.at, r.node, r.dst, r.ports.clone());
+    }
+    // Prime to t = 0, exactly like Session::open. Every later advance
+    // and schedule below then happens from a started, paused run — the
+    // same sequence of calls the resident made, so event sequence
+    // numbers (and therefore tie-breaks) match bit-for-bit.
+    let mut fin = sim.advance_until(SimTime::ZERO, horizon);
+    for r in routes.iter().filter(|r| !r.baked) {
+        if fin.is_some() {
+            break;
+        }
+        if r.at > sim.now() {
+            fin = sim.advance_until(r.at, horizon);
+            if fin.is_some() {
+                break;
+            }
+        }
+        sim.schedule_route_update(r.at, r.node, r.dst, r.ports.clone());
+    }
+    if fin.is_none() && upto > sim.now() {
+        fin = sim.advance_until(upto, horizon);
+    }
+    Ok((sim, fin))
+}
+
+impl Session {
+    /// Open a session: build the resident simulation and prime it to
+    /// t = 0 so it is checkpointable (what-if probes need a started run).
+    pub fn open(spec: SessionSpec) -> Result<Session, Error> {
+        if spec.horizon == SimTime::ZERO {
+            return Err(Error::Config("session horizon must be positive".into()));
+        }
+        let mut cfg = spec.config;
+        // A sentinel must survive its own bad news: keep simulating past
+        // a confirmed deadlock so status/what-if queries stay available.
+        cfg.stop_on_deadlock = false;
+        let base_tables = spec
+            .tables
+            .unwrap_or_else(|| shortest_path_tables(&spec.topo));
+        let (sim, finished) = build_and_replay(
+            &spec.topo,
+            &cfg,
+            &base_tables,
+            &spec.flows,
+            &[],
+            &[],
+            spec.horizon,
+            SimTime::ZERO,
+        )?;
+        Ok(Session {
+            cur_tables: base_tables.clone(),
+            topo: spec.topo,
+            cfg,
+            base_tables,
+            flows: spec.flows,
+            route_log: Vec::new(),
+            link_log: Vec::new(),
+            horizon: spec.horizon,
+            version: 0,
+            sim,
+            finished,
+        })
+    }
+
+    /// The fabric.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Declarative forwarding tables, including every committed push.
+    pub fn tables(&self) -> &ForwardingTables {
+        &self.cur_tables
+    }
+
+    /// The session traffic matrix.
+    pub fn flows(&self) -> &[FlowSpec] {
+        &self.flows
+    }
+
+    /// Mutation counter.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Resident simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Final sim-time horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Whether the resident run ended (mutations are rejected after).
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// The final report, once the resident run ended.
+    pub fn final_report(&self) -> Option<&RunReport> {
+        self.finished.as_ref()
+    }
+
+    fn ensure_live(&self) -> Result<(), Error> {
+        if self.finished.is_some() {
+            return Err(Error::State(
+                "session run has finished; only status/cbd queries remain".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn validate_route(&self, node: NodeId, dst: NodeId, ports: &[PortNo]) -> Result<(), Error> {
+        let n = self.topo.node_count();
+        if node.0 as usize >= n {
+            return Err(Error::Config(format!("unknown node {}", node.0)));
+        }
+        if dst.0 as usize >= n {
+            return Err(Error::Config(format!("unknown destination {}", dst.0)));
+        }
+        if !matches!(self.topo.node(node).kind, NodeKind::Switch) {
+            return Err(Error::Config(format!(
+                "route updates target switches, and {} is a host",
+                self.topo.node(node).name
+            )));
+        }
+        if ports.is_empty() {
+            return Err(Error::Config(
+                "a route update needs at least one next-hop port".into(),
+            ));
+        }
+        let avail = self.topo.ports(node).len();
+        for p in ports {
+            if p.0 as usize >= avail {
+                return Err(Error::Config(format!(
+                    "switch {} has no port {} (it has {})",
+                    self.topo.node(node).name,
+                    p.0,
+                    avail
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn applied(&self) -> Applied {
+        Applied {
+            version: self.version,
+            now: self.sim.now(),
+            finished: self.finished.is_some(),
+        }
+    }
+
+    /// Mark every route entry baked and return the log (rebuilds
+    /// pre-schedule the whole history).
+    fn baked_log(&self) -> Vec<RouteEntry> {
+        self.route_log
+            .iter()
+            .map(|r| RouteEntry {
+                baked: true,
+                ..r.clone()
+            })
+            .collect()
+    }
+
+    /// Rebuild the resident from candidate declarative state; commits
+    /// only on success, so a failed rebuild leaves the session intact.
+    fn rebuild(
+        &mut self,
+        flows: Vec<FlowSpec>,
+        links: Vec<LinkEntry>,
+        routes: Vec<RouteEntry>,
+    ) -> Result<(), Error> {
+        let upto = self.sim.now();
+        let (sim, finished) = build_and_replay(
+            &self.topo,
+            &self.cfg,
+            &self.base_tables,
+            &flows,
+            &links,
+            &routes,
+            self.horizon,
+            upto,
+        )?;
+        self.sim = sim;
+        self.finished = finished;
+        self.flows = flows;
+        self.link_log = links;
+        self.route_log = routes;
+        Ok(())
+    }
+
+    /// Commit a mutation. Validation happens before any state change: a
+    /// rejected update leaves the session byte-identical (checkpoint
+    /// digests prove it).
+    pub fn apply(&mut self, update: Update) -> Result<Applied, Error> {
+        self.ensure_live()?;
+        match update {
+            Update::RouteUpdate(push) => {
+                self.validate_route(push.node, push.dst, &push.ports)?;
+                let now = self.sim.now();
+                // In-place: the resident is paused, so the update can be
+                // scheduled at the current instant without a rebuild.
+                self.sim
+                    .schedule_route_update(now, push.node, push.dst, push.ports.clone());
+                self.route_log.push(RouteEntry {
+                    at: now,
+                    node: push.node,
+                    dst: push.dst,
+                    ports: push.ports.clone(),
+                    baked: false,
+                });
+                self.cur_tables.set(push.node, push.dst, push.ports);
+            }
+            Update::LinkDown { a, b } | Update::LinkUp { a, b } => {
+                let up = matches!(update, Update::LinkUp { .. });
+                if self.topo.port_towards(a, b).is_none() {
+                    return Err(Error::Config(format!(
+                        "no link between nodes {} and {}",
+                        a.0, b.0
+                    )));
+                }
+                let mut links = self.link_log.clone();
+                links.push(LinkEntry {
+                    at: self.sim.now(),
+                    up,
+                    a,
+                    b,
+                });
+                self.rebuild(self.flows.clone(), links, self.baked_log())?;
+            }
+            Update::FlowAdd(mut spec) => {
+                let now = self.sim.now();
+                if spec.start < now {
+                    spec.start = now;
+                }
+                if spec.stop.is_some_and(|s| s <= spec.start) {
+                    return Err(Error::Config(format!(
+                        "flow {} would stop before it starts",
+                        spec.id.0
+                    )));
+                }
+                let mut flows = self.flows.clone();
+                flows.push(spec);
+                // try_add_flow inside the rebuild validates the spec
+                // (duplicate id, host endpoints, pinned-path adjacency)
+                // against a throwaway sim; failure leaves us untouched.
+                self.rebuild(flows, self.link_log.clone(), self.baked_log())?;
+            }
+            Update::FlowRemove(id) => {
+                let now = self.sim.now();
+                let mut flows = self.flows.clone();
+                let Some(idx) = flows.iter().position(|f| f.id == id) else {
+                    return Err(Error::Config(format!("unknown flow id {}", id.0)));
+                };
+                if flows[idx].start >= now {
+                    flows.remove(idx);
+                } else {
+                    let stop = flows[idx].stop.map_or(now, |s| s.min(now));
+                    flows[idx].stop = Some(stop);
+                }
+                self.rebuild(flows, self.link_log.clone(), self.baked_log())?;
+            }
+            Update::AdvanceTo(t) => {
+                if t < self.sim.now() {
+                    return Err(Error::State(format!(
+                        "cannot advance backwards: now is {} µs, target {} µs",
+                        self.sim.now().as_us(),
+                        t.as_us()
+                    )));
+                }
+                if t > self.horizon {
+                    return Err(Error::State(format!(
+                        "advance target {} µs is past the session horizon {} µs",
+                        t.as_us(),
+                        self.horizon.as_us()
+                    )));
+                }
+                if t > self.sim.now() {
+                    self.finished = self.sim.advance_until(t, self.horizon);
+                }
+            }
+        }
+        self.version += 1;
+        Ok(self.applied())
+    }
+
+    /// Answer a read-only query.
+    pub fn query(&mut self, q: Query) -> Result<Answer, Error> {
+        match q {
+            Query::Status => self.status().map(Answer::Status),
+            Query::Cbd => Ok(Answer::Cbd(self.cbd())),
+            Query::WhatIf { updates, window } => self.what_if(&updates, window).map(Answer::WhatIf),
+        }
+    }
+
+    /// Session status (version, clock, digest, confirmed verdict).
+    pub fn status(&mut self) -> Result<StatusDoc, Error> {
+        let state_digest = if self.finished.is_none() {
+            Some(self.state_digest()?)
+        } else {
+            None
+        };
+        let verdict = if let Some(r) = &self.finished {
+            Some(VerdictDoc::from_verdict(&r.verdict))
+        } else {
+            self.sim.deadlock_state().map(|(t, w)| VerdictDoc {
+                deadlock: true,
+                detected_at: Some(t),
+                witness: w.to_vec(),
+            })
+        };
+        Ok(StatusDoc {
+            version: self.version,
+            now: self.sim.now(),
+            flow_count: self.flows.len(),
+            events: self.sim.events,
+            finished: self.finished.is_some(),
+            verdict,
+            state_digest,
+        })
+    }
+
+    /// Static CBD analysis of the current declarative tables.
+    pub fn cbd(&self) -> CbdDoc {
+        static_cbd(&self.topo, &self.cur_tables, &self.flows, self.sim.now())
+    }
+
+    /// FNV-1a digest of the resident checkpoint bytes — the session's
+    /// state fingerprint (used to prove rejected pushes touched nothing).
+    pub fn state_digest(&mut self) -> Result<u64, Error> {
+        Ok(snap::fnv1a(&self.sim.checkpoint()?.to_bytes()))
+    }
+
+    /// Capture the resident run as a checkpoint (crash-safe handoff).
+    pub fn snapshot(&mut self) -> Result<Checkpoint, Error> {
+        self.ensure_live()?;
+        self.sim.checkpoint()
+    }
+
+    /// Bounded what-if: checkpoint the resident, resume the checkpoint
+    /// into a throwaway probe, apply `pushes` at the current instant,
+    /// and advance the probe `window` past now (capped at the horizon).
+    /// The resident is untouched; `state_digest_before/after` prove it.
+    pub fn what_if(
+        &mut self,
+        pushes: &[RoutePush],
+        window: SimDuration,
+    ) -> Result<WhatIfDoc, Error> {
+        self.ensure_live()?;
+        for p in pushes {
+            self.validate_route(p.node, p.dst, &p.ports)?;
+        }
+        let now = self.sim.now();
+        let bound = (now + window).min(self.horizon);
+        let ckpt = self.sim.checkpoint()?;
+        let state_digest_before = snap::fnv1a(&ckpt.to_bytes());
+        let mut probe = NetSim::resume(ckpt)?;
+        for p in pushes {
+            probe.schedule_route_update(now, p.node, p.dst, p.ports.clone());
+        }
+        let outcome = if bound > now {
+            probe.advance_until(bound, self.horizon)
+        } else {
+            None
+        };
+        let (verdict, probe_events) = match outcome {
+            Some(report) => (VerdictDoc::from_verdict(&report.verdict), report.events),
+            None => {
+                let v = verdict_at_pause(&mut probe, bound);
+                let e = probe.events;
+                (v, e)
+            }
+        };
+        let state_digest_after = snap::fnv1a(&self.sim.checkpoint()?.to_bytes());
+        let mut tables = self.cur_tables.clone();
+        for p in pushes {
+            tables.set(p.node, p.dst, p.ports.clone());
+        }
+        let cbd = static_cbd(&self.topo, &tables, &self.flows, now);
+        Ok(WhatIfDoc {
+            verdict,
+            probed_until: bound,
+            probe_events,
+            state_digest_before,
+            state_digest_after,
+            resident_unchanged: state_digest_before == state_digest_after,
+            cbd,
+        })
+    }
+
+    /// The batch oracle for [`Session::what_if`]: rebuild the session's
+    /// canonical state from scratch (fresh `NetSim`, full replay), apply
+    /// the same pushes, advance the same window, and extract the verdict
+    /// the same way. By the checkpoint pause-invariance guarantee this
+    /// is byte-identical to the resident probe — the protocol tests and
+    /// the CI `serve-smoke` job diff the two documents.
+    pub fn oracle_what_if(
+        &self,
+        pushes: &[RoutePush],
+        window: SimDuration,
+    ) -> Result<VerdictDoc, Error> {
+        self.ensure_live()?;
+        for p in pushes {
+            self.validate_route(p.node, p.dst, &p.ports)?;
+        }
+        let now = self.sim.now();
+        let bound = (now + window).min(self.horizon);
+        let (mut sim, fin) = build_and_replay(
+            &self.topo,
+            &self.cfg,
+            &self.base_tables,
+            &self.flows,
+            &self.link_log,
+            &self.route_log,
+            self.horizon,
+            now,
+        )?;
+        if let Some(report) = fin {
+            // The live resident can't have finished (ensure_live), so a
+            // finished replay means the canonical-state invariant broke.
+            return Err(Error::State(format!(
+                "oracle replay finished at {} µs while the resident is live at {} µs",
+                report.end_time.as_us(),
+                now.as_us()
+            )));
+        }
+        for p in pushes {
+            sim.schedule_route_update(now, p.node, p.dst, p.ports.clone());
+        }
+        let outcome = if bound > now {
+            sim.advance_until(bound, self.horizon)
+        } else {
+            None
+        };
+        Ok(match outcome {
+            Some(report) => VerdictDoc::from_verdict(&report.verdict),
+            None => verdict_at_pause(&mut sim, bound),
+        })
+    }
+}
+
+/// Deadlock verdict for a probe paused (not finished) at `bound`: prefer
+/// the already-confirmed verdict from the periodic scan, else run the
+/// fixpoint on the paused state now.
+fn verdict_at_pause(probe: &mut NetSim, bound: SimTime) -> VerdictDoc {
+    if let Some((t, w)) = probe.deadlock_state() {
+        let witness = w.to_vec();
+        return VerdictDoc {
+            deadlock: true,
+            detected_at: Some(t),
+            witness,
+        };
+    }
+    match probe.analyze_deadlock() {
+        Some(witness) => VerdictDoc {
+            deadlock: true,
+            detected_at: Some(bound),
+            witness,
+        },
+        None => VerdictDoc {
+            deadlock: false,
+            detected_at: None,
+            witness: Vec::new(),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static CBD analysis (paper §3, necessary condition)
+// ---------------------------------------------------------------------------
+
+/// Build the (switch, ingress-port) buffer-dependency graph induced by
+/// every active flow's path under `tables` and search it for a cycle —
+/// the paper's necessary condition for PFC deadlock. Pinned flows
+/// contribute their pinned path; table-routed flows contribute their
+/// deterministic ECMP trace (including partial paths of looping or
+/// blackholed routes, which is exactly when dependencies turn cyclic).
+///
+/// For a witness cycle the Eq. 3 boundary threshold `r_d = n·B/TTL` is
+/// attached, with `B` the minimum link bandwidth on the loop and `TTL`
+/// the minimum TTL among flows feeding it (both conservative).
+pub fn static_cbd(
+    topo: &Topology,
+    tables: &ForwardingTables,
+    flows: &[FlowSpec],
+    now: SimTime,
+) -> CbdDoc {
+    let mut verts: BTreeMap<(NodeId, PortNo), usize> = BTreeMap::new();
+    let mut rev: Vec<(NodeId, PortNo)> = Vec::new();
+    // (from-vertex, to-vertex) → (downstream link rate, min feeding TTL)
+    let mut edges: BTreeMap<(usize, usize), (BitRate, u8)> = BTreeMap::new();
+    let max_hops = 4 * topo.node_count() + 8;
+    for f in flows {
+        if f.stop.is_some_and(|s| s <= now) {
+            continue;
+        }
+        let path: Vec<NodeId> = match &f.route {
+            RouteKind::Pinned(p) => p.nodes.clone(),
+            RouteKind::Tables => trace_path(topo, tables, f.id, f.src, f.dst, max_hops)
+                .nodes()
+                .to_vec(),
+        };
+        for w in path.windows(3) {
+            let (a, b, c) = (w[0], w[1], w[2]);
+            if !matches!(topo.node(b).kind, NodeKind::Switch)
+                || !matches!(topo.node(c).kind, NodeKind::Switch)
+            {
+                continue;
+            }
+            let (Some(in_b), Some(in_c), Some(out_b)) = (
+                topo.port_towards(b, a),
+                topo.port_towards(c, b),
+                topo.port_towards(b, c),
+            ) else {
+                continue;
+            };
+            let rate = topo.link(out_b.link).rate;
+            let u = *verts.entry((b, in_b.port)).or_insert_with(|| {
+                rev.push((b, in_b.port));
+                rev.len() - 1
+            });
+            let v = *verts.entry((c, in_c.port)).or_insert_with(|| {
+                rev.push((c, in_c.port));
+                rev.len() - 1
+            });
+            edges
+                .entry((u, v))
+                .and_modify(|e| {
+                    e.0 = e.0.min(rate);
+                    e.1 = e.1.min(f.ttl);
+                })
+                .or_insert((rate, f.ttl));
+        }
+    }
+
+    let n = rev.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v) in edges.keys() {
+        adj[u].push(v);
+    }
+
+    // Iterative three-colour DFS; the first back edge yields a witness
+    // cycle as a suffix of the explicit stack.
+    let mut color = vec![0u8; n]; // 0 white, 1 gray, 2 black
+    let mut cycle_ids: Vec<usize> = Vec::new();
+    'outer: for s in 0..n {
+        if color[s] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(s, 0)];
+        color[s] = 1;
+        while let Some(&(v, i)) = stack.last() {
+            if i < adj[v].len() {
+                stack.last_mut().expect("non-empty").1 += 1;
+                let w = adj[v][i];
+                if color[w] == 0 {
+                    color[w] = 1;
+                    stack.push((w, 0));
+                } else if color[w] == 1 {
+                    let pos = stack
+                        .iter()
+                        .position(|&(x, _)| x == w)
+                        .expect("gray vertex is on the stack");
+                    cycle_ids = stack[pos..].iter().map(|&(x, _)| x).collect();
+                    break 'outer;
+                }
+            } else {
+                color[v] = 2;
+                stack.pop();
+            }
+        }
+    }
+
+    if cycle_ids.is_empty() {
+        return CbdDoc {
+            cbd: false,
+            cycle: Vec::new(),
+            threshold: None,
+        };
+    }
+
+    let cycle: Vec<CbdHop> = cycle_ids
+        .iter()
+        .map(|&i| CbdHop {
+            node: rev[i].0,
+            port: rev[i].1,
+        })
+        .collect();
+    let mut min_rate = BitRate::from_bps(u64::MAX);
+    let mut min_ttl = u8::MAX;
+    for k in 0..cycle_ids.len() {
+        let u = cycle_ids[k];
+        let v = cycle_ids[(k + 1) % cycle_ids.len()];
+        if let Some(&(rate, ttl)) = edges.get(&(u, v)) {
+            min_rate = min_rate.min(rate);
+            min_ttl = min_ttl.min(ttl);
+        }
+    }
+    let mut distinct: Vec<NodeId> = cycle.iter().map(|h| h.node).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let threshold = (min_ttl > 0 && min_ttl < u8::MAX).then(|| ThresholdDoc {
+        loop_switches: distinct.len(),
+        min_ttl,
+        bandwidth: min_rate,
+        threshold: min_rate.scale(distinct.len() as u64, u64::from(min_ttl)),
+    });
+    CbdDoc {
+        cbd: true,
+        cycle,
+        threshold,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value helpers (vendored serde stub: hand-built documents)
+// ---------------------------------------------------------------------------
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn uval(x: u64) -> Value {
+    Value::Number(serde_json::Number::PosInt(x))
+}
+
+fn sval(x: &str) -> Value {
+    Value::String(x.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// JSONL protocol layer
+// ---------------------------------------------------------------------------
+
+/// Serving options for [`ServeSession`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Where [`ServeSession::graceful_shutdown`] writes the final
+    /// checkpoint (and the default path for `checkpoint` requests).
+    pub checkpoint_path: Option<String>,
+}
+
+/// What the stream loop should do after a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading requests.
+    Continue,
+    /// A `shutdown` request was served; stop reading.
+    Shutdown,
+}
+
+/// A [`Session`] behind the versioned JSONL wire protocol
+/// ([`SERVE_SCHEMA`]): one request object per line in, one response
+/// object per line out. Blank lines and `#` comment lines are ignored.
+/// Malformed or rejected requests produce an error response and mutate
+/// nothing — the protocol tests pin this with checkpoint digests.
+#[derive(Default)]
+pub struct ServeSession {
+    cfg: ServeConfig,
+    session: Option<Session>,
+}
+
+impl ServeSession {
+    /// A protocol handler with no session yet (the first request is
+    /// usually `open`).
+    pub fn new(cfg: ServeConfig) -> Self {
+        ServeSession { cfg, session: None }
+    }
+
+    /// The underlying session, once opened.
+    pub fn session(&self) -> Option<&Session> {
+        self.session.as_ref()
+    }
+
+    /// Mutable access to the underlying session (tests, embedders).
+    pub fn session_mut(&mut self) -> Option<&mut Session> {
+        self.session.as_mut()
+    }
+
+    /// Serve one request line. Returns the response line (without
+    /// trailing newline; `None` for blanks/comments) and whether the
+    /// stream should continue.
+    pub fn handle_line(&mut self, line: &str) -> (Option<String>, Control) {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return (None, Control::Continue);
+        }
+        let req: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                let err = Error::Protocol(format!("malformed JSON: {e}"));
+                return (
+                    Some(render_response(None, "?", Err(err))),
+                    Control::Continue,
+                );
+            }
+        };
+        let id = req.get("id").and_then(Value::as_u64);
+        if let Some(schema) = req.get("schema") {
+            if *schema != SERVE_SCHEMA {
+                let err = Error::Protocol(format!(
+                    "unsupported schema (this build speaks {SERVE_SCHEMA})"
+                ));
+                return (Some(render_response(id, "?", Err(err))), Control::Continue);
+            }
+        }
+        let Some(op) = req.get("op").and_then(Value::as_str).map(str::to_string) else {
+            let err = Error::Protocol("request has no \"op\" field".into());
+            return (Some(render_response(id, "?", Err(err))), Control::Continue);
+        };
+        let result = self.dispatch(&op, &req);
+        let ctl = if op == "shutdown" {
+            Control::Shutdown
+        } else {
+            Control::Continue
+        };
+        (Some(render_response(id, &op, result)), ctl)
+    }
+
+    fn dispatch(&mut self, op: &str, req: &Value) -> Result<Value, Error> {
+        match op {
+            "open" => {
+                let spec = parse_open(req)?;
+                let mut session = Session::open(spec)?;
+                let status = session.status()?;
+                self.session = Some(session);
+                Ok(status.to_value())
+            }
+            "shutdown" => Ok(obj(vec![("shutting_down", Value::Bool(true))])),
+            _ => {
+                let cfg_path = self.cfg.checkpoint_path.clone();
+                let session = self.session.as_mut().ok_or_else(|| {
+                    Error::State("no open session (send an \"open\" request first)".into())
+                })?;
+                match op {
+                    "route_update" => handle_route_update(session, req),
+                    "link_down" | "link_up" => {
+                        let a = node_ref(session.topo(), req, "a")?;
+                        let b = node_ref(session.topo(), req, "b")?;
+                        let update = if op == "link_down" {
+                            Update::LinkDown { a, b }
+                        } else {
+                            Update::LinkUp { a, b }
+                        };
+                        session.apply(update).map(|a| a.to_value())
+                    }
+                    "flow_add" => {
+                        let spec = parse_flow(session.topo(), req)?;
+                        session.apply(Update::FlowAdd(spec)).map(|a| a.to_value())
+                    }
+                    "flow_remove" => {
+                        let id = req
+                            .get("flow")
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| Error::Protocol("flow_remove needs \"flow\"".into()))?;
+                        session
+                            .apply(Update::FlowRemove(FlowId(id as u32)))
+                            .map(|a| a.to_value())
+                    }
+                    "advance" => {
+                        let to = req
+                            .get("to_us")
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| Error::Protocol("advance needs \"to_us\"".into()))?;
+                        session
+                            .apply(Update::AdvanceTo(SimTime::from_us(to)))
+                            .map(|a| a.to_value())
+                    }
+                    "query" => handle_query(session, req),
+                    "checkpoint" => {
+                        let path = req
+                            .get("path")
+                            .and_then(Value::as_str)
+                            .map(str::to_string)
+                            .or(cfg_path)
+                            .ok_or_else(|| {
+                                Error::Protocol(
+                                    "checkpoint needs \"path\" (no default configured)".into(),
+                                )
+                            })?;
+                        let ckpt = session.snapshot()?;
+                        ckpt.save(&path)?;
+                        Ok(obj(vec![
+                            ("path", sval(&path)),
+                            ("state_digest", uval(snap::fnv1a(&ckpt.to_bytes()))),
+                        ]))
+                    }
+                    other => Err(Error::Protocol(format!("unknown op \"{other}\""))),
+                }
+            }
+        }
+    }
+
+    /// Drain a request stream: serve every line of `reader`, writing one
+    /// response line per request to `out`, until the stream ends or a
+    /// `shutdown` request is served.
+    pub fn serve_lines<R: std::io::BufRead, W: std::io::Write>(
+        &mut self,
+        reader: R,
+        out: &mut W,
+    ) -> std::io::Result<Control> {
+        for line in reader.lines() {
+            let (resp, ctl) = self.handle_line(&line?);
+            if let Some(resp) = resp {
+                writeln!(out, "{resp}")?;
+                out.flush()?;
+            }
+            if ctl == Control::Shutdown {
+                return Ok(Control::Shutdown);
+            }
+        }
+        Ok(Control::Continue)
+    }
+
+    /// Write the final checkpoint (if a path is configured and the
+    /// session is live) — the SIGTERM path of `repro serve`. Returns the
+    /// path written.
+    pub fn graceful_shutdown(&mut self) -> Result<Option<String>, Error> {
+        let Some(path) = self.cfg.checkpoint_path.clone() else {
+            return Ok(None);
+        };
+        let Some(session) = self.session.as_mut() else {
+            return Ok(None);
+        };
+        if session.is_finished() {
+            return Ok(None);
+        }
+        session.snapshot()?.save(&path)?;
+        Ok(Some(path))
+    }
+}
+
+/// `route_update` with `"mode": "vet"` (the default) runs the what-if
+/// probe first and only commits a clean push; `"mode": "commit"` skips
+/// the probe. A vetoed push commits nothing — the response carries the
+/// digest pair proving it.
+fn handle_route_update(session: &mut Session, req: &Value) -> Result<Value, Error> {
+    let push = parse_route_push(session.topo(), req)?;
+    let window = req
+        .get("window_us")
+        .and_then(Value::as_u64)
+        .map_or(DEFAULT_WHAT_IF_WINDOW, SimDuration::from_us);
+    match req.get("mode").and_then(Value::as_str).unwrap_or("vet") {
+        "commit" => {
+            let applied = session.apply(Update::RouteUpdate(push))?;
+            Ok(obj(vec![
+                ("committed", Value::Bool(true)),
+                ("applied", applied.to_value()),
+            ]))
+        }
+        "vet" => {
+            let what_if = session.what_if(std::slice::from_ref(&push), window)?;
+            if what_if.verdict.deadlock {
+                Ok(obj(vec![
+                    ("committed", Value::Bool(false)),
+                    ("reason", sval("what-if probe predicts deadlock")),
+                    ("what_if", what_if.to_value()),
+                ]))
+            } else {
+                let applied = session.apply(Update::RouteUpdate(push))?;
+                Ok(obj(vec![
+                    ("committed", Value::Bool(true)),
+                    ("applied", applied.to_value()),
+                    ("what_if", what_if.to_value()),
+                ]))
+            }
+        }
+        other => Err(Error::Protocol(format!(
+            "unknown route_update mode \"{other}\" (vet|commit)"
+        ))),
+    }
+}
+
+fn handle_query(session: &mut Session, req: &Value) -> Result<Value, Error> {
+    let kind = req
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| Error::Protocol("query needs \"kind\"".into()))?;
+    match kind {
+        "status" => session.status().map(|d| d.to_value()),
+        "cbd" => Ok(session.cbd().to_value()),
+        "what_if" | "what_if_oracle" => {
+            let updates = match req.get("updates").and_then(Value::as_array) {
+                Some(items) => items
+                    .iter()
+                    .map(|v| parse_route_push(session.topo(), v))
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => Vec::new(),
+            };
+            let window = req
+                .get("window_us")
+                .and_then(Value::as_u64)
+                .map_or(DEFAULT_WHAT_IF_WINDOW, SimDuration::from_us);
+            if kind == "what_if" {
+                session.what_if(&updates, window).map(|d| d.to_value())
+            } else {
+                // The batch oracle: a from-scratch replay of the session's
+                // canonical state. CI diffs its verdict against what_if's.
+                session
+                    .oracle_what_if(&updates, window)
+                    .map(|v| obj(vec![("verdict", v.to_value())]))
+            }
+        }
+        other => Err(Error::Protocol(format!(
+            "unknown query kind \"{other}\" (status|cbd|what_if|what_if_oracle)"
+        ))),
+    }
+}
+
+fn render_response(id: Option<u64>, op: &str, result: Result<Value, Error>) -> String {
+    let mut pairs = vec![("schema", sval(SERVE_SCHEMA))];
+    if let Some(id) = id {
+        pairs.push(("id", uval(id)));
+    }
+    pairs.push(("op", sval(op)));
+    match result {
+        Ok(r) => {
+            pairs.push(("ok", Value::Bool(true)));
+            pairs.push(("result", r));
+        }
+        Err(e) => {
+            pairs.push(("ok", Value::Bool(false)));
+            pairs.push((
+                "error",
+                obj(vec![
+                    ("kind", sval(error_kind(&e))),
+                    ("message", sval(&e.to_string())),
+                ]),
+            ));
+        }
+    }
+    serde_json::to_string(&obj(pairs)).expect("response serialization is infallible")
+}
+
+fn error_kind(e: &Error) -> &'static str {
+    match e {
+        Error::Config(_) => "config",
+        Error::Io(_) => "io",
+        Error::Corrupt(_) => "corrupt",
+        Error::Decode(_) => "decode",
+        Error::ConfigDigestMismatch { .. } => "config_digest_mismatch",
+        Error::Unsupported(_) => "unsupported",
+        Error::Protocol(_) => "protocol",
+        Error::State(_) => "state",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------------
+
+/// Resolve a node reference: a name string or a numeric id.
+fn node_val(topo: &Topology, v: &Value, what: &str) -> Result<NodeId, Error> {
+    if let Some(name) = v.as_str() {
+        return topo
+            .find(name)
+            .ok_or_else(|| Error::Config(format!("unknown node \"{name}\"")));
+    }
+    if let Some(id) = v.as_u64() {
+        if (id as usize) < topo.node_count() {
+            return Ok(NodeId(id as u32));
+        }
+        return Err(Error::Config(format!("unknown node {id}")));
+    }
+    Err(Error::Protocol(format!(
+        "\"{what}\" must be a node name or id"
+    )))
+}
+
+fn node_ref(topo: &Topology, req: &Value, field: &str) -> Result<NodeId, Error> {
+    let v = req
+        .get(field)
+        .ok_or_else(|| Error::Protocol(format!("missing \"{field}\"")))?;
+    node_val(topo, v, field)
+}
+
+/// Parse a next-hop port list: numeric port numbers or peer-node names
+/// (resolved through the topology).
+fn ports_ref(topo: &Topology, node: NodeId, req: &Value) -> Result<Vec<PortNo>, Error> {
+    let items = req
+        .get("ports")
+        .and_then(Value::as_array)
+        .ok_or_else(|| Error::Protocol("missing \"ports\" array".into()))?;
+    items
+        .iter()
+        .map(|v| {
+            if let Some(p) = v.as_u64() {
+                return Ok(PortNo(p as u16));
+            }
+            let peer = node_val(topo, v, "ports[]")?;
+            topo.port_towards(node, peer)
+                .map(|p| p.port)
+                .ok_or_else(|| {
+                    Error::Config(format!(
+                        "node {} has no port toward {}",
+                        topo.node(node).name,
+                        topo.node(peer).name
+                    ))
+                })
+        })
+        .collect()
+}
+
+fn parse_route_push(topo: &Topology, req: &Value) -> Result<RoutePush, Error> {
+    let node = node_ref(topo, req, "node")?;
+    let dst = node_ref(topo, req, "dst")?;
+    let ports = ports_ref(topo, node, req)?;
+    Ok(RoutePush { node, dst, ports })
+}
+
+/// Parse a flow: the full serde [`FlowSpec`] document when a `demand`
+/// field is present, else the shorthand form
+/// `{id, src, dst, gbps?|poisson_gbps?, priority?, ttl?, start_us?,
+/// stop_us?, path?}` (no rate ⇒ infinite demand).
+fn parse_flow(topo: &Topology, req: &Value) -> Result<FlowSpec, Error> {
+    use pfcsim_topo::ids::Priority;
+    use serde::Deserialize;
+
+    if req.get("demand").is_some() {
+        return FlowSpec::from_value(req)
+            .map_err(|e| Error::Decode(format!("bad flow document: {e}")));
+    }
+    let id = req
+        .get("id")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| Error::Protocol("flow needs \"id\"".into()))? as u32;
+    let src = node_ref(topo, req, "src")?;
+    let dst = node_ref(topo, req, "dst")?;
+    let gbps_rate = |v: &Value| -> Result<BitRate, Error> {
+        let g = v
+            .as_f64()
+            .ok_or_else(|| Error::Protocol("rate must be a number (Gbps)".into()))?;
+        if !g.is_finite() || g <= 0.0 {
+            return Err(Error::Config(format!(
+                "flow rate must be positive, got {g}"
+            )));
+        }
+        Ok(BitRate::from_bps((g * 1e9) as u64))
+    };
+    let mut flow = if let Some(v) = req.get("gbps") {
+        FlowSpec::cbr(id, src, dst, gbps_rate(v)?)
+    } else if let Some(v) = req.get("poisson_gbps") {
+        FlowSpec::poisson(id, src, dst, gbps_rate(v)?)
+    } else {
+        FlowSpec::infinite(id, src, dst)
+    };
+    if let Some(p) = req.get("priority").and_then(Value::as_u64) {
+        flow = flow.with_priority(Priority(p as u8));
+    }
+    if let Some(t) = req.get("ttl").and_then(Value::as_u64) {
+        flow = flow.with_ttl(t as u8);
+    }
+    if let Some(t) = req.get("start_us").and_then(Value::as_u64) {
+        flow = flow.starting_at(SimTime::from_us(t));
+    }
+    if let Some(t) = req.get("stop_us").and_then(Value::as_u64) {
+        flow = flow.stopping_at(SimTime::from_us(t));
+    }
+    if let Some(path) = req.get("path").and_then(Value::as_array) {
+        let nodes = path
+            .iter()
+            .map(|v| node_val(topo, v, "path[]"))
+            .collect::<Result<Vec<_>, _>>()?;
+        flow = flow.pinned(nodes);
+    }
+    Ok(flow)
+}
+
+/// Parse an `open` request into a [`SessionSpec`]. The topology is
+/// either a builder shorthand (`{"builder": "square", "gbps": 40,
+/// "delay_us": 1, ...}`) or an inline serde [`Topology`] document.
+fn parse_open(req: &Value) -> Result<SessionSpec, Error> {
+    use pfcsim_topo::builders::{
+        bcube, fat_tree, leaf_spine, line, mesh2d, ring, square, torus2d, two_switch_loop, LinkSpec,
+    };
+    use serde::Deserialize;
+
+    let tv = req
+        .get("topo")
+        .ok_or_else(|| Error::Protocol("open needs \"topo\"".into()))?;
+    let topo: Topology = if let Some(builder) = tv.get("builder").and_then(Value::as_str) {
+        let mut spec = LinkSpec::default();
+        if let Some(g) = tv.get("gbps").and_then(Value::as_u64) {
+            spec.rate = BitRate::from_gbps(g);
+        }
+        if let Some(d) = tv.get("delay_us").and_then(Value::as_u64) {
+            spec.delay = SimDuration::from_us(d);
+        }
+        let dim = |field: &str, default: usize| -> usize {
+            tv.get(field)
+                .and_then(Value::as_u64)
+                .unwrap_or(default as u64) as usize
+        };
+        match builder {
+            "two_switch_loop" => two_switch_loop(spec).topo,
+            "line" => line(dim("n", 2), spec).topo,
+            "ring" => ring(dim("n", 3), spec).topo,
+            "square" => square(spec).topo,
+            "leaf_spine" => {
+                leaf_spine(dim("leaves", 4), dim("spines", 2), dim("hosts", 4), spec).topo
+            }
+            "fat_tree" => fat_tree(dim("k", 4), spec).topo,
+            "bcube" => bcube(dim("n", 4), dim("k", 1), spec).topo,
+            "torus2d" => torus2d(dim("rows", 3), dim("cols", 3), spec).topo,
+            "mesh2d" => mesh2d(dim("rows", 3), dim("cols", 3), spec).topo,
+            other => {
+                return Err(Error::Config(format!(
+                    "unknown topology builder \"{other}\""
+                )))
+            }
+        }
+    } else {
+        Topology::from_value(tv).map_err(|e| Error::Decode(format!("bad topology: {e}")))?
+    };
+
+    let mut config = match req.get("config") {
+        Some(cv) => {
+            SimConfig::from_value(cv).map_err(|e| Error::Decode(format!("bad config: {e}")))?
+        }
+        None => SimConfig::default(),
+    };
+    if let Some(seed) = req.get("seed").and_then(Value::as_u64) {
+        config.seed = seed;
+    }
+    if let Some(sched) = req.get("scheduler").and_then(Value::as_str) {
+        config.scheduler = Some(match sched {
+            "wheel" => crate::config::SchedulerBackend::Wheel,
+            "heap" => crate::config::SchedulerBackend::Heap,
+            other => {
+                return Err(Error::Config(format!(
+                    "unknown scheduler \"{other}\" (wheel|heap)"
+                )))
+            }
+        });
+    }
+
+    let flows = match req.get("flows").and_then(Value::as_array) {
+        Some(items) => items
+            .iter()
+            .map(|v| parse_flow(&topo, v))
+            .collect::<Result<Vec<_>, _>>()?,
+        None => Vec::new(),
+    };
+
+    let mut tables = None;
+    if let Some(routes) = req.get("routes").and_then(Value::as_array) {
+        let mut ft = shortest_path_tables(&topo);
+        for rv in routes {
+            let push = parse_route_push(&topo, rv)?;
+            ft.set(push.node, push.dst, push.ports);
+        }
+        tables = Some(ft);
+    }
+
+    let horizon = req
+        .get("horizon_us")
+        .and_then(Value::as_u64)
+        .map_or(DEFAULT_HORIZON, SimTime::from_us);
+
+    Ok(SessionSpec {
+        topo,
+        config,
+        flows,
+        tables,
+        horizon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Demand;
+    use pfcsim_topo::builders::{ring, square, LinkSpec};
+
+    /// Four flows around the square, each pinned two switch hops ahead:
+    /// their ingress-buffer dependencies close the classic 4-cycle.
+    fn square_cycle_flows(built: &pfcsim_topo::builders::Built) -> Vec<FlowSpec> {
+        let (s, h) = (&built.switches, &built.hosts);
+        (0..4u32)
+            .map(|i| {
+                let j = i as usize;
+                FlowSpec::infinite(i, h[j], h[(j + 2) % 4])
+                    .pinned(vec![
+                        h[j],
+                        s[j],
+                        s[(j + 1) % 4],
+                        s[(j + 2) % 4],
+                        h[(j + 2) % 4],
+                    ])
+                    .with_ttl(16)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_cbd_finds_square_cycle_and_eq3_threshold() {
+        let built = square(LinkSpec::default());
+        let flows = square_cycle_flows(&built);
+        let tables = shortest_path_tables(&built.topo);
+        let doc = static_cbd(&built.topo, &tables, &flows, SimTime::ZERO);
+        assert!(doc.cbd, "pinned square cycle must form a CBD");
+        let th = doc.threshold.expect("cycle has a threshold");
+        assert_eq!(th.loop_switches, 4);
+        assert_eq!(th.min_ttl, 16);
+        // Eq. 3 on the paper's defaults: 40 Gbps · 4 / 16 = 10 Gbps.
+        assert_eq!(th.bandwidth, BitRate::from_gbps(40));
+        assert_eq!(th.threshold, BitRate::from_gbps(10));
+    }
+
+    #[test]
+    fn static_cbd_negative_on_shortest_paths() {
+        let built = square(LinkSpec::default());
+        let flows: Vec<FlowSpec> = (0..4u32)
+            .map(|i| {
+                FlowSpec::infinite(
+                    i,
+                    built.hosts[i as usize],
+                    built.hosts[(i as usize + 1) % 4],
+                )
+            })
+            .collect();
+        let tables = shortest_path_tables(&built.topo);
+        let doc = static_cbd(&built.topo, &tables, &flows, SimTime::ZERO);
+        assert!(!doc.cbd, "1-hop shortest paths cannot close a cycle");
+        assert!(doc.cycle.is_empty());
+        assert!(doc.threshold.is_none());
+    }
+
+    #[test]
+    fn stopped_flows_do_not_contribute_dependencies() {
+        let built = square(LinkSpec::default());
+        let flows: Vec<FlowSpec> = square_cycle_flows(&built)
+            .into_iter()
+            .map(|f| f.stopping_at(SimTime::from_us(5)))
+            .collect();
+        let tables = shortest_path_tables(&built.topo);
+        assert!(static_cbd(&built.topo, &tables, &flows, SimTime::ZERO).cbd);
+        assert!(!static_cbd(&built.topo, &tables, &flows, SimTime::from_us(10)).cbd);
+    }
+
+    fn small_session() -> Session {
+        let built = ring(3, LinkSpec::default());
+        let mut spec = SessionSpec::new(
+            built.topo.clone(),
+            vec![
+                FlowSpec::cbr(0, built.hosts[0], built.hosts[1], BitRate::from_gbps(10)),
+                FlowSpec::cbr(1, built.hosts[1], built.hosts[2], BitRate::from_gbps(10)),
+            ],
+        );
+        spec.horizon = SimTime::from_us(5_000);
+        Session::open(spec).expect("open")
+    }
+
+    #[test]
+    fn what_if_leaves_resident_untouched_and_matches_oracle() {
+        let mut s = small_session();
+        s.apply(Update::AdvanceTo(SimTime::from_us(100))).unwrap();
+        let before = s.state_digest().unwrap();
+        let push = RoutePush {
+            node: NodeId(0),
+            dst: NodeId(s.topo().node_count() as u32 - 1),
+            ports: vec![PortNo(0)],
+        };
+        let window = SimDuration::from_us(500);
+        let doc = s.what_if(std::slice::from_ref(&push), window).unwrap();
+        assert!(doc.resident_unchanged);
+        assert_eq!(doc.state_digest_before, before);
+        assert_eq!(s.state_digest().unwrap(), before);
+        let oracle = s
+            .oracle_what_if(std::slice::from_ref(&push), window)
+            .unwrap();
+        assert_eq!(doc.verdict, oracle, "resident probe and batch oracle agree");
+    }
+
+    #[test]
+    fn rejected_mutations_mutate_nothing() {
+        let mut s = small_session();
+        let before = s.state_digest().unwrap();
+        let v = s.version();
+        // Host as route target.
+        let host = s.topo().hosts().next().unwrap();
+        let err = s.apply(Update::RouteUpdate(RoutePush {
+            node: host,
+            dst: NodeId(0),
+            ports: vec![PortNo(0)],
+        }));
+        assert!(matches!(err, Err(Error::Config(_))));
+        // Duplicate flow id (fails inside the rebuild).
+        let dup = FlowSpec::infinite(0, host, host);
+        assert!(s.apply(Update::FlowAdd(dup)).is_err());
+        // Backwards advance.
+        s.apply(Update::AdvanceTo(SimTime::from_us(50))).unwrap();
+        assert!(s.apply(Update::AdvanceTo(SimTime::from_us(10))).is_err());
+        // Version only moved for the successful advance; digest changed
+        // only through that advance.
+        assert_eq!(s.version(), v + 1);
+        let _ = before;
+    }
+
+    #[test]
+    fn protocol_round_trip_over_two_switch_loop() {
+        let mut serve = ServeSession::new(ServeConfig::default());
+        let (resp, ctl) = serve.handle_line(
+            r#"{"schema":"pfcsim-serve/1","id":1,"op":"open","topo":{"builder":"two_switch_loop"},"flows":[{"id":0,"src":"hA","dst":"hB","gbps":10}],"horizon_us":5000}"#,
+        );
+        assert_eq!(ctl, Control::Continue);
+        let resp: Value = serde_json::from_str(&resp.unwrap()).unwrap();
+        assert_eq!(resp["ok"], true, "open failed: {resp:?}");
+        assert_eq!(resp["id"], 1u64);
+        assert_eq!(resp["schema"], SERVE_SCHEMA);
+
+        let (resp, _) = serve.handle_line(r#"{"id":2,"op":"query","kind":"status"}"#);
+        let resp: Value = serde_json::from_str(&resp.unwrap()).unwrap();
+        assert_eq!(resp["ok"], true);
+        assert_eq!(resp["result"]["finished"], false);
+
+        let (resp, ctl) = serve.handle_line(r#"{"id":3,"op":"shutdown"}"#);
+        assert_eq!(ctl, Control::Shutdown);
+        let resp: Value = serde_json::from_str(&resp.unwrap()).unwrap();
+        assert_eq!(resp["ok"], true);
+    }
+
+    #[test]
+    fn malformed_requests_error_without_state_change() {
+        let mut serve = ServeSession::new(ServeConfig::default());
+        let (resp, _) = serve.handle_line(r#"{"id":9,"op":"query","kind":"status"}"#);
+        let resp: Value = serde_json::from_str(&resp.unwrap()).unwrap();
+        assert_eq!(resp["ok"], false);
+        assert_eq!(resp["error"]["kind"], "state");
+
+        serve
+            .handle_line(
+                r#"{"op":"open","topo":{"builder":"ring","n":3},"flows":[{"id":0,"src":"h0","dst":"h1","gbps":1}],"horizon_us":1000}"#,
+            )
+            .0
+            .unwrap();
+        let before = serve.session_mut().unwrap().state_digest().unwrap();
+        for bad in [
+            "this is not json",
+            r#"{"op":"route_update","node":"S0","dst":"nope","ports":[0]}"#,
+            r#"{"op":"route_update","node":"S0"}"#,
+            r#"{"op":"flow_add","id":0,"src":"h0","dst":"h1","gbps":-3}"#,
+            r#"{"op":"no_such_op"}"#,
+            r#"{"schema":"pfcsim-serve/999","op":"query","kind":"status"}"#,
+        ] {
+            let (resp, ctl) = serve.handle_line(bad);
+            assert_eq!(ctl, Control::Continue);
+            let resp: Value = serde_json::from_str(&resp.unwrap()).unwrap();
+            assert_eq!(resp["ok"], false, "{bad} should be rejected");
+        }
+        assert_eq!(
+            serve.session_mut().unwrap().state_digest().unwrap(),
+            before,
+            "rejected requests must not move the resident state"
+        );
+    }
+
+    #[test]
+    fn demand_field_selects_full_flow_document() {
+        let built = ring(3, LinkSpec::default());
+        let full = FlowSpec::cbr(7, built.hosts[0], built.hosts[1], BitRate::from_gbps(3));
+        let doc = serde::Serialize::to_value(&full);
+        let parsed = parse_flow(&built.topo, &doc).expect("full document parses");
+        assert_eq!(parsed.id, full.id);
+        assert!(matches!(parsed.demand, Demand::Cbr(r) if r == BitRate::from_gbps(3)));
+    }
+}

@@ -20,6 +20,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
+use pfcsim_simcore::error::Error;
 use pfcsim_simcore::event::{Backend, EventQueue};
 use pfcsim_simcore::rng::SimRng;
 use pfcsim_simcore::series::RingSeries;
@@ -342,8 +343,13 @@ fn refill<T: Clone>(slot: &mut Vec<T>, n: usize, fill: T) -> Vec<T> {
 ///     .build();
 /// ```
 ///
-/// This replaces the old `NetSim::new` / `new_in` / `with_tables` /
-/// `with_tables_in` constructor matrix (now thin deprecated wrappers).
+/// This replaced the constructor-era `NetSim::new` / `new_in` /
+/// `with_tables` / `with_tables_in` matrix, which has been removed.
+/// [`SimBuilder::try_build`] / [`SimBuilder::try_build_in`] are the
+/// canonical entry points: they surface invalid configs and topologies
+/// as a typed [`Error`](pfcsim_simcore::error::Error) instead of
+/// panicking, which is what the resident
+/// [`serve`](crate::serve) session requires.
 pub struct SimBuilder<'a> {
     topo: &'a Topology,
     cfg: SimConfig,
@@ -392,7 +398,7 @@ impl<'a> SimBuilder<'a> {
     }
 
     /// Build, reporting config/topology/sink problems as `Err`.
-    pub fn try_build(self) -> Result<NetSim, String> {
+    pub fn try_build(self) -> Result<NetSim, Error> {
         self.try_build_in(&mut SimArenas::default())
     }
 
@@ -406,7 +412,7 @@ impl<'a> SimBuilder<'a> {
 
     /// Like [`SimBuilder::try_build`], but leasing event-queue and flow
     /// storage from `arenas` (see [`SimArenas`]).
-    pub fn try_build_in(self, arenas: &mut SimArenas) -> Result<NetSim, String> {
+    pub fn try_build_in(self, arenas: &mut SimArenas) -> Result<NetSim, Error> {
         NetSim::construct(self.topo, self.cfg, self.tables, arenas, self.sink)
     }
 
@@ -582,41 +588,6 @@ pub struct NetSim {
 }
 
 impl NetSim {
-    /// Create a simulator over `topo` with shortest-path tables.
-    #[deprecated(note = "use `SimBuilder::new(topo).config(cfg).build()`")]
-    pub fn new(topo: &Topology, cfg: SimConfig) -> Self {
-        SimBuilder::new(topo).config(cfg).build()
-    }
-
-    /// Like `NetSim::new`, but leasing event-queue and flow storage from
-    /// `arenas` instead of allocating fresh (see [`SimArenas`]).
-    #[deprecated(note = "use `SimBuilder::new(topo).config(cfg).build_in(arenas)`")]
-    pub fn new_in(topo: &Topology, cfg: SimConfig, arenas: &mut SimArenas) -> Self {
-        SimBuilder::new(topo).config(cfg).build_in(arenas)
-    }
-
-    /// Create a simulator with explicit forwarding tables.
-    #[deprecated(note = "use `SimBuilder::new(topo).config(cfg).tables(tables).build()`")]
-    pub fn with_tables(topo: &Topology, cfg: SimConfig, tables: ForwardingTables) -> Self {
-        SimBuilder::new(topo).config(cfg).tables(tables).build()
-    }
-
-    /// Like `NetSim::with_tables`, but leasing reusable storage from
-    /// `arenas` (see [`SimArenas`]). Pair with [`NetSim::recycle`] to run
-    /// many simulations without per-run allocation of the hot structures.
-    #[deprecated(note = "use `SimBuilder::new(topo).config(cfg).tables(tables).build_in(arenas)`")]
-    pub fn with_tables_in(
-        topo: &Topology,
-        cfg: SimConfig,
-        tables: ForwardingTables,
-        arenas: &mut SimArenas,
-    ) -> Self {
-        SimBuilder::new(topo)
-            .config(cfg)
-            .tables(tables)
-            .build_in(arenas)
-    }
-
     /// The one true constructor, reached through [`SimBuilder`].
     pub(crate) fn construct(
         topo: &Topology,
@@ -624,7 +595,7 @@ impl NetSim {
         tables: Option<ForwardingTables>,
         arenas: &mut SimArenas,
         sink: Option<Box<dyn TraceSink>>,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, Error> {
         cfg.validate()?;
         topo.validate()?;
         let tables = tables.unwrap_or_else(|| pfcsim_topo::routing::shortest_path_tables(topo));
@@ -817,40 +788,78 @@ impl NetSim {
         &self.cfg
     }
 
-    /// Register a flow.
+    /// The live forwarding tables (reflecting every route update applied
+    /// so far). Read-only; mutate via [`NetSim::tables_mut`] before the
+    /// run or [`NetSim::schedule_route_update`] mid-run.
+    pub fn tables(&self) -> &ForwardingTables {
+        &self.tables
+    }
+
+    /// Whether a run method has started executing events.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    /// Whether the run has finished (quiesced, hit its horizon, or hit
+    /// the event budget). A finished simulator cannot advance further.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The deadlock recorded so far by the periodic scan (or a recovery
+    /// detection), if any: `(detected_at, witness)`. Unlike
+    /// [`RunReport::verdict`] this is readable mid-run — the resident
+    /// [`serve`](crate::serve) session polls it between advances.
+    pub fn deadlock_state(&self) -> Option<(SimTime, &[PauseKey])> {
+        self.deadlock.as_ref().map(|(t, w)| (*t, w.as_slice()))
+    }
+
+    /// Register a flow, reporting invalid specs as `Err`.
     ///
-    /// # Panics
-    /// Panics on duplicate ids, non-host endpoints, or an invalid pinned
-    /// path (pinned paths must also be simple — loops are expressed through
-    /// tables, as in real networks).
-    pub fn add_flow(&mut self, spec: FlowSpec) {
-        assert!(!self.started, "cannot add flows after the run started");
-        let raw = spec.id.0 as usize;
-        if self.fmap.len() <= raw {
-            self.fmap.resize(raw + 1, u32::MAX);
+    /// The canonical, `Result`-returning form of [`NetSim::add_flow`]:
+    /// duplicate ids, non-host endpoints, and invalid pinned paths
+    /// (pinned paths must also be simple — loops are expressed through
+    /// tables, as in real networks) come back as a typed
+    /// [`Error`] instead of a panic, and leave the simulator unchanged.
+    pub fn try_add_flow(&mut self, spec: FlowSpec) -> Result<(), Error> {
+        if self.started {
+            return Err(Error::State(
+                "cannot add flows after the run started".into(),
+            ));
         }
-        assert!(self.fmap[raw] == u32::MAX, "duplicate flow id {}", spec.id);
-        assert_eq!(
-            self.topo.node(spec.src).kind,
-            NodeKind::Host,
-            "flow source must be a host"
-        );
-        assert_eq!(
-            self.topo.node(spec.dst).kind,
-            NodeKind::Host,
-            "flow destination must be a host"
-        );
+        let raw = spec.id.0 as usize;
+        if self.fmap.get(raw).is_some_and(|&slot| slot != u32::MAX) {
+            return Err(Error::Config(format!("duplicate flow id {}", spec.id)));
+        }
+        if self.topo.node(spec.src).kind != NodeKind::Host {
+            return Err(Error::Config(format!(
+                "flow source must be a host, got {}",
+                spec.src
+            )));
+        }
+        if self.topo.node(spec.dst).kind != NodeKind::Host {
+            return Err(Error::Config(format!(
+                "flow destination must be a host, got {}",
+                spec.dst
+            )));
+        }
         let mut pin: Vec<u16> = Vec::new();
         if let RouteKind::Pinned(path) = &spec.route {
-            path.validate(&self.topo).expect("invalid pinned path");
-            assert_eq!(*path.nodes.first().unwrap(), spec.src, "path starts at src");
-            assert_eq!(*path.nodes.last().unwrap(), spec.dst, "path ends at dst");
+            path.validate(&self.topo)
+                .map_err(|e| Error::Config(format!("invalid pinned path: {e}")))?;
+            if *path.nodes.first().unwrap() != spec.src {
+                return Err(Error::Config("pinned path must start at src".into()));
+            }
+            if *path.nodes.last().unwrap() != spec.dst {
+                return Err(Error::Config("pinned path must end at dst".into()));
+            }
             let mut seen = BTreeSet::new();
             for &n in &path.nodes {
-                assert!(
-                    seen.insert(n),
-                    "pinned path revisits {n}; use tables for loops"
-                );
+                if !seen.insert(n) {
+                    return Err(Error::Config(format!(
+                        "pinned path revisits {n}; use tables for loops"
+                    )));
+                }
             }
             pin = vec![u16::MAX; self.topo.node_count()];
             for w in path.nodes.windows(2) {
@@ -859,6 +868,9 @@ impl NetSim {
                     pin[w[0].0 as usize] = port.0;
                 }
             }
+        }
+        if self.fmap.len() <= raw {
+            self.fmap.resize(raw + 1, u32::MAX);
         }
         self.quantum = self.quantum.max(
             spec.packet_size
@@ -876,6 +888,17 @@ impl NetSim {
         self.fstats.push(FlowStats::default());
         self.fstats_touched.push(false);
         self.flows.push(spec);
+        Ok(())
+    }
+
+    /// Panicking convenience shim over [`NetSim::try_add_flow`] (the
+    /// canonical, `Result`-returning form).
+    ///
+    /// # Panics
+    /// Panics on duplicate ids, non-host endpoints, or an invalid pinned
+    /// path.
+    pub fn add_flow(&mut self, spec: FlowSpec) {
+        self.try_add_flow(spec).expect("add_flow");
     }
 
     /// Dense arena index of a registered flow.
@@ -920,35 +943,38 @@ impl NetSim {
 
     /// Look up a switch's ingress record, with a diagnosable error for
     /// non-switch nodes and out-of-range ports.
-    fn ingress_mut(&mut self, node: NodeId, port: PortNo) -> Result<&mut Ingress, String> {
+    fn ingress_mut(&mut self, node: NodeId, port: PortNo) -> Result<&mut Ingress, Error> {
         let sw = self
             .switches
             .get_mut(node.0 as usize)
             .and_then(Option::as_mut)
-            .ok_or_else(|| format!("{node} is not a switch"))?;
+            .ok_or_else(|| Error::Config(format!("{node} is not a switch")))?;
         sw.ingress
             .get_mut(port.0 as usize)
-            .ok_or_else(|| format!("{node} has no port {}", port.0))
+            .ok_or_else(|| Error::Config(format!("{node} has no port {}", port.0)))
     }
 
     /// Override PFC settings for one switch (threshold tiering).
     ///
     /// Returns an error for an invalid config or a non-switch node.
-    pub fn try_set_switch_pfc(&mut self, node: NodeId, pfc: PfcConfig) -> Result<(), String> {
+    pub fn try_set_switch_pfc(&mut self, node: NodeId, pfc: PfcConfig) -> Result<(), Error> {
         pfc.validate()?;
         if self
             .switches
             .get(node.0 as usize)
             .is_none_or(Option::is_none)
         {
-            return Err(format!("{node} is not a switch"));
+            return Err(Error::Config(format!("{node} is not a switch")));
         }
         self.switch_pfc[node.0 as usize] = Some(pfc);
         Ok(())
     }
 
-    /// Panicking convenience for [`NetSim::try_set_switch_pfc`].
-    #[deprecated(note = "use `try_set_switch_pfc` and handle the `Result`")]
+    /// Panicking convenience shim over [`NetSim::try_set_switch_pfc`]
+    /// (the canonical, `Result`-returning form).
+    ///
+    /// # Panics
+    /// Panics on an invalid config or a non-switch node.
     pub fn set_switch_pfc(&mut self, node: NodeId, pfc: PfcConfig) {
         self.try_set_switch_pfc(node, pfc).expect("set_switch_pfc");
     }
@@ -963,9 +989,11 @@ impl NetSim {
         port: PortNo,
         xoff: Bytes,
         xon: Bytes,
-    ) -> Result<(), String> {
+    ) -> Result<(), Error> {
         if xon > xoff {
-            return Err(format!("xon ({xon}) must not exceed xoff ({xoff})"));
+            return Err(Error::Config(format!(
+                "xon ({xon}) must not exceed xoff ({xoff})"
+            )));
         }
         let ing = self.ingress_mut(node, port)?;
         ing.xoff_override = Some(xoff);
@@ -973,8 +1001,13 @@ impl NetSim {
         Ok(())
     }
 
-    /// Panicking convenience for [`NetSim::try_set_port_thresholds`].
-    #[deprecated(note = "use `try_set_port_thresholds` and handle the `Result`")]
+    /// Panicking convenience shim over
+    /// [`NetSim::try_set_port_thresholds`] (the canonical,
+    /// `Result`-returning form).
+    ///
+    /// # Panics
+    /// Panics on inverted thresholds, a non-switch node, or an
+    /// out-of-range port.
     pub fn set_port_thresholds(&mut self, node: NodeId, port: PortNo, xoff: Bytes, xon: Bytes) {
         self.try_set_port_thresholds(node, port, xoff, xon)
             .expect("set_port_thresholds");
@@ -991,7 +1024,7 @@ impl NetSim {
         port: PortNo,
         rate: BitRate,
         burst: Bytes,
-    ) -> Result<(), String> {
+    ) -> Result<(), Error> {
         if rate.is_zero() {
             return Err("shaper rate must be positive".into());
         }
@@ -1000,8 +1033,12 @@ impl NetSim {
         Ok(())
     }
 
-    /// Panicking convenience for [`NetSim::try_set_ingress_shaper`].
-    #[deprecated(note = "use `try_set_ingress_shaper` and handle the `Result`")]
+    /// Panicking convenience shim over
+    /// [`NetSim::try_set_ingress_shaper`] (the canonical,
+    /// `Result`-returning form).
+    ///
+    /// # Panics
+    /// Panics on a non-switch node, an out-of-range port, or a zero rate.
     pub fn set_ingress_shaper(&mut self, node: NodeId, port: PortNo, rate: BitRate, burst: Bytes) {
         self.try_set_ingress_shaper(node, port, rate, burst)
             .expect("set_ingress_shaper");
@@ -1033,7 +1070,7 @@ impl NetSim {
 
     /// Install a fault schedule (see [`crate::faults`]). Must be called
     /// before the run starts; the plan is validated against the topology.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), String> {
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), Error> {
         assert!(!self.started, "install the fault plan before running");
         plan.validate(&self.topo)?;
         self.pause_headroom = plan.pause_headroom;
@@ -1105,7 +1142,7 @@ impl NetSim {
     ///
     /// Returns an error for an invalid recovery config or a simulator
     /// that already started running.
-    pub fn try_enable_recovery(&mut self, rc: RecoveryConfig) -> Result<(), String> {
+    pub fn try_enable_recovery(&mut self, rc: RecoveryConfig) -> Result<(), Error> {
         if self.started {
             return Err("arm recovery before running".into());
         }
@@ -1115,8 +1152,12 @@ impl NetSim {
         Ok(())
     }
 
-    /// Panicking convenience for [`NetSim::try_enable_recovery`].
-    #[deprecated(note = "use `try_enable_recovery` and handle the `Result`")]
+    /// Panicking convenience shim over [`NetSim::try_enable_recovery`]
+    /// (the canonical, `Result`-returning form).
+    ///
+    /// # Panics
+    /// Panics on an invalid recovery config or a simulator that already
+    /// started running.
     pub fn enable_recovery(&mut self, rc: RecoveryConfig) {
         self.try_enable_recovery(rc).expect("enable_recovery");
     }
@@ -1931,7 +1972,7 @@ impl NetSim {
         build_cfg.telemetry.enabled = false;
         let mut arenas = SimArenas::default();
         let mut sim = NetSim::construct(&topo, build_cfg, Some(tables), &mut arenas, None)
-            .map_err(CheckpointError::Decode)?;
+            .map_err(|e| CheckpointError::Decode(e.to_string()))?;
         sim.cfg = cfg;
         // The scheduler: rebuild the exact backend/tick geometry the
         // snapshot was taken under (the environment's PFCSIM_SCHED must

@@ -34,6 +34,7 @@ use std::io::Write;
 
 use serde::{Deserialize, Serialize};
 
+use pfcsim_simcore::error::Error;
 use pfcsim_simcore::series::RingSeries;
 use pfcsim_simcore::time::{SimDuration, SimTime};
 use pfcsim_topo::ids::{FlowId, NodeId, Priority};
@@ -706,7 +707,7 @@ impl TelemetryConfig {
     }
 
     /// Validate ranges (called from `SimConfig::validate`).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), Error> {
         if !self.enabled {
             return Ok(());
         }

@@ -1,0 +1,445 @@
+//! Serve-session protocol tests: JSONL round-trips, malformed-request
+//! isolation, and the resident/oracle agreement the serve API promises —
+//! a resident session's what-if verdict must be byte-identical to a
+//! fresh batch run of the equivalent configuration, under both scheduler
+//! backends and arbitrary mutation histories.
+
+use proptest::prelude::*;
+
+use pfcsim_net::prelude::*;
+use pfcsim_net::serve::{RoutePush, Session, SessionSpec, Update};
+use pfcsim_simcore::prelude::*;
+use pfcsim_topo::prelude::*;
+
+use serde_json::Value;
+
+fn parse(line: &str) -> Value {
+    serde_json::from_str(line).expect("response is valid JSON")
+}
+
+fn digest_of(resp: &Value) -> u64 {
+    resp["result"]["state_digest"]
+        .as_u64()
+        .expect("status carries a digest")
+}
+
+/// The square fabric one route push away from the paper's Fig. 3
+/// deadlock: three clockwise 2-hop routes installed, the fourth pinned
+/// counter-clockwise, four infinite-demand flows. Pushing
+/// `S3 → h1 via S0` closes the cycle.
+fn open_square_request() -> String {
+    concat!(
+        r#"{"schema":"pfcsim-serve/1","id":1,"op":"open","topo":{"builder":"square"},"#,
+        r#""flows":[{"id":0,"src":"h0","dst":"h2","ttl":16},"#,
+        r#"{"id":1,"src":"h1","dst":"h3","ttl":16},"#,
+        r#"{"id":2,"src":"h2","dst":"h0","ttl":16},"#,
+        r#"{"id":3,"src":"h3","dst":"h1","ttl":16}],"#,
+        r#""routes":[{"node":"S0","dst":"h2","ports":["S1"]},"#,
+        r#"{"node":"S1","dst":"h3","ports":["S2"]},"#,
+        r#"{"node":"S2","dst":"h0","ports":["S3"]},"#,
+        r#"{"node":"S3","dst":"h1","ports":["S2"]}],"#,
+        r#""horizon_us":20000,"seed":11}"#
+    )
+    .to_string()
+}
+
+/// Full scripted stream: open, advance, vet a deadlock-forming push
+/// (rejected, state provably untouched), force-commit it, watch the
+/// fabric deadlock, shut down.
+#[test]
+fn scripted_stream_vets_and_then_witnesses_the_deadlock() {
+    let mut serve = ServeSession::new(ServeConfig::default());
+    let line = |serve: &mut ServeSession, req: &str| -> Value {
+        let (resp, _) = serve.handle_line(req);
+        parse(&resp.expect("data request gets a response"))
+    };
+
+    let resp = line(&mut serve, &open_square_request());
+    assert_eq!(resp["ok"], true, "open: {resp:?}");
+    assert_eq!(resp["schema"], SERVE_SCHEMA);
+
+    let resp = line(&mut serve, r#"{"id":2,"op":"advance","to_us":100}"#);
+    assert_eq!(resp["ok"], true);
+    assert_eq!(resp["result"]["finished"], false);
+
+    let resp = line(&mut serve, r#"{"id":3,"op":"query","kind":"status"}"#);
+    assert_eq!(resp["result"]["verdict"], Value::Null, "no deadlock yet");
+    let digest_before = digest_of(&resp);
+
+    // The closing push, vetted: the probe must predict the deadlock and
+    // the commit must be refused with the resident untouched.
+    let resp = line(
+        &mut serve,
+        r#"{"id":4,"op":"route_update","node":"S3","dst":"h1","ports":["S0"],"mode":"vet","window_us":1500}"#,
+    );
+    assert_eq!(resp["ok"], true);
+    assert_eq!(resp["result"]["committed"], false, "vet rejects: {resp:?}");
+    let what_if = &resp["result"]["what_if"];
+    assert_eq!(what_if["verdict"]["deadlock"], true);
+    assert_eq!(what_if["resident_unchanged"], true);
+    assert_eq!(
+        what_if["state_digest_before"].as_u64(),
+        what_if["state_digest_after"].as_u64()
+    );
+    // Static analysis agrees: the pushed tables close a 4-switch CBD,
+    // and Eq. 3 prices it at 40 Gbps · 4 / 16 = 10 Gbps.
+    assert_eq!(what_if["cbd"]["cbd"], true);
+    assert_eq!(
+        what_if["cbd"]["threshold"]["threshold_bps"].as_u64(),
+        Some(10_000_000_000)
+    );
+
+    let resp = line(&mut serve, r#"{"id":5,"op":"query","kind":"status"}"#);
+    assert_eq!(
+        digest_of(&resp),
+        digest_before,
+        "vetoed push must leave the resident byte-identical"
+    );
+
+    // Force the commit, advance, and the resident itself deadlocks.
+    let resp = line(
+        &mut serve,
+        r#"{"id":6,"op":"route_update","node":"S3","dst":"h1","ports":["S0"],"mode":"commit"}"#,
+    );
+    assert_eq!(resp["result"]["committed"], true);
+    let resp = line(&mut serve, r#"{"id":7,"op":"advance","to_us":4000}"#);
+    assert_eq!(resp["ok"], true);
+    let resp = line(&mut serve, r#"{"id":8,"op":"query","kind":"status"}"#);
+    assert_eq!(resp["result"]["verdict"]["deadlock"], true);
+    let witness = resp["result"]["verdict"]["witness"]
+        .as_array()
+        .expect("witness array");
+    assert_eq!(witness.len(), 4, "all four channels wedge: {witness:?}");
+
+    let (resp, ctl) = serve.handle_line(r#"{"id":9,"op":"shutdown"}"#);
+    assert_eq!(ctl, Control::Shutdown);
+    assert_eq!(parse(&resp.unwrap())["ok"], true);
+}
+
+/// Checkpoint requests write a loadable checkpoint whose digest matches
+/// the session's status digest.
+#[test]
+fn checkpoint_request_round_trips_through_disk() {
+    let dir = std::env::temp_dir().join(format!("pfcsim_serve_ck_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("session.ck");
+    let path_str = path.to_str().expect("utf-8 temp path");
+
+    let mut serve = ServeSession::new(ServeConfig::default());
+    serve.handle_line(&open_square_request());
+    serve.handle_line(r#"{"op":"advance","to_us":50}"#);
+    let (resp, _) = serve.handle_line(&format!(r#"{{"op":"checkpoint","path":"{path_str}"}}"#));
+    let resp = parse(&resp.unwrap());
+    assert_eq!(resp["ok"], true, "checkpoint: {resp:?}");
+    let saved_digest = resp["result"]["state_digest"].as_u64().unwrap();
+
+    let (resp, _) = serve.handle_line(r#"{"op":"query","kind":"status"}"#);
+    assert_eq!(digest_of(&parse(&resp.unwrap())), saved_digest);
+
+    let ckpt = Checkpoint::load(path_str).expect("checkpoint loads");
+    let resumed = pfcsim_net::sim::NetSim::resume(ckpt).expect("checkpoint resumes");
+    assert_eq!(resumed.now(), SimTime::from_us(50));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every malformed or rejected request yields an error response and
+/// moves nothing: same digest, same version, stream still serviceable.
+#[test]
+fn malformed_requests_are_isolated() {
+    let mut serve = ServeSession::new(ServeConfig::default());
+    serve.handle_line(&open_square_request());
+    serve.handle_line(r#"{"op":"advance","to_us":20}"#);
+    let (resp, _) = serve.handle_line(r#"{"op":"query","kind":"status"}"#);
+    let before = parse(&resp.unwrap());
+
+    for bad in [
+        "not json at all",
+        r#"[1,2,3]"#,
+        r#"{"op":"open","topo":{"builder":"dodecahedron"}}"#,
+        r#"{"op":"route_update"}"#,
+        r#"{"op":"route_update","node":"h0","dst":"h1","ports":[0]}"#,
+        r#"{"op":"route_update","node":"S0","dst":"h1","ports":[99]}"#,
+        r#"{"op":"route_update","node":"S0","dst":"h1","ports":["S2"],"mode":"yolo"}"#,
+        r#"{"op":"link_down","a":"S0","b":"S2"}"#,
+        r#"{"op":"flow_add","id":0,"src":"h0","dst":"h1"}"#,
+        r#"{"op":"flow_remove","flow":77}"#,
+        r#"{"op":"advance","to_us":1}"#,
+        r#"{"op":"advance","to_us":999999999}"#,
+        r#"{"op":"query","kind":"horoscope"}"#,
+        r#"{"op":"teleport"}"#,
+        r#"{"schema":"pfcsim-serve/2","op":"query","kind":"status"}"#,
+    ] {
+        let (resp, ctl) = serve.handle_line(bad);
+        assert_eq!(ctl, Control::Continue);
+        let resp = parse(&resp.expect("error response"));
+        assert_eq!(resp["ok"], false, "{bad:?} must be rejected");
+        assert!(
+            resp["error"]["message"].as_str().is_some(),
+            "{bad:?} carries a message"
+        );
+    }
+
+    let (resp, _) = serve.handle_line(r#"{"op":"query","kind":"status"}"#);
+    let after = parse(&resp.unwrap());
+    assert_eq!(
+        digest_of(&after),
+        digest_of(&before),
+        "rejected requests must not move the resident"
+    );
+    assert_eq!(after["result"]["version"], before["result"]["version"]);
+}
+
+// ---------------------------------------------------------------------------
+// Resident probe ≡ batch oracle (both scheduler backends)
+// ---------------------------------------------------------------------------
+
+fn build_session(
+    backend: SchedulerBackend,
+    topo_sel: u8,
+    seed: u64,
+    flows_raw: &[(u8, u8, u8)],
+) -> (Session, Built) {
+    let built = match topo_sel % 3 {
+        0 => ring(3, LinkSpec::default()),
+        1 => square(LinkSpec::default()),
+        _ => line(3, LinkSpec::default()),
+    };
+    let hosts = &built.hosts;
+    let mut flows = Vec::new();
+    for (i, &(src, dst, rate)) in flows_raw.iter().enumerate() {
+        let (src, dst) = (
+            hosts[src as usize % hosts.len()],
+            hosts[dst as usize % hosts.len()],
+        );
+        if src == dst {
+            continue;
+        }
+        let f = if rate == 0 {
+            FlowSpec::infinite(i as u32, src, dst)
+        } else {
+            FlowSpec::cbr(
+                i as u32,
+                src,
+                dst,
+                BitRate::from_gbps(u64::from(rate % 20) + 1),
+            )
+        };
+        flows.push(f.with_ttl(16));
+    }
+    let mut spec = SessionSpec::new(built.topo.clone(), flows);
+    spec.horizon = SimTime::from_us(2_000);
+    spec.config.seed = seed;
+    spec.config.scheduler = Some(backend);
+    let session = Session::open(spec).expect("session opens");
+    (session, built)
+}
+
+/// Apply a random mutation script; errors are fine (they must leave the
+/// session unchanged), finishing early is fine (the probe is skipped).
+fn run_script(session: &mut Session, built: &Built, script: &[(u8, u8, u8, u8)]) {
+    for &(kind, a, b, t) in script {
+        if session.is_finished() {
+            return;
+        }
+        let switches = &built.switches;
+        let hosts = &built.hosts;
+        let _ = match kind % 5 {
+            0 => {
+                let to = (session.now() + SimDuration::from_us(u64::from(t) % 120 + 1))
+                    .min(SimTime::from_us(1_200));
+                session.apply(Update::AdvanceTo(to))
+            }
+            1 => {
+                let node = switches[a as usize % switches.len()];
+                let dst = hosts[b as usize % hosts.len()];
+                let ports = session.topo().ports(node);
+                let port = ports[t as usize % ports.len()].port;
+                session.apply(Update::RouteUpdate(RoutePush {
+                    node,
+                    dst,
+                    ports: vec![port],
+                }))
+            }
+            2 => {
+                let links = session.topo().links();
+                let l = &links[a as usize % links.len()];
+                let (la, lb) = (l.a, l.b);
+                if b % 2 == 0 {
+                    session.apply(Update::LinkDown { a: la, b: lb })
+                } else {
+                    session.apply(Update::LinkUp { a: la, b: lb })
+                }
+            }
+            3 => {
+                let (src, dst) = (
+                    hosts[a as usize % hosts.len()],
+                    hosts[b as usize % hosts.len()],
+                );
+                if src == dst {
+                    continue;
+                }
+                session.apply(Update::FlowAdd(
+                    FlowSpec::cbr(100 + u32::from(t), src, dst, BitRate::from_gbps(4)).with_ttl(16),
+                ))
+            }
+            _ => {
+                let Some(f) = session
+                    .flows()
+                    .get(a as usize % session.flows().len().max(1))
+                else {
+                    continue;
+                };
+                let id = f.id;
+                session.apply(Update::FlowRemove(id))
+            }
+        };
+    }
+}
+
+fn probe_matches_oracle(
+    backend: SchedulerBackend,
+    topo_sel: u8,
+    seed: u64,
+    flows_raw: &[(u8, u8, u8)],
+    script: &[(u8, u8, u8, u8)],
+    push_raw: (u8, u8, u8),
+    window_us: u64,
+) -> Result<(), TestCaseError> {
+    let (mut session, built) = build_session(backend, topo_sel, seed, flows_raw);
+    run_script(&mut session, &built, script);
+    if session.is_finished() {
+        return Ok(()); // nothing left to probe; a valid outcome
+    }
+    let node = built.switches[push_raw.0 as usize % built.switches.len()];
+    let dst = built.hosts[push_raw.1 as usize % built.hosts.len()];
+    let ports = session.topo().ports(node);
+    let port = ports[push_raw.2 as usize % ports.len()].port;
+    let push = RoutePush {
+        node,
+        dst,
+        ports: vec![port],
+    };
+    let window = SimDuration::from_us(window_us);
+
+    let digest_before = session.state_digest().expect("live digest");
+    let doc = session
+        .what_if(std::slice::from_ref(&push), window)
+        .expect("what_if");
+    let oracle = session
+        .oracle_what_if(std::slice::from_ref(&push), window)
+        .expect("oracle");
+
+    // Byte-identical verdict documents: resident probe vs fresh batch run.
+    let probe_json = serde_json::to_string(&doc.verdict.to_value()).unwrap();
+    let oracle_json = serde_json::to_string(&oracle.to_value()).unwrap();
+    prop_assert_eq!(probe_json, oracle_json);
+    // And the probe provably left the resident untouched.
+    prop_assert!(doc.resident_unchanged);
+    prop_assert_eq!(doc.state_digest_before, digest_before);
+    prop_assert_eq!(session.state_digest().expect("still live"), digest_before);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Wheel backend: resident what-if ≡ batch oracle, byte-for-byte,
+    /// across random topologies, traffic, and mutation histories.
+    #[test]
+    fn what_if_matches_batch_oracle_wheel(
+        topo_sel in 0u8..3,
+        seed in 0u64..1_000,
+        flows_raw in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..4),
+        script in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 0..6),
+        push_raw in (any::<u8>(), any::<u8>(), any::<u8>()),
+        window_us in 0u64..400,
+    ) {
+        probe_matches_oracle(
+            SchedulerBackend::Wheel, topo_sel, seed, &flows_raw, &script, push_raw, window_us,
+        )?;
+    }
+
+    /// Heap backend: same contract.
+    #[test]
+    fn what_if_matches_batch_oracle_heap(
+        topo_sel in 0u8..3,
+        seed in 0u64..1_000,
+        flows_raw in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..4),
+        script in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 0..6),
+        push_raw in (any::<u8>(), any::<u8>(), any::<u8>()),
+        window_us in 0u64..400,
+    ) {
+        probe_matches_oracle(
+            SchedulerBackend::Heap, topo_sel, seed, &flows_raw, &script, push_raw, window_us,
+        )?;
+    }
+}
+
+/// The deterministic core of the acceptance criterion, outside proptest:
+/// a session that committed in-place route updates, advanced, and
+/// survived a structural rebuild still matches its batch oracle exactly.
+#[test]
+fn mutation_history_replays_byte_identically() {
+    let built = square(LinkSpec::default());
+    let flows = (0..4u32)
+        .map(|i| {
+            FlowSpec::cbr(
+                i,
+                built.hosts[i as usize],
+                built.hosts[(i as usize + 1) % 4],
+                BitRate::from_gbps(8),
+            )
+            .with_ttl(16)
+        })
+        .collect();
+    let mut spec = SessionSpec::new(built.topo.clone(), flows);
+    spec.horizon = SimTime::from_us(5_000);
+    let mut session = Session::open(spec).expect("open");
+
+    session
+        .apply(Update::AdvanceTo(SimTime::from_us(40)))
+        .unwrap();
+    // In-place route commit at t = 40 µs.
+    let s0 = built.switches[0];
+    let via = session.topo().port_towards(s0, built.switches[1]).unwrap();
+    session
+        .apply(Update::RouteUpdate(RoutePush {
+            node: s0,
+            dst: built.hosts[2],
+            ports: vec![via.port],
+        }))
+        .unwrap();
+    session
+        .apply(Update::AdvanceTo(SimTime::from_us(120)))
+        .unwrap();
+    // Structural rebuild: drop a flow mid-run.
+    session.apply(Update::FlowRemove(FlowId(3))).unwrap();
+    session
+        .apply(Update::AdvanceTo(SimTime::from_us(200)))
+        .unwrap();
+
+    let push = RoutePush {
+        node: built.switches[2],
+        dst: built.hosts[0],
+        ports: vec![
+            session
+                .topo()
+                .port_towards(built.switches[2], built.switches[3])
+                .unwrap()
+                .port,
+        ],
+    };
+    let window = SimDuration::from_us(800);
+    let doc = session
+        .what_if(std::slice::from_ref(&push), window)
+        .expect("what_if");
+    let oracle = session
+        .oracle_what_if(std::slice::from_ref(&push), window)
+        .expect("oracle");
+    assert_eq!(
+        serde_json::to_string(&doc.verdict.to_value()).unwrap(),
+        serde_json::to_string(&oracle.to_value()).unwrap(),
+        "probe and oracle verdicts must be byte-identical"
+    );
+    assert!(doc.resident_unchanged);
+}

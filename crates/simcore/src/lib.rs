@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod event;
 pub mod rng;
 pub mod scratch;
@@ -39,6 +40,7 @@ pub mod wheel;
 
 /// One-stop import for downstream crates.
 pub mod prelude {
+    pub use crate::error::Error;
     pub use crate::event::{Backend, EventId, EventQueue};
     pub use crate::rng::SimRng;
     pub use crate::series::{

@@ -20,6 +20,21 @@
 //! * [`mitigation`] — the §4 mitigation planners (TTL classes, rate
 //!   limiting, threshold tiering, buffer classes, routing restriction).
 //!
+//! ## Stable API surface
+//!
+//! Two entry points are considered stable:
+//!
+//! * **Batch**: `net::sim::SimBuilder` → [`try_build`] → `NetSim::run`.
+//!   Every fallible mutation has a canonical `try_*` form returning the
+//!   workspace-wide [`Error`]; the panicking setters are thin `expect`
+//!   shims over them.
+//! * **Resident**: [`session`] — open a long-running [`session::Session`]
+//!   that ingests route updates, link events, and flow changes, and
+//!   answers pre-commit what-if deadlock queries without disturbing the
+//!   resident state. `repro serve` exposes it as a JSONL service.
+//!
+//! [`try_build`]: net::sim::SimBuilder::try_build
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -65,6 +80,26 @@ pub use pfcsim_mitigation as mitigation;
 pub use pfcsim_net as net;
 pub use pfcsim_simcore as simcore;
 pub use pfcsim_topo as topo;
+
+/// The workspace-wide error type: every fallible `try_*` mutation,
+/// checkpoint operation, and serve-protocol request resolves to it.
+pub use pfcsim_simcore::error::Error;
+
+/// The resident deadlock-sentinel session API (`pfcsim serve`).
+///
+/// A stable facade over [`net::serve`]: open a [`session::Session`]
+/// with [`session::SessionSpec`], mutate it with [`session::Update`],
+/// interrogate it with [`session::Query`] (status, static CBD, bounded
+/// what-if probes), and snapshot it for crash-safe handoff. The
+/// [`session::ServeSession`] wrapper speaks the versioned JSONL wire
+/// protocol used by `repro serve`.
+pub mod session {
+    pub use pfcsim_net::serve::{
+        static_cbd, Answer, Applied, CbdDoc, CbdHop, Control, Query, RoutePush, ServeConfig,
+        ServeSession, Session, SessionSpec, StatusDoc, ThresholdDoc, Update, VerdictDoc, WhatIfDoc,
+        SERVE_SCHEMA,
+    };
+}
 
 /// Convenience re-exports spanning the whole workspace.
 pub mod prelude {
